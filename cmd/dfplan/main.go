@@ -1,0 +1,89 @@
+// Command dfplan applies the paper's §5 tuning methodology to a decision
+// flow pattern: it builds the guideline map (Figure 8), calibrates the
+// database's Db curve (Figure 9(a)), and answers the paper's two planning
+// questions for a target throughput — the maximal affordable Work, and the
+// execution strategy minimizing predicted response time (Figure 9(b)).
+//
+// Usage:
+//
+//	dfplan -rows 4 -enabled 75 -th 10
+//	dfplan -rows 8 -enabled 50 -th 25 -verify   # also simulate the pick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/guideline"
+	"repro/internal/model"
+	"repro/internal/simdb"
+)
+
+func main() {
+	var (
+		rows    = flag.Int("rows", 4, "nb_rows of the schema pattern")
+		enabled = flag.Int("enabled", 75, "%enabled of the schema pattern")
+		th      = flag.Float64("th", 10, "target throughput (instances/second)")
+		seeds   = flag.Int("seeds", 10, "schema seeds averaged per strategy")
+		dbUnits = flag.Int("dbunits", 2000, "units per Db-curve calibration level")
+		verify  = flag.Bool("verify", false, "simulate the chosen strategy against the full workload")
+	)
+	flag.Parse()
+
+	pattern := gen.Default()
+	pattern.NbRows = *rows
+	pattern.PctEnabled = *enabled
+
+	fmt.Printf("pattern: nb_nodes=%d nb_rows=%d %%enabled=%d\n\n",
+		pattern.NbNodes, *rows, *enabled)
+
+	gmap, err := guideline.Build(pattern, guideline.DefaultStrategySet, *seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfplan: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(gmap)
+
+	curve := simdb.MeasureDbCurve(simdb.DefaultParams(),
+		[]int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}, *dbUnits, 1)
+	fmt.Printf("\nmeasured Db curve: %s\n", curve)
+
+	mdl := model.New(curve)
+	points := gmap.OperatingPoints()
+
+	if w, ok := mdl.MaxWork(*th, points); ok {
+		fmt.Printf("\nat Th=%.0f/s the database can afford Work <= %.1f units/instance\n", *th, w)
+	} else {
+		fmt.Printf("\nat Th=%.0f/s no measured strategy is sustainable\n", *th)
+		os.Exit(0)
+	}
+
+	best, _ := mdl.Best(*th, points)
+	fmt.Printf("recommended strategy: %s (Work=%.1f, TimeInUnits=%.1f)\n",
+		best.Strategy, best.Work, best.TimeInUnits)
+	fmt.Printf("predicted: TimeInSeconds=%.1f ms at Gmpl=%.1f (UnitTime=%.2f ms)\n",
+		best.Prediction.TimeInSeconds, best.Prediction.Gmpl, best.Prediction.UnitTime)
+
+	if *verify {
+		g := gen.Generate(pattern)
+		stats, err := engine.RunOpenWorkload(engine.OpenWorkload{
+			Schema:      g.Schema,
+			Sources:     g.SourceValues(),
+			Strategy:    engine.MustParseStrategy(best.Strategy),
+			DB:          simdb.DefaultParams(),
+			ArrivalRate: *th,
+			Instances:   600,
+			Seed:        1,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfplan: verification failed: %v\n", err)
+			os.Exit(1)
+		}
+		errPct := 100 * (stats.AvgTimeInSeconds - best.Prediction.TimeInSeconds) / stats.AvgTimeInSeconds
+		fmt.Printf("simulated: TimeInSeconds=%.1f ms over %d instances (model error %.1f%%)\n",
+			stats.AvgTimeInSeconds, stats.Completed, errPct)
+	}
+}

@@ -1,0 +1,75 @@
+// Command dfrun regenerates the figures of the paper's evaluation section.
+//
+// Usage:
+//
+//	dfrun -fig 5a            # one figure to stdout
+//	dfrun -fig all -out dir  # every figure, one .txt per figure
+//	dfrun -list              # list available figures
+//
+// Fidelity knobs: -seeds (schemas averaged per point), -instances
+// (workload arrivals for Figure 9(b)), -dbunits (units per Db-curve
+// calibration level).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure ID (5a, 5b, 6a, 6b, 7a, 7b, 8a, 8b, 9a, 9b) or 'all'")
+		seeds     = flag.Int("seeds", 10, "generated schemas averaged per data point")
+		instances = flag.Int("instances", 400, "workload arrivals for figure 9b")
+		dbUnits   = flag.Int("dbunits", 2000, "units measured per Db-curve level")
+		out       = flag.String("out", "", "directory to write one <figure>.txt per figure (default: stdout)")
+		list      = flag.Bool("list", false, "list available figures and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seeds: *seeds, WorkloadInstances: *instances, DbCurveUnits: *dbUnits}
+
+	var ids []string
+	if *fig == "all" {
+		for _, e := range experiments.Registry {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = []string{*fig}
+	}
+
+	for _, id := range ids {
+		run, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dfrun: unknown figure %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "dfrun: computing figure %s...\n", id)
+		table := run(cfg).Table()
+		if *out == "" {
+			fmt.Print(table, "\n")
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dfrun: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, "fig"+id+".txt")
+		if err := os.WriteFile(path, []byte(table), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dfrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dfrun: wrote %s\n", path)
+	}
+}

@@ -1,0 +1,64 @@
+// Command dfviz renders a decision flow schema as Graphviz DOT, with data
+// edges dashed and enabling edges solid (the paper's Figure 1(b)
+// convention).
+//
+// Usage:
+//
+//	dfviz -schema flow.txt        # text schema format -> DOT on stdout
+//	dfviz -json flow.json         # serialized schema  -> DOT on stdout
+//	dfgen | dfviz -json -         # from a pipe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "", "path to a text-format schema ('-' for stdin)")
+		jsonPath   = flag.String("json", "", "path to a JSON schema ('-' for stdin)")
+	)
+	flag.Parse()
+
+	if (*schemaPath == "") == (*jsonPath == "") {
+		fmt.Fprintln(os.Stderr, "dfviz: exactly one of -schema or -json is required")
+		os.Exit(2)
+	}
+
+	read := func(path string) []byte {
+		if path == "-" {
+			data, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dfviz: reading stdin: %v\n", err)
+				os.Exit(1)
+			}
+			return data
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfviz: %v\n", err)
+			os.Exit(1)
+		}
+		return data
+	}
+
+	var (
+		s   *core.Schema
+		err error
+	)
+	if *schemaPath != "" {
+		s, err = core.ParseSchema(string(read(*schemaPath)))
+	} else {
+		s, err = core.UnmarshalSchemaJSON(read(*jsonPath))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfviz: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(s.DOT())
+}

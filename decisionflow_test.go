@@ -1,0 +1,148 @@
+package decisionflow_test
+
+import (
+	"testing"
+
+	decisionflow "repro"
+)
+
+// TestPublicAPIQuickstart exercises the package through its public surface
+// only, mirroring the doc-comment example.
+func TestPublicAPIQuickstart(t *testing.T) {
+	s := decisionflow.NewBuilder("hello").
+		Source("amount").
+		SynthesisExpr("fee", decisionflow.Cond("amount > 0"), decisionflow.MustParseExpr("amount / 10")).
+		Foreign("decision", decisionflow.Cond("notnull(fee)"), []string{"fee"}, 1,
+			func(in decisionflow.Inputs) decisionflow.Value { return in.Get("fee") }).
+		Target("decision").
+		MustBuild()
+
+	res := decisionflow.Run(s, decisionflow.Sources{"amount": decisionflow.Int(120)},
+		decisionflow.MustParseStrategy("PSE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	got := res.Snapshot.Val(s.MustLookup("decision").ID())
+	if i, ok := got.AsInt(); !ok || i != 12 {
+		t.Fatalf("decision = %v, want 12", got)
+	}
+
+	oracle := decisionflow.Complete(s, decisionflow.Sources{"amount": decisionflow.Int(120)})
+	if err := decisionflow.CheckAgainstOracle(res.Snapshot, oracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDisabledPath(t *testing.T) {
+	s := decisionflow.NewBuilder("gate").
+		Source("amount").
+		SynthesisExpr("fee", decisionflow.Cond("amount > 0"), decisionflow.MustParseExpr("amount / 10")).
+		Foreign("decision", decisionflow.Cond("notnull(fee)"), []string{"fee"}, 1,
+			decisionflow.ConstCompute(decisionflow.Str("approved"))).
+		Target("decision").
+		MustBuild()
+	res := decisionflow.Run(s, decisionflow.Sources{"amount": decisionflow.Int(-5)},
+		decisionflow.MustParseStrategy("PCE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Work != 0 {
+		t.Errorf("disabled path should cost nothing, work=%d", res.Work)
+	}
+	if !res.Snapshot.Val(s.MustLookup("decision").ID()).IsNull() {
+		t.Error("decision should be ⟂ on the disabled path")
+	}
+}
+
+func TestPublicAPIRules(t *testing.T) {
+	rs := &decisionflow.RuleSet{
+		Policy:  decisionflow.WeightedSum,
+		Default: decisionflow.Float(0),
+		Rules: []decisionflow.Rule{
+			{Name: "base", Contribute: decisionflow.MustParseExpr("10")},
+			{Name: "big", When: decisionflow.Cond("total > 100"), Contribute: decisionflow.MustParseExpr("total / 10")},
+		},
+	}
+	s := decisionflow.NewBuilder("ruled").
+		Source("total").
+		Synthesis("score", decisionflow.TrueCond, rs.InputAttrs(), rs.Task()).
+		Foreign("tgt", decisionflow.Cond("score >= 10"), []string{"score"}, 2,
+			decisionflow.ConstCompute(decisionflow.Bool(true))).
+		Target("tgt").
+		MustBuild()
+	res := decisionflow.Run(s, decisionflow.Sources{"total": decisionflow.Int(250)},
+		decisionflow.MustParseStrategy("PCE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	score := res.Snapshot.Val(s.MustLookup("score").ID())
+	if f, ok := score.AsFloat(); !ok || f != 35 {
+		t.Fatalf("score = %v, want 35", score)
+	}
+}
+
+func TestPublicAPIPatternAndGuideline(t *testing.T) {
+	p := decisionflow.DefaultPattern()
+	p.NbNodes = 16
+	p.NbRows = 4
+	g := decisionflow.GeneratePattern(p)
+	res := decisionflow.Run(g.Schema, g.SourceValues(), decisionflow.MustParseStrategy("PCE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	m, err := decisionflow.BuildGuidelineMap(p, []string{"PCE0", "PCE100"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Measurements) != 2 {
+		t.Fatal("guideline map incomplete")
+	}
+}
+
+func TestPublicAPIModelAndWorkload(t *testing.T) {
+	curve := decisionflow.MeasureDbCurve(decisionflow.DefaultDBParams(), []int{1, 8, 32}, 300, 9)
+	m := decisionflow.NewModel(curve)
+	pr := m.Predict(10, 20, 40)
+	if !pr.Converged {
+		t.Fatal("light-load prediction should converge")
+	}
+	p := decisionflow.DefaultPattern()
+	p.NbNodes = 16
+	p.NbRows = 4
+	g := decisionflow.GeneratePattern(p)
+	stats, err := decisionflow.RunOpenWorkload(decisionflow.OpenWorkload{
+		Schema:      g.Schema,
+		Sources:     g.SourceValues(),
+		Strategy:    decisionflow.MustParseStrategy("PCE100"),
+		DB:          decisionflow.DefaultDBParams(),
+		ArrivalRate: 10,
+		Instances:   100,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 || stats.AvgTimeInSeconds <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPublicAPISchemaText(t *testing.T) {
+	s, err := decisionflow.ParseSchema(`
+schema toy
+  source x
+  query q from x cost 2 when x > 0
+  target q
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.BindCompute("q", decisionflow.ConstCompute(decisionflow.Int(1))) {
+		t.Fatal("BindCompute failed")
+	}
+	res := decisionflow.Run(s, decisionflow.Sources{"x": decisionflow.Int(5)},
+		decisionflow.MustParseStrategy("PCE0"))
+	if res.Err != nil || res.Work != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -1,0 +1,116 @@
+// Audit: observability for decision flows — execution traces (the paper's
+// §3 "series of snapshots") and cross-execution mining of the snapshot
+// relation (§2), on a loan-offer decision flow.
+//
+// The example prints (1) a full event timeline of one speculative
+// execution, showing eager condition decisions, a speculative launch and a
+// discarded result; and (2) a mining report over a population of
+// applicants, flagging refinement opportunities (dead attributes,
+// conditions that never differentiate).
+//
+// Run with: go run ./examples/audit
+package main
+
+import (
+	"fmt"
+
+	decisionflow "repro"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/simdb"
+)
+
+func buildFlow() *decisionflow.Schema {
+	b := decisionflow.NewBuilder("loan-offer")
+	b.Source("income")
+	b.Source("requested")
+
+	// Credit bureau dip — the expensive external call.
+	b.Foreign("credit_score", decisionflow.Cond("income > 0"), []string{"income"}, 4,
+		func(in decisionflow.Inputs) decisionflow.Value {
+			inc, _ := in.Get("income").AsInt()
+			return decisionflow.Int(500 + inc/100)
+		})
+	// Collateral appraisal: only for big requests; can run speculatively
+	// while the credit score is still pending.
+	b.Foreign("appraisal", decisionflow.Cond("credit_score > 550 and requested > 10000"),
+		[]string{"requested"}, 3,
+		decisionflow.ConstCompute(decisionflow.Int(250000)))
+	// A legacy attribute whose condition never fires for current traffic —
+	// the mining report should flag it as dead.
+	b.Foreign("paper_archive", decisionflow.Cond("requested > 10000000"),
+		nil, 2, decisionflow.ConstCompute(decisionflow.Str("microfilm"))).
+		SynthesisExpr("offer", decisionflow.Cond("credit_score > 550"),
+			decisionflow.MustParseExpr("min(requested, coalesce(appraisal, 20000) / 2)"))
+	b.Foreign("letter", decisionflow.Cond("notnull(offer)"), []string{"offer"}, 1,
+		func(in decisionflow.Inputs) decisionflow.Value {
+			v := in.Get("offer")
+			return decisionflow.Str("approved up to " + v.String())
+		})
+	b.Target("letter")
+	return b.MustBuild()
+}
+
+func main() {
+	flow := buildFlow()
+
+	// --- 1. Trace one execution. ---
+	rec := decisionflow.NewTraceRecorder(flow)
+	sm := sim.New()
+	eng := &decisionflow.Engine{
+		Sim:      sm,
+		DB:       &simdb.Unbounded{S: sm},
+		Strategy: decisionflow.MustParseStrategy("PSE100"),
+		Hooks:    rec.Hooks(),
+	}
+	res := eng.Start(flow, decisionflow.Sources{
+		"income":    decisionflow.Int(3000),
+		"requested": decisionflow.Int(5000), // small: appraisal gets disabled mid-flight
+	}, nil)
+	sm.Run()
+	if res.Err != nil {
+		panic(res.Err)
+	}
+	tr := rec.Trace()
+	if err := tr.Check(); err != nil {
+		panic(err)
+	}
+	fmt.Println("execution timeline (PSE100):")
+	fmt.Print(tr.Render())
+	st := tr.Stats()
+	fmt.Printf("summary: %d transitions, %d launches (%d speculative, %d discarded), finished at t=%v\n\n",
+		st.Transitions, st.Launches, st.Speculative, st.Discarded, st.Duration)
+
+	// --- 2. Mine a population of executions. ---
+	collector := decisionflow.NewMiningCollector(flow, 2)
+	applicants := []decisionflow.Sources{
+		{"income": decisionflow.Int(3000), "requested": decisionflow.Int(5000)},
+		{"income": decisionflow.Int(9000), "requested": decisionflow.Int(45000)},
+		{"income": decisionflow.Int(500), "requested": decisionflow.Int(2000)},
+		{"income": decisionflow.Int(0), "requested": decisionflow.Int(1000)},
+		{"income": decisionflow.Int(12000), "requested": decisionflow.Int(90000)},
+		{"income": decisionflow.Int(7000), "requested": decisionflow.Int(15000)},
+	}
+	for _, a := range applicants {
+		r := decisionflow.Run(flow, a, decisionflow.MustParseStrategy("PSE100"))
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		if err := collector.Add(r.Snapshot); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println(collector.Report())
+
+	// --- 3. Failure injection: the bureau is down. ---
+	sm2 := sim.New()
+	downEng := &engine.Engine{
+		Sim: sm2, DB: &simdb.Unbounded{S: sm2},
+		Strategy:    decisionflow.MustParseStrategy("PCE100"),
+		FailureProb: 1.0, FailureSeed: 1,
+	}
+	down := downEng.Start(flow, applicants[1], nil)
+	sm2.Run()
+	fmt.Printf("with the credit bureau down: letter=%v (failures=%d) — the flow still terminates\n",
+		down.Snapshot.Val(flow.MustLookup("letter").ID()), down.Failures)
+}

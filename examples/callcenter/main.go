@@ -1,0 +1,121 @@
+// Callcenter: near-realtime routing of an incoming customer call — one of
+// the customer-care applications the paper motivates (§1). The flow looks
+// up the caller across several backend systems in parallel, scores the
+// interaction with business rules, and routes the call to a queue.
+//
+// The example compares all four strategy families on the same call and
+// then uses the open-workload simulator to size the system: how does
+// response time degrade as call volume grows?
+//
+// Run with: go run ./examples/callcenter
+package main
+
+import (
+	"fmt"
+
+	decisionflow "repro"
+)
+
+func buildFlow() *decisionflow.Schema {
+	b := decisionflow.NewBuilder("call-routing")
+	b.Source("caller_id")
+	b.Source("dialed_line") // "sales" | "support"
+
+	// Three independent backend dips that can run in parallel.
+	b.Foreign("crm_record", decisionflow.TrueCond, []string{"caller_id"}, 3,
+		func(in decisionflow.Inputs) decisionflow.Value {
+			if id, ok := in.Get("caller_id").AsInt(); ok && id != 0 {
+				return decisionflow.List(decisionflow.Str("known"), decisionflow.Int(id%5))
+			}
+			return decisionflow.Null // unknown caller
+		})
+	b.Foreign("open_tickets", decisionflow.Cond(`dialed_line == "support"`),
+		[]string{"caller_id"}, 2,
+		decisionflow.ConstCompute(decisionflow.Int(2)))
+	b.Foreign("billing_status", decisionflow.Cond(`notnull(caller_id)`),
+		[]string{"caller_id"}, 4,
+		decisionflow.ConstCompute(decisionflow.Str("current")))
+
+	// Priority score from business rules; every rule is an independent
+	// business factor with a weight.
+	priority := &decisionflow.RuleSet{
+		Policy:  decisionflow.WeightedSum,
+		Default: decisionflow.Float(10),
+		Rules: []decisionflow.Rule{
+			{Name: "known-customer", When: decisionflow.Cond(`contains(crm_record, "known")`),
+				Contribute: decisionflow.MustParseExpr("30")},
+			{Name: "has-open-tickets", When: decisionflow.Cond("open_tickets > 0"),
+				Contribute: decisionflow.MustParseExpr("open_tickets * 10"), Weight: 1.5},
+			{Name: "billing-delinquent", When: decisionflow.Cond(`billing_status == "late"`),
+				Contribute: decisionflow.MustParseExpr("-20")},
+		},
+	}
+	b.Synthesis("priority", decisionflow.TrueCond, priority.InputAttrs(), priority.Task())
+
+	// VIP fast path: checked only for high-priority calls (speculation can
+	// start it while the priority is still being decided).
+	b.Foreign("vip_agent_free", decisionflow.Cond("priority >= 40"), nil, 2,
+		decisionflow.ConstCompute(decisionflow.Bool(true)))
+
+	// Routing decision.
+	route := &decisionflow.RuleSet{
+		Policy:  decisionflow.FirstWins,
+		Default: decisionflow.Str("general-queue"),
+		Rules: []decisionflow.Rule{
+			{Name: "vip", When: decisionflow.Cond("vip_agent_free == true"),
+				Contribute: decisionflow.MustParseExpr(`"vip-desk"`)},
+			{Name: "support", When: decisionflow.Cond(`dialed_line == "support" and priority >= 20`),
+				Contribute: decisionflow.MustParseExpr(`"senior-support"`)},
+			{Name: "sales", When: decisionflow.Cond(`dialed_line == "sales"`),
+				Contribute: decisionflow.MustParseExpr(`"sales-floor"`)},
+		},
+	}
+	b.Synthesis("route", decisionflow.TrueCond, route.InputAttrs(), route.Task())
+
+	// Target: the routing ticket handed to the PBX (a final cheap dip).
+	b.Foreign("ticket", decisionflow.Cond("notnull(route)"), []string{"route", "priority"}, 1,
+		func(in decisionflow.Inputs) decisionflow.Value {
+			q, _ := in.Get("route").AsString()
+			p, _ := in.Get("priority").AsFloat()
+			return decisionflow.Str(fmt.Sprintf("route=%s priority=%.0f", q, p))
+		})
+	b.Target("ticket")
+	return b.MustBuild()
+}
+
+func main() {
+	flow := buildFlow()
+	call := decisionflow.Sources{
+		"caller_id":   decisionflow.Int(8821),
+		"dialed_line": decisionflow.Str("support"),
+	}
+
+	fmt.Println("one call, four strategies:")
+	for _, code := range []string{"NCC0", "PCE0", "PCE100", "PSE100"} {
+		res := decisionflow.Run(flow, call, decisionflow.MustParseStrategy(code))
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		fmt.Printf("  %-7s ticket=%v  time=%v units  work=%d\n",
+			code, res.Snapshot.Val(flow.MustLookup("ticket").ID()), res.Elapsed, res.Work)
+	}
+
+	// Capacity study: simulate call volumes against the Table 1 database.
+	fmt.Println("\ncall volume vs mean routing latency (PSE100, simulated backend):")
+	for _, rate := range []float64{5, 20, 50, 100} {
+		stats, err := decisionflow.RunOpenWorkload(decisionflow.OpenWorkload{
+			Schema:      flow,
+			Sources:     call,
+			Strategy:    decisionflow.MustParseStrategy("PSE100"),
+			DB:          decisionflow.DefaultDBParams(),
+			ArrivalRate: rate,
+			Instances:   600,
+			Seed:        42,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %5.0f calls/s -> %7.2f ms mean latency (db Gmpl %.1f)\n",
+			rate, stats.AvgTimeInSeconds, stats.AvgGmpl)
+	}
+}

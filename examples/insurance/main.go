@@ -1,0 +1,122 @@
+// Insurance: claims triage — another of the paper's motivating customer
+// care domains (§1). Each incoming claim is scored for fraud and either
+// fast-tracked, routed to an adjuster, or escalated.
+//
+// Besides running the flow, the example exercises the paper's *planning*
+// machinery end to end: it measures the database's Db curve, builds a
+// guideline map for the flow, and applies the analytical model's two
+// tuning prescriptions — the maximal affordable Work for a target
+// throughput, and the strategy minimizing predicted response time —
+// exactly the Figure 9(b) methodology.
+//
+// Run with: go run ./examples/insurance
+package main
+
+import (
+	"fmt"
+
+	decisionflow "repro"
+)
+
+func buildFlow() *decisionflow.Schema {
+	b := decisionflow.NewBuilder("claims-triage")
+	b.Source("claim_amount")
+	b.Source("policy_id")
+
+	// Backend dips.
+	b.Foreign("policy", decisionflow.TrueCond, []string{"policy_id"}, 2,
+		decisionflow.ConstCompute(decisionflow.List(decisionflow.Str("active"), decisionflow.Int(3))))
+	b.Foreign("claim_history", decisionflow.TrueCond, []string{"policy_id"}, 3,
+		decisionflow.ConstCompute(decisionflow.Int(1))) // prior claims
+	// The expensive fraud-model dip runs only for big claims.
+	b.Foreign("fraud_signals", decisionflow.Cond("claim_amount > 1000"),
+		[]string{"policy_id", "claim_amount"}, 5,
+		decisionflow.ConstCompute(decisionflow.Float(0.35)))
+
+	// Fraud score: rules over the dips; ⟂ signals contribute nothing.
+	fraud := &decisionflow.RuleSet{
+		Policy:  decisionflow.WeightedSum,
+		Default: decisionflow.Float(0),
+		Rules: []decisionflow.Rule{
+			{Name: "model", When: decisionflow.Cond("notnull(fraud_signals)"),
+				Contribute: decisionflow.MustParseExpr("fraud_signals * 100")},
+			{Name: "repeat-claims", When: decisionflow.Cond("claim_history > 2"),
+				Contribute: decisionflow.MustParseExpr("claim_history * 5")},
+			{Name: "lapsed-policy", When: decisionflow.Cond(`not contains(policy, "active")`),
+				Contribute: decisionflow.MustParseExpr("50")},
+		},
+	}
+	b.Synthesis("fraud_score", decisionflow.TrueCond, fraud.InputAttrs(), fraud.Task())
+
+	// Decisions: fast track small clean claims; adjust the rest; escalate
+	// suspicious ones. Exactly one target fires per claim, but all three
+	// are targets — execution ends when each is stable (possibly ⟂).
+	b.Foreign("fast_track", decisionflow.Cond("claim_amount <= 1000 and fraud_score < 20"),
+		[]string{"claim_amount"}, 1,
+		decisionflow.ConstCompute(decisionflow.Str("auto-approved")))
+	b.Foreign("adjuster", decisionflow.Cond("claim_amount > 1000 and fraud_score < 40"),
+		[]string{"claim_amount", "fraud_score"}, 2,
+		decisionflow.ConstCompute(decisionflow.Str("assigned: adjuster pool B")))
+	b.Foreign("escalation", decisionflow.Cond("fraud_score >= 40"),
+		[]string{"fraud_score"}, 2,
+		decisionflow.ConstCompute(decisionflow.Str("SIU review")))
+	b.Target("fast_track")
+	b.Target("adjuster")
+	b.Target("escalation")
+	return b.MustBuild()
+}
+
+func main() {
+	flow := buildFlow()
+
+	claims := []decisionflow.Sources{
+		{"claim_amount": decisionflow.Int(400), "policy_id": decisionflow.Int(11)},
+		{"claim_amount": decisionflow.Int(8200), "policy_id": decisionflow.Int(12)},
+	}
+	strategy := decisionflow.MustParseStrategy("PSE100")
+	for _, claim := range claims {
+		res := decisionflow.Run(flow, claim, strategy)
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		amount := claim["claim_amount"]
+		for _, name := range []string{"fast_track", "adjuster", "escalation"} {
+			if v := res.Snapshot.Val(flow.MustLookup(name).ID()); !v.IsNull() {
+				fmt.Printf("claim %v -> %s: %v (time=%v units, work=%d)\n",
+					amount, name, v, res.Elapsed, res.Work)
+			}
+		}
+	}
+
+	// --- Capacity planning (the Figure 9(b) methodology). ---
+	fmt.Println("\ncapacity planning for the claims pipeline:")
+
+	// 1. Calibrate the database's Db curve.
+	curve := decisionflow.MeasureDbCurve(decisionflow.DefaultDBParams(),
+		[]int{1, 2, 4, 8, 16, 32, 64}, 1500, 7)
+	mdl := decisionflow.NewModel(curve)
+
+	// 2. Measure strategy operating points on the flow itself (big-claim
+	//    path, the expensive case).
+	big := claims[1]
+	var points []decisionflow.OperatingPoint
+	for _, code := range []string{"PCE0", "PCE100", "PSE100"} {
+		res := decisionflow.Run(flow, big, decisionflow.MustParseStrategy(code))
+		points = append(points, decisionflow.OperatingPoint{
+			Strategy: code, Work: float64(res.Work), TimeInUnits: res.Elapsed,
+		})
+		fmt.Printf("  %-7s Work=%2.0f TimeInUnits=%2.0f\n", code, float64(res.Work), res.Elapsed)
+	}
+
+	// 3. Apply the model's prescriptions at several claim rates.
+	for _, th := range []float64{50, 200, 400} {
+		if w, ok := mdl.MaxWork(th, points); ok {
+			best, _ := mdl.Best(th, points)
+			fmt.Printf("  at %3.0f claims/s: affordable Work <= %.0f; best strategy %s "+
+				"(predicted %.1f ms, db Gmpl %.1f)\n",
+				th, w, best.Strategy, best.Prediction.TimeInSeconds, best.Prediction.Gmpl)
+		} else {
+			fmt.Printf("  at %3.0f claims/s: no strategy sustains the load\n", th)
+		}
+	}
+}

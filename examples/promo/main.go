@@ -1,0 +1,146 @@
+// Promo: the paper's running example (Figure 1) — a decision flow that
+// selects and assembles promo images for a web storefront page.
+//
+// The flow mirrors the paper's modules: a boys'-coat promo module guarded
+// by shopping-cart contents, a decision module that estimates expendable
+// income and decides whether to give promos at all, and a presentation
+// module that assembles image and text. Forward propagation (income = 0
+// disables everything downstream) and backward propagation (the hit list
+// becomes unneeded) are visible in the printed run reports.
+//
+// Run with: go run ./examples/promo
+package main
+
+import (
+	"fmt"
+
+	decisionflow "repro"
+)
+
+// buildFlow assembles the Figure 1 decision flow.
+func buildFlow() *decisionflow.Schema {
+	b := decisionflow.NewBuilder("storefront-promo")
+	b.Source("customer_profile") // list: [visits, purchases_boys, income_estimate]
+	b.Source("shopping_cart")    // list of category strings
+	b.Source("db_load")          // current inventory-DB load (%)
+
+	// --- Boys' coat promo module (Figure 1's detailed module). ---
+	// Module condition: at least one boys item in the cart, or a child item
+	// and a prior boys purchase.
+	boysModule := b.Module(decisionflow.Cond(
+		`contains(shopping_cart, "boys") or (contains(shopping_cart, "child") and contains(customer_profile, "bought_boys"))`))
+	// Database dip: climate at the customer's home (cost 2).
+	boysModule.Foreign("climate", decisionflow.TrueCond, []string{"customer_profile"}, 2,
+		decisionflow.ConstCompute(decisionflow.Str("cold")))
+	// Hit list of appropriate coats with price/profit/match score (cost 3).
+	boysModule.Foreign("coat_hits", decisionflow.Cond(`notnull(climate)`),
+		[]string{"climate"}, 3,
+		decisionflow.ConstCompute(decisionflow.List(
+			decisionflow.List(decisionflow.Str("parka"), decisionflow.Int(89)),
+			decisionflow.List(decisionflow.Str("rain shell"), decisionflow.Int(74)),
+		)))
+	// Inventory check, guarded the way the paper annotates it: at least one
+	// coat scored above 80, or the inventory database is lightly loaded.
+	boysModule.Foreign("coat_inventory",
+		decisionflow.Cond(`len(coat_hits) > 0 and (contains(coat_hits, ["parka", 89]) or db_load < 95)`),
+		[]string{"coat_hits"}, 2,
+		decisionflow.ConstCompute(decisionflow.List(decisionflow.Str("parka#sz8")))).
+		Done()
+
+	// --- Decision module. ---
+	// Expendable income estimated by business rules over the profile.
+	income := &decisionflow.RuleSet{
+		Policy:  decisionflow.WeightedSum,
+		Default: decisionflow.Float(0),
+		Rules: []decisionflow.Rule{
+			{Name: "base", Contribute: decisionflow.MustParseExpr("len(customer_profile) * 10")},
+			{Name: "frequent", When: decisionflow.Cond(`contains(customer_profile, "frequent")`),
+				Contribute: decisionflow.MustParseExpr("25")},
+		},
+	}
+	b.Synthesis("expendable_income", decisionflow.TrueCond, income.InputAttrs(), income.Task())
+
+	// Promo hit list: collect candidates from every promo module.
+	b.SynthesisExpr("promo_hit_list", decisionflow.TrueCond,
+		decisionflow.MustParseExpr(`coalesce(coat_inventory, [])`))
+
+	// The give_promo(s)? decision (enabled only with positive income).
+	b.SynthesisExpr("give_promo", decisionflow.Cond("expendable_income > 0"),
+		decisionflow.MustParseExpr(`len(promo_hit_list) > 0`))
+
+	// --- Presentation module, guarded by give_promo == true. ---
+	pres := b.Module(decisionflow.Cond("give_promo == true"))
+	pres.Foreign("image_candidates", decisionflow.TrueCond, []string{"promo_hit_list"}, 2,
+		decisionflow.ConstCompute(decisionflow.List(decisionflow.Str("parka.jpg"))))
+	pres.Foreign("image_selection", decisionflow.Cond("len(image_candidates) > 0"),
+		[]string{"image_candidates"}, 1,
+		decisionflow.ConstCompute(decisionflow.Str("parka.jpg")))
+	pres.Foreign("text_selection", decisionflow.TrueCond, []string{"promo_hit_list"}, 1,
+		decisionflow.ConstCompute(decisionflow.Str("Warm coats for winter!"))).
+		Done()
+
+	// Target: image and text assembly for the next web page.
+	b.Synthesis("assembly", decisionflow.Cond("give_promo == true"),
+		[]string{"image_selection", "text_selection"},
+		func(in decisionflow.Inputs) decisionflow.Value {
+			img, _ := in.Get("image_selection").AsString()
+			txt, _ := in.Get("text_selection").AsString()
+			return decisionflow.Str("<promo img=" + img + " text=\"" + txt + "\">")
+		})
+	b.Target("assembly")
+	return b.MustBuild()
+}
+
+func main() {
+	flow := buildFlow()
+
+	customers := []struct {
+		name    string
+		sources decisionflow.Sources
+	}{
+		{"boys shopper, money to spend", decisionflow.Sources{
+			"customer_profile": decisionflow.List(decisionflow.Str("frequent"), decisionflow.Str("bought_boys")),
+			"shopping_cart":    decisionflow.List(decisionflow.Str("boys"), decisionflow.Str("socks")),
+			"db_load":          decisionflow.Int(40),
+		}},
+		{"child shopper with history", decisionflow.Sources{
+			"customer_profile": decisionflow.List(decisionflow.Str("bought_boys")),
+			"shopping_cart":    decisionflow.List(decisionflow.Str("child")),
+			"db_load":          decisionflow.Int(90),
+		}},
+		{"no relevant cart items", decisionflow.Sources{
+			"customer_profile": decisionflow.List(decisionflow.Str("frequent")),
+			"shopping_cart":    decisionflow.List(decisionflow.Str("garden")),
+			"db_load":          decisionflow.Int(40),
+		}},
+		{"broke customer (income 0)", decisionflow.Sources{
+			"customer_profile": decisionflow.List(),
+			"shopping_cart":    decisionflow.List(decisionflow.Str("boys")),
+			"db_load":          decisionflow.Int(40),
+		}},
+	}
+
+	strategy := decisionflow.MustParseStrategy("PSE100")
+	for _, c := range customers {
+		res := decisionflow.Run(flow, c.sources, strategy)
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		page := res.Snapshot.Val(flow.MustLookup("assembly").ID())
+		fmt.Printf("%-32s -> ", c.name)
+		if page.IsNull() {
+			fmt.Printf("no promo")
+		} else {
+			fmt.Printf("%v", page)
+		}
+		fmt.Printf("  (time=%v units, work=%d, wasted=%d)\n", res.Elapsed, res.Work, res.WastedWork)
+	}
+
+	// Show the snapshot relation of the last run — the audit record the
+	// paper suggests mining for policy refinement.
+	res := decisionflow.Run(flow, customers[3].sources, strategy)
+	fmt.Println("\nsnapshot relation for the income-0 customer:")
+	for _, rec := range res.Snapshot.Relation() {
+		fmt.Printf("  %-20s %-14s %s\n", rec.Attr, rec.State, rec.Value)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: a five-attribute decision flow that decides a shipping
+// upgrade for an e-commerce order, executed under two strategies to show
+// the work/time trade-off.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	decisionflow "repro"
+)
+
+func main() {
+	// The flow: two database dips (customer tier, warehouse load) feed a
+	// synthesized score; the upgrade decision is computed only when the
+	// score clears a threshold.
+	flow := decisionflow.NewBuilder("shipping-upgrade").
+		Source("order_total").
+		Source("customer_id").
+		// Foreign task: look up the customer's loyalty tier (cost 2 units).
+		Foreign("tier", decisionflow.TrueCond, []string{"customer_id"}, 2,
+			func(in decisionflow.Inputs) decisionflow.Value {
+				if id, ok := in.Get("customer_id").AsInt(); ok && id%2 == 1 {
+					return decisionflow.Str("gold")
+				}
+				return decisionflow.Str("standard")
+			}).
+		// Foreign task: check warehouse congestion (cost 3 units) — only
+		// worth asking for orders above 50.
+		Foreign("warehouse_load", decisionflow.Cond("order_total > 50"), nil, 3,
+			decisionflow.ConstCompute(decisionflow.Int(40))).
+		// Synthesis: combine both factors into a score. Runs even if
+		// warehouse_load is ⟂ (the coalesce supplies a pessimistic default).
+		SynthesisExpr("score", decisionflow.TrueCond,
+			decisionflow.MustParseExpr(`order_total / 10 + coalesce(warehouse_load, 100) / -2`)).
+		// The target decision: only computed when the score is promising.
+		Foreign("upgrade", decisionflow.Cond(`score > -10 and tier == "gold"`), []string{"tier", "score"}, 1,
+			decisionflow.ConstCompute(decisionflow.Str("free 2-day shipping"))).
+		Target("upgrade").
+		MustBuild()
+
+	order := decisionflow.Sources{
+		"order_total": decisionflow.Int(120),
+		"customer_id": decisionflow.Int(7),
+	}
+
+	for _, code := range []string{"PCE0", "PSE100"} {
+		res := decisionflow.Run(flow, order, decisionflow.MustParseStrategy(code))
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		upgrade := res.Snapshot.Val(flow.MustLookup("upgrade").ID())
+		fmt.Printf("strategy %-7s -> decision=%v  time=%v units  work=%d units  wasted=%d\n",
+			code, upgrade, res.Elapsed, res.Work, res.WastedWork)
+	}
+
+	// The declarative oracle gives the same answer regardless of strategy.
+	oracle := decisionflow.Complete(flow, order)
+	fmt.Printf("oracle decision: %v\n", oracle.Val(flow.MustLookup("upgrade").ID()))
+}

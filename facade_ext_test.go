@@ -1,0 +1,150 @@
+package decisionflow_test
+
+import (
+	"strings"
+	"testing"
+
+	decisionflow "repro"
+	"repro/internal/sim"
+	"repro/internal/simdb"
+)
+
+// tinyFlow builds a two-dip flow for facade-level integration tests.
+func tinyFlow(t testing.TB) *decisionflow.Schema {
+	t.Helper()
+	return decisionflow.NewBuilder("tiny").
+		Source("x").
+		Foreign("a", decisionflow.TrueCond, []string{"x"}, 2,
+			decisionflow.ConstCompute(decisionflow.Int(1))).
+		Foreign("b", decisionflow.Cond("a > 0"), []string{"x"}, 3,
+			decisionflow.ConstCompute(decisionflow.Int(2))).
+		SynthesisExpr("tgt", decisionflow.TrueCond, decisionflow.MustParseExpr("coalesce(b, 0)")).
+		Target("tgt").
+		MustBuild()
+}
+
+func TestPublicAPITraceRecorder(t *testing.T) {
+	flow := tinyFlow(t)
+	rec := decisionflow.NewTraceRecorder(flow)
+	sm := sim.New()
+	eng := &decisionflow.Engine{
+		Sim:      sm,
+		DB:       &simdb.Unbounded{S: sm},
+		Strategy: decisionflow.MustParseStrategy("PSE100"),
+		Hooks:    rec.Hooks(),
+	}
+	res := eng.Start(flow, decisionflow.Sources{"x": decisionflow.Int(1)}, nil)
+	sm.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	tr := rec.Trace()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Launches != res.Launched {
+		t.Error("trace and result disagree on launches")
+	}
+	if !strings.Contains(tr.Render(), "launch") {
+		t.Error("trace render missing launches")
+	}
+}
+
+func TestPublicAPIMining(t *testing.T) {
+	flow := tinyFlow(t)
+	c := decisionflow.NewMiningCollector(flow, 1)
+	for i := 0; i < 3; i++ {
+		res := decisionflow.Run(flow, decisionflow.Sources{"x": decisionflow.Int(int64(i))},
+			decisionflow.MustParseStrategy("PCE100"))
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if err := c.Add(res.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := c.Report()
+	if r.Instances != 3 {
+		t.Fatalf("instances = %d", r.Instances)
+	}
+	if !strings.Contains(r.String(), "mining report") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestPublicAPIMixedWorkload(t *testing.T) {
+	flow := tinyFlow(t)
+	stats, err := decisionflow.RunMixedWorkload(decisionflow.MixedWorkload{
+		Entries: []decisionflow.MixedEntry{
+			{Name: "a", Schema: flow, Sources: decisionflow.Sources{"x": decisionflow.Int(1)},
+				Strategy: decisionflow.MustParseStrategy("PCE100"), Weight: 1},
+			{Name: "b", Schema: flow, Sources: decisionflow.Sources{"x": decisionflow.Int(2)},
+				Strategy: decisionflow.MustParseStrategy("PSE100"), Weight: 1},
+		},
+		DB:          decisionflow.DefaultDBParams(),
+		ArrivalRate: 30,
+		Instances:   120,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Classes) != 2 || stats.Classes[0].Completed == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPublicAPIFailureInjection(t *testing.T) {
+	flow := tinyFlow(t)
+	sm := sim.New()
+	eng := &decisionflow.Engine{
+		Sim:         sm,
+		DB:          &simdb.Unbounded{S: sm},
+		Strategy:    decisionflow.MustParseStrategy("PCE100"),
+		FailureProb: 1.0,
+		FailureSeed: 2,
+	}
+	res := eng.Start(flow, decisionflow.Sources{"x": decisionflow.Int(1)}, nil)
+	sm.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Failures == 0 {
+		t.Error("expected injected failures")
+	}
+	if !res.Snapshot.Terminal() {
+		t.Error("flow must terminate despite failures")
+	}
+}
+
+func TestPublicAPIMultiDBAndClustering(t *testing.T) {
+	flow := decisionflow.NewBuilder("routed").
+		Source("x").
+		ForeignDB("q1", "warehouse", decisionflow.TrueCond, []string{"x"}, 1,
+			decisionflow.ConstCompute(decisionflow.Int(1))).
+		ForeignDB("q2", "warehouse", decisionflow.TrueCond, []string{"x"}, 1,
+			decisionflow.ConstCompute(decisionflow.Int(2))).
+		SynthesisExpr("tgt", decisionflow.TrueCond, decisionflow.MustParseExpr("coalesce(q1,0)+coalesce(q2,0)")).
+		Target("tgt").
+		MustBuild()
+	sm := sim.New()
+	wh := simdb.NewServer(sm, decisionflow.DefaultDBParams(), 1)
+	eng := &decisionflow.Engine{
+		Sim:           sm,
+		DB:            wh,
+		DBs:           map[string]decisionflow.DB{"warehouse": wh},
+		Strategy:      decisionflow.MustParseStrategy("PCE100"),
+		ClusterSameDB: true,
+	}
+	res := eng.Start(flow, decisionflow.Sources{"x": decisionflow.Int(1)}, nil)
+	sm.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if wh.QueriesDone() != 1 {
+		t.Errorf("clustered batch count = %d, want 1", wh.QueriesDone())
+	}
+	if v, _ := res.Snapshot.Val(flow.MustLookup("tgt").ID()).AsInt(); v != 3 {
+		t.Errorf("tgt = %v, want 3", res.Snapshot.Val(flow.MustLookup("tgt").ID()))
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"repro/internal/expr"
+)
+
+// Builder assembles a decision flow schema. It supports the modular form
+// presented to users: modules carry enabling conditions that flattening
+// "and"s into every member, recursively (paper §2, Figure 1(a)→1(b)).
+//
+// Builder methods record declarations; Build performs flattening and
+// validation, returning all problems at once.
+type Builder struct {
+	name  string
+	attrs []*Attribute
+}
+
+// NewBuilder creates a schema builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Module is a named group of attributes sharing an enabling condition.
+// Modules support the specification-scalability story of the paper; they
+// have no runtime existence after flattening.
+type Module struct {
+	b    *Builder
+	cond expr.Expr
+}
+
+// Source declares a source attribute (an input of the flow instance).
+func (b *Builder) Source(name string) *Builder {
+	b.attrs = append(b.attrs, &Attribute{Name: name, isSource: true})
+	return b
+}
+
+// Module opens a module whose members' enabling conditions are all
+// conjoined with cond.
+func (b *Builder) Module(cond expr.Expr) *Module {
+	return &Module{b: b, cond: cond}
+}
+
+// Module opens a nested module; conditions accumulate conjunctively.
+func (m *Module) Module(cond expr.Expr) *Module {
+	return &Module{b: m.b, cond: expr.AndOf(m.cond, cond)}
+}
+
+// add appends a flattened attribute.
+func (b *Builder) add(a *Attribute) { b.attrs = append(b.attrs, a) }
+
+// Foreign declares a foreign-task attribute (e.g. a database dip) at the
+// builder's top level.
+//
+// name: attribute name; cond: enabling condition (expr.TrueExpr for the
+// unconditional diamonds of Fig 1); inputs: data-flow input attribute
+// names; cost: units of processing; compute: result function (nil yields ⟂).
+func (b *Builder) Foreign(name string, cond expr.Expr, inputs []string, cost int, compute ComputeFunc) *Builder {
+	b.add(&Attribute{
+		Name:     name,
+		Enabling: cond,
+		Inputs:   inputs,
+		Task:     &Task{Kind: ForeignTask, Cost: cost, Compute: compute},
+	})
+	return b
+}
+
+// ForeignDB declares a foreign-task attribute whose query targets the
+// named database (multi-database execution, the paper's §6 extension).
+func (b *Builder) ForeignDB(name, db string, cond expr.Expr, inputs []string, cost int, compute ComputeFunc) *Builder {
+	b.add(&Attribute{
+		Name:     name,
+		Enabling: cond,
+		Inputs:   inputs,
+		Task:     &Task{Kind: ForeignTask, Cost: cost, Compute: compute, DB: db},
+	})
+	return b
+}
+
+// Synthesis declares a synthesis-task attribute computed by fn.
+func (b *Builder) Synthesis(name string, cond expr.Expr, inputs []string, fn ComputeFunc) *Builder {
+	b.add(&Attribute{
+		Name:     name,
+		Enabling: cond,
+		Inputs:   inputs,
+		Task:     &Task{Kind: SynthesisTask, Compute: fn},
+	})
+	return b
+}
+
+// SynthesisExpr declares a synthesis-task attribute computed by evaluating
+// e over its referenced attributes; the data inputs are derived from e.
+func (b *Builder) SynthesisExpr(name string, cond expr.Expr, e expr.Expr) *Builder {
+	return b.Synthesis(name, cond, expr.Attrs(e), ExprCompute(e))
+}
+
+// Target marks a previously declared attribute as a target. Unknown names
+// are reported by Build.
+func (b *Builder) Target(name string) *Builder {
+	for _, a := range b.attrs {
+		if a.Name == name {
+			a.IsTarget = true
+			return b
+		}
+	}
+	// Record a placeholder the validator will flag (empty-name dup avoided
+	// by using the requested name with no task: caught as "no task").
+	b.add(&Attribute{Name: name, IsTarget: true, Enabling: expr.TrueExpr})
+	return b
+}
+
+// Foreign declares a foreign-task attribute inside the module; the module's
+// condition is conjoined with cond.
+func (m *Module) Foreign(name string, cond expr.Expr, inputs []string, cost int, compute ComputeFunc) *Module {
+	m.b.add(&Attribute{
+		Name:     name,
+		Enabling: expr.AndOf(m.cond, cond),
+		Inputs:   inputs,
+		Task:     &Task{Kind: ForeignTask, Cost: cost, Compute: compute},
+	})
+	return m
+}
+
+// Synthesis declares a synthesis-task attribute inside the module.
+func (m *Module) Synthesis(name string, cond expr.Expr, inputs []string, fn ComputeFunc) *Module {
+	m.b.add(&Attribute{
+		Name:     name,
+		Enabling: expr.AndOf(m.cond, cond),
+		Inputs:   inputs,
+		Task:     &Task{Kind: SynthesisTask, Compute: fn},
+	})
+	return m
+}
+
+// SynthesisExpr declares an expression synthesis attribute inside the module.
+func (m *Module) SynthesisExpr(name string, cond expr.Expr, e expr.Expr) *Module {
+	return m.Synthesis(name, cond, expr.Attrs(e), ExprCompute(e))
+}
+
+// Done returns the parent builder for call chaining.
+func (m *Module) Done() *Builder { return m.b }
+
+// AddAttribute appends a fully specified attribute. Used by the generator,
+// which constructs attributes directly.
+func (b *Builder) AddAttribute(a *Attribute) *Builder {
+	b.add(a)
+	return b
+}
+
+// Build flattens, validates and returns the schema. The builder must not be
+// reused after Build.
+func (b *Builder) Build() (*Schema, error) {
+	s := &Schema{name: b.name, attrs: b.attrs}
+	if err := s.finalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustBuild is Build that panics on validation errors; for tests and
+// examples with statically known-good schemas.
+func (b *Builder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

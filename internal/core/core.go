@@ -1,0 +1,175 @@
+// Package core implements the decision flow model of Hull, Llirbat, Kumar,
+// Zhou, Dong and Su, "Optimization Techniques for Data-Intensive Decision
+// Flows" (ICDE 2000), §2.
+//
+// A decision flow is attribute-centric: execution determines the values of a
+// set of attributes. Formally a (flattened) decision flow schema is a
+// 4-tuple (A, Source, Target, {EC_a}) where A is a set of attributes, Source
+// and Target are disjoint subsets of A, and EC_a is an enabling condition
+// for every non-source attribute. Every non-source attribute is computed by
+// exactly one task — either a foreign task (a database query or other
+// external call, with a cost in units of processing) or a synthesis task (a
+// user-defined function or expression over other attributes).
+//
+// The schema induces a dependency graph with two kinds of edges: a data-flow
+// edge a→b when a is a data input of b's task, and an enabling-flow edge a→b
+// when a occurs in EC_b. A schema is well-formed iff this graph is acyclic;
+// Build rejects cyclic schemas.
+//
+// Schemas are presented to users modularly (modules group tasks and carry
+// their own enabling conditions) and flattened for execution: flattening
+// "and"s a module's condition into the condition of each member, exactly as
+// the paper's Figure 1(b) derives from Figure 1(a).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// AttrID is a dense index identifying an attribute within one Schema.
+// IDs are assigned in declaration order and are stable for the schema's
+// lifetime; all engine bookkeeping is arrays indexed by AttrID.
+type AttrID int
+
+// NoAttr is the invalid attribute ID.
+const NoAttr AttrID = -1
+
+// TaskKind distinguishes the two task families of the model.
+type TaskKind uint8
+
+const (
+	// ForeignTask is a task external to the execution engine — in this
+	// paper's experiments, always a database query with a cost measured in
+	// units of processing.
+	ForeignTask TaskKind = iota
+	// SynthesisTask produces an attribute value from other attribute values
+	// via a user-defined function or expression; it executes locally and is
+	// treated as free relative to database work.
+	SynthesisTask
+)
+
+// String returns "foreign" or "synthesis".
+func (k TaskKind) String() string {
+	if k == SynthesisTask {
+		return "synthesis"
+	}
+	return "foreign"
+}
+
+// Inputs gives a task read access to its stable input attributes. Get
+// returns ⟂ for inputs whose attributes were disabled — tasks must be able
+// to execute even when some inputs are ⟂ (the paper's requirement that
+// decisions can be made with incomplete information).
+type Inputs interface {
+	Get(name string) value.Value
+}
+
+// MapInputs is an Inputs backed by a map; absent names read as ⟂.
+type MapInputs map[string]value.Value
+
+// Get implements Inputs.
+func (m MapInputs) Get(name string) value.Value { return m[name] }
+
+// ComputeFunc produces the attribute value of a task from its inputs.
+// Implementations must be pure: same inputs, same value. Purity is what
+// lets the engine execute tasks speculatively and in any schedule while
+// remaining faithful to the declarative semantics.
+type ComputeFunc func(in Inputs) value.Value
+
+// Task describes how a non-source attribute's value is produced.
+type Task struct {
+	// Kind classifies the task.
+	Kind TaskKind
+	// Cost is the task's execution cost in units of processing. It is
+	// meaningful for foreign tasks (the paper draws costs from [1,5]);
+	// synthesis tasks have cost 0. Cost doubles as the estimate used by the
+	// "cheapest first" scheduling heuristic.
+	Cost int
+	// Compute produces the value. nil Compute yields ⟂ (a foreign task
+	// whose binding is not yet supplied).
+	Compute ComputeFunc
+	// DB optionally names the database the task's query targets. Empty
+	// means the engine's default database. The paper assumes a single
+	// database "to simplify the discussion" and raises multi-database
+	// execution as future work (§6); this field implements that extension.
+	DB string
+}
+
+// Attribute is one node of a decision flow.
+type Attribute struct {
+	// Name is the attribute's unique name within its schema.
+	Name string
+	// Enabling is the attribute's enabling condition; nil for sources.
+	// If the condition evaluates false the attribute is DISABLED and takes
+	// the value ⟂.
+	Enabling expr.Expr
+	// Inputs names the data-flow inputs of the attribute's task, in the
+	// order the task wants them. Source attributes have none.
+	Inputs []string
+	// Task computes the attribute; nil for sources.
+	Task *Task
+	// IsTarget marks target attributes: execution of an instance completes
+	// successfully when every enabled target has a value (and may halt early
+	// once every target is stable).
+	IsTarget bool
+
+	id       AttrID
+	isSource bool
+}
+
+// ID returns the attribute's dense index in its schema.
+func (a *Attribute) ID() AttrID { return a.id }
+
+// IsSource reports whether the attribute is a source (given as input to the
+// decision flow instance rather than computed).
+func (a *Attribute) IsSource() bool { return a.isSource }
+
+// Cost returns the task cost in units of processing (0 for sources and
+// synthesis tasks).
+func (a *Attribute) Cost() int {
+	if a.Task == nil {
+		return 0
+	}
+	return a.Task.Cost
+}
+
+// ExprCompute adapts an expression to a ComputeFunc: the expression is
+// evaluated over the task's stable inputs. Referenced attributes that are
+// ⟂ behave per the expression language's null semantics.
+func ExprCompute(e expr.Expr) ComputeFunc {
+	return func(in Inputs) value.Value {
+		v, _ := expr.EvalValue(e, inputsEnv{in})
+		return v
+	}
+}
+
+// inputsEnv adapts Inputs to expr.Env. Every lookup is "known" because
+// tasks run only when their inputs are stable.
+type inputsEnv struct{ in Inputs }
+
+func (e inputsEnv) Lookup(name string) (value.Value, bool) { return e.in.Get(name), true }
+
+// ConstCompute returns a ComputeFunc producing a fixed value; used heavily
+// by the schema generator, whose complete snapshot is scripted.
+func ConstCompute(v value.Value) ComputeFunc {
+	return func(Inputs) value.Value { return v }
+}
+
+// ValidationError reports why a schema is not well-formed. It aggregates
+// all problems found rather than stopping at the first.
+type ValidationError struct {
+	Schema   string
+	Problems []string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	msg := fmt.Sprintf("core: schema %q is not well-formed (%d problem(s))", e.Schema, len(e.Problems))
+	for _, p := range e.Problems {
+		msg += "\n\t- " + p
+	}
+	return msg
+}

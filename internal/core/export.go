@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// DOT renders the dependency graph in Graphviz format, with data-flow edges
+// dashed and enabling-flow edges solid — the same visual convention as the
+// paper's Figure 1(b). Sources are drawn as ellipses, targets as gray boxes,
+// internal attributes as boxes.
+func (s *Schema) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", s.name)
+	sb.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
+	for _, a := range s.attrs {
+		attrs := []string{fmt.Sprintf("label=%q", a.Name)}
+		switch {
+		case a.isSource:
+			attrs = append(attrs, "shape=ellipse")
+		case a.IsTarget:
+			attrs = append(attrs, "shape=box", "style=filled", "fillcolor=gray85")
+		default:
+			attrs = append(attrs, "shape=box")
+		}
+		if a.Task != nil && a.Task.Kind == ForeignTask {
+			attrs = append(attrs, fmt.Sprintf("xlabel=\"cost %d\"", a.Task.Cost))
+		}
+		fmt.Fprintf(&sb, "  %q [%s];\n", a.Name, strings.Join(attrs, ", "))
+	}
+	for id, ins := range s.dataIn {
+		for _, in := range ins {
+			fmt.Fprintf(&sb, "  %q -> %q [style=dashed];\n", s.attrs[in].Name, s.attrs[id].Name)
+		}
+	}
+	for id, ins := range s.enabIn {
+		for _, in := range ins {
+			fmt.Fprintf(&sb, "  %q -> %q;\n", s.attrs[in].Name, s.attrs[id].Name)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// schemaJSON is the serialized shape of a schema. Compute functions are not
+// serializable; deserialized schemas carry nil Compute and are suitable for
+// analysis, visualization and cost planning but not execution (unless
+// rebound via BindCompute).
+type schemaJSON struct {
+	Name  string     `json:"name"`
+	Attrs []attrJSON `json:"attributes"`
+}
+
+type attrJSON struct {
+	Name     string   `json:"name"`
+	Source   bool     `json:"source,omitempty"`
+	Target   bool     `json:"target,omitempty"`
+	Enabling string   `json:"enabling,omitempty"`
+	Inputs   []string `json:"inputs,omitempty"`
+	Kind     string   `json:"task,omitempty"`
+	Cost     int      `json:"cost,omitempty"`
+}
+
+// MarshalJSON serializes the schema structure (not compute functions).
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	out := schemaJSON{Name: s.name}
+	for _, a := range s.attrs {
+		aj := attrJSON{
+			Name:   a.Name,
+			Source: a.isSource,
+			Target: a.IsTarget,
+			Inputs: a.Inputs,
+		}
+		if a.Enabling != nil {
+			aj.Enabling = a.Enabling.String()
+		}
+		if a.Task != nil {
+			aj.Kind = a.Task.Kind.String()
+			aj.Cost = a.Task.Cost
+		}
+		out.Attrs = append(out.Attrs, aj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalSchemaJSON reconstructs a schema from MarshalJSON output.
+// Task compute functions come back nil; bind them with BindCompute before
+// executing.
+func UnmarshalSchemaJSON(data []byte) (*Schema, error) {
+	var in schemaJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: decoding schema JSON: %w", err)
+	}
+	b := NewBuilder(in.Name)
+	for _, aj := range in.Attrs {
+		if aj.Source {
+			b.Source(aj.Name)
+			continue
+		}
+		cond, err := parseCond(aj.Enabling)
+		if err != nil {
+			return nil, fmt.Errorf("core: attribute %q: %w", aj.Name, err)
+		}
+		a := &Attribute{
+			Name:     aj.Name,
+			Enabling: cond,
+			Inputs:   aj.Inputs,
+			IsTarget: aj.Target,
+		}
+		switch aj.Kind {
+		case "synthesis":
+			a.Task = &Task{Kind: SynthesisTask}
+		default:
+			a.Task = &Task{Kind: ForeignTask, Cost: aj.Cost}
+		}
+		b.AddAttribute(a)
+	}
+	return b.Build()
+}
+
+// BindCompute installs a compute function on the named attribute's task.
+// It is how deserialized or DSL-parsed schemas get their foreign-task
+// bindings. It returns false when the attribute does not exist or is a
+// source.
+func (s *Schema) BindCompute(name string, fn ComputeFunc) bool {
+	a, ok := s.Lookup(name)
+	if !ok || a.Task == nil {
+		return false
+	}
+	a.Task.Compute = fn
+	return true
+}

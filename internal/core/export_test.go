@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestDOT(t *testing.T) {
+	s := chainSchema(t)
+	dot := s.DOT()
+	for _, want := range []string{
+		"digraph \"chain\"",
+		"\"src\" [label=\"src\", shape=ellipse]",
+		"style=filled",                   // target styling
+		"\"a\" -> \"b\" [style=dashed];", // data edge
+		"\"a\" -> \"b\";",                // enabling edge
+		"xlabel=\"cost 2\"",              // cost annotation
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := chainSchema(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := UnmarshalSchemaJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name() != s.Name() || s2.NumAttrs() != s.NumAttrs() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := 0; i < s.NumAttrs(); i++ {
+		a, b := s.Attr(AttrID(i)), s2.Attr(AttrID(i))
+		if a.Name != b.Name || a.IsSource() != b.IsSource() || a.IsTarget != b.IsTarget {
+			t.Errorf("attribute %d differs: %+v vs %+v", i, a, b)
+		}
+		if a.Cost() != b.Cost() {
+			t.Errorf("attribute %d cost differs", i)
+		}
+		if (a.Enabling == nil) != (b.Enabling == nil) {
+			t.Errorf("attribute %d enabling nil-ness differs", i)
+		}
+		if a.Enabling != nil && a.Enabling.String() != b.Enabling.String() {
+			t.Errorf("attribute %d enabling %q vs %q", i, a.Enabling, b.Enabling)
+		}
+	}
+	// Deserialized tasks have no compute; binding restores executability.
+	if s2.MustLookup("a").Task.Compute != nil {
+		t.Error("deserialized compute should be nil")
+	}
+	if !s2.BindCompute("a", ConstCompute(value.Int(9))) {
+		t.Error("BindCompute failed")
+	}
+	if v := s2.MustLookup("a").Task.Compute(MapInputs{}); !value.Identical(v, value.Int(9)) {
+		t.Error("bound compute not effective")
+	}
+	if s2.BindCompute("src", nil) {
+		t.Error("BindCompute on a source should fail")
+	}
+	if s2.BindCompute("ghost", nil) {
+		t.Error("BindCompute on unknown attr should fail")
+	}
+}
+
+func TestUnmarshalBadJSON(t *testing.T) {
+	if _, err := UnmarshalSchemaJSON([]byte("{")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := UnmarshalSchemaJSON([]byte(`{"name":"x","attributes":[{"name":"a","enabling":"(((","task":"foreign","cost":1}]}`)); err == nil {
+		t.Error("bad condition should fail")
+	}
+}
+
+const promoText = `
+schema promo
+  source customer_profile
+  source cart
+  source catalog
+
+  # Boys' coat promo module (Figure 1 of the paper).
+  module when contains(cart, "boys") or contains(cart, "child")
+    query climate from customer_profile cost 2
+    query coat_hits from climate,catalog cost 3 when notnull(climate)
+    query inventory from coat_hits cost 2 when len(coat_hits) > 0
+  end
+
+  synth income from customer_profile = len(customer_profile) * 10
+  synth give_promo when income > 0 = len(coat_hits) > 0
+  query assembly from give_promo cost 1 when give_promo == true
+  target assembly
+`
+
+func TestParseSchemaText(t *testing.T) {
+	s, err := ParseSchema(promoText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "promo" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if len(s.Sources()) != 3 {
+		t.Errorf("sources = %d", len(s.Sources()))
+	}
+	if len(s.Targets()) != 1 || s.Attr(s.Targets()[0]).Name != "assembly" {
+		t.Error("target wrong")
+	}
+	// Module condition folded into members.
+	coat := s.MustLookup("coat_hits")
+	cond := coat.Enabling.String()
+	if !strings.Contains(cond, "contains") || !strings.Contains(cond, "notnull") && !strings.Contains(cond, "isnull") {
+		t.Errorf("coat_hits condition = %q", cond)
+	}
+	if coat.Cost() != 3 {
+		t.Errorf("coat_hits cost = %d", coat.Cost())
+	}
+	// synth with expression derives inputs.
+	gp := s.MustLookup("give_promo")
+	if gp.Task.Kind != SynthesisTask {
+		t.Error("give_promo should be synthesis")
+	}
+	hasInput := false
+	for _, in := range gp.Inputs {
+		if in == "coat_hits" {
+			hasInput = true
+		}
+	}
+	if !hasInput {
+		t.Errorf("give_promo inputs = %v, want coat_hits included", gp.Inputs)
+	}
+	// Enabling deps: income -> give_promo.
+	found := false
+	for _, d := range s.EnablingDependents(s.MustLookup("income").ID()) {
+		if s.Attr(d).Name == "give_promo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing enabling edge income -> give_promo")
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"", "empty"},
+		{"source x", "expected 'schema"},
+		{"schema a\nschema b", "duplicate schema"},
+		{"schema a\nsource", "source needs a name"},
+		{"schema a\nmodule x > 1", "requires 'when"},
+		{"schema a\nend", "'end' without open module"},
+		{"schema a\nmodule when true\nquery q cost 1", "unclosed module"},
+		{"schema a\nquery", "query needs a name"},
+		{"schema a\nquery q cost x", "bad cost"},
+		{"schema a\nquery q blah", "unexpected"},
+		{"schema a\nsynth s cost 2", "cannot have a cost"},
+		{"schema a\nsynth s =", "'=' needs an expression"},
+		{"schema a\nquery q when ((", "bad condition"},
+		{"schema a\nsynth s = ((", "bad synthesis expression"},
+		{"schema a\ntarget", "target needs a name"},
+		{"schema a\nfrobnicate x", "unknown directive"},
+		{"schema a\nquery q from", "'from' needs attribute names"},
+	}
+	for _, c := range cases {
+		_, err := ParseSchema(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSchema(%q) error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseSchemaWhenWithEquality(t *testing.T) {
+	// '==' inside a when-condition must not be mistaken for synth '='.
+	s, err := ParseSchema(`
+schema eq
+  source x
+  query q cost 1 when x == 3
+  target q
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MustLookup("q").Enabling.String(); got != "x == 3" {
+		t.Errorf("condition = %q", got)
+	}
+}
+
+func TestParseSchemaSynthExprWithEquality(t *testing.T) {
+	s, err := ParseSchema(`
+schema eq2
+  source x
+  synth s when x > 0 = x == 3
+  query q from s cost 1
+  target q
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := s.MustLookup("s")
+	v := syn.Task.Compute(MapInputs{"x": value.Int(3)})
+	if !value.Identical(v, value.Bool(true)) {
+		t.Errorf("synth value = %v", v)
+	}
+}
+
+func TestParseSchemaComments(t *testing.T) {
+	s, err := ParseSchema("schema c # trailing\n# full line\n  source x\nquery q cost 2 # another\ntarget q\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MustLookup("q").Cost() != 2 {
+		t.Error("comment handling broke cost parse")
+	}
+}

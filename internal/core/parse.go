@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// parseCond parses an enabling condition string; empty means "true".
+func parseCond(src string) (expr.Expr, error) {
+	if strings.TrimSpace(src) == "" {
+		return expr.TrueExpr, nil
+	}
+	return expr.Parse(src)
+}
+
+// ParseSchema parses the decision flow text format. The format exists so
+// examples and tools can define schemas readably; it expresses structure
+// (attributes, conditions, costs, modules) while foreign-task compute
+// functions are bound afterwards with Schema.BindCompute.
+//
+// Grammar (line-oriented; '#' starts a comment; indentation is free):
+//
+//	schema <name>
+//	source <attr>
+//	module when <condition>        # opens a module scope
+//	end                            # closes the innermost module
+//	query <attr> [from a,b,...] [cost <n>] [when <condition>]
+//	synth <attr> [from a,b,...] [when <condition>] [= <expression>]
+//	target <attr>                  # marks an existing attribute
+//
+// query declares a foreign task (default cost 1); synth declares a
+// synthesis task, computed by the trailing expression when given (its
+// referenced attributes are added to the inputs).
+func ParseSchema(src string) (*Schema, error) {
+	var b *Builder
+	var modStack []expr.Expr // accumulated module conditions
+	curCond := func() expr.Expr {
+		if len(modStack) == 0 {
+			return expr.TrueExpr
+		}
+		return modStack[len(modStack)-1]
+	}
+	var targets []string
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("core: schema text line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		word, rest := splitWord(line)
+		if b == nil && word != "schema" {
+			return nil, fail("expected 'schema <name>' first, found %q", line)
+		}
+		switch word {
+		case "schema":
+			if b != nil {
+				return nil, fail("duplicate schema declaration")
+			}
+			if rest == "" {
+				return nil, fail("schema needs a name")
+			}
+			b = NewBuilder(rest)
+		case "source":
+			if rest == "" {
+				return nil, fail("source needs a name")
+			}
+			b.Source(rest)
+		case "module":
+			kw, condSrc := splitWord(rest)
+			if kw != "when" {
+				return nil, fail("module requires 'when <condition>'")
+			}
+			cond, err := parseCond(condSrc)
+			if err != nil {
+				return nil, fail("bad module condition: %v", err)
+			}
+			modStack = append(modStack, expr.AndOf(curCond(), cond))
+		case "end":
+			if len(modStack) == 0 {
+				return nil, fail("'end' without open module")
+			}
+			modStack = modStack[:len(modStack)-1]
+		case "query", "synth":
+			name, opts := splitWord(rest)
+			if name == "" {
+				return nil, fail("%s needs a name", word)
+			}
+			inputs, cost, cond, synthE, err := parseTaskOpts(opts)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			full := expr.AndOf(curCond(), cond)
+			if word == "query" {
+				if cost == 0 {
+					cost = 1
+				}
+				b.Foreign(name, full, inputs, cost, nil)
+			} else {
+				if cost != 0 {
+					return nil, fail("synth tasks cannot have a cost")
+				}
+				var fn ComputeFunc
+				if synthE != nil {
+					fn = ExprCompute(synthE)
+					inputs = mergeInputs(inputs, expr.Attrs(synthE))
+				}
+				b.Synthesis(name, full, inputs, fn)
+			}
+		case "target":
+			if rest == "" {
+				return nil, fail("target needs a name")
+			}
+			targets = append(targets, rest)
+		default:
+			return nil, fail("unknown directive %q", word)
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("core: schema text is empty")
+	}
+	if len(modStack) > 0 {
+		return nil, fmt.Errorf("core: schema text has %d unclosed module(s)", len(modStack))
+	}
+	for _, t := range targets {
+		b.Target(t)
+	}
+	return b.Build()
+}
+
+// parseTaskOpts parses the option tail of query/synth lines:
+// [from a,b,...] [cost n] [when <condition...>] [= <expression...>]
+// 'when' and '=' consume the rest of the line up to the other marker; to
+// keep the grammar simple, 'when' must precede '='.
+func parseTaskOpts(opts string) (inputs []string, cost int, cond expr.Expr, synth expr.Expr, err error) {
+	cond = expr.TrueExpr
+	s := strings.TrimSpace(opts)
+
+	// Split off trailing "= expr".
+	if i := findTopLevel(s, "="); i >= 0 {
+		synthSrc := strings.TrimSpace(s[i+1:])
+		s = strings.TrimSpace(s[:i])
+		if synthSrc == "" {
+			return nil, 0, nil, nil, fmt.Errorf("'=' needs an expression")
+		}
+		synth, err = expr.Parse(synthSrc)
+		if err != nil {
+			return nil, 0, nil, nil, fmt.Errorf("bad synthesis expression: %v", err)
+		}
+	}
+	// Split off trailing "when cond".
+	if i := findKeyword(s, "when"); i >= 0 {
+		condSrc := strings.TrimSpace(s[i+len("when"):])
+		s = strings.TrimSpace(s[:i])
+		cond, err = parseCond(condSrc)
+		if err != nil {
+			return nil, 0, nil, nil, fmt.Errorf("bad condition: %v", err)
+		}
+	}
+	// Remaining: [from a,b,...] [cost n] in any order.
+	for s != "" {
+		var word string
+		word, s = splitWord(s)
+		switch word {
+		case "from":
+			var list string
+			list, s = splitWord(s)
+			if list == "" {
+				return nil, 0, nil, nil, fmt.Errorf("'from' needs attribute names")
+			}
+			for _, in := range strings.Split(list, ",") {
+				if in = strings.TrimSpace(in); in != "" {
+					inputs = append(inputs, in)
+				}
+			}
+		case "cost":
+			var num string
+			num, s = splitWord(s)
+			cost, err = strconv.Atoi(num)
+			if err != nil {
+				return nil, 0, nil, nil, fmt.Errorf("bad cost %q", num)
+			}
+		default:
+			return nil, 0, nil, nil, fmt.Errorf("unexpected %q in task options", word)
+		}
+	}
+	return inputs, cost, cond, synth, nil
+}
+
+// findKeyword locates a whitespace-delimited keyword at top level of s.
+func findKeyword(s, kw string) int {
+	fields := strings.Fields(s)
+	pos := 0
+	for _, f := range fields {
+		i := strings.Index(s[pos:], f)
+		abs := pos + i
+		if f == kw {
+			return abs
+		}
+		pos = abs + len(f)
+	}
+	return -1
+}
+
+// findTopLevel locates op in s outside any parentheses/brackets/strings,
+// skipping comparison operators that contain '=' ("==", "!=", "<=", ">=").
+func findTopLevel(s, op string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		default:
+			if depth == 0 && strings.HasPrefix(s[i:], op) {
+				if op == "=" {
+					prev := byte(0)
+					if i > 0 {
+						prev = s[i-1]
+					}
+					next := byte(0)
+					if i+1 < len(s) {
+						next = s[i+1]
+					}
+					if prev == '=' || prev == '!' || prev == '<' || prev == '>' || next == '=' {
+						continue
+					}
+				}
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+// mergeInputs unions two input lists preserving order of first occurrence.
+func mergeInputs(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, lists := range [][]string{a, b} {
+		for _, n := range lists {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}

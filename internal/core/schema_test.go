@@ -1,0 +1,343 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// chain builds source -> a -> b -> target for graph tests.
+func chainSchema(t *testing.T) *Schema {
+	t.Helper()
+	return NewBuilder("chain").
+		Source("src").
+		Foreign("a", expr.TrueExpr, []string{"src"}, 2, ConstCompute(value.Int(1))).
+		Foreign("b", expr.MustParse("a > 0"), []string{"a"}, 3, ConstCompute(value.Int(2))).
+		Foreign("tgt", expr.TrueExpr, []string{"b"}, 1, ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	s := chainSchema(t)
+	if s.Name() != "chain" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.NumAttrs() != 4 {
+		t.Errorf("NumAttrs = %d", s.NumAttrs())
+	}
+	if len(s.Sources()) != 1 || s.Attr(s.Sources()[0]).Name != "src" {
+		t.Error("sources wrong")
+	}
+	if len(s.Targets()) != 1 || s.Attr(s.Targets()[0]).Name != "tgt" {
+		t.Error("targets wrong")
+	}
+	a := s.MustLookup("a")
+	if a.IsSource() || a.IsTarget || a.Cost() != 2 {
+		t.Error("attribute a metadata wrong")
+	}
+	if src := s.MustLookup("src"); !src.IsSource() || src.Cost() != 0 {
+		t.Error("source metadata wrong")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("Lookup of unknown name should fail")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	s := chainSchema(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic for unknown attribute")
+		}
+	}()
+	s.MustLookup("nope")
+}
+
+func TestGraphEdges(t *testing.T) {
+	s := chainSchema(t)
+	b := s.MustLookup("b")
+	din := s.DataInputs(b.ID())
+	if len(din) != 1 || s.Attr(din[0]).Name != "a" {
+		t.Errorf("data inputs of b = %v", din)
+	}
+	ein := s.EnablingInputs(b.ID())
+	if len(ein) != 1 || s.Attr(ein[0]).Name != "a" {
+		t.Errorf("enabling inputs of b = %v", ein)
+	}
+	a := s.MustLookup("a")
+	if dd := s.DataDependents(a.ID()); len(dd) != 1 || s.Attr(dd[0]).Name != "b" {
+		t.Errorf("data dependents of a = %v", dd)
+	}
+	if ed := s.EnablingDependents(a.ID()); len(ed) != 1 || s.Attr(ed[0]).Name != "b" {
+		t.Errorf("enabling dependents of a = %v", ed)
+	}
+}
+
+func TestTopoAndRank(t *testing.T) {
+	s := chainSchema(t)
+	topo := s.TopoOrder()
+	pos := map[string]int{}
+	for i, id := range topo {
+		pos[s.Attr(id).Name] = i
+	}
+	if !(pos["src"] < pos["a"] && pos["a"] < pos["b"] && pos["b"] < pos["tgt"]) {
+		t.Errorf("topo order wrong: %v", pos)
+	}
+	wantRank := map[string]int{"src": 0, "a": 1, "b": 2, "tgt": 3}
+	for name, want := range wantRank {
+		if got := s.Rank(s.MustLookup(name).ID()); got != want {
+			t.Errorf("Rank(%s) = %d, want %d", name, got, want)
+		}
+	}
+	if s.Diameter() != 3 {
+		t.Errorf("Diameter = %d, want 3", s.Diameter())
+	}
+	if s.TotalCost() != 6 {
+		t.Errorf("TotalCost = %d, want 6", s.TotalCost())
+	}
+}
+
+func TestWideSchemaRank(t *testing.T) {
+	// Two independent rows: diameter is per-row length, not total nodes.
+	b := NewBuilder("wide").Source("s")
+	b.Foreign("a1", expr.TrueExpr, []string{"s"}, 1, nil)
+	b.Foreign("a2", expr.TrueExpr, []string{"a1"}, 1, nil)
+	b.Foreign("b1", expr.TrueExpr, []string{"s"}, 1, nil)
+	b.Foreign("t", expr.TrueExpr, []string{"a2", "b1"}, 1, nil)
+	b.Target("t")
+	s := b.MustBuild()
+	if s.Diameter() != 3 {
+		t.Errorf("Diameter = %d, want 3", s.Diameter())
+	}
+	if got := s.Rank(s.MustLookup("b1").ID()); got != 1 {
+		t.Errorf("Rank(b1) = %d, want 1", got)
+	}
+}
+
+func TestModuleFlattening(t *testing.T) {
+	modCond := expr.MustParse(`contains(cart, "boys")`)
+	s := NewBuilder("flat").
+		Source("cart").
+		Module(modCond).
+		Foreign("climate", expr.TrueExpr, nil, 1, nil).
+		Foreign("hits", expr.MustParse("climate > 0"), []string{"climate"}, 2, nil).
+		Done().
+		Foreign("t", expr.TrueExpr, nil, 1, nil).
+		Target("t").
+		MustBuild()
+
+	// The module condition must be conjoined into both members.
+	climate := s.MustLookup("climate")
+	if climate.Enabling.String() != modCond.String() {
+		t.Errorf("climate condition = %v (true conjunct should fold away)", climate.Enabling)
+	}
+	hits := s.MustLookup("hits")
+	wantStr := `contains(cart, "boys") and climate > 0`
+	if hits.Enabling.String() != wantStr {
+		t.Errorf("hits condition = %q, want %q", hits.Enabling.String(), wantStr)
+	}
+	// Flattening creates enabling edges from cart into module members.
+	found := false
+	for _, in := range s.EnablingInputs(climate.ID()) {
+		if s.Attr(in).Name == "cart" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("module condition should add enabling edge cart -> climate")
+	}
+}
+
+func TestNestedModules(t *testing.T) {
+	s := NewBuilder("nested").
+		Source("x").
+		Module(expr.MustParse("x > 0")).
+		Module(expr.MustParse("x < 10")).
+		Foreign("inner", expr.MustParse("x != 5"), nil, 1, nil).
+		Done().
+		Foreign("t", expr.TrueExpr, nil, 1, nil).
+		Target("t").
+		MustBuild()
+	want := "x > 0 and x < 10 and x != 5"
+	if got := s.MustLookup("inner").Enabling.String(); got != want {
+		t.Errorf("nested module condition = %q, want %q", got, want)
+	}
+}
+
+func TestValidationDuplicateName(t *testing.T) {
+	_, err := NewBuilder("dup").
+		Source("x").
+		Foreign("x", expr.TrueExpr, nil, 1, nil).
+		Target("x").
+		Build()
+	requireProblem(t, err, "duplicate attribute name")
+}
+
+func TestValidationUnknownInput(t *testing.T) {
+	_, err := NewBuilder("unk").
+		Source("x").
+		Foreign("a", expr.TrueExpr, []string{"ghost"}, 1, nil).
+		Target("a").
+		Build()
+	requireProblem(t, err, "unknown attribute")
+}
+
+func TestValidationUnknownEnablingRef(t *testing.T) {
+	_, err := NewBuilder("unk2").
+		Source("x").
+		Foreign("a", expr.MustParse("ghost > 1"), nil, 1, nil).
+		Target("a").
+		Build()
+	requireProblem(t, err, "unknown attribute")
+}
+
+func TestValidationCycle(t *testing.T) {
+	b := NewBuilder("cyc").Source("s")
+	b.Foreign("a", expr.TrueExpr, []string{"b"}, 1, nil)
+	b.Foreign("b", expr.TrueExpr, []string{"a"}, 1, nil)
+	b.Target("a")
+	_, err := b.Build()
+	requireProblem(t, err, "cyclic")
+}
+
+func TestValidationEnablingCycle(t *testing.T) {
+	// Cycle through an enabling edge only.
+	b := NewBuilder("cyc2").Source("s")
+	b.Foreign("a", expr.MustParse("b > 0"), []string{"s"}, 1, nil)
+	b.Foreign("b", expr.TrueExpr, []string{"a"}, 1, nil)
+	b.Target("b")
+	_, err := b.Build()
+	requireProblem(t, err, "cyclic")
+}
+
+func TestValidationNoTarget(t *testing.T) {
+	_, err := NewBuilder("nt").
+		Source("x").
+		Foreign("a", expr.TrueExpr, nil, 1, nil).
+		Build()
+	requireProblem(t, err, "no target")
+}
+
+func TestValidationTargetUnknown(t *testing.T) {
+	_, err := NewBuilder("tu").
+		Source("x").
+		Foreign("a", expr.TrueExpr, nil, 1, nil).
+		Target("ghost").
+		Build()
+	requireProblem(t, err, "no task")
+}
+
+func TestValidationBadCosts(t *testing.T) {
+	_, err := NewBuilder("bc").
+		Source("x").
+		Foreign("a", expr.TrueExpr, nil, 0, nil).
+		Target("a").
+		Build()
+	requireProblem(t, err, "cost >= 1")
+
+	b := NewBuilder("bc2").Source("x")
+	b.add(&Attribute{Name: "a", Enabling: expr.TrueExpr, Task: &Task{Kind: SynthesisTask, Cost: 3}})
+	b.Target("a")
+	_, err = b.Build()
+	requireProblem(t, err, "cost 0")
+}
+
+func TestValidationDuplicateInput(t *testing.T) {
+	_, err := NewBuilder("di").
+		Source("x").
+		Foreign("a", expr.TrueExpr, []string{"x", "x"}, 1, nil).
+		Target("a").
+		Build()
+	requireProblem(t, err, "twice")
+}
+
+func TestValidationSourceTarget(t *testing.T) {
+	b := NewBuilder("st").Source("x")
+	b.attrs[0].IsTarget = true
+	b.Foreign("a", expr.TrueExpr, nil, 1, nil)
+	_, err := b.Build()
+	requireProblem(t, err, "both source and target")
+}
+
+func TestValidationAggregatesProblems(t *testing.T) {
+	b := NewBuilder("multi").Source("x")
+	b.Foreign("a", expr.TrueExpr, []string{"ghost"}, 0, nil)
+	_, err := b.Build()
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if len(ve.Problems) < 3 { // unknown input, bad cost, no target
+		t.Errorf("expected >= 3 problems, got %v", ve.Problems)
+	}
+	if !strings.Contains(ve.Error(), "multi") {
+		t.Error("error should name the schema")
+	}
+}
+
+func requireProblem(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected validation error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), substr)
+	}
+}
+
+func TestExprCompute(t *testing.T) {
+	fn := ExprCompute(expr.MustParse("a * 2 + b"))
+	v := fn(MapInputs{"a": value.Int(3), "b": value.Int(1)})
+	if !value.Identical(v, value.Int(7)) {
+		t.Errorf("ExprCompute = %v", v)
+	}
+	// Null inputs flow through as nulls.
+	v = fn(MapInputs{"a": value.Null, "b": value.Int(1)})
+	if !v.IsNull() {
+		t.Errorf("ExprCompute with null = %v", v)
+	}
+}
+
+func TestConstCompute(t *testing.T) {
+	fn := ConstCompute(value.Str("x"))
+	if v := fn(MapInputs{}); !value.Identical(v, value.Str("x")) {
+		t.Errorf("ConstCompute = %v", v)
+	}
+}
+
+func TestSynthesisExprDerivesInputs(t *testing.T) {
+	s := NewBuilder("sx").
+		Source("a").
+		Source("b").
+		SynthesisExpr("sum", expr.TrueExpr, expr.MustParse("a + b")).
+		Foreign("t", expr.TrueExpr, []string{"sum"}, 1, nil).
+		Target("t").
+		MustBuild()
+	sum := s.MustLookup("sum")
+	if len(sum.Inputs) != 2 {
+		t.Errorf("derived inputs = %v", sum.Inputs)
+	}
+	if sum.Task.Kind != SynthesisTask || sum.Cost() != 0 {
+		t.Error("synthesis task metadata wrong")
+	}
+}
+
+func TestAttrNames(t *testing.T) {
+	s := chainSchema(t)
+	names := s.AttrNames()
+	want := []string{"src", "a", "b", "tgt"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("AttrNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	if ForeignTask.String() != "foreign" || SynthesisTask.String() != "synthesis" {
+		t.Error("TaskKind.String wrong")
+	}
+}

@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/sched"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// twoRows: src feeds two independent rows (a cost 2, b cost 3) that join in
+// tgt (cost 1); everything enabled.
+func twoRows(t testing.TB) *core.Schema {
+	t.Helper()
+	return core.NewBuilder("tworows").
+		Source("src").
+		Foreign("a", expr.TrueExpr, []string{"src"}, 2, core.ConstCompute(value.Int(1))).
+		Foreign("b", expr.TrueExpr, []string{"src"}, 3, core.ConstCompute(value.Int(2))).
+		Foreign("tgt", expr.TrueExpr, []string{"a", "b"}, 1, core.ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+}
+
+// specSchema: b is READY immediately but its condition waits on a; tgt
+// needs b to be non-null.
+func specSchema(t testing.TB, aValue int64) *core.Schema {
+	t.Helper()
+	return core.NewBuilder("spec").
+		Source("src").
+		Foreign("a", expr.TrueExpr, []string{"src"}, 2, core.ConstCompute(value.Int(aValue))).
+		Foreign("b", expr.MustParse("a > 0"), []string{"src"}, 3, core.ConstCompute(value.Int(7))).
+		Foreign("tgt", expr.MustParse("notnull(b)"), []string{"b"}, 1, core.ConstCompute(value.Int(9))).
+		Target("tgt").
+		MustBuild()
+}
+
+func TestStrategyStringRoundTrip(t *testing.T) {
+	codes := []string{"PSE80", "NCC0", "PCE100", "NSC50", "PCC40", "NSE0"}
+	for _, c := range codes {
+		st, err := ParseStrategy(c)
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", c, err)
+			continue
+		}
+		if st.String() != c {
+			t.Errorf("round trip %q -> %q", c, st.String())
+		}
+	}
+}
+
+func TestParseStrategyErrors(t *testing.T) {
+	for _, c := range []string{"", "PSE", "XSE80", "PXE80", "PSX80", "PSEabc", "PSE-1", "PSE101"} {
+		if _, err := ParseStrategy(c); err == nil {
+			t.Errorf("ParseStrategy(%q) should fail", c)
+		}
+	}
+}
+
+func TestMustParseStrategyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseStrategy should panic on bad code")
+		}
+	}()
+	MustParseStrategy("bogus")
+}
+
+func TestStrategiesHelper(t *testing.T) {
+	sts := Strategies("PSE80", "NCC0")
+	if len(sts) != 2 || sts[0].Permitted != 80 || sts[1].Propagate {
+		t.Error("Strategies helper wrong")
+	}
+	if sts[0].Heuristic != sched.TopoEarliest || sts[1].Heuristic != sched.Cheapest {
+		t.Error("heuristics wrong")
+	}
+}
+
+func TestSerialChainTimeEqualsWork(t *testing.T) {
+	s := twoRows(t)
+	res := Run(s, map[string]value.Value{"src": value.Int(1)}, MustParseStrategy("PCE0"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Work != 6 {
+		t.Errorf("Work = %d, want 6", res.Work)
+	}
+	if res.Elapsed != 6 {
+		t.Errorf("TimeInUnits = %v, want 6 (serial)", res.Elapsed)
+	}
+	if res.Launched != 3 || res.WastedWork != 0 {
+		t.Errorf("launched=%d wasted=%d", res.Launched, res.WastedWork)
+	}
+}
+
+func TestFullParallelismShortensTime(t *testing.T) {
+	s := twoRows(t)
+	res := Run(s, map[string]value.Value{"src": value.Int(1)}, MustParseStrategy("PCE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Work != 6 {
+		t.Errorf("Work = %d, want 6 (parallelism adds no work)", res.Work)
+	}
+	if res.Elapsed != 4 { // max(2,3) + 1
+		t.Errorf("TimeInUnits = %v, want 4", res.Elapsed)
+	}
+}
+
+func TestSpeculationHidesLatency(t *testing.T) {
+	s := specSchema(t, 5) // condition will be true
+	cons := Run(s, nil, MustParseStrategy("PCE100"))
+	spec := Run(s, nil, MustParseStrategy("PSE100"))
+	if cons.Err != nil || spec.Err != nil {
+		t.Fatal(cons.Err, spec.Err)
+	}
+	// Conservative: a(0..2) then b(2..5) then tgt(5..6).
+	if cons.Elapsed != 6 || cons.Work != 6 {
+		t.Errorf("conservative: time=%v work=%d, want 6/6", cons.Elapsed, cons.Work)
+	}
+	// Speculative: a and b start at 0; b COMPUTED at 3 finalizes when a
+	// (t=2) already enabled it; tgt 3..4.
+	if spec.Elapsed != 4 || spec.Work != 6 {
+		t.Errorf("speculative: time=%v work=%d, want 4/6", spec.Elapsed, spec.Work)
+	}
+	if spec.WastedWork != 0 {
+		t.Errorf("speculation used its result; wasted=%d", spec.WastedWork)
+	}
+}
+
+func TestSpeculationWastesWorkWhenDisabled(t *testing.T) {
+	s := specSchema(t, -1) // condition will be false
+	spec := Run(s, nil, MustParseStrategy("PSE100"))
+	if spec.Err != nil {
+		t.Fatal(spec.Err)
+	}
+	// a finishes at 2 -> b DISABLED -> tgt DISABLED -> terminal at 2,
+	// while b (cost 3) is still in flight: all 3 units wasted.
+	if spec.Elapsed != 2 {
+		t.Errorf("time = %v, want 2 (early termination)", spec.Elapsed)
+	}
+	if spec.Work != 5 {
+		t.Errorf("work = %d, want 5 (a=2 + speculative b=3)", spec.Work)
+	}
+	if spec.WastedWork != 3 {
+		t.Errorf("wasted = %d, want 3", spec.WastedWork)
+	}
+	// Conservative avoids the waste entirely.
+	cons := Run(s, nil, MustParseStrategy("PCE100"))
+	if cons.Work != 2 || cons.WastedWork != 0 {
+		t.Errorf("conservative work=%d wasted=%d, want 2/0", cons.Work, cons.WastedWork)
+	}
+	if cons.Elapsed != 2 {
+		t.Errorf("conservative time=%v, want 2", cons.Elapsed)
+	}
+}
+
+func TestDiscardedLateResult(t *testing.T) {
+	// Speculative result that completes *after* disabling but before
+	// instance termination: use a schema where the target still needs work
+	// after b is disabled.
+	s := core.NewBuilder("late").
+		Source("src").
+		Foreign("a", expr.TrueExpr, []string{"src"}, 2, core.ConstCompute(value.Int(-1))).
+		Foreign("b", expr.MustParse("a > 0"), []string{"src"}, 3, core.ConstCompute(value.Int(7))).
+		Foreign("c", expr.TrueExpr, []string{"src"}, 4, core.ConstCompute(value.Int(1))).
+		Foreign("tgt", expr.TrueExpr, []string{"b", "c"}, 1, core.ConstCompute(value.Int(9))).
+		Target("tgt").
+		MustBuild()
+	res := Run(s, nil, MustParseStrategy("PSE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// b disabled at t=2 (a=-1); its completion at t=3 is discarded waste.
+	// c finishes at 4, tgt at 5.
+	if res.Elapsed != 5 {
+		t.Errorf("time = %v, want 5", res.Elapsed)
+	}
+	if res.WastedWork != 3 {
+		t.Errorf("wasted = %d, want 3", res.WastedWork)
+	}
+	// Final snapshot must still be oracle-consistent.
+	oracle := snapshot.Complete(s, nil)
+	if err := snapshot.CheckAgainstOracle(res.Snapshot, oracle); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesisTasksAreFree(t *testing.T) {
+	s := core.NewBuilder("synth").
+		Source("x").
+		SynthesisExpr("double", expr.TrueExpr, expr.MustParse("x * 2")).
+		Foreign("tgt", expr.MustParse("double > 5"), []string{"double"}, 2, core.ConstCompute(value.Int(1))).
+		Target("tgt").
+		MustBuild()
+	res := Run(s, map[string]value.Value{"x": value.Int(4)}, MustParseStrategy("PCE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Work != 2 || res.Elapsed != 2 {
+		t.Errorf("work=%d time=%v, want 2/2 (synthesis costs nothing)", res.Work, res.Elapsed)
+	}
+	if res.SynthesisRuns != 1 {
+		t.Errorf("synthesis runs = %d, want 1", res.SynthesisRuns)
+	}
+	d := s.MustLookup("double").ID()
+	if !value.Identical(res.Snapshot.Val(d), value.Int(8)) {
+		t.Errorf("double = %v, want 8", res.Snapshot.Val(d))
+	}
+}
+
+func TestDisabledTargetTerminatesImmediately(t *testing.T) {
+	s := core.NewBuilder("offswitch").
+		Source("go").
+		Foreign("work", expr.TrueExpr, nil, 5, core.ConstCompute(value.Int(1))).
+		Foreign("tgt", expr.MustParse("go == true"), []string{"work"}, 1, core.ConstCompute(value.Int(2))).
+		Target("tgt").
+		MustBuild()
+	res := Run(s, map[string]value.Value{"go": value.Bool(false)}, MustParseStrategy("PCE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Elapsed != 0 || res.Work != 0 {
+		t.Errorf("disabled target should cost nothing: time=%v work=%d", res.Elapsed, res.Work)
+	}
+	// Without propagation, "work" is still executed before the target's
+	// condition is examined... the condition references only a source, so
+	// even naive decides immediately; but 'work' is not excludable without
+	// backward propagation:
+	naive := Run(s, map[string]value.Value{"go": value.Bool(false)}, MustParseStrategy("NCE100"))
+	if naive.Elapsed != 0 {
+		t.Errorf("naive time=%v: target disabled at start still terminates instantly", naive.Elapsed)
+	}
+}
+
+// Every strategy must produce oracle-consistent terminal snapshots.
+func TestAllStrategiesMatchOracle(t *testing.T) {
+	schemas := []*core.Schema{
+		twoRows(t),
+		specSchema(t, 5),
+		specSchema(t, -1),
+		core.NewBuilder("mix").
+			Source("s1").
+			Source("s2").
+			Foreign("q1", expr.MustParse("s1 > 0"), []string{"s1"}, 2, core.ConstCompute(value.Int(10))).
+			Foreign("q2", expr.MustParse("s2 > 0 or q1 > 5"), []string{"s2"}, 3, core.ConstCompute(value.Int(20))).
+			SynthesisExpr("sum", expr.MustParse("notnull(q1) and notnull(q2)"), expr.MustParse("q1 + q2")).
+			Foreign("q3", expr.MustParse("isnull(sum) or sum > 25"), []string{"sum"}, 1, core.ConstCompute(value.Int(30))).
+			Foreign("tgt", expr.TrueExpr, []string{"q3", "q2"}, 2, core.ConstCompute(value.Int(40))).
+			Target("tgt").
+			MustBuild(),
+	}
+	sourceSets := []map[string]value.Value{
+		nil,
+		{"src": value.Int(1), "s1": value.Int(1), "s2": value.Int(1)},
+		{"src": value.Int(1), "s1": value.Int(-1), "s2": value.Int(1)},
+		{"src": value.Int(1), "s1": value.Int(1), "s2": value.Int(-1)},
+		{"src": value.Int(1), "s1": value.Int(-1), "s2": value.Int(-1)},
+	}
+	var codes []string
+	for _, p := range []string{"P", "N"} {
+		for _, sp := range []string{"S", "C"} {
+			for _, h := range []string{"E", "C"} {
+				for _, pct := range []string{"0", "40", "100"} {
+					codes = append(codes, p+sp+h+pct)
+				}
+			}
+		}
+	}
+	for _, s := range schemas {
+		for _, sources := range sourceSets {
+			oracle := snapshot.Complete(s, sources)
+			for _, code := range codes {
+				res := Run(s, sources, MustParseStrategy(code))
+				if res.Err != nil {
+					t.Fatalf("%s on %s: %v", code, s.Name(), res.Err)
+				}
+				if err := snapshot.CheckAgainstOracle(res.Snapshot, oracle); err != nil {
+					t.Errorf("%s on %s (%v): %v", code, s.Name(), sources, err)
+				}
+			}
+		}
+	}
+}
+
+// Propagation never increases work and never increases response time on
+// these deterministic schemas.
+func TestPropagationNeverHurts(t *testing.T) {
+	schemas := []*core.Schema{twoRows(t), specSchema(t, 5), specSchema(t, -1)}
+	for _, s := range schemas {
+		for _, base := range []string{"CE0", "CE100", "SE100", "CC0"} {
+			p := Run(s, nil, MustParseStrategy("P"+base))
+			n := Run(s, nil, MustParseStrategy("N"+base))
+			if p.Work > n.Work {
+				t.Errorf("%s on %s: P work %d > N work %d", base, s.Name(), p.Work, n.Work)
+			}
+			if p.Elapsed > n.Elapsed {
+				t.Errorf("%s on %s: P time %v > N time %v", base, s.Name(), p.Elapsed, n.Elapsed)
+			}
+		}
+	}
+}
+
+func TestRunOpenWorkloadSmoke(t *testing.T) {
+	s := twoRows(t)
+	w := OpenWorkload{
+		Schema:      s,
+		Sources:     map[string]value.Value{"src": value.Int(1)},
+		Strategy:    MustParseStrategy("PCE100"),
+		DB:          dbParams(),
+		ArrivalRate: 20,
+		Instances:   200,
+		Seed:        7,
+	}
+	st, err := RunOpenWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed < 100 {
+		t.Errorf("completed = %d", st.Completed)
+	}
+	if st.AvgWork != 6 {
+		t.Errorf("avg work = %v, want 6", st.AvgWork)
+	}
+	if st.AvgTimeInSeconds <= 0 || st.AvgGmpl <= 0 || st.AvgUnitTime <= 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	// Determinism.
+	st2, err := RunOpenWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AvgTimeInSeconds != st2.AvgTimeInSeconds || st.Completed != st2.Completed {
+		t.Error("workload not deterministic under fixed seed")
+	}
+}
+
+func TestRunOpenWorkloadValidation(t *testing.T) {
+	if _, err := RunOpenWorkload(OpenWorkload{Instances: 0, ArrivalRate: 1}); err == nil {
+		t.Error("Instances=0 should fail")
+	}
+	if _, err := RunOpenWorkload(OpenWorkload{Instances: 1, ArrivalRate: 0}); err == nil {
+		t.Error("ArrivalRate=0 should fail")
+	}
+}
+
+func TestHigherLoadSlowsResponse(t *testing.T) {
+	s := twoRows(t)
+	run := func(rate float64) float64 {
+		st, err := RunOpenWorkload(OpenWorkload{
+			Schema: s, Sources: map[string]value.Value{"src": value.Int(1)},
+			Strategy: MustParseStrategy("PCE100"), DB: dbParams(),
+			ArrivalRate: rate, Instances: 300, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.AvgTimeInSeconds
+	}
+	light, heavy := run(5), run(120)
+	if heavy <= light {
+		t.Errorf("response under heavy load (%v) should exceed light load (%v)", heavy, light)
+	}
+}

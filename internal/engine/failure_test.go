@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/gen"
+	"repro/internal/randschema"
+	"repro/internal/sim"
+	"repro/internal/simdb"
+	"repro/internal/value"
+)
+
+// runWithFailures executes one instance with failure injection.
+func runWithFailures(t *testing.T, s *core.Schema, sources map[string]value.Value,
+	code string, prob float64, seed int64) *Result {
+	t.Helper()
+	sm := sim.New()
+	e := &Engine{
+		Sim: sm, DB: &simdb.Unbounded{S: sm},
+		Strategy:    MustParseStrategy(code),
+		FailureProb: prob, FailureSeed: seed,
+	}
+	res := e.Start(s, sources, nil)
+	sm.Run()
+	return res
+}
+
+func TestFailureInjectionProducesNullValues(t *testing.T) {
+	// A single task that always "fails": its attribute stabilizes as VALUE ⟂
+	// and the dependent decision still completes on incomplete information.
+	s := core.NewBuilder("down").
+		Source("x").
+		Foreign("lookup", expr.TrueExpr, []string{"x"}, 2, core.ConstCompute(value.Int(42))).
+		SynthesisExpr("decision", expr.TrueExpr, expr.MustParse("coalesce(lookup, -1)")).
+		Foreign("tgt", expr.TrueExpr, []string{"decision"}, 1, core.ConstCompute(value.Int(1))).
+		Target("tgt").
+		MustBuild()
+	res := runWithFailures(t, s, nil, "PCE100", 1.0, 9)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Failures != 2 { // lookup and tgt both failed
+		t.Errorf("failures = %d, want 2", res.Failures)
+	}
+	lookup := s.MustLookup("lookup").ID()
+	if !res.Snapshot.Val(lookup).IsNull() {
+		t.Error("failed task should deliver ⟂")
+	}
+	// The decision ran on the incomplete input.
+	decision := s.MustLookup("decision").ID()
+	if v, _ := res.Snapshot.Val(decision).AsInt(); v != -1 {
+		t.Errorf("decision = %v, want -1 (coalesce fallback)", res.Snapshot.Val(decision))
+	}
+	// Work is still charged for failed queries.
+	if res.Work != 3 {
+		t.Errorf("work = %d, want 3", res.Work)
+	}
+}
+
+func TestFailureInjectionZeroProbIsClean(t *testing.T) {
+	g := gen.Generate(gen.Default())
+	res := runWithFailures(t, g.Schema, g.SourceValues(), "PSE100", 0, 1)
+	if res.Err != nil || res.Failures != 0 {
+		t.Fatalf("err=%v failures=%d", res.Err, res.Failures)
+	}
+}
+
+func TestFailureInjectionDeterministic(t *testing.T) {
+	g := gen.Generate(gen.Default())
+	a := runWithFailures(t, g.Schema, g.SourceValues(), "PSE100", 0.3, 5)
+	b := runWithFailures(t, g.Schema, g.SourceValues(), "PSE100", 0.3, 5)
+	if a.Failures != b.Failures || a.Elapsed != b.Elapsed || a.Work != b.Work {
+		t.Error("failure injection must be deterministic under a fixed seed")
+	}
+	if a.Failures == 0 {
+		t.Error("expected some failures at p=0.3")
+	}
+}
+
+// Under any failure rate, every strategy still terminates on random
+// schemas, and the snapshot stays monotone (targets stable).
+func TestFailureInjectionAlwaysTerminates(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randschema.Generate(rng, randschema.Defaults())
+		sources := randschema.RandomSources(rng, s)
+		for _, prob := range []float64{0.2, 0.7, 1.0} {
+			for _, code := range []string{"PCE0", "PSE100", "NCC50"} {
+				res := runWithFailures(t, s, sources, code, prob, seed)
+				if res.Err != nil {
+					t.Fatalf("seed=%d p=%v %s: %v", seed, prob, code, res.Err)
+				}
+				if !res.Snapshot.Terminal() {
+					t.Fatalf("seed=%d p=%v %s: not terminal", seed, prob, code)
+				}
+			}
+		}
+	}
+}
+
+func TestMixedWorkloadSharesDatabase(t *testing.T) {
+	quick := core.NewBuilder("quick").
+		Source("x").
+		Foreign("q", expr.TrueExpr, []string{"x"}, 1, core.ConstCompute(value.Int(1))).
+		Target("q").
+		MustBuild()
+	heavy := gen.Generate(gen.Default())
+
+	stats, err := RunMixedWorkload(MixedWorkload{
+		Entries: []MixedEntry{
+			{Name: "quick", Schema: quick, Sources: map[string]value.Value{"x": value.Int(1)},
+				Strategy: MustParseStrategy("PCE100"), Weight: 3},
+			{Name: "heavy", Schema: heavy.Schema, Sources: heavy.SourceValues(),
+				Strategy: MustParseStrategy("PSE100"), Weight: 1},
+		},
+		DB:          simdb.DefaultParams(),
+		ArrivalRate: 20,
+		Instances:   400,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Classes) != 2 {
+		t.Fatal("missing class stats")
+	}
+	q, h := stats.Classes[0], stats.Classes[1]
+	// The 3:1 weighting should show in completion counts.
+	if q.Completed < 2*h.Completed {
+		t.Errorf("weights not honored: quick=%d heavy=%d", q.Completed, h.Completed)
+	}
+	// The heavy class takes far longer per instance.
+	if h.AvgTimeInSeconds < 5*q.AvgTimeInSeconds {
+		t.Errorf("heavy (%v ms) should dwarf quick (%v ms)", h.AvgTimeInSeconds, q.AvgTimeInSeconds)
+	}
+	if h.AvgWork <= q.AvgWork {
+		t.Error("heavy class should do more work")
+	}
+	if stats.AvgGmpl <= 0 || stats.AvgUnitTime <= 0 {
+		t.Error("shared DB stats missing")
+	}
+}
+
+func TestMixedWorkloadContentionCouplesClasses(t *testing.T) {
+	// The quick class's latency must degrade when the heavy class's share
+	// grows — they share the database (the §6 interaction).
+	quick := core.NewBuilder("quick2").
+		Source("x").
+		Foreign("q", expr.TrueExpr, []string{"x"}, 1, core.ConstCompute(value.Int(1))).
+		Target("q").
+		MustBuild()
+	heavy := gen.Generate(gen.Default())
+	run := func(heavyWeight float64) float64 {
+		stats, err := RunMixedWorkload(MixedWorkload{
+			Entries: []MixedEntry{
+				{Name: "quick", Schema: quick, Sources: map[string]value.Value{"x": value.Int(1)},
+					Strategy: MustParseStrategy("PCE100"), Weight: 1},
+				{Name: "heavy", Schema: heavy.Schema, Sources: heavy.SourceValues(),
+					Strategy: MustParseStrategy("PSE100"), Weight: heavyWeight},
+			},
+			DB:          simdb.DefaultParams(),
+			ArrivalRate: 25,
+			Instances:   500,
+			Seed:        3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Classes[0].AvgTimeInSeconds
+	}
+	light, crowded := run(0.1), run(3)
+	if crowded <= light {
+		t.Errorf("quick-class latency should degrade with heavy share: %v -> %v", light, crowded)
+	}
+}
+
+func TestMixedWorkloadValidation(t *testing.T) {
+	if _, err := RunMixedWorkload(MixedWorkload{}); err == nil {
+		t.Error("empty workload should fail")
+	}
+	if _, err := RunMixedWorkload(MixedWorkload{
+		Entries: []MixedEntry{{}}, Instances: 0, ArrivalRate: 1,
+	}); err == nil {
+		t.Error("zero instances should fail")
+	}
+}

@@ -1,0 +1,6 @@
+package engine
+
+import "repro/internal/simdb"
+
+// dbParams returns the Table 1 database configuration for workload tests.
+func dbParams() simdb.Params { return simdb.DefaultParams() }

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simdb"
+	"repro/internal/value"
+)
+
+// MixedEntry is one flow class of a mixed workload: a schema, its source
+// bindings, its strategy, and its share of the arrival stream.
+type MixedEntry struct {
+	// Name labels the class in the statistics.
+	Name string
+	// Schema is the class's decision flow.
+	Schema *core.Schema
+	// Sources are each instance's source-attribute values.
+	Sources map[string]value.Value
+	// Strategy selects the class's optimization options.
+	Strategy Strategy
+	// Weight is the class's relative arrival share (defaults to 1).
+	Weight float64
+}
+
+// MixedWorkload is the paper's §6 scenario of "several decision flows ...
+// executed based on overlapping data": multiple flow classes arrive as one
+// Poisson stream and contend for the same dedicated database.
+type MixedWorkload struct {
+	// Entries are the flow classes.
+	Entries []MixedEntry
+	// DB configures the shared database server.
+	DB simdb.Params
+	// ArrivalRate is the total arrival rate in instances/second.
+	ArrivalRate float64
+	// Instances is the total number of arrivals.
+	Instances int
+	// Warmup is the fraction of instances excluded from statistics
+	// (default 0.2).
+	Warmup float64
+	// Seed drives arrivals, class selection and the database.
+	Seed int64
+	// ClusterSameDB enables query clustering for every class.
+	ClusterSameDB bool
+}
+
+// ClassStats summarizes one flow class of a mixed run.
+type ClassStats struct {
+	Name             string
+	Completed        int
+	AvgTimeInSeconds float64
+	AvgWork          float64
+}
+
+// MixedStats summarizes a mixed-workload run.
+type MixedStats struct {
+	// Classes holds per-class statistics in entry order.
+	Classes []ClassStats
+	// AvgGmpl is the shared database's time-averaged multiprogramming
+	// level.
+	AvgGmpl float64
+	// AvgUnitTime is the shared database's per-unit response time (ms).
+	AvgUnitTime float64
+	// Errors counts instances that failed to terminate.
+	Errors int
+}
+
+// RunMixedWorkload simulates the mixed open system.
+func RunMixedWorkload(w MixedWorkload) (MixedStats, error) {
+	if len(w.Entries) == 0 {
+		return MixedStats{}, fmt.Errorf("engine: mixed workload needs at least one entry")
+	}
+	if w.Instances <= 0 || w.ArrivalRate <= 0 {
+		return MixedStats{}, fmt.Errorf("engine: mixed workload needs Instances > 0 and ArrivalRate > 0")
+	}
+	warmup := w.Warmup
+	if warmup == 0 {
+		warmup = 0.2
+	}
+	skip := int(math.Floor(float64(w.Instances) * warmup))
+
+	totalWeight := 0.0
+	for _, e := range w.Entries {
+		if e.Weight <= 0 {
+			totalWeight++
+		} else {
+			totalWeight += e.Weight
+		}
+	}
+
+	sm := sim.New()
+	db := simdb.NewServer(sm, w.DB, w.Seed)
+	rng := rand.New(rand.NewSource(w.Seed + 1))
+	meanGapMs := 1000.0 / w.ArrivalRate
+
+	// One engine per class (strategies differ); all share the simulator
+	// and the database.
+	engines := make([]*Engine, len(w.Entries))
+	for i := range w.Entries {
+		engines[i] = &Engine{
+			Sim: sm, DB: db,
+			Strategy:      w.Entries[i].Strategy,
+			ClusterSameDB: w.ClusterSameDB,
+		}
+	}
+
+	type acc struct {
+		completed int
+		sumTime   float64
+		sumWork   float64
+	}
+	accs := make([]acc, len(w.Entries))
+	var stats MixedStats
+
+	pick := func() int {
+		x := rng.Float64() * totalWeight
+		for i, e := range w.Entries {
+			wt := e.Weight
+			if wt <= 0 {
+				wt = 1
+			}
+			if x < wt {
+				return i
+			}
+			x -= wt
+		}
+		return len(w.Entries) - 1
+	}
+
+	var arrive func(i int)
+	arrive = func(i int) {
+		if i >= w.Instances {
+			return
+		}
+		idx := i
+		class := pick()
+		e := w.Entries[class]
+		engines[class].Start(e.Schema, e.Sources, func(r *Result) {
+			if r.Err != nil {
+				stats.Errors++
+				return
+			}
+			if idx < skip {
+				return
+			}
+			accs[class].completed++
+			accs[class].sumTime += r.Elapsed
+			accs[class].sumWork += float64(r.Work)
+		})
+		sm.After(rng.ExpFloat64()*meanGapMs, func() { arrive(i + 1) })
+	}
+	arrive(0)
+	sm.Run()
+
+	for i, e := range w.Entries {
+		cs := ClassStats{Name: e.Name, Completed: accs[i].completed}
+		if accs[i].completed > 0 {
+			cs.AvgTimeInSeconds = accs[i].sumTime / float64(accs[i].completed)
+			cs.AvgWork = accs[i].sumWork / float64(accs[i].completed)
+		}
+		stats.Classes = append(stats.Classes, cs)
+	}
+	stats.AvgGmpl = db.AvgActive()
+	stats.AvgUnitTime = db.AvgUnitTime()
+	if stats.Errors > 0 {
+		return stats, fmt.Errorf("engine: %d instances failed to terminate", stats.Errors)
+	}
+	return stats, nil
+}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/sim"
+	"repro/internal/simdb"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// multiDBFlow: two dips against separate named databases joined in a target
+// on the default database.
+func multiDBFlow(t testing.TB) *core.Schema {
+	t.Helper()
+	return core.NewBuilder("multidb").
+		Source("id").
+		ForeignDB("crm", "crmdb", expr.TrueExpr, []string{"id"}, 2, core.ConstCompute(value.Int(1))).
+		ForeignDB("billing", "billingdb", expr.TrueExpr, []string{"id"}, 3, core.ConstCompute(value.Int(2))).
+		Foreign("tgt", expr.TrueExpr, []string{"crm", "billing"}, 1, core.ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+}
+
+func TestMultiDBRouting(t *testing.T) {
+	s := multiDBFlow(t)
+	sm := sim.New()
+	crm := simdb.NewServer(sm, simdb.DefaultParams(), 1)
+	billing := simdb.NewServer(sm, simdb.DefaultParams(), 2)
+	def := simdb.NewServer(sm, simdb.DefaultParams(), 3)
+	e := &Engine{
+		Sim: sm, DB: def,
+		DBs:      map[string]DB{"crmdb": crm, "billingdb": billing},
+		Strategy: MustParseStrategy("PCE100"),
+	}
+	res := e.Start(s, map[string]value.Value{"id": value.Int(1)}, nil)
+	sm.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if crm.QueriesDone() != 1 || billing.QueriesDone() != 1 || def.QueriesDone() != 1 {
+		t.Errorf("routing wrong: crm=%d billing=%d default=%d",
+			crm.QueriesDone(), billing.QueriesDone(), def.QueriesDone())
+	}
+	oracle := snapshot.Complete(s, map[string]value.Value{"id": value.Int(1)})
+	if err := snapshot.CheckAgainstOracle(res.Snapshot, oracle); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnknownDBFailsInstance(t *testing.T) {
+	s := core.NewBuilder("baddb").
+		Source("x").
+		ForeignDB("q", "ghostdb", expr.TrueExpr, nil, 1, nil).
+		Target("q").
+		MustBuild()
+	sm := sim.New()
+	e := &Engine{Sim: sm, DB: &simdb.Unbounded{S: sm}, Strategy: MustParseStrategy("PCE100")}
+	res := e.Start(s, nil, nil)
+	sm.Run()
+	if res.Err == nil {
+		t.Fatal("unknown database must fail the instance")
+	}
+}
+
+func TestNilDefaultDBFails(t *testing.T) {
+	s := multiDBFlow(t)
+	sm := sim.New()
+	e := &Engine{Sim: sm, DBs: map[string]DB{
+		"crmdb": &simdb.Unbounded{S: sm}, "billingdb": &simdb.Unbounded{S: sm},
+	}, Strategy: MustParseStrategy("PCE100")}
+	res := e.Start(s, map[string]value.Value{"id": value.Int(1)}, nil)
+	sm.Run()
+	if res.Err == nil {
+		t.Fatal("tgt targets the nil default DB; the instance must fail")
+	}
+}
+
+// clusterFlow: four independent unit dips joined in a free synthesis
+// target, ideal for batching.
+func clusterFlow(t testing.TB, costs []int) *core.Schema {
+	t.Helper()
+	b := core.NewBuilder("cluster").Source("x")
+	inputs := []string{}
+	for i, c := range costs {
+		name := "q" + string(rune('a'+i))
+		b.Foreign(name, expr.TrueExpr, []string{"x"}, c, core.ConstCompute(value.Int(int64(i))))
+		inputs = append(inputs, name)
+	}
+	b.Synthesis("tgt", expr.TrueExpr, inputs, core.ConstCompute(value.Int(99)))
+	b.Target("tgt")
+	return b.MustBuild()
+}
+
+func runClustered(t *testing.T, s *core.Schema, cluster bool, overhead, cpus int) (*Result, *simdb.Server) {
+	t.Helper()
+	sm := sim.New()
+	p := simdb.DefaultParams()
+	p.IOHitProb = 1 // deterministic: CPU only
+	p.OverheadUnits = overhead
+	p.NumCPUs = cpus
+	db := simdb.NewServer(sm, p, 1)
+	e := &Engine{Sim: sm, DB: db, Strategy: MustParseStrategy("PCE100"), ClusterSameDB: cluster}
+	res := e.Start(s, map[string]value.Value{"x": value.Int(1)}, nil)
+	sm.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return res, db
+}
+
+func TestClusteringBatchesQueries(t *testing.T) {
+	s := clusterFlow(t, []int{1, 1, 1, 1})
+	_, db := runClustered(t, s, true, 0, 4)
+	if db.QueriesDone() != 1 {
+		t.Errorf("clustered run issued %d queries, want 1 batch", db.QueriesDone())
+	}
+	_, db2 := runClustered(t, s, false, 0, 4)
+	if db2.QueriesDone() != 4 {
+		t.Errorf("unclustered run issued %d queries, want 4", db2.QueriesDone())
+	}
+}
+
+func TestClusteringAmortizesOverhead(t *testing.T) {
+	// On a single-CPU database (no spare parallelism to lose), batching
+	// pays the per-query overhead once instead of four times:
+	// plain = 4 × (1+4) = 20 ms, clustered = 4 + 4 = 8 ms.
+	s := clusterFlow(t, []int{1, 1, 1, 1})
+	const overhead = 4
+	clustered, cdb := runClustered(t, s, true, overhead, 1)
+	plain, pdb := runClustered(t, s, false, overhead, 1)
+	if cdb.UnitsDone() >= pdb.UnitsDone() {
+		t.Errorf("clustered units %d should undercut plain %d", cdb.UnitsDone(), pdb.UnitsDone())
+	}
+	if clustered.Elapsed != 8 || plain.Elapsed != 20 {
+		t.Errorf("clustered=%v plain=%v, want 8 and 20", clustered.Elapsed, plain.Elapsed)
+	}
+}
+
+func TestClusteringLosesParallelismOnIdleDB(t *testing.T) {
+	// The flip side: with 4 idle CPUs and no overhead, batching serializes
+	// work that would have overlapped (8 ms vs 5 ms with overhead 4, or
+	// 8 vs 1 with overhead 0) — the trade-off §6 asks about.
+	s := clusterFlow(t, []int{1, 1, 1, 1})
+	clustered, _ := runClustered(t, s, true, 0, 4)
+	plain, _ := runClustered(t, s, false, 0, 4)
+	if clustered.Elapsed <= plain.Elapsed {
+		t.Errorf("clustered %v should be slower than plain %v on an idle multi-CPU DB",
+			clustered.Elapsed, plain.Elapsed)
+	}
+}
+
+func TestClusteringStillMatchesOracle(t *testing.T) {
+	s := clusterFlow(t, []int{2, 3, 1, 4})
+	res, _ := runClustered(t, s, true, 2, 4)
+	oracle := snapshot.Complete(s, map[string]value.Value{"x": value.Int(1)})
+	if err := snapshot.CheckAgainstOracle(res.Snapshot, oracle); err != nil {
+		t.Error(err)
+	}
+	if res.Work != 10 {
+		t.Errorf("work = %d, want 10 (overhead is the DB's, not the flow's)", res.Work)
+	}
+}
+
+func TestClusteringTradesLatencyWithoutOverhead(t *testing.T) {
+	// With no per-query overhead, batching serializes units that could
+	// overlap across CPUs: plain must be at least as fast.
+	s := clusterFlow(t, []int{3, 3, 3, 3})
+	clustered, _ := runClustered(t, s, true, 0, 4)
+	plain, _ := runClustered(t, s, false, 0, 4)
+	if plain.Elapsed > clustered.Elapsed {
+		t.Errorf("plain %v should not be slower than clustered %v at zero overhead",
+			plain.Elapsed, clustered.Elapsed)
+	}
+}
+
+func TestClusteringGroupsByDatabase(t *testing.T) {
+	// Two tasks on db A, one on db B, launched together: two batches.
+	s := core.NewBuilder("groups").
+		Source("x").
+		ForeignDB("a1", "A", expr.TrueExpr, []string{"x"}, 1, core.ConstCompute(value.Int(1))).
+		ForeignDB("a2", "A", expr.TrueExpr, []string{"x"}, 1, core.ConstCompute(value.Int(2))).
+		ForeignDB("b1", "B", expr.TrueExpr, []string{"x"}, 1, core.ConstCompute(value.Int(3))).
+		SynthesisExpr("tgt", expr.TrueExpr, expr.MustParse("coalesce(a1, 0) + coalesce(a2, 0) + coalesce(b1, 0)")).
+		Target("tgt").
+		MustBuild()
+	sm := sim.New()
+	p := simdb.DefaultParams()
+	p.IOHitProb = 1
+	dbA := simdb.NewServer(sm, p, 1)
+	dbB := simdb.NewServer(sm, p, 2)
+	e := &Engine{
+		Sim: sm, DB: dbA, DBs: map[string]DB{"A": dbA, "B": dbB},
+		Strategy: MustParseStrategy("PCE100"), ClusterSameDB: true,
+	}
+	res := e.Start(s, map[string]value.Value{"x": value.Int(1)}, nil)
+	sm.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if dbA.QueriesDone() != 1 || dbB.QueriesDone() != 1 {
+		t.Errorf("batches: A=%d B=%d, want 1 and 1", dbA.QueriesDone(), dbB.QueriesDone())
+	}
+	tgt := s.MustLookup("tgt").ID()
+	if v, _ := res.Snapshot.Val(tgt).AsInt(); v != 6 {
+		t.Errorf("tgt = %v, want 6", res.Snapshot.Val(tgt))
+	}
+}

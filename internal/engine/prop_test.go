@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randschema"
+	"repro/internal/snapshot"
+)
+
+// TestPropertyAllStrategiesMatchOracleOnRandomSchemas is the central
+// correctness property of the reproduction: for arbitrary well-formed
+// decision flows, arbitrary source bindings (including ⟂), and every
+// optimization strategy, the engine terminates and its terminal snapshot
+// is compatible with the unique complete snapshot of the declarative
+// semantics (§2). This covers eager evaluation, forward/backward
+// propagation, speculation, both heuristics, and partial parallelism at
+// once.
+func TestPropertyAllStrategiesMatchOracleOnRandomSchemas(t *testing.T) {
+	const schemas = 60
+	strategies := Strategies(
+		"NCC0", "NCE0", "NCC100", "NCE100", "NSC50", "NSE50", "NSE100",
+		"PCC0", "PCE0", "PCC100", "PCE100", "PSC50", "PSE50", "PSE100",
+		"PSE30", "PCC70",
+	)
+	for seed := int64(0); seed < schemas; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randschema.Generate(rng, randschema.Defaults())
+		for trial := 0; trial < 3; trial++ {
+			sources := randschema.RandomSources(rng, s)
+			oracle := snapshot.Complete(s, sources)
+			for _, st := range strategies {
+				res := Run(s, sources, st)
+				if res.Err != nil {
+					t.Fatalf("seed=%d trial=%d strategy=%s: %v\nsources=%v",
+						seed, trial, st, res.Err, sources)
+				}
+				if err := snapshot.CheckAgainstOracle(res.Snapshot, oracle); err != nil {
+					t.Fatalf("seed=%d trial=%d strategy=%s: %v\nsources=%v",
+						seed, trial, st, err, sources)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyWorkAccounting: on random schemas, Work always bounds
+// WastedWork, serial conservative propagation never does more work than
+// serial naive, and a target-disabled-at-start instance costs nothing.
+func TestPropertyWorkAccounting(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randschema.Generate(rng, randschema.Defaults())
+		sources := randschema.RandomSources(rng, s)
+		p := Run(s, sources, MustParseStrategy("PCE0"))
+		n := Run(s, sources, MustParseStrategy("NCE0"))
+		if p.Err != nil || n.Err != nil {
+			t.Fatalf("seed=%d: %v %v", seed, p.Err, n.Err)
+		}
+		for _, r := range []*Result{p, n} {
+			if r.WastedWork > r.Work {
+				t.Fatalf("seed=%d: wasted %d > work %d", seed, r.WastedWork, r.Work)
+			}
+			if r.Work > s.TotalCost() {
+				t.Fatalf("seed=%d: work %d exceeds schema total %d", seed, r.Work, s.TotalCost())
+			}
+		}
+		if p.Work > n.Work {
+			t.Fatalf("seed=%d: propagation work %d > naive %d", seed, p.Work, n.Work)
+		}
+	}
+}
+
+// TestPropertySerialTimeEqualsWork: with 0 %% parallelism against the
+// unbounded DB and conservative admission, response time equals work
+// performed by foreign tasks (tasks execute back to back).
+func TestPropertySerialTimeEqualsWork(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randschema.Generate(rng, randschema.Defaults())
+		sources := randschema.RandomSources(rng, s)
+		for _, code := range []string{"PCE0", "PCC0", "NCE0"} {
+			r := Run(s, sources, MustParseStrategy(code))
+			if r.Err != nil {
+				t.Fatalf("seed=%d %s: %v", seed, code, r.Err)
+			}
+			if float64(r.Work) != r.Elapsed {
+				t.Fatalf("seed=%d %s: serial time %v != work %d", seed, code, r.Elapsed, r.Work)
+			}
+		}
+	}
+}
+
+// TestPropertyParallelismNeverSlower: full parallelism response time is
+// never worse than serial for conservative strategies (same admitted task
+// set, more overlap).
+func TestPropertyParallelismNeverSlower(t *testing.T) {
+	for seed := int64(300); seed < 330; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randschema.Generate(rng, randschema.Defaults())
+		sources := randschema.RandomSources(rng, s)
+		serial := Run(s, sources, MustParseStrategy("PCE0"))
+		parallel := Run(s, sources, MustParseStrategy("PCE100"))
+		if serial.Err != nil || parallel.Err != nil {
+			t.Fatalf("seed=%d: %v %v", seed, serial.Err, parallel.Err)
+		}
+		if parallel.Elapsed > serial.Elapsed {
+			t.Fatalf("seed=%d: parallel %v slower than serial %v",
+				seed, parallel.Elapsed, serial.Elapsed)
+		}
+	}
+}

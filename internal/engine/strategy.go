@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/prequal"
+	"repro/internal/sched"
+)
+
+// Strategy is one point in the paper's optimization-option space, written
+// as a four-character-plus-number code such as "PSE80":
+//
+//	P|N  — Propagation Algorithm on, or Naive prequalification
+//	S|C  — Speculative or Conservative candidate admission
+//	E|C  — topologically-Earliest or Cheapest-first scheduling
+//	%    — %Permitted parallelism in [0,100]
+type Strategy struct {
+	// Propagate is the 'P' option: run the Propagation Algorithm (eager
+	// condition evaluation, forward/backward propagation of unneeded
+	// attributes).
+	Propagate bool
+	// Speculative is the 'S' option: admit READY (condition-undetermined)
+	// attributes for execution.
+	Speculative bool
+	// Heuristic selects the scheduling order ('E' or 'C').
+	Heuristic sched.Heuristic
+	// Permitted is the %Permitted parallelism knob in [0,100].
+	Permitted int
+}
+
+// String renders the paper's code for the strategy, e.g. "PSE80".
+func (st Strategy) String() string {
+	code := make([]byte, 0, 6)
+	if st.Propagate {
+		code = append(code, 'P')
+	} else {
+		code = append(code, 'N')
+	}
+	if st.Speculative {
+		code = append(code, 'S')
+	} else {
+		code = append(code, 'C')
+	}
+	code = append(code, st.Heuristic.String()[0])
+	return string(code) + strconv.Itoa(st.Permitted)
+}
+
+// ParseStrategy parses a strategy code such as "PSE80" or "NCC0".
+func ParseStrategy(code string) (Strategy, error) {
+	var st Strategy
+	if len(code) < 4 {
+		return st, fmt.Errorf("engine: strategy code %q too short", code)
+	}
+	switch code[0] {
+	case 'P':
+		st.Propagate = true
+	case 'N':
+	default:
+		return st, fmt.Errorf("engine: strategy %q: want 'P' or 'N' first", code)
+	}
+	switch code[1] {
+	case 'S':
+		st.Speculative = true
+	case 'C':
+	default:
+		return st, fmt.Errorf("engine: strategy %q: want 'S' or 'C' second", code)
+	}
+	switch code[2] {
+	case 'E':
+		st.Heuristic = sched.TopoEarliest
+	case 'C':
+		st.Heuristic = sched.Cheapest
+	default:
+		return st, fmt.Errorf("engine: strategy %q: want 'E' or 'C' third", code)
+	}
+	pct, err := strconv.Atoi(code[3:])
+	if err != nil || pct < 0 || pct > 100 {
+		return st, fmt.Errorf("engine: strategy %q: bad %%permitted", code)
+	}
+	st.Permitted = pct
+	return st, nil
+}
+
+// MustParseStrategy is ParseStrategy that panics on error.
+func MustParseStrategy(code string) Strategy {
+	st, err := ParseStrategy(code)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// prequalOptions converts the strategy to prequalifier options.
+func (st Strategy) prequalOptions() prequal.Options {
+	return prequal.Options{Propagate: st.Propagate, Speculative: st.Speculative}
+}
+
+// scheduler builds the task scheduler for the strategy.
+func (st Strategy) scheduler() *sched.Scheduler {
+	return sched.New(st.Heuristic, st.Permitted)
+}
+
+// Strategies expands a list of codes into Strategy values; it panics on a
+// bad code (codes are compile-time constants in experiments).
+func Strategies(codes ...string) []Strategy {
+	out := make([]Strategy, len(codes))
+	for i, c := range codes {
+		out[i] = MustParseStrategy(c)
+	}
+	return out
+}

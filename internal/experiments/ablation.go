@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/simdb"
+)
+
+// AblationClustering explores the query-clustering question the paper
+// raises as future work (§6): "whether queries from one or several
+// decision flows should be clustered to reduce overall database access
+// time". It sweeps the database's per-query overhead and compares mean
+// instance response time with and without same-instant batching, under the
+// PCE100 strategy at the Figure 9(b) operating point.
+//
+// Expected shape: at zero overhead, clustering only serializes work and is
+// (slightly) slower; as per-query overhead grows, the amortization wins
+// and the curves cross.
+func AblationClustering(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	pattern := gen.Default()
+	pattern.NbRows = 4
+	pattern.PctEnabled = 75
+	pattern.Seed = cfg.BaseSeed
+	g := gen.Generate(pattern)
+
+	overheads := []float64{0, 1, 2, 4, 8}
+	run := func(cluster bool, overhead int) float64 {
+		db := simdb.DefaultParams()
+		db.OverheadUnits = overhead
+		stats, err := engine.RunOpenWorkload(engine.OpenWorkload{
+			Schema:        g.Schema,
+			Sources:       g.SourceValues(),
+			Strategy:      engine.MustParseStrategy("PCE100"),
+			DB:            db,
+			ArrivalRate:   Fig9bThroughput,
+			Instances:     cfg.WorkloadInstances,
+			Seed:          cfg.BaseSeed,
+			ClusterSameDB: cluster,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return stats.AvgTimeInSeconds
+	}
+
+	plain := Series{Label: "per-query"}
+	clustered := Series{Label: "clustered"}
+	for _, ov := range overheads {
+		plain.X = append(plain.X, ov)
+		plain.Y = append(plain.Y, run(false, int(ov)))
+		clustered.X = append(clustered.X, ov)
+		clustered.Y = append(clustered.Y, run(true, int(ov)))
+	}
+
+	f := &Figure{
+		ID:     "ax-cluster",
+		Title:  "Ablation: query clustering vs per-query submission (§6 future work)",
+		XLabel: "per-query overhead (units)",
+		YLabel: "TimeInSeconds (ms)",
+		Series: []Series{plain, clustered},
+	}
+	// Locate the crossover for the notes.
+	for i := range overheads {
+		if clustered.Y[i] < plain.Y[i] {
+			f.Notes = append(f.Notes,
+				fmt.Sprintf("clustering first wins at overhead=%.0f units", overheads[i]))
+			break
+		}
+	}
+	return f
+}
+
+// AblationPropagation isolates the contribution of each Propagation
+// Algorithm half at the serial operating point: naive (N), eager condition
+// evaluation with forward propagation only (P with backward disabled is
+// not separable in this engine — the closest observable is conservative
+// admission), and full P. Work saved by each step is reported per
+// %enabled level. This quantifies the DESIGN.md claim that backward
+// propagation's savings concentrate at low %enabled.
+func AblationPropagation(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	naive := Series{Label: "NCE0"}
+	full := Series{Label: "PCE0"}
+	saved := Series{Label: "saved%"}
+	for _, pct := range []float64{10, 25, 50, 75, 100} {
+		p := gen.Default()
+		p.NbRows = 4
+		p.PctEnabled = int(pct)
+		nw, _ := measure(p, "NCE0", cfg)
+		pw, _ := measure(p, "PCE0", cfg)
+		naive.X = append(naive.X, pct)
+		naive.Y = append(naive.Y, nw)
+		full.X = append(full.X, pct)
+		full.Y = append(full.Y, pw)
+		saved.X = append(saved.X, pct)
+		saved.Y = append(saved.Y, 100*(nw-pw)/nw)
+	}
+	return &Figure{
+		ID:     "ax-prop",
+		Title:  "Ablation: work saved by the Propagation Algorithm (serial, nb_rows=4)",
+		XLabel: "%enabled",
+		YLabel: "Work (units) / saved (%)",
+		Series: []Series{naive, full, saved},
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+func TestAblationClusteringShape(t *testing.T) {
+	f := AblationClustering(fast)
+	plain, clustered := series(f, "per-query"), series(f, "clustered")
+	if len(plain.Y) != len(clustered.Y) || len(plain.Y) < 3 {
+		t.Fatal("series malformed")
+	}
+	// At zero overhead clustering cannot win (it only serializes).
+	if clustered.Y[0] < plain.Y[0]*0.98 {
+		t.Errorf("zero-overhead: clustered %.1f should not beat plain %.1f",
+			clustered.Y[0], plain.Y[0])
+	}
+	// At the largest overhead clustering must win clearly.
+	last := len(plain.Y) - 1
+	if clustered.Y[last] >= plain.Y[last] {
+		t.Errorf("high overhead: clustered %.1f should beat plain %.1f",
+			clustered.Y[last], plain.Y[last])
+	}
+	// Plain response time grows with overhead.
+	if plain.Y[last] <= plain.Y[0] {
+		t.Error("per-query response should grow with overhead")
+	}
+}
+
+func TestAblationPropagationShape(t *testing.T) {
+	f := AblationPropagation(fast)
+	saved := series(f, "saved%")
+	if len(saved.Y) == 0 {
+		t.Fatal("no data")
+	}
+	// Savings are non-negative everywhere and largest at low %enabled.
+	for i, y := range saved.Y {
+		if y < -1 {
+			t.Errorf("negative savings at %%enabled=%v: %v", saved.X[i], y)
+		}
+	}
+	if saved.Y[0] <= saved.Y[len(saved.Y)-1] {
+		t.Errorf("savings should shrink with %%enabled: %v -> %v",
+			saved.Y[0], saved.Y[len(saved.Y)-1])
+	}
+	if saved.Y[0] < 30 {
+		t.Errorf("savings at 10%% = %.0f%%, want >= 30%%", saved.Y[0])
+	}
+}
+
+func TestRegistryIncludesAblations(t *testing.T) {
+	for _, id := range []string{"ax-cluster", "ax-prop"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§5): the work and response-time comparisons over schema patterns
+// (Figures 5–7), the guideline maps (Figure 8), and the analytical-model
+// study against the simulated database (Figure 9). Each driver emits the
+// same data series the paper plots, as numeric tables.
+//
+// Absolute numbers differ from the paper's (their testbed and exact
+// generator are not available; see DESIGN.md), but the *shapes* — which
+// strategy wins, by what factor, and where crossovers fall — reproduce,
+// and EXPERIMENTS.md records the side-by-side comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/guideline"
+	"repro/internal/model"
+	"repro/internal/simdb"
+)
+
+// Config tunes experiment fidelity (all drivers are deterministic for a
+// fixed config).
+type Config struct {
+	// Seeds is the number of generated schemas averaged per data point
+	// (default 10).
+	Seeds int
+	// BaseSeed offsets all schema seeds (default 1).
+	BaseSeed int64
+	// WorkloadInstances is the number of arrivals simulated per measured
+	// point of Figure 9(b) (default 400).
+	WorkloadInstances int
+	// DbCurveUnits is the number of units measured per Gmpl level when
+	// calibrating the Db curve (default 2000).
+	DbCurveUnits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds <= 0 {
+		c.Seeds = 10
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.WorkloadInstances <= 0 {
+		c.WorkloadInstances = 400
+	}
+	if c.DbCurveUnits <= 0 {
+		c.DbCurveUnits = 2000
+	}
+	return c
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is the regenerated data of one paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries derived observations checked in EXPERIMENTS.md.
+	Notes []string
+}
+
+// Table renders the figure as an aligned text table (x column followed by
+// one column per series).
+func (f *Figure) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Figure %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "# y: %s\n", f.YLabel)
+	// Header.
+	fmt.Fprintf(&sb, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %12s", s.Label)
+	}
+	sb.WriteByte('\n')
+	// Merge x grids (figures here share x per series by construction, but
+	// guideline frontiers differ, so merge defensively).
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	grid := make([]float64, 0, len(xs))
+	for x := range xs {
+		grid = append(grid, x)
+	}
+	sort.Float64s(grid)
+	for _, x := range grid {
+		fmt.Fprintf(&sb, "%-14.6g", x)
+		for _, s := range f.Series {
+			v, ok := lookupXY(s, x)
+			if ok {
+				fmt.Fprintf(&sb, " %12.2f", v)
+			} else {
+				fmt.Fprintf(&sb, " %12s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "# note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func lookupXY(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// measure runs a strategy over `seeds` pattern instances and returns the
+// mean (work, timeInUnits).
+func measure(p gen.Params, code string, cfg Config) (work, timeUnits float64) {
+	st := engine.MustParseStrategy(code)
+	for s := 0; s < cfg.Seeds; s++ {
+		pp := p
+		pp.Seed = cfg.BaseSeed + int64(s)
+		g := gen.Generate(pp)
+		res := engine.Run(g.Schema, g.SourceValues(), st)
+		if res.Err != nil {
+			panic(fmt.Sprintf("experiments: %s on seed %d: %v", code, s, res.Err))
+		}
+		work += float64(res.Work)
+		timeUnits += res.Elapsed
+	}
+	n := float64(cfg.Seeds)
+	return work / n, timeUnits / n
+}
+
+// sweep produces one series per strategy over a parameter grid.
+func sweep(cfg Config, strategies []string, xs []float64,
+	configure func(x float64) gen.Params, pick func(work, time float64) float64) []Series {
+	out := make([]Series, len(strategies))
+	for i, code := range strategies {
+		s := Series{Label: code}
+		for _, x := range xs {
+			w, t := measure(configure(x), code, cfg)
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, pick(w, t))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func workOf(w, _ float64) float64 { return w }
+func timeOf(_, t float64) float64 { return t }
+
+// enabledGrid is the %enabled x-axis of Figures 5(a) and 6.
+var enabledGrid = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// Fig5a: work performed vs %enabled for PCC0, PCE0, NCC0, NCE0 (nb_rows=4).
+func Fig5a(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	strategies := []string{"PCC0", "PCE0", "NCC0", "NCE0"}
+	series := sweep(cfg, strategies, enabledGrid, func(x float64) gen.Params {
+		p := gen.Default()
+		p.NbRows = 4
+		p.PctEnabled = int(x)
+		return p
+	}, workOf)
+	f := &Figure{
+		ID: "5a", Title: "Work vs %enabled, serial strategies (nb_rows=4)",
+		XLabel: "%enabled", YLabel: "Work (units)", Series: series,
+	}
+	f.Notes = append(f.Notes, fig5Notes(series)...)
+	return f
+}
+
+// Fig5b: work performed vs nb_rows for the same strategies (%enabled=75).
+func Fig5b(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	strategies := []string{"PCC0", "PCE0", "NCC0", "NCE0"}
+	rows := []float64{1, 2, 4, 8, 16}
+	series := sweep(cfg, strategies, rows, func(x float64) gen.Params {
+		p := gen.Default()
+		p.NbRows = int(x)
+		p.PctEnabled = 75
+		return p
+	}, workOf)
+	return &Figure{
+		ID: "5b", Title: "Work vs nb_rows, serial strategies (%enabled=75)",
+		XLabel: "nb_rows", YLabel: "Work (units)", Series: series,
+		Notes: []string{"divisors of 64 stand in for the paper's 2..8 grid"},
+	}
+}
+
+func fig5Notes(series []Series) []string {
+	// Quantify the P-vs-N cluster gap at the lowest %enabled.
+	get := func(label string) Series {
+		for _, s := range series {
+			if s.Label == label {
+				return s
+			}
+		}
+		panic("missing series " + label)
+	}
+	p0, n0 := get("PCE0").Y[0], get("NCE0").Y[0]
+	return []string{
+		fmt.Sprintf("at %%enabled=10: Propagation saves %.0f%% of Naive work (paper: ~60%%)",
+			100*(n0-p0)/n0),
+	}
+}
+
+// Fig6a: TimeInUnits vs %enabled for PC*100, PS*100, PCE0 (nb_rows=4).
+func Fig6a(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	series := sweep(cfg, []string{"PCE100", "PSE100", "PCE0"}, enabledGrid,
+		fig6Params, timeOf)
+	relabelStar(series)
+	return &Figure{
+		ID: "6a", Title: "Response time vs %enabled under maximal parallelism (nb_rows=4)",
+		XLabel: "%enabled", YLabel: "TimeInUnits", Series: series,
+	}
+}
+
+// Fig6b: Work vs %enabled for the same strategies.
+func Fig6b(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	series := sweep(cfg, []string{"PCE100", "PSE100", "PCE0"}, enabledGrid,
+		fig6Params, workOf)
+	relabelStar(series)
+	return &Figure{
+		ID: "6b", Title: "Work vs %enabled under maximal parallelism (nb_rows=4)",
+		XLabel: "%enabled", YLabel: "Work (units)", Series: series,
+	}
+}
+
+func fig6Params(x float64) gen.Params {
+	p := gen.Default()
+	p.NbRows = 4
+	p.PctEnabled = int(x)
+	return p
+}
+
+// relabelStar renames PCE100/PSE100 to the paper's PC*100/PS*100 (at 100 %
+// parallelism the scheduling heuristic is immaterial).
+func relabelStar(series []Series) {
+	for i := range series {
+		switch series[i].Label {
+		case "PCE100":
+			series[i].Label = "PC*100"
+		case "PSE100":
+			series[i].Label = "PS*100"
+		}
+	}
+}
+
+// permittedGrid is the %Permitted x-axis of Figure 7.
+var permittedGrid = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// Fig7a: TimeInUnits vs %Permitted for PCC*, PCE*, PSC*, PSE*
+// (nb_rows=4, %enabled=75).
+func Fig7a(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	return &Figure{
+		ID: "7a", Title: "Response time vs degree of parallelism (nb_rows=4, %enabled=75)",
+		XLabel: "%permitted", YLabel: "TimeInUnits",
+		Series: fig7Series(cfg, timeOf),
+	}
+}
+
+// Fig7b: Work vs %Permitted for the same strategies.
+func Fig7b(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	return &Figure{
+		ID: "7b", Title: "Work vs degree of parallelism (nb_rows=4, %enabled=75)",
+		XLabel: "%permitted", YLabel: "Work (units)",
+		Series: fig7Series(cfg, workOf),
+	}
+}
+
+func fig7Series(cfg Config, pick func(w, t float64) float64) []Series {
+	p := gen.Default()
+	p.NbRows = 4
+	p.PctEnabled = 75
+	families := []string{"PCC", "PCE", "PSC", "PSE"}
+	out := make([]Series, len(families))
+	for i, fam := range families {
+		s := Series{Label: fam + "*"}
+		for _, pct := range permittedGrid {
+			w, t := measure(p, fmt.Sprintf("%s%d", fam, int(pct)), cfg)
+			s.X = append(s.X, pct)
+			s.Y = append(s.Y, pick(w, t))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Fig8a: guideline maps minT vs Work for %enabled ∈ {10,25,50,75,100}
+// (nb_rows=4).
+func Fig8a(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	f := &Figure{
+		ID: "8a", Title: "Guideline map: minimal TimeInUnits vs Work bound, varying %enabled (nb_rows=4)",
+		XLabel: "Work bound", YLabel: "minT (units)",
+	}
+	for _, pct := range []int{10, 25, 50, 75, 100} {
+		p := gen.Default()
+		p.NbRows = 4
+		p.PctEnabled = pct
+		p.Seed = cfg.BaseSeed
+		f.Series = append(f.Series, frontierSeries(fmt.Sprintf("%%enabled=%d", pct), p, cfg))
+	}
+	return f
+}
+
+// Fig8b: guideline maps minT vs Work for nb_rows ∈ {1,2,4,8,16}
+// (%enabled=75).
+func Fig8b(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	f := &Figure{
+		ID: "8b", Title: "Guideline map: minimal TimeInUnits vs Work bound, varying nb_rows (%enabled=75)",
+		XLabel: "Work bound", YLabel: "minT (units)",
+	}
+	for _, rows := range []int{1, 2, 4, 8, 16} {
+		p := gen.Default()
+		p.NbRows = rows
+		p.PctEnabled = 75
+		p.Seed = cfg.BaseSeed
+		f.Series = append(f.Series, frontierSeries(fmt.Sprintf("nb_rows=%d", rows), p, cfg))
+	}
+	return f
+}
+
+func frontierSeries(label string, p gen.Params, cfg Config) Series {
+	m, err := guideline.Build(p, guideline.DefaultStrategySet, cfg.Seeds)
+	if err != nil {
+		panic(err)
+	}
+	s := Series{Label: label}
+	for _, pt := range m.Frontier {
+		s.X = append(s.X, pt.WorkBound)
+		s.Y = append(s.Y, pt.MinTime)
+	}
+	return s
+}
+
+// dbCurveLevels is the Gmpl x-axis of Figure 9(a).
+var dbCurveLevels = []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 40, 48, 64}
+
+// Fig9a: UnitTime vs Gmpl for the Table 1 database — the measured Db
+// function.
+func Fig9a(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	curve := simdb.MeasureDbCurve(simdb.DefaultParams(), dbCurveLevels, cfg.DbCurveUnits, cfg.BaseSeed)
+	s := Series{Label: "UnitTime"}
+	for _, pt := range curve.Points() {
+		s.X = append(s.X, float64(pt.Gmpl))
+		s.Y = append(s.Y, pt.UnitTime)
+	}
+	return &Figure{
+		ID: "9a", Title: "Database response time per unit vs multiprogramming level",
+		XLabel: "Gmpl", YLabel: "UnitTime (ms)", Series: []Series{s},
+		Notes: []string{"monotone non-decreasing; asymptotically linear past saturation"},
+	}
+}
+
+// Fig9bThroughput is the arrival rate (instances/second) of the Figure 9(b)
+// study; the paper uses 10.
+const Fig9bThroughput = 10.0
+
+// Fig9b: for the nb_rows=4, %enabled=75 pattern, predicted (analytical
+// model) and measured (full simulation) response time in milliseconds per
+// strategy operating point, at 10 instances/second.
+func Fig9b(cfg Config) *Figure {
+	cfg = cfg.withDefaults()
+	pattern := gen.Default()
+	pattern.NbRows = 4
+	pattern.PctEnabled = 75
+	pattern.Seed = cfg.BaseSeed
+
+	gmap, err := guideline.Build(pattern, guideline.DefaultStrategySet, cfg.Seeds)
+	if err != nil {
+		panic(err)
+	}
+	curve := simdb.MeasureDbCurve(simdb.DefaultParams(), dbCurveLevels, cfg.DbCurveUnits, cfg.BaseSeed)
+	mdl := model.New(curve)
+
+	pred := Series{Label: "predicted"}
+	meas := Series{Label: "measured"}
+	var notes []string
+	bestPred, bestMeas := "", ""
+	bestPredT, bestMeasT := 0.0, 0.0
+
+	for _, ms := range gmap.Measurements {
+		pr := mdl.Predict(Fig9bThroughput, ms.TimeInUnits, ms.Work)
+		g := gen.Generate(pattern)
+		stats, err := engine.RunOpenWorkload(engine.OpenWorkload{
+			Schema:      g.Schema,
+			Sources:     g.SourceValues(),
+			Strategy:    engine.MustParseStrategy(ms.Strategy),
+			DB:          simdb.DefaultParams(),
+			ArrivalRate: Fig9bThroughput,
+			Instances:   cfg.WorkloadInstances,
+			Seed:        cfg.BaseSeed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if pr.Converged {
+			pred.X = append(pred.X, ms.Work)
+			pred.Y = append(pred.Y, pr.TimeInSeconds)
+			if bestPred == "" || pr.TimeInSeconds < bestPredT {
+				bestPred, bestPredT = ms.Strategy, pr.TimeInSeconds
+			}
+			errPct := 100 * (stats.AvgTimeInSeconds - pr.TimeInSeconds) / stats.AvgTimeInSeconds
+			notes = append(notes, fmt.Sprintf("%s: Work=%.1f predicted=%.1fms measured=%.1fms (err %.1f%%)",
+				ms.Strategy, ms.Work, pr.TimeInSeconds, stats.AvgTimeInSeconds, errPct))
+		} else {
+			notes = append(notes, fmt.Sprintf("%s: Work=%.1f unsustainable at Th=%.0f/s (model)",
+				ms.Strategy, ms.Work, Fig9bThroughput))
+		}
+		meas.X = append(meas.X, ms.Work)
+		meas.Y = append(meas.Y, stats.AvgTimeInSeconds)
+		if bestMeas == "" || stats.AvgTimeInSeconds < bestMeasT {
+			bestMeas, bestMeasT = ms.Strategy, stats.AvgTimeInSeconds
+		}
+	}
+	notes = append(notes,
+		fmt.Sprintf("model picks %s (%.1fms); simulation picks %s (%.1fms)",
+			bestPred, bestPredT, bestMeas, bestMeasT))
+	return &Figure{
+		ID: "9b", Title: "Predicted vs measured response time at Th=10/s (nb_rows=4, %enabled=75)",
+		XLabel: "Work (units)", YLabel: "TimeInSeconds (ms)",
+		Series: []Series{pred, meas},
+		Notes:  notes,
+	}
+}
+
+// Registry maps figure IDs to their drivers, in the paper's order.
+var Registry = []struct {
+	ID   string
+	Run  func(Config) *Figure
+	Desc string
+}{
+	{"5a", Fig5a, "Work vs %enabled, serial strategies"},
+	{"5b", Fig5b, "Work vs nb_rows, serial strategies"},
+	{"6a", Fig6a, "Time vs %enabled, maximal parallelism"},
+	{"6b", Fig6b, "Work vs %enabled, maximal parallelism"},
+	{"7a", Fig7a, "Time vs %permitted"},
+	{"7b", Fig7b, "Work vs %permitted"},
+	{"8a", Fig8a, "Guideline maps, varying %enabled"},
+	{"8b", Fig8b, "Guideline maps, varying nb_rows"},
+	{"9a", Fig9a, "Db curve: UnitTime vs Gmpl"},
+	{"9b", Fig9b, "Predicted vs measured TimeInSeconds"},
+	{"ax-cluster", AblationClustering, "Ablation: query clustering (§6 future work)"},
+	{"ax-prop", AblationPropagation, "Ablation: Propagation Algorithm work savings"},
+}
+
+// Lookup finds a driver by figure ID.
+func Lookup(id string) (func(Config) *Figure, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fast is a low-fidelity config keeping the test suite quick; shape
+// assertions hold already at this fidelity.
+var fast = Config{Seeds: 4, BaseSeed: 1, WorkloadInstances: 150, DbCurveUnits: 500}
+
+func series(f *Figure, label string) Series {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	panic("missing series " + label)
+}
+
+func TestFig5aShape(t *testing.T) {
+	f := Fig5a(fast)
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	pce, nce := series(f, "PCE0"), series(f, "NCE0")
+	// Propagation cluster sits at or below the naive cluster everywhere.
+	for i := range pce.X {
+		if pce.Y[i] > nce.Y[i]*1.02 {
+			t.Errorf("at %%enabled=%v: PCE0 work %v above NCE0 %v", pce.X[i], pce.Y[i], nce.Y[i])
+		}
+	}
+	// The largest relative saving is at the low end (paper: ~60 % at 10 %).
+	saveLow := (nce.Y[0] - pce.Y[0]) / nce.Y[0]
+	saveHigh := (nce.Y[len(nce.Y)-1] - pce.Y[len(pce.Y)-1]) / nce.Y[len(nce.Y)-1]
+	if saveLow < 0.30 {
+		t.Errorf("saving at %%enabled=10 = %.0f%%, want >= 30%%", saveLow*100)
+	}
+	if saveLow <= saveHigh {
+		t.Errorf("saving should shrink as %%enabled grows: low %.2f vs high %.2f", saveLow, saveHigh)
+	}
+	// Naive work grows roughly linearly with %enabled: monotone suffices.
+	for i := 1; i < len(nce.Y); i++ {
+		if nce.Y[i] < nce.Y[i-1]*0.95 {
+			t.Errorf("naive work not increasing at %v", nce.X[i])
+		}
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	f := Fig5b(fast)
+	// The P cluster stays below the N cluster across nb_rows.
+	pcc, ncc := series(f, "PCC0"), series(f, "NCC0")
+	for i := range pcc.X {
+		if pcc.Y[i] > ncc.Y[i]*1.02 {
+			t.Errorf("at rows=%v: PCC0 %v above NCC0 %v", pcc.X[i], pcc.Y[i], ncc.Y[i])
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	fa, fb := Fig6a(fast), Fig6b(fast)
+	tConc, tSpec, tSerial := series(fa, "PC*100"), series(fa, "PS*100"), series(fa, "PCE0")
+	wConc, wSpec := series(fb, "PC*100"), series(fb, "PS*100")
+	for i := range tConc.X {
+		// Parallelism cuts response time dramatically vs serial.
+		if tConc.Y[i] > 0.8*tSerial.Y[i] {
+			t.Errorf("at %%enabled=%v: PC*100 %.1f not far below PCE0 %.1f",
+				tConc.X[i], tConc.Y[i], tSerial.Y[i])
+		}
+		// Speculation is at least as fast as conservative...
+		if tSpec.Y[i] > tConc.Y[i]*1.05 {
+			t.Errorf("at %%enabled=%v: PS*100 slower than PC*100", tConc.X[i])
+		}
+		// ...but costs at least as much work.
+		if wSpec.Y[i] < wConc.Y[i]*0.98 {
+			t.Errorf("at %%enabled=%v: speculation cannot reduce work", wConc.X[i])
+		}
+	}
+	// Speculation's extra work shrinks as %enabled grows (paper's lesson 2).
+	extraLow := wSpec.Y[0] - wConc.Y[0]
+	extraHigh := wSpec.Y[len(wSpec.Y)-1] - wConc.Y[len(wConc.Y)-1]
+	if extraLow <= extraHigh {
+		t.Errorf("speculative waste should shrink with %%enabled: %v -> %v", extraLow, extraHigh)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	fa := Fig7a(fast)
+	fb := Fig7b(fast)
+	pce, pcc := series(fa, "PCE*"), series(fa, "PCC*")
+	pse := series(fa, "PSE*")
+	last := len(pce.Y) - 1
+	// All curves (roughly) converge at 100 % parallelism.
+	if rel(pce.Y[last], pcc.Y[last]) > 0.05 {
+		t.Errorf("PCE and PCC should converge at 100%%: %v vs %v", pce.Y[last], pcc.Y[last])
+	}
+	// Earliest no slower than Cheapest at mid parallelism (paper lesson 3).
+	mid := indexOf(pce.X, 40)
+	if pce.Y[mid] > pcc.Y[mid]*1.02 {
+		t.Errorf("at 40%%: Earliest %.1f should beat Cheapest %.1f", pce.Y[mid], pcc.Y[mid])
+	}
+	// Speculative earliest is the fastest family at mid parallelism.
+	if pse.Y[mid] > pce.Y[mid]*1.02 {
+		t.Errorf("at 40%%: PSE %.1f should be <= PCE %.1f", pse.Y[mid], pce.Y[mid])
+	}
+	// Work is flat-ish for conservative strategies across parallelism.
+	wpce := series(fb, "PCE*")
+	if rel(wpce.Y[0], wpce.Y[last]) > 0.15 {
+		t.Errorf("conservative work should be near-flat: %v vs %v", wpce.Y[0], wpce.Y[last])
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	fa := Fig8a(fast)
+	if len(fa.Series) != 5 {
+		t.Fatalf("8a series = %d", len(fa.Series))
+	}
+	for _, s := range fa.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.X[i] < s.X[i-1] || s.Y[i] >= s.Y[i-1] {
+				t.Errorf("%s: frontier must increase in work and decrease in time", s.Label)
+			}
+		}
+	}
+	fb := Fig8b(fast)
+	// More rows -> faster best point.
+	r1 := series(fb, "nb_rows=1")
+	r16 := series(fb, "nb_rows=16")
+	if min(r16.Y) >= min(r1.Y) {
+		t.Errorf("16 rows best %.1f should beat 1 row best %.1f", min(r16.Y), min(r1.Y))
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	f := Fig9a(fast)
+	s := f.Series[0]
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i]+0.05 < s.Y[i-1] {
+			t.Errorf("Db curve not monotone at Gmpl=%v", s.X[i])
+		}
+	}
+	if s.Y[len(s.Y)-1] < 2*s.Y[0] {
+		t.Errorf("Db curve should show clear contention: %v -> %v", s.Y[0], s.Y[len(s.Y)-1])
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	f := Fig9b(fast)
+	pred, meas := series(f, "predicted"), series(f, "measured")
+	if len(pred.Y) == 0 || len(meas.Y) == 0 {
+		t.Fatal("empty series")
+	}
+	// Every sustainable prediction should be within 35 % of the measured
+	// value at this fidelity (the paper reports <10 % at full fidelity).
+	for i := range pred.X {
+		m, ok := lookupXY(meas, pred.X[i])
+		if !ok {
+			continue
+		}
+		if r := rel(pred.Y[i], m); r > 0.35 {
+			t.Errorf("work=%v: predicted %.1f vs measured %.1f (rel err %.0f%%)",
+				pred.X[i], pred.Y[i], m, r*100)
+		}
+	}
+	// Notes must name best strategies.
+	found := false
+	for _, n := range f.Notes {
+		if strings.Contains(n, "model picks") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing best-strategy note")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	f := Fig9a(fast)
+	tbl := f.Table()
+	for _, want := range []string{"Figure 9a", "Gmpl", "UnitTime"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"5a", "5b", "6a", "6b", "7a", "7b", "8a", "8b", "9a", "9b", "ax-cluster", "ax-prop"}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries", len(Registry))
+	}
+	for i, id := range want {
+		if Registry[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, Registry[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown figure should fail")
+	}
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b == 0 {
+		return 0
+	}
+	return d / b
+}
+
+func indexOf(xs []float64, x float64) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	panic("x not on grid")
+}
+
+func min(ys []float64) float64 {
+	m := ys[0]
+	for _, y := range ys {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}

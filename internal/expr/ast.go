@@ -1,0 +1,336 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Expr is a node of the enabling-condition / synthesis expression AST.
+// Implementations are immutable after construction.
+type Expr interface {
+	// String renders the expression in the syntax accepted by Parse.
+	String() string
+	// precedence returns the binding strength used for parenthesization.
+	precedence() int
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota // ==
+	NE              // !=
+	LT              // <
+	LE              // <=
+	GT              // >
+	GE              // >=
+)
+
+// String returns the source form of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "=="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return "?cmp?"
+	}
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String returns the source form of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return "?arith?"
+	}
+}
+
+// Operator precedences, loosest first. Used by String for minimal parens.
+const (
+	precOr = iota + 1
+	precAnd
+	precNot
+	precCmp
+	precAdd
+	precMul
+	precUnary
+	precAtom
+)
+
+// Const is a literal value.
+type Const struct{ Val value.Value }
+
+// Attr is a reference to a decision flow attribute by name.
+type Attr struct{ Name string }
+
+// Cmp is a binary comparison L op R.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// And is an n-ary conjunction. Parse always produces at least two operands.
+type And struct{ Exprs []Expr }
+
+// Or is an n-ary disjunction. Parse always produces at least two operands.
+type Or struct{ Exprs []Expr }
+
+// Not is a logical negation.
+type Not struct{ E Expr }
+
+// IsNull tests whether its operand is the null value ⟂. It is the only
+// construct that observes ⟂ without collapsing to false, and it is how
+// conditions can react to upstream tasks being disabled.
+type IsNull struct{ E Expr }
+
+// Arith is a binary arithmetic expression L op R.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Neg is arithmetic negation.
+type Neg struct{ E Expr }
+
+// Call is a builtin function application. Supported builtins are listed in
+// the package-level builtins table: len, contains, min, max, coalesce.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+func (Const) precedence() int  { return precAtom }
+func (Attr) precedence() int   { return precAtom }
+func (Cmp) precedence() int    { return precCmp }
+func (And) precedence() int    { return precAnd }
+func (Or) precedence() int     { return precOr }
+func (Not) precedence() int    { return precNot }
+func (IsNull) precedence() int { return precAtom }
+func (Arith) precedence() int  { return precAdd }
+func (Neg) precedence() int    { return precUnary }
+func (Call) precedence() int   { return precAtom }
+
+func (a Arith) prec() int {
+	if a.Op == OpMul || a.Op == OpDiv {
+		return precMul
+	}
+	return precAdd
+}
+
+// wrap parenthesizes the rendering of child when it binds looser than the
+// parent context requires.
+func wrap(child Expr, ctx int) string {
+	p := child.precedence()
+	if a, ok := child.(Arith); ok {
+		p = a.prec()
+	}
+	s := child.String()
+	if p < ctx {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (e Const) String() string { return e.Val.String() }
+func (e Attr) String() string  { return e.Name }
+
+func (e Cmp) String() string {
+	return wrap(e.L, precCmp+1) + " " + e.Op.String() + " " + wrap(e.R, precCmp+1)
+}
+
+func (e And) String() string {
+	parts := make([]string, len(e.Exprs))
+	for i, sub := range e.Exprs {
+		parts[i] = wrap(sub, precAnd)
+	}
+	return strings.Join(parts, " and ")
+}
+
+func (e Or) String() string {
+	parts := make([]string, len(e.Exprs))
+	for i, sub := range e.Exprs {
+		parts[i] = wrap(sub, precOr)
+	}
+	return strings.Join(parts, " or ")
+}
+
+func (e Not) String() string    { return "not " + wrap(e.E, precNot) }
+func (e IsNull) String() string { return "isnull(" + e.E.String() + ")" }
+
+func (e Arith) String() string {
+	p := e.prec()
+	// Right operand of -,/ needs one extra level to keep a-(b-c) distinct.
+	rp := p
+	if e.Op == OpSub || e.Op == OpDiv {
+		rp = p + 1
+	}
+	return wrap(e.L, p) + " " + e.Op.String() + " " + wrap(e.R, rp)
+}
+
+func (e Neg) String() string { return "-" + wrap(e.E, precUnary) }
+
+func (e Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// TrueExpr and FalseExpr are the constant conditions. A task whose enabling
+// condition is TrueExpr is unconditionally eligible (the "true" diamonds in
+// the paper's Figure 1).
+var (
+	TrueExpr  Expr = Const{value.Bool(true)}
+	FalseExpr Expr = Const{value.Bool(false)}
+)
+
+// Attrs returns the sorted set of attribute names referenced by e. These are
+// the sources of the enabling-flow (or data-flow, for synthesis expressions)
+// edges into the attribute guarded by e.
+func Attrs(e Expr) []string {
+	set := map[string]bool{}
+	collectAttrs(e, set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectAttrs(e Expr, set map[string]bool) {
+	switch n := e.(type) {
+	case Const:
+	case Attr:
+		set[n.Name] = true
+	case Cmp:
+		collectAttrs(n.L, set)
+		collectAttrs(n.R, set)
+	case And:
+		for _, sub := range n.Exprs {
+			collectAttrs(sub, set)
+		}
+	case Or:
+		for _, sub := range n.Exprs {
+			collectAttrs(sub, set)
+		}
+	case Not:
+		collectAttrs(n.E, set)
+	case IsNull:
+		collectAttrs(n.E, set)
+	case Arith:
+		collectAttrs(n.L, set)
+		collectAttrs(n.R, set)
+	case Neg:
+		collectAttrs(n.E, set)
+	case Call:
+		for _, a := range n.Args {
+			collectAttrs(a, set)
+		}
+	default:
+		panic(fmt.Sprintf("expr: unknown node type %T", e))
+	}
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}
+
+// AndOf builds a conjunction, flattening nested Ands and dropping redundant
+// true conjuncts. It returns TrueExpr for zero operands and the single
+// operand unwrapped for one. A false conjunct collapses to FalseExpr.
+// This is the combinator used by module flattening ("and" the module's
+// condition into each member's condition).
+func AndOf(exprs ...Expr) Expr {
+	var flat []Expr
+	for _, e := range exprs {
+		switch n := e.(type) {
+		case Const:
+			if b, ok := n.Val.AsBool(); ok {
+				if !b {
+					return FalseExpr
+				}
+				continue // drop true
+			}
+			flat = append(flat, e)
+		case And:
+			flat = append(flat, n.Exprs...)
+		default:
+			flat = append(flat, e)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return TrueExpr
+	case 1:
+		return flat[0]
+	default:
+		return And{Exprs: flat}
+	}
+}
+
+// OrOf builds a disjunction with the dual simplifications of AndOf.
+func OrOf(exprs ...Expr) Expr {
+	var flat []Expr
+	for _, e := range exprs {
+		switch n := e.(type) {
+		case Const:
+			if b, ok := n.Val.AsBool(); ok {
+				if b {
+					return TrueExpr
+				}
+				continue // drop false
+			}
+			flat = append(flat, e)
+		case Or:
+			flat = append(flat, n.Exprs...)
+		default:
+			flat = append(flat, e)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return FalseExpr
+	case 1:
+		return flat[0]
+	default:
+		return Or{Exprs: flat}
+	}
+}

@@ -1,0 +1,289 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Env supplies attribute values during evaluation. Lookup returns the
+// attribute's value and whether the attribute has *stabilized*. A stabilized
+// attribute either carries a concrete value (state VALUE) or ⟂ (state
+// DISABLED). Lookup returning known=false means the attribute's fate is not
+// yet determined; evaluation involving it yields Unknown.
+//
+// Env implementations must be monotonic across the life of one evaluation
+// sequence: once Lookup reports (v, true) for an attribute it must keep
+// doing so. This is what makes early True/False results stable.
+type Env interface {
+	Lookup(attr string) (v value.Value, known bool)
+}
+
+// MapEnv is an Env backed by a map; attributes absent from the map are
+// unknown. A nil MapEnv knows nothing.
+type MapEnv map[string]value.Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(attr string) (value.Value, bool) {
+	v, ok := m[attr]
+	return v, ok
+}
+
+// EmptyEnv is an Env that knows no attributes.
+var EmptyEnv = MapEnv(nil)
+
+// Eval3 evaluates e as a condition over a partial environment, returning
+// True, False or Unknown. The result is stable: extensions of env can turn
+// Unknown into True/False but never flip a known result.
+//
+// Semantics of ⟂ (SQL-style): any comparison with a ⟂ operand is False;
+// isnull(⟂) is True; arithmetic over ⟂ yields ⟂. A non-boolean,
+// non-⟂ value in a boolean position is False (conditions are total).
+func Eval3(e Expr, env Env) Truth {
+	switch n := e.(type) {
+	case Const:
+		return truthOfValue(n.Val)
+	case Attr:
+		v, known := env.Lookup(n.Name)
+		if !known {
+			return Unknown
+		}
+		return truthOfValue(v)
+	case Cmp:
+		lv, lok := evalVal(n.L, env)
+		rv, rok := evalVal(n.R, env)
+		// A known ⟂ operand decides the comparison (False) even while the
+		// other side is unknown: comparisons with ⟂ are false in every
+		// extension of env.
+		if lok && lv.IsNull() || rok && rv.IsNull() {
+			return False
+		}
+		if !lok || !rok {
+			return Unknown
+		}
+		return TruthOf(compare(n.Op, lv, rv))
+	case And:
+		ts := make([]Truth, len(n.Exprs))
+		for i, sub := range n.Exprs {
+			ts[i] = Eval3(sub, env)
+			if ts[i] == False {
+				return False // short-circuit: one false conjunct decides
+			}
+		}
+		return AndT(ts...)
+	case Or:
+		ts := make([]Truth, len(n.Exprs))
+		for i, sub := range n.Exprs {
+			ts[i] = Eval3(sub, env)
+			if ts[i] == True {
+				return True // short-circuit: one true disjunct decides
+			}
+		}
+		return OrT(ts...)
+	case Not:
+		return NotT(Eval3(n.E, env))
+	case IsNull:
+		v, known := evalVal(n.E, env)
+		if !known {
+			return Unknown
+		}
+		return TruthOf(v.IsNull())
+	case Cmp3Adapter:
+		return n.Eval3(env)
+	default:
+		// Value-typed node in boolean position: evaluate and coerce.
+		v, known := evalVal(e, env)
+		if !known {
+			return Unknown
+		}
+		return truthOfValue(v)
+	}
+}
+
+// Cmp3Adapter allows externally defined nodes with custom three-valued
+// evaluation to participate in conditions. It is used by tests to model
+// exotic predicates without extending the core AST.
+type Cmp3Adapter interface {
+	Expr
+	Eval3(env Env) Truth
+}
+
+func truthOfValue(v value.Value) Truth {
+	b, ok := v.Truth()
+	if !ok {
+		return False // ⟂ or non-boolean in boolean position
+	}
+	return TruthOf(b)
+}
+
+// EvalValue evaluates e as a value expression over a partial environment.
+// known is false when the result still depends on unstabilized attributes.
+func EvalValue(e Expr, env Env) (v value.Value, known bool) {
+	return evalVal(e, env)
+}
+
+// MustEval evaluates e over a *complete* environment (every referenced
+// attribute stable) and panics if anything is still unknown. It is the
+// evaluator used by the declarative-semantics oracle, where totality is an
+// invariant, not an error condition.
+func MustEval(e Expr, env Env) Truth {
+	t := Eval3(e, env)
+	if t == Unknown {
+		panic(fmt.Sprintf("expr: MustEval(%s) is unknown; environment incomplete", e))
+	}
+	return t
+}
+
+// MustEvalValue is the value-typed analogue of MustEval.
+func MustEvalValue(e Expr, env Env) value.Value {
+	v, known := evalVal(e, env)
+	if !known {
+		panic(fmt.Sprintf("expr: MustEvalValue(%s) is unknown; environment incomplete", e))
+	}
+	return v
+}
+
+func evalVal(e Expr, env Env) (value.Value, bool) {
+	switch n := e.(type) {
+	case Const:
+		return n.Val, true
+	case Attr:
+		return env.Lookup(n.Name)
+	case Arith:
+		lv, lok := evalVal(n.L, env)
+		rv, rok := evalVal(n.R, env)
+		if !lok || !rok {
+			return value.Null, false
+		}
+		switch n.Op {
+		case OpAdd:
+			return value.Add(lv, rv), true
+		case OpSub:
+			return value.Sub(lv, rv), true
+		case OpMul:
+			return value.Mul(lv, rv), true
+		case OpDiv:
+			return value.Div(lv, rv), true
+		default:
+			return value.Null, true
+		}
+	case Neg:
+		v, ok := evalVal(n.E, env)
+		if !ok {
+			return value.Null, false
+		}
+		return value.Neg(v), true
+	case Call:
+		return evalCall(n, env)
+	case Cmp, And, Or, Not, IsNull:
+		// Boolean-typed node in value position.
+		t := Eval3(e, env)
+		if t == Unknown {
+			return value.Null, false
+		}
+		return value.Bool(t == True), true
+	default:
+		if a, ok := e.(Cmp3Adapter); ok {
+			t := a.Eval3(env)
+			if t == Unknown {
+				return value.Null, false
+			}
+			return value.Bool(t == True), true
+		}
+		panic(fmt.Sprintf("expr: unknown node type %T", e))
+	}
+}
+
+func compare(op CmpOp, a, b value.Value) bool {
+	switch op {
+	case EQ:
+		return value.Equal(a, b)
+	case NE:
+		if a.IsNull() || b.IsNull() {
+			return false // SQL-style: comparisons with ⟂ are false
+		}
+		return !value.Equal(a, b)
+	default:
+		c, ok := value.Compare(a, b)
+		if !ok {
+			return false
+		}
+		switch op {
+		case LT:
+			return c < 0
+		case LE:
+			return c <= 0
+		case GT:
+			return c > 0
+		case GE:
+			return c >= 0
+		}
+	}
+	return false
+}
+
+func evalCall(c Call, env Env) (value.Value, bool) {
+	args := make([]value.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, ok := evalVal(a, env)
+		if !ok {
+			// coalesce can sometimes resolve early, but for simplicity and
+			// stability we require all arguments; Unknown stays Unknown.
+			return value.Null, false
+		}
+		args[i] = v
+	}
+	switch c.Fn {
+	case "len":
+		if len(args) != 1 {
+			return value.Null, true
+		}
+		if args[0].IsNull() {
+			return value.Null, true
+		}
+		return value.Int(int64(args[0].Len())), true
+	case "contains":
+		if len(args) != 2 {
+			return value.Null, true
+		}
+		list, ok := args[0].AsList()
+		if !ok {
+			return value.Bool(false), true
+		}
+		for _, e := range list {
+			if value.Equal(e, args[1]) {
+				return value.Bool(true), true
+			}
+		}
+		return value.Bool(false), true
+	case "min":
+		return foldCmp(args, value.Min), true
+	case "max":
+		return foldCmp(args, value.Max), true
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, true
+			}
+		}
+		return value.Null, true
+	default:
+		return value.Null, true // unknown builtin: total, yields ⟂
+	}
+}
+
+func foldCmp(args []value.Value, f func(a, b value.Value) value.Value) value.Value {
+	if len(args) == 0 {
+		return value.Null
+	}
+	out := args[0]
+	for _, a := range args[1:] {
+		out = f(out, a)
+	}
+	return out
+}
+
+// Builtins lists the function names understood by Call evaluation.
+func Builtins() []string {
+	return []string{"coalesce", "contains", "isnull", "len", "max", "min"}
+}

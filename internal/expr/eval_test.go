@@ -1,0 +1,338 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func env(kv map[string]value.Value) Env { return MapEnv(kv) }
+
+func TestEval3Const(t *testing.T) {
+	if Eval3(TrueExpr, EmptyEnv) != True {
+		t.Error("true const")
+	}
+	if Eval3(FalseExpr, EmptyEnv) != False {
+		t.Error("false const")
+	}
+	if Eval3(Const{value.Int(1)}, EmptyEnv) != False {
+		t.Error("non-boolean constant in condition position must be false")
+	}
+	if Eval3(Const{value.Null}, EmptyEnv) != False {
+		t.Error("null in condition position must be false")
+	}
+}
+
+func TestEval3Attr(t *testing.T) {
+	e := Attr{"x"}
+	if Eval3(e, EmptyEnv) != Unknown {
+		t.Error("unknown attribute must be Unknown")
+	}
+	if Eval3(e, env(map[string]value.Value{"x": value.Bool(true)})) != True {
+		t.Error("bool attr true")
+	}
+	if Eval3(e, env(map[string]value.Value{"x": value.Null})) != False {
+		t.Error("null attr is false in condition position")
+	}
+	if Eval3(e, env(map[string]value.Value{"x": value.Int(3)})) != False {
+		t.Error("non-bool attr is false in condition position")
+	}
+}
+
+func TestEval3Cmp(t *testing.T) {
+	lt := MustParse("x < 10")
+	if Eval3(lt, EmptyEnv) != Unknown {
+		t.Error("x<10 with unknown x must be Unknown")
+	}
+	if Eval3(lt, env(map[string]value.Value{"x": value.Int(5)})) != True {
+		t.Error("5<10 must be True")
+	}
+	if Eval3(lt, env(map[string]value.Value{"x": value.Int(15)})) != False {
+		t.Error("15<10 must be False")
+	}
+	if Eval3(lt, env(map[string]value.Value{"x": value.Null})) != False {
+		t.Error("null<10 must be False (SQL nulls)")
+	}
+}
+
+func TestEval3CmpNullShortCircuit(t *testing.T) {
+	// y is unknown but x is null: the comparison is decided False.
+	e := MustParse("x < y")
+	got := Eval3(e, env(map[string]value.Value{"x": value.Null}))
+	if got != False {
+		t.Errorf("null < unknown = %v, want False", got)
+	}
+	got = Eval3(e, env(map[string]value.Value{"y": value.Null}))
+	if got != False {
+		t.Errorf("unknown < null = %v, want False", got)
+	}
+}
+
+func TestEval3AndShortCircuit(t *testing.T) {
+	// One false conjunct decides the conjunction even when the other
+	// conjunct's attribute is still unknown — the heart of eager evaluation.
+	e := MustParse("x < 10 and y > 5")
+	got := Eval3(e, env(map[string]value.Value{"x": value.Int(20)}))
+	if got != False {
+		t.Errorf("false-conjunct short circuit = %v, want False", got)
+	}
+	got = Eval3(e, env(map[string]value.Value{"x": value.Int(5)}))
+	if got != Unknown {
+		t.Errorf("undecided conjunction = %v, want Unknown", got)
+	}
+	got = Eval3(e, env(map[string]value.Value{"x": value.Int(5), "y": value.Int(6)}))
+	if got != True {
+		t.Errorf("decided conjunction = %v, want True", got)
+	}
+}
+
+func TestEval3OrShortCircuit(t *testing.T) {
+	e := MustParse("x < 10 or y > 5")
+	got := Eval3(e, env(map[string]value.Value{"x": value.Int(5)}))
+	if got != True {
+		t.Errorf("true-disjunct short circuit = %v, want True", got)
+	}
+	got = Eval3(e, env(map[string]value.Value{"x": value.Int(20)}))
+	if got != Unknown {
+		t.Errorf("undecided disjunction = %v, want Unknown", got)
+	}
+	got = Eval3(e, env(map[string]value.Value{"x": value.Int(20), "y": value.Int(0)}))
+	if got != False {
+		t.Errorf("decided disjunction = %v, want False", got)
+	}
+}
+
+func TestEval3Not(t *testing.T) {
+	e := MustParse("not (x < 10)")
+	if Eval3(e, EmptyEnv) != Unknown {
+		t.Error("not unknown must be Unknown")
+	}
+	if Eval3(e, env(map[string]value.Value{"x": value.Int(20)})) != True {
+		t.Error("not(20<10) must be True")
+	}
+}
+
+func TestEval3IsNull(t *testing.T) {
+	e := MustParse("isnull(x)")
+	if Eval3(e, EmptyEnv) != Unknown {
+		t.Error("isnull(unknown) must be Unknown")
+	}
+	if Eval3(e, env(map[string]value.Value{"x": value.Null})) != True {
+		t.Error("isnull(null) must be True")
+	}
+	if Eval3(e, env(map[string]value.Value{"x": value.Int(1)})) != False {
+		t.Error("isnull(1) must be False")
+	}
+	ne := MustParse("notnull(x)")
+	if Eval3(ne, env(map[string]value.Value{"x": value.Int(1)})) != True {
+		t.Error("notnull(1) must be True")
+	}
+}
+
+func TestEvalValueArith(t *testing.T) {
+	e := MustParse("x * 2 + 1")
+	v, known := EvalValue(e, env(map[string]value.Value{"x": value.Int(4)}))
+	if !known || !value.Identical(v, value.Int(9)) {
+		t.Errorf("4*2+1 = %v (known=%v)", v, known)
+	}
+	_, known = EvalValue(e, EmptyEnv)
+	if known {
+		t.Error("arith over unknown attr must be unknown")
+	}
+	v, known = EvalValue(e, env(map[string]value.Value{"x": value.Null}))
+	if !known || !v.IsNull() {
+		t.Error("arith over null must be known null")
+	}
+}
+
+func TestEvalValuePrecedence(t *testing.T) {
+	e := MustParse("2 + 3 * 4")
+	v := MustEvalValue(e, EmptyEnv)
+	if !value.Identical(v, value.Int(14)) {
+		t.Errorf("2+3*4 = %v, want 14", v)
+	}
+	e = MustParse("(2 + 3) * 4")
+	v = MustEvalValue(e, EmptyEnv)
+	if !value.Identical(v, value.Int(20)) {
+		t.Errorf("(2+3)*4 = %v, want 20", v)
+	}
+	e = MustParse("10 - 4 - 3")
+	v = MustEvalValue(e, EmptyEnv)
+	if !value.Identical(v, value.Int(3)) {
+		t.Errorf("10-4-3 = %v, want 3 (left assoc)", v)
+	}
+}
+
+func TestEvalValueBoolInValuePosition(t *testing.T) {
+	e := MustParse("x < 10")
+	v, known := EvalValue(e, env(map[string]value.Value{"x": value.Int(5)}))
+	if !known || !value.Identical(v, value.Bool(true)) {
+		t.Error("comparison in value position should be a bool value")
+	}
+	_, known = EvalValue(e, EmptyEnv)
+	if known {
+		t.Error("undecided comparison in value position must be unknown")
+	}
+}
+
+func TestBuiltinLen(t *testing.T) {
+	e := MustParse("len(xs) > 0")
+	v := Eval3(e, env(map[string]value.Value{"xs": value.List(value.Int(1))}))
+	if v != True {
+		t.Error("len([1]) > 0 must be True")
+	}
+	v = Eval3(e, env(map[string]value.Value{"xs": value.List()}))
+	if v != False {
+		t.Error("len([]) > 0 must be False")
+	}
+	// len(null) is null; null > 0 is false.
+	v = Eval3(e, env(map[string]value.Value{"xs": value.Null}))
+	if v != False {
+		t.Error("len(null) > 0 must be False")
+	}
+}
+
+func TestBuiltinContains(t *testing.T) {
+	e := MustParse(`contains(cart, "boys_coat")`)
+	in := env(map[string]value.Value{"cart": value.List(value.Str("boys_coat"), value.Str("hat"))})
+	if Eval3(e, in) != True {
+		t.Error("contains hit must be True")
+	}
+	out := env(map[string]value.Value{"cart": value.List(value.Str("hat"))})
+	if Eval3(e, out) != False {
+		t.Error("contains miss must be False")
+	}
+	null := env(map[string]value.Value{"cart": value.Null})
+	if Eval3(e, null) != False {
+		t.Error("contains over null list must be False")
+	}
+}
+
+func TestBuiltinMinMaxCoalesce(t *testing.T) {
+	e := MustParse("min(a, b)")
+	v := MustEvalValue(e, env(map[string]value.Value{"a": value.Int(3), "b": value.Int(7)}))
+	if !value.Identical(v, value.Int(3)) {
+		t.Errorf("min = %v", v)
+	}
+	e = MustParse("max(a, b)")
+	v = MustEvalValue(e, env(map[string]value.Value{"a": value.Int(3), "b": value.Int(7)}))
+	if !value.Identical(v, value.Int(7)) {
+		t.Errorf("max = %v", v)
+	}
+	e = MustParse("coalesce(a, b, 0)")
+	v = MustEvalValue(e, env(map[string]value.Value{"a": value.Null, "b": value.Int(5)}))
+	if !value.Identical(v, value.Int(5)) {
+		t.Errorf("coalesce = %v", v)
+	}
+	v = MustEvalValue(e, env(map[string]value.Value{"a": value.Null, "b": value.Null}))
+	if !value.Identical(v, value.Int(0)) {
+		t.Errorf("coalesce fallthrough = %v", v)
+	}
+}
+
+func TestUnknownBuiltinIsNull(t *testing.T) {
+	e := MustParse("frobnicate(1)")
+	v, known := EvalValue(e, EmptyEnv)
+	if !known || !v.IsNull() {
+		t.Error("unknown builtin must evaluate to known null")
+	}
+}
+
+func TestMustEvalPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEval over incomplete env must panic")
+		}
+	}()
+	MustEval(MustParse("x < 1"), EmptyEnv)
+}
+
+func TestMustEvalValuePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEvalValue over incomplete env must panic")
+		}
+	}()
+	MustEvalValue(MustParse("x + 1"), EmptyEnv)
+}
+
+func TestNEWithNull(t *testing.T) {
+	e := MustParse("x != 3")
+	if Eval3(e, env(map[string]value.Value{"x": value.Null})) != False {
+		t.Error("null != 3 must be False (not True) under SQL semantics")
+	}
+	if Eval3(e, env(map[string]value.Value{"x": value.Int(4)})) != True {
+		t.Error("4 != 3 must be True")
+	}
+	if Eval3(e, env(map[string]value.Value{"x": value.Int(3)})) != False {
+		t.Error("3 != 3 must be False")
+	}
+}
+
+func TestAttrsExtraction(t *testing.T) {
+	e := MustParse("a < 10 and (b > 2 or contains(c, a)) and isnull(d)")
+	got := Attrs(e)
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Attrs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Attrs = %v, want %v", got, want)
+		}
+	}
+	if n := len(Attrs(TrueExpr)); n != 0 {
+		t.Errorf("Attrs(true) should be empty, got %d", n)
+	}
+}
+
+// Stability property: for random environments, if Eval3 is known on a partial
+// env, it yields the same answer on the completed env.
+func TestEval3Stability(t *testing.T) {
+	exprs := []string{
+		"a < 50 and b >= 20",
+		"a < 50 or b >= 20",
+		"not (a < 50) and (b < 10 or c > 90)",
+		"isnull(a) or b == 7",
+		"a + b > c",
+		"min(a, b) <= max(b, c)",
+	}
+	vals := []value.Value{value.Null, value.Int(0), value.Int(25), value.Int(75), value.Int(100)}
+	for _, src := range exprs {
+		e := MustParse(src)
+		names := Attrs(e)
+		// Enumerate complete assignments over the small value set.
+		var rec func(i int, full map[string]value.Value)
+		rec = func(i int, full map[string]value.Value) {
+			if i == len(names) {
+				fullT := Eval3(e, MapEnv(full))
+				if fullT == Unknown {
+					t.Fatalf("%s: complete env must decide", src)
+				}
+				// Check every sub-environment is consistent.
+				for mask := 0; mask < 1<<len(names); mask++ {
+					part := map[string]value.Value{}
+					for j, n := range names {
+						if mask&(1<<j) != 0 {
+							part[n] = full[n]
+						}
+					}
+					pt := Eval3(e, MapEnv(part))
+					if pt != Unknown && pt != fullT {
+						t.Fatalf("%s: partial env %v gave %v but complete env %v gave %v",
+							src, part, pt, full, fullT)
+					}
+				}
+				return
+			}
+			for _, v := range vals {
+				full[names[i]] = v
+				rec(i+1, full)
+			}
+			delete(full, names[i])
+		}
+		if len(names) <= 3 {
+			rec(0, map[string]value.Value{})
+		}
+	}
+}

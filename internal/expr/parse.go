@@ -1,0 +1,458 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/value"
+)
+
+// Parse parses the textual condition syntax into an Expr. The grammar, from
+// loosest to tightest binding:
+//
+//	or-expr   := and-expr { "or" and-expr }
+//	and-expr  := not-expr { "and" not-expr }
+//	not-expr  := "not" not-expr | cmp-expr
+//	cmp-expr  := add-expr [ ("=="|"!="|"<"|"<="|">"|">=") add-expr ]
+//	add-expr  := mul-expr { ("+"|"-") mul-expr }
+//	mul-expr  := unary { ("*"|"/") unary }
+//	unary     := "-" unary | atom
+//	atom      := literal | ident | ident "(" args ")" | "(" or-expr ")"
+//	            | "[" args "]"
+//	literal   := "null" | "true" | "false" | number | string
+//
+// Identifiers name attributes, except when immediately followed by "(" in
+// which case they name a builtin function; "isnull" parses to the IsNull
+// node. String literals use double quotes with Go escaping.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %q after expression", p.peek().text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for use with literal constants in
+// examples and tests.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("expr: MustParse(%q): %v", src, err))
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation operators
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// ParseError describes a syntax error with its byte offset in the source.
+type ParseError struct {
+	Src string
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("expr: parse error at offset %d in %q: %s", e.Pos, e.Src, e.Msg)
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case strings.ContainsRune("+-*/", rune(c)):
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "=" {
+				return nil, &ParseError{src, i, "single '=' (use '==')"}
+			}
+			if op == "!" {
+				return nil, &ParseError{src, i, "single '!' (use 'not' or '!=')"}
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) {
+				if src[j] == '\\' {
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, &ParseError{src, i, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, src[i : j+1], i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				(j > i && (src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, &ParseError{src, i, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{p.src, p.peek().pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.peek().kind != kind {
+		return token{}, p.errorf("expected %s, found %q", what, p.peek().text)
+	}
+	return p.next(), nil
+}
+
+// keyword reports whether the next token is the given keyword identifier,
+// consuming it if so.
+func (p *parser) keyword(kw string) bool {
+	if p.peek().kind == tokIdent && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	var terms []Expr
+	for p.keyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if terms == nil {
+			terms = []Expr{e}
+		}
+		terms = append(terms, r)
+	}
+	if terms != nil {
+		return Or{Exprs: terms}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	e, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	var terms []Expr
+	for p.keyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		if terms == nil {
+			terms = []Expr{e}
+		}
+		terms = append(terms, r)
+	}
+	if terms != nil {
+		return And{Exprs: terms}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.keyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokOp {
+		return l, nil
+	}
+	var op CmpOp
+	switch p.peek().text {
+	case "==":
+		op = EQ
+	case "!=":
+		op = NE
+	case "<":
+		op = LT
+	case "<=":
+		op = LE
+	case ">":
+		op = GT
+	case ">=":
+		op = GE
+	default:
+		return l, nil
+	}
+	p.next()
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	e, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "+" || p.peek().text == "-") {
+		op := OpAdd
+		if p.next().text == "-" {
+			op = OpSub
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		e = Arith{Op: op, L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "*" || p.peek().text == "/") {
+		op := OpMul
+		if p.next().text == "/" {
+			op = OpDiv
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = Arith{Op: op, L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals so "-3" is a Const.
+		if c, ok := e.(Const); ok && c.Val.IsNumeric() {
+			return Const{value.Neg(c.Val)}, nil
+		}
+		return Neg{E: e}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, &ParseError{p.src, t.pos, "bad float literal: " + t.text}
+			}
+			return Const{value.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, &ParseError{p.src, t.pos, "bad int literal: " + t.text}
+		}
+		return Const{value.Int(i)}, nil
+	case tokString:
+		p.next()
+		s, err := strconv.Unquote(t.text)
+		if err != nil {
+			return nil, &ParseError{p.src, t.pos, "bad string literal: " + t.text}
+		}
+		return Const{value.Str(s)}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBracket:
+		p.next()
+		var elems []Expr
+		for p.peek().kind != tokRBracket {
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		// Lists of constants fold to a Const list; otherwise unsupported.
+		vals := make([]value.Value, len(elems))
+		for i, e := range elems {
+			c, ok := e.(Const)
+			if !ok {
+				return nil, &ParseError{p.src, t.pos, "list literals must contain constants"}
+			}
+			vals[i] = c.Val
+		}
+		return Const{value.List(vals...)}, nil
+	case tokIdent:
+		switch t.text {
+		case "null":
+			p.next()
+			return Const{value.Null}, nil
+		case "true":
+			p.next()
+			return Const{value.Bool(true)}, nil
+		case "false":
+			p.next()
+			return Const{value.Bool(false)}, nil
+		case "and", "or", "not":
+			return nil, p.errorf("keyword %q in operand position", t.text)
+		}
+		p.next()
+		if p.peek().kind == tokLParen {
+			p.next()
+			var args []Expr
+			for p.peek().kind != tokRParen {
+				a, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.peek().kind == tokComma {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			if t.text == "isnull" {
+				if len(args) != 1 {
+					return nil, &ParseError{p.src, t.pos, "isnull takes exactly one argument"}
+				}
+				return IsNull{E: args[0]}, nil
+			}
+			if t.text == "notnull" {
+				if len(args) != 1 {
+					return nil, &ParseError{p.src, t.pos, "notnull takes exactly one argument"}
+				}
+				return Not{E: IsNull{E: args[0]}}, nil
+			}
+			return Call{Fn: t.text, Args: args}, nil
+		}
+		return Attr{Name: t.text}, nil
+	default:
+		return nil, p.errorf("unexpected %q", t.text)
+	}
+}

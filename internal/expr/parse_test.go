@@ -1,0 +1,268 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	// Each source must parse, print, and re-parse to the same rendering.
+	sources := []string{
+		"true",
+		"false",
+		"null",
+		"42",
+		"-3",
+		"2.5",
+		`"boys coat"`,
+		"x",
+		"x < 10",
+		"x <= 10",
+		"x > 10",
+		"x >= 10",
+		"x == 10",
+		"x != 10",
+		"x and y",
+		"x or y",
+		"not x",
+		"x and y and z",
+		"x or y or z",
+		"x and (y or z)",
+		"(x or y) and z",
+		"not (x and y)",
+		"isnull(x)",
+		"a + b * c",
+		"(a + b) * c",
+		"a - b - c",
+		"a / b / c",
+		"-x",
+		"len(xs) > 0",
+		`contains(cart, "hat")`,
+		"min(a, b, c)",
+		"coalesce(a, 0)",
+		"a + b > c - d",
+		"score > 80 or db_load < 95",
+	}
+	for _, src := range sources {
+		e, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		printed := e.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("re-Parse(%q) of %q: %v", printed, src, err)
+			continue
+		}
+		if e2.String() != printed {
+			t.Errorf("round trip %q -> %q -> %q", src, printed, e2.String())
+		}
+	}
+}
+
+func TestParseListLiteral(t *testing.T) {
+	e, err := Parse(`contains([1, 2, 3], x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Eval3(e, MapEnv{"x": value.Int(2)})
+	if v != True {
+		t.Errorf("contains([1,2,3], 2) = %v", v)
+	}
+}
+
+func TestParseEmptyList(t *testing.T) {
+	e, err := Parse(`len([]) == 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Eval3(e, EmptyEnv) != True {
+		t.Error("len([]) == 0 must hold")
+	}
+}
+
+func TestParseNegativeLiteralFolds(t *testing.T) {
+	e := MustParse("-5")
+	c, ok := e.(Const)
+	if !ok {
+		t.Fatalf("-5 should fold to Const, got %T", e)
+	}
+	if !value.Identical(c.Val, value.Int(-5)) {
+		t.Errorf("folded value = %v", c.Val)
+	}
+}
+
+func TestParseFloatForms(t *testing.T) {
+	for _, src := range []string{"1.5", "0.25", "1e3", "2.5e-2"} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		c, ok := e.(Const)
+		if !ok || c.Val.Kind() != value.KindFloat {
+			t.Errorf("Parse(%q) should be float const, got %v", src, e)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"x <",
+		"x = 1",
+		"!x",
+		"(x",
+		"x)",
+		`"unterminated`,
+		"x and",
+		"or x",
+		"not",
+		"f(",
+		"[x]",         // non-constant list element
+		"isnull()",    // arity
+		"isnull(a,b)", // arity
+		"notnull()",   // arity
+		"x @ y",
+		"1..2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("x and and y")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type = %T, want *ParseError", err)
+	}
+	if pe.Pos <= 0 || !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("ParseError should carry a position: %v", pe)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of invalid source should panic")
+		}
+	}()
+	MustParse("x <")
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// "a or b and c" groups as "a or (b and c)"
+	e := MustParse("a or b and c")
+	or, ok := e.(Or)
+	if !ok || len(or.Exprs) != 2 {
+		t.Fatalf("expected top-level Or, got %v", e)
+	}
+	if _, ok := or.Exprs[1].(And); !ok {
+		t.Fatalf("expected and under or, got %v", or.Exprs[1])
+	}
+	// "not a and b" groups as "(not a) and b"
+	e = MustParse("not a and b")
+	and, ok := e.(And)
+	if !ok {
+		t.Fatalf("expected top-level And, got %v", e)
+	}
+	if _, ok := and.Exprs[0].(Not); !ok {
+		t.Fatalf("expected not under and, got %v", and.Exprs[0])
+	}
+	// Comparison binds tighter than not: "not a < b" is not(a<b)
+	e = MustParse("not a < b")
+	n, ok := e.(Not)
+	if !ok {
+		t.Fatalf("expected Not, got %v", e)
+	}
+	if _, ok := n.E.(Cmp); !ok {
+		t.Fatalf("expected cmp under not, got %v", n.E)
+	}
+}
+
+func TestKeywordInOperandPosition(t *testing.T) {
+	for _, src := range []string{"and x", "x and or y", "not and"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseStringEscape(t *testing.T) {
+	e := MustParse(`x == "a\"b"`)
+	v := Eval3(e, MapEnv{"x": value.Str(`a"b`)})
+	if v != True {
+		t.Error("escaped string literal should match")
+	}
+}
+
+func TestEqualExpr(t *testing.T) {
+	a := MustParse("x < 10 and y > 2")
+	b := MustParse("x < 10 and y > 2")
+	c := MustParse("x < 10 or y > 2")
+	if !Equal(a, b) {
+		t.Error("identical parses should be Equal")
+	}
+	if Equal(a, c) {
+		t.Error("different expressions should not be Equal")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) || Equal(nil, a) {
+		t.Error("nil handling in Equal")
+	}
+}
+
+func TestAndOfOrOfCombinators(t *testing.T) {
+	x, y := Attr{"x"}, Attr{"y"}
+	if got := AndOf(); !Equal(got, TrueExpr) {
+		t.Errorf("AndOf() = %v", got)
+	}
+	if got := AndOf(x); !Equal(got, x) {
+		t.Errorf("AndOf(x) = %v", got)
+	}
+	if got := AndOf(TrueExpr, x); !Equal(got, x) {
+		t.Errorf("AndOf(true, x) = %v", got)
+	}
+	if got := AndOf(FalseExpr, x); !Equal(got, FalseExpr) {
+		t.Errorf("AndOf(false, x) = %v", got)
+	}
+	if got := AndOf(AndOf(x, y), x); got.String() != "x and y and x" {
+		t.Errorf("AndOf flattening = %v", got)
+	}
+	if got := OrOf(); !Equal(got, FalseExpr) {
+		t.Errorf("OrOf() = %v", got)
+	}
+	if got := OrOf(TrueExpr, x); !Equal(got, TrueExpr) {
+		t.Errorf("OrOf(true, x) = %v", got)
+	}
+	if got := OrOf(FalseExpr, x); !Equal(got, x) {
+		t.Errorf("OrOf(false, x) = %v", got)
+	}
+	if got := OrOf(OrOf(x, y), y); got.String() != "x or y or y" {
+		t.Errorf("OrOf flattening = %v", got)
+	}
+}
+
+func TestParsePreservesEvaluation(t *testing.T) {
+	// Parsing then evaluating equals building the AST by hand.
+	byHand := Cmp{Op: GT, L: Arith{Op: OpAdd, L: Attr{"a"}, R: Attr{"b"}}, R: Const{value.Int(10)}}
+	parsed := MustParse("a + b > 10")
+	envs := []MapEnv{
+		{"a": value.Int(6), "b": value.Int(5)},
+		{"a": value.Int(1), "b": value.Int(2)},
+		{"a": value.Null, "b": value.Int(2)},
+	}
+	for _, e := range envs {
+		if Eval3(byHand, e) != Eval3(parsed, e) {
+			t.Errorf("hand-built and parsed ASTs disagree on %v", e)
+		}
+	}
+}

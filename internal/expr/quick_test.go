@@ -1,0 +1,146 @@
+package expr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+// genExpr draws a random condition AST for quick.Check properties.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	names := []string{"a", "b", "c"}
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Const{value.Int(int64(rng.Intn(21) - 10))}
+		case 1:
+			return Const{value.Bool(rng.Intn(2) == 0)}
+		case 2:
+			return IsNull{E: Attr{names[rng.Intn(len(names))]}}
+		default:
+			return Cmp{
+				Op: CmpOp(rng.Intn(6)),
+				L:  Attr{names[rng.Intn(len(names))]},
+				R:  Const{value.Int(int64(rng.Intn(21) - 10))},
+			}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return And{Exprs: []Expr{genExpr(rng, depth-1), genExpr(rng, depth-1)}}
+	case 1:
+		return Or{Exprs: []Expr{genExpr(rng, depth-1), genExpr(rng, depth-1)}}
+	case 2:
+		return Not{E: genExpr(rng, depth-1)}
+	case 3:
+		return Arith{
+			Op: ArithOp(rng.Intn(4)),
+			L:  genExpr(rng, 0),
+			R:  Attr{names[rng.Intn(len(names))]},
+		}
+	default:
+		return genExpr(rng, 0)
+	}
+}
+
+// exprBox wraps Expr to implement quick.Generator.
+type exprBox struct{ E Expr }
+
+// Generate implements quick.Generator.
+func (exprBox) Generate(rng *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(exprBox{genExpr(rng, 2)})
+}
+
+// envBox wraps a random environment over {a,b,c}, possibly partial.
+type envBox struct{ Env MapEnv }
+
+// Generate implements quick.Generator.
+func (envBox) Generate(rng *rand.Rand, size int) reflect.Value {
+	env := MapEnv{}
+	for _, n := range []string{"a", "b", "c"} {
+		switch rng.Intn(4) {
+		case 0: // unknown: omit
+		case 1:
+			env[n] = value.Null
+		case 2:
+			env[n] = value.Bool(rng.Intn(2) == 0)
+		default:
+			env[n] = value.Int(int64(rng.Intn(21) - 10))
+		}
+	}
+	return reflect.ValueOf(envBox{env})
+}
+
+// Property: printing and re-parsing preserves evaluation on any env.
+func TestQuickParseRoundTripPreservesEval(t *testing.T) {
+	f := func(eb exprBox, nb envBox) bool {
+		printed := eb.E.String()
+		parsed, err := Parse(printed)
+		if err != nil {
+			t.Logf("unparseable rendering %q of %#v: %v", printed, eb.E, err)
+			return false
+		}
+		return Eval3(eb.E, nb.Env) == Eval3(parsed, nb.Env)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval3 is stable — completing an environment never flips a
+// known verdict.
+func TestQuickEval3Stability(t *testing.T) {
+	f := func(eb exprBox, nb envBox) bool {
+		partial := Eval3(eb.E, nb.Env)
+		if partial == Unknown {
+			return true
+		}
+		// Complete the environment arbitrarily.
+		full := MapEnv{}
+		for k, v := range nb.Env {
+			full[k] = v
+		}
+		for _, n := range []string{"a", "b", "c"} {
+			if _, ok := full[n]; !ok {
+				full[n] = value.Int(3)
+			}
+		}
+		return Eval3(eb.E, full) == partial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the residual evaluates identically to the original on the same
+// environment and never mentions known attributes.
+func TestQuickResidualFaithful(t *testing.T) {
+	f := func(eb exprBox, nb envBox) bool {
+		r := Residual(eb.E, nb.Env)
+		if Eval3(r, nb.Env) != Eval3(eb.E, nb.Env) {
+			return false
+		}
+		for _, n := range Attrs(r) {
+			if _, known := nb.Env.Lookup(n); known {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double negation preserves three-valued evaluation.
+func TestQuickDoubleNegation(t *testing.T) {
+	f := func(eb exprBox, nb envBox) bool {
+		return Eval3(Not{E: Not{E: eb.E}}, nb.Env) == Eval3(eb.E, nb.Env)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package expr
+
+import "repro/internal/value"
+
+// Residual partially evaluates e against env and returns a simplified
+// expression that is equivalent to e on every extension of env. Conjuncts
+// and disjuncts that are already decided are folded away; a decided
+// expression collapses to TrueExpr/FalseExpr.
+//
+// Residual is not required for correctness of the prequalifier (which uses
+// Eval3 directly) but is useful for debugging, for schema analysis tools,
+// and for reporting *why* an attribute is still undecided: Attrs(residual)
+// is exactly the set of attributes the condition still waits on.
+func Residual(e Expr, env Env) Expr {
+	switch n := e.(type) {
+	case Const:
+		return e
+	case Attr:
+		if v, known := env.Lookup(n.Name); known {
+			return Const{v}
+		}
+		return e
+	case Cmp:
+		l := Residual(n.L, env)
+		r := Residual(n.R, env)
+		lc, lok := l.(Const)
+		rc, rok := r.(Const)
+		// Mirror Eval3: a decided ⟂ operand makes the comparison false
+		// regardless of the other side.
+		if lok && lc.Val.IsNull() || rok && rc.Val.IsNull() {
+			return FalseExpr
+		}
+		if lok && rok {
+			return constBool(compare(n.Op, lc.Val, rc.Val))
+		}
+		return Cmp{Op: n.Op, L: l, R: r}
+	case And:
+		var rest []Expr
+		for _, sub := range n.Exprs {
+			rs := Residual(sub, env)
+			switch t := truthOfConst(rs); t {
+			case False:
+				return FalseExpr
+			case True:
+				continue
+			default:
+				rest = append(rest, rs)
+			}
+		}
+		return AndOf(rest...)
+	case Or:
+		var rest []Expr
+		for _, sub := range n.Exprs {
+			rs := Residual(sub, env)
+			switch t := truthOfConst(rs); t {
+			case True:
+				return TrueExpr
+			case False:
+				continue
+			default:
+				rest = append(rest, rs)
+			}
+		}
+		return OrOf(rest...)
+	case Not:
+		rs := Residual(n.E, env)
+		switch truthOfConst(rs) {
+		case True:
+			return FalseExpr
+		case False:
+			return TrueExpr
+		default:
+			return Not{E: rs}
+		}
+	case IsNull:
+		rs := Residual(n.E, env)
+		if c, ok := rs.(Const); ok {
+			return constBool(c.Val.IsNull())
+		}
+		return IsNull{E: rs}
+	case Arith:
+		l := Residual(n.L, env)
+		r := Residual(n.R, env)
+		if lc, ok := l.(Const); ok {
+			if rc, ok2 := r.(Const); ok2 {
+				v, _ := evalVal(Arith{Op: n.Op, L: lc, R: rc}, EmptyEnv)
+				return Const{v}
+			}
+		}
+		return Arith{Op: n.Op, L: l, R: r}
+	case Neg:
+		rs := Residual(n.E, env)
+		if c, ok := rs.(Const); ok {
+			return Const{value.Neg(c.Val)}
+		}
+		return Neg{E: rs}
+	case Call:
+		args := make([]Expr, len(n.Args))
+		allConst := true
+		for i, a := range n.Args {
+			args[i] = Residual(a, env)
+			if _, ok := args[i].(Const); !ok {
+				allConst = false
+			}
+		}
+		out := Call{Fn: n.Fn, Args: args}
+		if allConst {
+			v, ok := evalVal(out, EmptyEnv)
+			if ok {
+				return Const{v}
+			}
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// truthOfConst classifies a residual: True/False for decided boolean
+// constants, Unknown for everything still open.
+func truthOfConst(e Expr) Truth {
+	c, ok := e.(Const)
+	if !ok {
+		return Unknown
+	}
+	b, ok := c.Val.AsBool()
+	if !ok {
+		// A non-boolean constant in condition position is decided: its truth
+		// value is False (conditions are total), matching Eval3.
+		return False
+	}
+	return TruthOf(b)
+}
+
+func constBool(b bool) Expr {
+	if b {
+		return TrueExpr
+	}
+	return FalseExpr
+}

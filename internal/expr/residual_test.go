@@ -1,0 +1,162 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestResidualDecided(t *testing.T) {
+	e := MustParse("x < 10 and y > 5")
+	r := Residual(e, MapEnv{"x": value.Int(20)})
+	if !Equal(r, FalseExpr) {
+		t.Errorf("residual = %v, want false", r)
+	}
+	r = Residual(e, MapEnv{"x": value.Int(5), "y": value.Int(6)})
+	if !Equal(r, TrueExpr) {
+		t.Errorf("residual = %v, want true", r)
+	}
+}
+
+func TestResidualPartial(t *testing.T) {
+	e := MustParse("x < 10 and y > 5 and z == 1")
+	r := Residual(e, MapEnv{"x": value.Int(5)})
+	// x conjunct decided true and dropped; y, z remain.
+	want := []string{"y", "z"}
+	got := Attrs(r)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("residual attrs = %v, want %v (residual %v)", got, want, r)
+	}
+}
+
+func TestResidualOr(t *testing.T) {
+	e := MustParse("x < 10 or y > 5")
+	r := Residual(e, MapEnv{"x": value.Int(5)})
+	if !Equal(r, TrueExpr) {
+		t.Errorf("residual = %v, want true", r)
+	}
+	r = Residual(e, MapEnv{"x": value.Int(20)})
+	if got := Attrs(r); len(got) != 1 || got[0] != "y" {
+		t.Errorf("residual should wait on y only: %v", r)
+	}
+}
+
+func TestResidualNullComparison(t *testing.T) {
+	e := MustParse("x < y")
+	r := Residual(e, MapEnv{"x": value.Null})
+	if !Equal(r, FalseExpr) {
+		t.Errorf("null comparison residual = %v, want false", r)
+	}
+}
+
+func TestResidualIsNull(t *testing.T) {
+	e := MustParse("isnull(x)")
+	if r := Residual(e, MapEnv{"x": value.Null}); !Equal(r, TrueExpr) {
+		t.Errorf("isnull(null) residual = %v", r)
+	}
+	if r := Residual(e, MapEnv{"x": value.Int(1)}); !Equal(r, FalseExpr) {
+		t.Errorf("isnull(1) residual = %v", r)
+	}
+	if r := Residual(e, EmptyEnv); !Equal(r, e) {
+		t.Errorf("isnull(unknown) residual = %v, want unchanged", r)
+	}
+}
+
+func TestResidualNot(t *testing.T) {
+	e := MustParse("not (x < 10)")
+	if r := Residual(e, MapEnv{"x": value.Int(5)}); !Equal(r, FalseExpr) {
+		t.Errorf("residual = %v", r)
+	}
+	if r := Residual(e, MapEnv{"x": value.Int(50)}); !Equal(r, TrueExpr) {
+		t.Errorf("residual = %v", r)
+	}
+}
+
+func TestResidualArithFolding(t *testing.T) {
+	e := MustParse("x + 2 > 10")
+	r := Residual(e, MapEnv{"x": value.Int(3)})
+	if !Equal(r, FalseExpr) {
+		t.Errorf("residual = %v, want false", r)
+	}
+	e = MustParse("x + y > 10")
+	r = Residual(e, MapEnv{"x": value.Int(3)})
+	if got := Attrs(r); len(got) != 1 || got[0] != "y" {
+		t.Errorf("residual should wait on y: %v", r)
+	}
+}
+
+func TestResidualNeg(t *testing.T) {
+	e := MustParse("-x < 0")
+	r := Residual(e, MapEnv{"x": value.Int(5)})
+	if !Equal(r, TrueExpr) {
+		t.Errorf("residual = %v", r)
+	}
+}
+
+func TestResidualCallFolding(t *testing.T) {
+	e := MustParse("len(xs) > 0")
+	r := Residual(e, MapEnv{"xs": value.List(value.Int(1))})
+	if !Equal(r, TrueExpr) {
+		t.Errorf("residual = %v", r)
+	}
+	r = Residual(e, EmptyEnv)
+	if Equal(r, TrueExpr) || Equal(r, FalseExpr) {
+		t.Errorf("unknown call should stay open: %v", r)
+	}
+}
+
+// Residual must agree with Eval3 on every partial environment: residual is
+// constant-true iff Eval3 is True, constant-false iff Eval3 is False.
+func TestResidualAgreesWithEval3(t *testing.T) {
+	exprs := []string{
+		"a < 50 and b >= 20",
+		"a < 50 or b >= 20",
+		"not (a < 50) and (b < 10 or a > 90)",
+		"isnull(a) or b == 7",
+		"a + b > 10",
+		"a * 2 == b",
+	}
+	vals := []value.Value{value.Null, value.Int(0), value.Int(25), value.Int(75)}
+	for _, src := range exprs {
+		e := MustParse(src)
+		names := Attrs(e)
+		for _, va := range vals {
+			for _, vb := range vals {
+				envs := []MapEnv{
+					{},
+					{names[0]: va},
+					{names[len(names)-1]: vb},
+					{names[0]: va, names[len(names)-1]: vb},
+				}
+				for _, en := range envs {
+					ev := Eval3(e, en)
+					r := Residual(e, en)
+					switch {
+					case Equal(r, TrueExpr) && ev != True:
+						t.Fatalf("%s on %v: residual true but Eval3 %v", src, en, ev)
+					case Equal(r, FalseExpr) && ev != False:
+						t.Fatalf("%s on %v: residual false but Eval3 %v", src, en, ev)
+					case !Equal(r, TrueExpr) && !Equal(r, FalseExpr) && ev != Unknown:
+						// A residual may stay syntactically open even when
+						// Eval3 decides, only if it still evaluates the same.
+						if Eval3(r, en) != ev {
+							t.Fatalf("%s on %v: residual %v disagrees with Eval3 %v", src, en, r, ev)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The attributes of a residual are always a subset of the original's, and
+// never include attributes already known in the environment.
+func TestResidualShrinksAttrs(t *testing.T) {
+	e := MustParse("a < 10 and b > 2 and c == 3")
+	r := Residual(e, MapEnv{"b": value.Int(5)})
+	for _, n := range Attrs(r) {
+		if n == "b" {
+			t.Errorf("residual still references known attribute b: %v", r)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package expr implements the enabling-condition language of decision flows.
+//
+// An enabling condition is a boolean expression over attribute values. The
+// paper's prequalifier performs "eager evaluation of enabling conditions":
+// partial computation based on the attribute values available so far, which
+// may determine a condition's outcome before all of its inputs are stable
+// (e.g. one false conjunct decides a conjunction). This package provides
+// exactly that capability through Kleene three-valued logic: evaluation over
+// a partial environment yields True, False, or Unknown, and the result is
+// guaranteed to be *stable* — once a condition evaluates to True or False it
+// will evaluate the same way in every extension of the environment.
+//
+// The package also provides a parser and printer for a small text syntax so
+// schemas can be written readably, a residual simplifier, and attribute
+// dependency extraction used to build the schema's dependency graph.
+package expr
+
+// Truth is a Kleene three-valued logic truth value.
+type Truth uint8
+
+// The three truth values. Unknown means the condition's outcome is not yet
+// determined by the attributes that have stabilized so far.
+const (
+	False Truth = iota
+	True
+	Unknown
+)
+
+// String returns "false", "true" or "unknown".
+func (t Truth) String() string {
+	switch t {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	case Unknown:
+		return "unknown"
+	default:
+		return "Truth(?)"
+	}
+}
+
+// Known reports whether t is True or False.
+func (t Truth) Known() bool { return t == True || t == False }
+
+// TruthOf converts a Go bool to a Truth.
+func TruthOf(b bool) Truth {
+	if b {
+		return True
+	}
+	return False
+}
+
+// AndT returns the Kleene conjunction of its operands: False dominates,
+// otherwise Unknown dominates, otherwise True.
+func AndT(ts ...Truth) Truth {
+	out := True
+	for _, t := range ts {
+		switch t {
+		case False:
+			return False
+		case Unknown:
+			out = Unknown
+		}
+	}
+	return out
+}
+
+// OrT returns the Kleene disjunction of its operands: True dominates,
+// otherwise Unknown dominates, otherwise False.
+func OrT(ts ...Truth) Truth {
+	out := False
+	for _, t := range ts {
+		switch t {
+		case True:
+			return True
+		case Unknown:
+			out = Unknown
+		}
+	}
+	return out
+}
+
+// NotT returns the Kleene negation: swaps True and False, keeps Unknown.
+func NotT(t Truth) Truth {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}

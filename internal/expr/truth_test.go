@@ -1,0 +1,93 @@
+package expr
+
+import "testing"
+
+func TestTruthString(t *testing.T) {
+	if False.String() != "false" || True.String() != "true" || Unknown.String() != "unknown" {
+		t.Error("Truth.String mismatch")
+	}
+	if Truth(9).String() != "Truth(?)" {
+		t.Error("invalid Truth.String mismatch")
+	}
+}
+
+func TestKnown(t *testing.T) {
+	if !True.Known() || !False.Known() || Unknown.Known() {
+		t.Error("Known() wrong")
+	}
+}
+
+func TestTruthOf(t *testing.T) {
+	if TruthOf(true) != True || TruthOf(false) != False {
+		t.Error("TruthOf wrong")
+	}
+}
+
+func TestAndTTable(t *testing.T) {
+	cases := []struct {
+		a, b, want Truth
+	}{
+		{True, True, True},
+		{True, False, False},
+		{False, True, False},
+		{False, False, False},
+		{True, Unknown, Unknown},
+		{Unknown, True, Unknown},
+		{False, Unknown, False},
+		{Unknown, False, False},
+		{Unknown, Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := AndT(c.a, c.b); got != c.want {
+			t.Errorf("AndT(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if AndT() != True {
+		t.Error("empty conjunction must be true")
+	}
+}
+
+func TestOrTTable(t *testing.T) {
+	cases := []struct {
+		a, b, want Truth
+	}{
+		{True, True, True},
+		{True, False, True},
+		{False, True, True},
+		{False, False, False},
+		{True, Unknown, True},
+		{Unknown, True, True},
+		{False, Unknown, Unknown},
+		{Unknown, False, Unknown},
+		{Unknown, Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := OrT(c.a, c.b); got != c.want {
+			t.Errorf("OrT(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if OrT() != False {
+		t.Error("empty disjunction must be false")
+	}
+}
+
+func TestNotT(t *testing.T) {
+	if NotT(True) != False || NotT(False) != True || NotT(Unknown) != Unknown {
+		t.Error("NotT wrong")
+	}
+}
+
+// De Morgan's laws hold in Kleene logic.
+func TestDeMorgan(t *testing.T) {
+	vals := []Truth{True, False, Unknown}
+	for _, a := range vals {
+		for _, b := range vals {
+			if NotT(AndT(a, b)) != OrT(NotT(a), NotT(b)) {
+				t.Errorf("De Morgan (and) fails for %v, %v", a, b)
+			}
+			if NotT(OrT(a, b)) != AndT(NotT(a), NotT(b)) {
+				t.Errorf("De Morgan (or) fails for %v, %v", a, b)
+			}
+		}
+	}
+}

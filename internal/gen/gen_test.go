@@ -1,0 +1,288 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/snapshot"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := Default()
+	if p.NbNodes != 64 || p.PctEnabler != 50 || p.MinPred != 1 || p.MaxPred != 4 ||
+		p.MinCost != 1 || p.MaxCost != 5 || p.PctEnablingHop != 50 {
+		t.Fatalf("defaults diverge from Table 1: %+v", p)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.NbNodes = 0 },
+		func(p *Params) { p.NbRows = 0 },
+		func(p *Params) { p.NbRows = 5 },   // does not divide 64
+		func(p *Params) { p.NbRows = 100 }, // > NbNodes
+		func(p *Params) { p.PctEnabled = -1 },
+		func(p *Params) { p.PctEnabled = 101 },
+		func(p *Params) { p.PctEnabler = 150 },
+		func(p *Params) { p.MinPred = 0 },
+		func(p *Params) { p.MaxPred = 0 },
+		func(p *Params) { p.MinCost = 0 },
+		func(p *Params) { p.MaxCost = 0 },
+		func(p *Params) { p.PctAddedDataEdges = -200 },
+	}
+	for i, mutate := range bad {
+		p := Default()
+		mutate(&p)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid params should panic: %+v", i, p)
+				}
+			}()
+			Generate(p)
+		}()
+	}
+}
+
+func TestSkeletonShape(t *testing.T) {
+	p := Default()
+	p.NbNodes = 16
+	p.NbRows = 4
+	g := Generate(p)
+	s := g.Schema
+	if s.NumAttrs() != 16+2 {
+		t.Fatalf("attrs = %d, want 18 (source + 16 + target)", s.NumAttrs())
+	}
+	if g.Columns != 4 {
+		t.Fatalf("columns = %d", g.Columns)
+	}
+	if len(s.Sources()) != 1 || len(s.Targets()) != 1 {
+		t.Fatal("source/target counts wrong")
+	}
+	// Diameter: src -> 4 columns -> tgt = 5... rank of target is at least
+	// cols+1 through the data chain.
+	if d := s.Diameter(); d < 5 {
+		t.Errorf("diameter = %d, want >= 5", d)
+	}
+	// Row chain edges: first column nodes read src; others read their
+	// predecessor.
+	n00 := s.MustLookup(nodeName(0, 0))
+	if len(n00.Inputs) != 1 || n00.Inputs[0] != "src" {
+		t.Errorf("n_0_0 inputs = %v", n00.Inputs)
+	}
+	n02 := s.MustLookup(nodeName(0, 2))
+	if n02.Inputs[0] != nodeName(0, 1) {
+		t.Errorf("n_0_2 inputs = %v", n02.Inputs)
+	}
+	// Target reads the last node of every row.
+	tgt := s.MustLookup("tgt")
+	if len(tgt.Inputs) != 4 {
+		t.Errorf("target inputs = %v", tgt.Inputs)
+	}
+}
+
+func TestDiameterShrinksWithRows(t *testing.T) {
+	p := Default()
+	var prev int
+	for i, rows := range []int{1, 2, 4, 8, 16} {
+		p.NbRows = rows
+		d := Generate(p).Schema.Diameter()
+		if i > 0 && d >= prev {
+			t.Errorf("diameter with %d rows (%d) should shrink vs %d", rows, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestExactEnabledFraction(t *testing.T) {
+	for _, pct := range []int{10, 25, 50, 75, 100} {
+		p := Default()
+		p.PctEnabled = pct
+		p.Seed = int64(pct)
+		g := Generate(p)
+		want := (pct*p.NbNodes + 50) / 100
+		if g.EnabledCount != want {
+			t.Errorf("pct=%d: enabled count %d, want %d", pct, g.EnabledCount, want)
+		}
+	}
+}
+
+// The generated schema's complete snapshot must realize the scripted
+// enabled set exactly — the core guarantee of the generator.
+func TestScriptedTruthRealized(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 99} {
+		for _, pct := range []int{10, 50, 90} {
+			p := Default()
+			p.NbNodes = 32
+			p.NbRows = 4
+			p.PctEnabled = pct
+			p.Seed = seed
+			g := Generate(p)
+			oracle := snapshot.Complete(g.Schema, g.SourceValues())
+			for name, wantEnabled := range g.Enabled {
+				id := g.Schema.MustLookup(name).ID()
+				gotEnabled := oracle.State(id) == snapshot.Value
+				if gotEnabled != wantEnabled {
+					t.Fatalf("seed=%d pct=%d: %s enabled=%v, scripted %v",
+						seed, pct, name, gotEnabled, wantEnabled)
+				}
+			}
+		}
+	}
+}
+
+func TestCostsWithinBounds(t *testing.T) {
+	p := Default()
+	g := Generate(p)
+	s := g.Schema
+	for i := 0; i < s.NumAttrs(); i++ {
+		a := s.Attr(core.AttrID(i))
+		if a.IsSource() {
+			continue
+		}
+		if a.Cost() < p.MinCost || a.Cost() > p.MaxCost {
+			t.Fatalf("%s cost %d out of [%d,%d]", a.Name, a.Cost(), p.MinCost, p.MaxCost)
+		}
+	}
+}
+
+func TestPredicateCountBounds(t *testing.T) {
+	p := Default()
+	p.MinPred = 2
+	p.MaxPred = 3
+	g := Generate(p)
+	s := g.Schema
+	for i := 0; i < s.NumAttrs(); i++ {
+		a := s.Attr(core.AttrID(i))
+		if a.IsSource() {
+			continue
+		}
+		n := countPreds(a)
+		if n < p.MinPred || n > p.MaxPred {
+			t.Fatalf("%s has %d predicates, want [2,3]: %v", a.Name, n, a.Enabling)
+		}
+	}
+}
+
+// countPreds counts top-level predicates of a generated condition
+// (generated conditions are a single predicate or one And/Or of predicates).
+func countPreds(a *core.Attribute) int {
+	switch n := a.Enabling.(type) {
+	case expr.And:
+		return len(n.Exprs)
+	case expr.Or:
+		return len(n.Exprs)
+	default:
+		return 1
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := Default()
+	a := Generate(p)
+	b := Generate(p)
+	if a.Schema.NumAttrs() != b.Schema.NumAttrs() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := 0; i < a.Schema.NumAttrs(); i++ {
+		x, y := a.Schema.Attr(core.AttrID(i)), b.Schema.Attr(core.AttrID(i))
+		if x.Name != y.Name || x.Cost() != y.Cost() {
+			t.Fatal("nondeterministic attributes")
+		}
+		if (x.Enabling == nil) != (y.Enabling == nil) {
+			t.Fatal("nondeterministic conditions")
+		}
+		if x.Enabling != nil && x.Enabling.String() != y.Enabling.String() {
+			t.Fatalf("nondeterministic condition for %s", x.Name)
+		}
+	}
+	// Different seed differs somewhere.
+	p.Seed = 1234
+	c := Generate(p)
+	same := true
+	for i := 0; i < a.Schema.NumAttrs(); i++ {
+		x, y := a.Schema.Attr(core.AttrID(i)), c.Schema.Attr(core.AttrID(i))
+		if x.Cost() != y.Cost() || (x.Enabling != nil && x.Enabling.String() != y.Enabling.String()) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schemas (suspicious)")
+	}
+}
+
+func TestAddedDataEdges(t *testing.T) {
+	p := Default()
+	p.PctAddedDataEdges = 25
+	g := Generate(p) // must build a valid acyclic schema
+	base := Default()
+	edges := func(s *core.Schema) int {
+		total := 0
+		for i := 0; i < s.NumAttrs(); i++ {
+			total += len(s.DataInputs(core.AttrID(i)))
+		}
+		return total
+	}
+	if edges(g.Schema) <= edges(Generate(base).Schema) {
+		t.Error("positive PctAddedDataEdges should add data edges")
+	}
+}
+
+func TestDeletedDataEdges(t *testing.T) {
+	p := Default()
+	p.PctAddedDataEdges = -25
+	g := Generate(p) // must still be valid; deleted edges re-root to src
+	if g.Schema == nil {
+		t.Fatal("nil schema")
+	}
+}
+
+// End-to-end: every strategy executes generated schemas to completion and
+// matches the oracle.
+func TestGeneratedSchemasExecuteCorrectly(t *testing.T) {
+	for _, rows := range []int{1, 4, 16} {
+		for _, pct := range []int{10, 75} {
+			p := Default()
+			p.NbRows = rows
+			p.PctEnabled = pct
+			p.Seed = int64(rows*100 + pct)
+			g := Generate(p)
+			oracle := snapshot.Complete(g.Schema, g.SourceValues())
+			for _, code := range []string{"NCC0", "PCE0", "PC" + "E" + "100", "PSE100", "PSC40"} {
+				res := engine.Run(g.Schema, g.SourceValues(), engine.MustParseStrategy(code))
+				if res.Err != nil {
+					t.Fatalf("rows=%d pct=%d %s: %v", rows, pct, code, res.Err)
+				}
+				if err := snapshot.CheckAgainstOracle(res.Snapshot, oracle); err != nil {
+					t.Errorf("rows=%d pct=%d %s: %v", rows, pct, code, err)
+				}
+			}
+		}
+	}
+}
+
+// Work of a conservative non-propagating run must not exceed the total
+// enabled work plus nothing (it never executes disabled attributes), and
+// propagation must not do more work than naive.
+func TestWorkBounds(t *testing.T) {
+	p := Default()
+	p.PctEnabled = 50
+	g := Generate(p)
+	naive := engine.Run(g.Schema, g.SourceValues(), engine.MustParseStrategy("NCE0"))
+	prop := engine.Run(g.Schema, g.SourceValues(), engine.MustParseStrategy("PCE0"))
+	if naive.Err != nil || prop.Err != nil {
+		t.Fatal(naive.Err, prop.Err)
+	}
+	if naive.Work > g.EnabledWork {
+		t.Errorf("naive conservative work %d exceeds enabled work %d", naive.Work, g.EnabledWork)
+	}
+	if prop.Work > naive.Work {
+		t.Errorf("propagation work %d exceeds naive %d", prop.Work, naive.Work)
+	}
+	if prop.Work <= 0 {
+		t.Error("propagation should still do some work")
+	}
+}

@@ -1,0 +1,154 @@
+// Package guideline computes the paper's "guideline maps" (Figure 8): for a
+// given decision flow pattern, the minimal response time (in units of
+// processing) achievable under a bound on the Work budget, and the
+// execution strategy that attains it.
+//
+// A map is built by measuring a set of strategies against the
+// infinite-resource database over several generated schema seeds, then
+// taking the lower envelope: for each Work bound, the fastest strategy
+// whose average Work fits the bound. Combined with the analytical model of
+// package model, a map answers the paper's design-phase questions: can a
+// target throughput be supported at all, and with which strategy (Figure
+// 9(b)).
+package guideline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+// DefaultStrategySet is the strategy family the paper's guideline maps
+// consider: serial with full propagation (PCE0), maximally parallel
+// conservative (PC*100 — E and C coincide at 100 %), and maximally parallel
+// speculative (PS*100), plus the intermediate parallelism the paper's
+// Figure 9(b) annotates.
+var DefaultStrategySet = []string{
+	"PCE0", "PCE40", "PCE80", "PCE100", "PSE40", "PSE80", "PSE100",
+}
+
+// Measurement is one strategy's average behaviour on a pattern.
+type Measurement struct {
+	// Strategy is the strategy code.
+	Strategy string
+	// Work is the mean units of processing per instance.
+	Work float64
+	// TimeInUnits is the mean response time in units of processing.
+	TimeInUnits float64
+}
+
+// Point is one entry of a guideline map.
+type Point struct {
+	// WorkBound is the Work budget.
+	WorkBound float64
+	// MinTime is the best achievable TimeInUnits within the budget.
+	MinTime float64
+	// Strategy attains MinTime.
+	Strategy string
+}
+
+// Map is a guideline map: the minT-vs-Work frontier for one schema pattern.
+type Map struct {
+	// Pattern echoes the generation parameters the map was built for.
+	Pattern gen.Params
+	// Measurements holds the underlying per-strategy averages.
+	Measurements []Measurement
+	// Frontier is the lower envelope, ascending in WorkBound.
+	Frontier []Point
+}
+
+// Build measures the strategy set over `seeds` generated instances of the
+// pattern and assembles the guideline map. It panics on malformed strategy
+// codes and propagates engine errors (which indicate bugs, not user error).
+func Build(pattern gen.Params, strategies []string, seeds int) (*Map, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	if len(strategies) == 0 {
+		strategies = DefaultStrategySet
+	}
+	m := &Map{Pattern: pattern}
+	for _, code := range strategies {
+		st := engine.MustParseStrategy(code)
+		var sumW, sumT float64
+		for s := 0; s < seeds; s++ {
+			p := pattern
+			p.Seed = pattern.Seed + int64(s)
+			g := gen.Generate(p)
+			res := engine.Run(g.Schema, g.SourceValues(), st)
+			if res.Err != nil {
+				return nil, fmt.Errorf("guideline: strategy %s seed %d: %w", code, s, res.Err)
+			}
+			sumW += float64(res.Work)
+			sumT += res.Elapsed
+		}
+		m.Measurements = append(m.Measurements, Measurement{
+			Strategy:    code,
+			Work:        sumW / float64(seeds),
+			TimeInUnits: sumT / float64(seeds),
+		})
+	}
+	m.Frontier = frontier(m.Measurements)
+	return m, nil
+}
+
+// frontier computes the lower envelope of the measurements: points sorted
+// by Work where each successive point strictly improves MinTime.
+func frontier(ms []Measurement) []Point {
+	sorted := append([]Measurement(nil), ms...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Work != sorted[j].Work {
+			return sorted[i].Work < sorted[j].Work
+		}
+		return sorted[i].TimeInUnits < sorted[j].TimeInUnits
+	})
+	var out []Point
+	best := -1.0
+	for _, m := range sorted {
+		if best < 0 || m.TimeInUnits < best {
+			best = m.TimeInUnits
+			out = append(out, Point{WorkBound: m.Work, MinTime: m.TimeInUnits, Strategy: m.Strategy})
+		}
+	}
+	return out
+}
+
+// MinTime returns the best achievable TimeInUnits within the Work budget
+// and the strategy attaining it; ok is false when even the cheapest
+// strategy exceeds the budget (the paper's "no implementation can guarantee
+// a work limit of W units").
+func (m *Map) MinTime(workBound float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range m.Frontier {
+		if p.WorkBound <= workBound {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// OperatingPoints exposes the measurements in the analytical model's input
+// form, for throughput planning.
+func (m *Map) OperatingPoints() []model.OperatingPoint {
+	out := make([]model.OperatingPoint, len(m.Measurements))
+	for i, ms := range m.Measurements {
+		out[i] = model.OperatingPoint{Strategy: ms.Strategy, Work: ms.Work, TimeInUnits: ms.TimeInUnits}
+	}
+	return out
+}
+
+// String renders the frontier as a small table.
+func (m *Map) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "guideline map (rows=%d, %%enabled=%d):\n", m.Pattern.NbRows, m.Pattern.PctEnabled)
+	for _, p := range m.Frontier {
+		fmt.Fprintf(&sb, "  Work<=%6.1f  minT=%6.1f  via %s\n", p.WorkBound, p.MinTime, p.Strategy)
+	}
+	return sb.String()
+}

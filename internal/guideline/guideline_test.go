@@ -1,0 +1,157 @@
+package guideline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func buildMap(t *testing.T, rows, pct int) *Map {
+	t.Helper()
+	p := gen.Default()
+	p.NbRows = rows
+	p.PctEnabled = pct
+	m, err := Build(p, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildMeasuresAllStrategies(t *testing.T) {
+	m := buildMap(t, 4, 75)
+	if len(m.Measurements) != len(DefaultStrategySet) {
+		t.Fatalf("measurements = %d, want %d", len(m.Measurements), len(DefaultStrategySet))
+	}
+	for _, ms := range m.Measurements {
+		if ms.Work <= 0 || ms.TimeInUnits <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", ms.Strategy, ms)
+		}
+	}
+}
+
+func TestFrontierIsMonotone(t *testing.T) {
+	m := buildMap(t, 4, 75)
+	if len(m.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(m.Frontier); i++ {
+		prev, cur := m.Frontier[i-1], m.Frontier[i]
+		if cur.WorkBound < prev.WorkBound {
+			t.Error("frontier not ascending in work")
+		}
+		if cur.MinTime >= prev.MinTime {
+			t.Error("frontier must strictly improve time")
+		}
+	}
+}
+
+func TestConservativeAnchorsLowBudget(t *testing.T) {
+	// The cheapest end of the frontier must be a conservative ('C')
+	// strategy: speculation only ever adds work. (Which conservative
+	// parallelism level wins by a hair depends on execution-order effects
+	// on unneeded-detection, so the exact %permitted is not asserted.)
+	m := buildMap(t, 4, 75)
+	first := m.Frontier[0].Strategy
+	if !strings.HasPrefix(first, "PC") {
+		t.Errorf("lowest-work frontier point = %s, want a PC* strategy", first)
+	}
+	// The serial strategy's work must be within a whisker of the minimum.
+	var serialWork, minWork float64 = -1, 1e18
+	for _, ms := range m.Measurements {
+		if ms.Strategy == "PCE0" {
+			serialWork = ms.Work
+		}
+		if ms.Work < minWork {
+			minWork = ms.Work
+		}
+	}
+	if serialWork < 0 {
+		t.Fatal("PCE0 not measured")
+	}
+	if serialWork > minWork*1.02 {
+		t.Errorf("serial work %v far above minimum %v", serialWork, minWork)
+	}
+	// And the fastest point should use full parallelism.
+	last := m.Frontier[len(m.Frontier)-1]
+	if !strings.Contains(last.Strategy, "100") {
+		t.Errorf("fastest frontier point = %s, want a 100%% strategy", last.Strategy)
+	}
+}
+
+func TestMinTimeLookup(t *testing.T) {
+	m := buildMap(t, 4, 75)
+	minW := m.Frontier[0].WorkBound
+	// Below the cheapest strategy's work: unachievable.
+	if _, ok := m.MinTime(minW - 1); ok {
+		t.Error("budget below cheapest work must be unachievable")
+	}
+	// Huge budget: the globally fastest strategy.
+	p, ok := m.MinTime(1e9)
+	if !ok {
+		t.Fatal("huge budget must be achievable")
+	}
+	if p.MinTime != m.Frontier[len(m.Frontier)-1].MinTime {
+		t.Error("huge budget should reach the fastest point")
+	}
+	// Tight budget: exactly the serial point.
+	p, ok = m.MinTime(minW)
+	if !ok || p.Strategy != m.Frontier[0].Strategy {
+		t.Error("tight budget should pick the cheapest strategy")
+	}
+}
+
+func TestFewerRowsNeverSlower(t *testing.T) {
+	// Figure 8(b): more rows (smaller diameter) yields equal-or-better
+	// minimal response times at generous budgets.
+	wide := buildMap(t, 16, 75)  // diameter 4+2
+	narrow := buildMap(t, 1, 75) // diameter 64+2
+	wideBest := wide.Frontier[len(wide.Frontier)-1].MinTime
+	narrowBest := narrow.Frontier[len(narrow.Frontier)-1].MinTime
+	if wideBest >= narrowBest {
+		t.Errorf("16-row best %v should beat 1-row best %v", wideBest, narrowBest)
+	}
+}
+
+func TestLowerEnabledCheaper(t *testing.T) {
+	// Figure 8(a): fewer enabled nodes -> less achievable-minimum work.
+	low := buildMap(t, 4, 10)
+	high := buildMap(t, 4, 100)
+	if low.Frontier[0].WorkBound >= high.Frontier[0].WorkBound {
+		t.Errorf("10%%-enabled min work %v should undercut 100%%-enabled %v",
+			low.Frontier[0].WorkBound, high.Frontier[0].WorkBound)
+	}
+}
+
+func TestOperatingPoints(t *testing.T) {
+	m := buildMap(t, 4, 75)
+	pts := m.OperatingPoints()
+	if len(pts) != len(m.Measurements) {
+		t.Fatal("operating points mismatch")
+	}
+	for i, p := range pts {
+		if p.Strategy != m.Measurements[i].Strategy || p.Work != m.Measurements[i].Work {
+			t.Fatal("operating point content mismatch")
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := buildMap(t, 4, 75)
+	s := m.String()
+	if !strings.Contains(s, "guideline map") || !strings.Contains(s, "PCE") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestBuildDefaultsSeedsAndStrategies(t *testing.T) {
+	p := gen.Default()
+	m, err := Build(p, []string{"PCE0"}, 0) // seeds<1 coerced to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Measurements) != 1 {
+		t.Fatal("explicit strategy list not honored")
+	}
+}

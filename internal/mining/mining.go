@@ -1,0 +1,183 @@
+// Package mining implements the reporting layer sketched in the paper's
+// §2: "a (possibly nested) relation can be formed, where each tuple is the
+// snapshot of one execution of the decision flow... Manual and automated
+// data mining techniques can be performed on this relation, to discover
+// possible refinements to the decision flow."
+//
+// A Collector accumulates terminal snapshots across many instances; its
+// Report computes per-attribute enablement and null statistics and flags
+// refinement opportunities:
+//
+//   - dead attributes (never enabled): candidates for removal, or signs of
+//     an over-restrictive condition;
+//   - constant conditions (always enabled or always disabled): the guard
+//     adds no differentiation and could be folded away;
+//   - wasted guards: attributes that are always enabled but whose value is
+//     always ⟂-irrelevant because every consumer was disabled.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// Collector accumulates snapshot tuples for one schema.
+type Collector struct {
+	schema    *core.Schema
+	instances int
+	enabled   []int           // VALUE count per attribute
+	disabled  []int           // DISABLED count per attribute
+	nullVals  []int           // VALUE-but-⟂ count per attribute
+	samples   [][]value.Value // optional retained sample values (bounded)
+	maxSample int
+}
+
+// NewCollector creates a collector; maxSamplesPerAttr bounds retained
+// example values per attribute (0 keeps none).
+func NewCollector(s *core.Schema, maxSamplesPerAttr int) *Collector {
+	n := s.NumAttrs()
+	return &Collector{
+		schema:    s,
+		enabled:   make([]int, n),
+		disabled:  make([]int, n),
+		nullVals:  make([]int, n),
+		samples:   make([][]value.Value, n),
+		maxSample: maxSamplesPerAttr,
+	}
+}
+
+// Add records one terminal snapshot. Snapshots over other schemas are
+// rejected.
+func (c *Collector) Add(sn *snapshot.Snapshot) error {
+	if sn.Schema() != c.schema {
+		return fmt.Errorf("mining: snapshot belongs to schema %q, collector to %q",
+			sn.Schema().Name(), c.schema.Name())
+	}
+	c.instances++
+	for i := 0; i < c.schema.NumAttrs(); i++ {
+		id := core.AttrID(i)
+		switch sn.State(id) {
+		case snapshot.Value:
+			c.enabled[i]++
+			if sn.Val(id).IsNull() {
+				c.nullVals[i]++
+			}
+			if len(c.samples[i]) < c.maxSample {
+				c.samples[i] = append(c.samples[i], sn.Val(id))
+			}
+		case snapshot.Disabled:
+			c.disabled[i]++
+		}
+	}
+	return nil
+}
+
+// Instances returns the number of snapshots collected.
+func (c *Collector) Instances() int { return c.instances }
+
+// AttrStats is the mined statistics of one attribute.
+type AttrStats struct {
+	Name string
+	// EnabledRate is the fraction of instances where the attribute reached
+	// VALUE; DisabledRate where it was DISABLED. They need not sum to 1 —
+	// unstabilized attributes (irrelevant to completion) count in neither.
+	EnabledRate, DisabledRate float64
+	// NullRate is the fraction of enabled instances whose value was ⟂.
+	NullRate float64
+	// Samples holds up to the configured number of example values.
+	Samples []value.Value
+}
+
+// Finding flags a refinement opportunity.
+type Finding struct {
+	Attr   string
+	Kind   string // "dead", "always-enabled", "always-null"
+	Detail string
+}
+
+// Report is the mined summary over all collected snapshots.
+type Report struct {
+	Schema    string
+	Instances int
+	Attrs     []AttrStats
+	Findings  []Finding
+}
+
+// Report computes the mined statistics. It returns an empty report when no
+// snapshots were collected.
+func (c *Collector) Report() *Report {
+	r := &Report{Schema: c.schema.Name(), Instances: c.instances}
+	if c.instances == 0 {
+		return r
+	}
+	n := float64(c.instances)
+	for i := 0; i < c.schema.NumAttrs(); i++ {
+		a := c.schema.Attr(core.AttrID(i))
+		if a.IsSource() {
+			continue
+		}
+		st := AttrStats{
+			Name:         a.Name,
+			EnabledRate:  float64(c.enabled[i]) / n,
+			DisabledRate: float64(c.disabled[i]) / n,
+			Samples:      c.samples[i],
+		}
+		if c.enabled[i] > 0 {
+			st.NullRate = float64(c.nullVals[i]) / float64(c.enabled[i])
+		}
+		r.Attrs = append(r.Attrs, st)
+		switch {
+		case c.enabled[i] == 0 && c.disabled[i] > 0:
+			r.Findings = append(r.Findings, Finding{
+				Attr: a.Name, Kind: "dead",
+				Detail: fmt.Sprintf("never enabled across %d instances; condition %q may be over-restrictive or the attribute removable",
+					c.instances, condString(a)),
+			})
+		case c.disabled[i] == 0 && c.enabled[i] == c.instances && condString(a) != "true":
+			r.Findings = append(r.Findings, Finding{
+				Attr: a.Name, Kind: "always-enabled",
+				Detail: fmt.Sprintf("condition %q was true in every instance; consider folding it away", condString(a)),
+			})
+		}
+		if c.enabled[i] > 0 && c.nullVals[i] == c.enabled[i] {
+			r.Findings = append(r.Findings, Finding{
+				Attr: a.Name, Kind: "always-null",
+				Detail: "every produced value was ⟂; the task may be missing a binding or its inputs are always disabled",
+			})
+		}
+	}
+	sort.Slice(r.Findings, func(i, j int) bool {
+		if r.Findings[i].Attr != r.Findings[j].Attr {
+			return r.Findings[i].Attr < r.Findings[j].Attr
+		}
+		return r.Findings[i].Kind < r.Findings[j].Kind
+	})
+	return r
+}
+
+func condString(a *core.Attribute) string {
+	if a.Enabling == nil {
+		return "true"
+	}
+	return a.Enabling.String()
+}
+
+// String renders the report as a readable table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mining report for %q over %d instances\n", r.Schema, r.Instances)
+	fmt.Fprintf(&sb, "%-24s %9s %9s %9s\n", "attribute", "enabled", "disabled", "null")
+	for _, a := range r.Attrs {
+		fmt.Fprintf(&sb, "%-24s %8.0f%% %8.0f%% %8.0f%%\n",
+			a.Name, a.EnabledRate*100, a.DisabledRate*100, a.NullRate*100)
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&sb, "finding [%s] %s: %s\n", f.Kind, f.Attr, f.Detail)
+	}
+	return sb.String()
+}

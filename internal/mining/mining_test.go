@@ -1,0 +1,158 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// gateFlow: "big" is enabled only when x > threshold; "dead" requires
+// x > 1000 (never true in our runs); "alwayson" has condition x >= 0
+// (always true for our inputs); "nullmaker" is enabled but returns ⟂.
+func gateFlow(t testing.TB) *core.Schema {
+	t.Helper()
+	return core.NewBuilder("gates").
+		Source("x").
+		Foreign("big", expr.MustParse("x > 50"), []string{"x"}, 1, core.ConstCompute(value.Int(1))).
+		Foreign("dead", expr.MustParse("x > 1000"), []string{"x"}, 1, core.ConstCompute(value.Int(2))).
+		Foreign("alwayson", expr.MustParse("x >= 0"), []string{"x"}, 1, core.ConstCompute(value.Int(3))).
+		Foreign("nullmaker", expr.TrueExpr, nil, 1, core.ConstCompute(value.Null)).
+		Foreign("tgt", expr.TrueExpr, []string{"big", "dead", "alwayson", "nullmaker"}, 1,
+			core.ConstCompute(value.Int(9))).
+		Target("tgt").
+		MustBuild()
+}
+
+func collectRuns(t *testing.T, s *core.Schema, xs []int64) *Collector {
+	t.Helper()
+	c := NewCollector(s, 3)
+	for _, x := range xs {
+		res := engine.Run(s, map[string]value.Value{"x": value.Int(x)}, engine.MustParseStrategy("PCE100"))
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if err := c.Add(res.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestCollectorCountsStates(t *testing.T) {
+	s := gateFlow(t)
+	c := collectRuns(t, s, []int64{10, 60, 90, 20}) // big enabled in 2 of 4
+	r := c.Report()
+	if r.Instances != 4 {
+		t.Fatalf("instances = %d", r.Instances)
+	}
+	var big AttrStats
+	for _, a := range r.Attrs {
+		if a.Name == "big" {
+			big = a
+		}
+	}
+	if big.EnabledRate != 0.5 || big.DisabledRate != 0.5 {
+		t.Errorf("big rates = %+v", big)
+	}
+	if len(big.Samples) == 0 {
+		t.Error("samples not retained")
+	}
+}
+
+func TestFindings(t *testing.T) {
+	s := gateFlow(t)
+	r := collectRuns(t, s, []int64{10, 60, 90, 20}).Report()
+	kinds := map[string]string{}
+	for _, f := range r.Findings {
+		kinds[f.Attr+"/"+f.Kind] = f.Detail
+	}
+	if _, ok := kinds["dead/dead"]; !ok {
+		t.Errorf("missing dead finding: %v", kinds)
+	}
+	if _, ok := kinds["alwayson/always-enabled"]; !ok {
+		t.Errorf("missing always-enabled finding: %v", kinds)
+	}
+	if _, ok := kinds["nullmaker/always-null"]; !ok {
+		t.Errorf("missing always-null finding: %v", kinds)
+	}
+	// big differentiates: no findings for it.
+	for k := range kinds {
+		if strings.HasPrefix(k, "big/") {
+			t.Errorf("spurious finding %s", k)
+		}
+	}
+	// Attributes with constant-true conditions are not "always-enabled"
+	// findings (nothing to fold).
+	for k := range kinds {
+		if strings.HasPrefix(k, "tgt/always-enabled") {
+			t.Errorf("constant-true condition flagged: %s", k)
+		}
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	s := gateFlow(t)
+	r := NewCollector(s, 0).Report()
+	if r.Instances != 0 || len(r.Attrs) != 0 || len(r.Findings) != 0 {
+		t.Error("empty collector should produce empty report")
+	}
+}
+
+func TestAddRejectsForeignSnapshots(t *testing.T) {
+	s1, s2 := gateFlow(t), gateFlow(t)
+	c := NewCollector(s1, 0)
+	if err := c.Add(snapshot.New(s2, nil)); err == nil {
+		t.Error("foreign snapshot should be rejected")
+	}
+}
+
+func TestSampleBound(t *testing.T) {
+	s := gateFlow(t)
+	c := collectRuns(t, s, []int64{60, 61, 62, 63, 64})
+	for _, a := range c.Report().Attrs {
+		if len(a.Samples) > 3 {
+			t.Errorf("%s retained %d samples, cap 3", a.Name, len(a.Samples))
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := gateFlow(t)
+	out := collectRuns(t, s, []int64{10, 60}).Report().String()
+	for _, want := range []string{"mining report", "attribute", "finding [dead] dead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnstabilizedAttrsCountInNeither(t *testing.T) {
+	// With propagation, unneeded attributes never stabilize; their rates
+	// must not sum to 1.
+	s := core.NewBuilder("unneeded").
+		Source("x").
+		Foreign("maybe", expr.TrueExpr, nil, 3, core.ConstCompute(value.Int(1))).
+		Foreign("gate", expr.MustParse("x > 0"), []string{"x"}, 1, core.ConstCompute(value.Int(1))).
+		Foreign("user", expr.MustParse("gate > 0"), []string{"maybe"}, 1, core.ConstCompute(value.Int(2))).
+		Foreign("tgt", expr.MustParse("isnull(user)"), nil, 1, core.ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+	c := NewCollector(s, 0)
+	res := engine.Run(s, map[string]value.Value{"x": value.Int(-5)}, engine.MustParseStrategy("PCE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if err := c.Add(res.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range c.Report().Attrs {
+		if a.Name == "maybe" && a.EnabledRate+a.DisabledRate != 0 {
+			t.Errorf("unstabilized attribute counted: %+v", a)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package model implements the analytical model for finite database
+// resources of the paper's §5 ("An Analytical Model for Finite Database
+// Resources"): the system of equations relating throughput, per-instance
+// work, and response time through the database's load curve.
+//
+// Variables (paper's names):
+//
+//	Th            — decision flow instances processed per second
+//	Work          — units of processing per instance
+//	TimeInUnits   — instance response time in units of processing
+//	TimeInSeconds — instance response time in wall time (milliseconds here)
+//	UnitTime      — database response time per unit of processing (ms)
+//	Lmpl          — per-instance multiprogramming level (queries in parallel)
+//	Impl          — instances executing in parallel
+//	Gmpl          — database multiprogramming level
+//	Db            — the empirically measured map Gmpl → UnitTime
+//
+// Equations (1)–(6) of the paper reduce, in steady state, to
+//
+//	Lmpl = Work / TimeInUnits                  (parallelism within one instance)
+//	Impl = Th × TimeInSeconds                  (Little's law over instances)
+//	Gmpl = Impl × Lmpl                         (total units in flight)
+//	UnitTime = Db(Gmpl)
+//	TimeInSeconds = TimeInUnits × UnitTime     (each unit stretches by UnitTime)
+//
+// whose combination is the fixed-point equation
+//
+//	TimeInSeconds = TimeInUnits × Db(Th × TimeInSeconds × Work / TimeInUnits).
+//
+// Predict solves it iteratively. Because Db is non-decreasing, the iteration
+// either converges (the database can sustain the load) or diverges — the
+// paper's criterion for the maximal Work a given throughput can afford.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simdb"
+)
+
+// Model is the analytical model around a measured Db curve.
+type Model struct {
+	// Curve is the database's measured Gmpl → UnitTime function.
+	Curve *simdb.DbCurve
+}
+
+// New returns a model over the given curve.
+func New(curve *simdb.DbCurve) *Model {
+	if curve == nil {
+		panic("model: nil Db curve")
+	}
+	return &Model{Curve: curve}
+}
+
+// Prediction is the model's solution for one operating point.
+type Prediction struct {
+	// Converged is false when the fixed-point iteration diverges: the
+	// database cannot sustain the requested throughput at this Work level.
+	Converged bool
+	// TimeInSeconds is the predicted instance response time (milliseconds).
+	TimeInSeconds float64
+	// UnitTime is the database's per-unit response time at the operating
+	// point (milliseconds).
+	UnitTime float64
+	// Gmpl is the database multiprogramming level at the operating point.
+	Gmpl float64
+	// Impl is the number of instances in flight.
+	Impl float64
+	// Lmpl is the per-instance multiprogramming level.
+	Lmpl float64
+}
+
+// maxIterations bounds the fixed-point iteration; convergence, when it
+// happens, is geometric, so this is generous.
+const maxIterations = 10_000
+
+// divergenceGmpl: if the iterate's Gmpl exceeds the last measured point by
+// this factor, the operating point is declared unsustainable.
+const divergenceFactor = 100
+
+// Predict solves the model for a throughput th (instances/second), a
+// per-instance response time in units timeInUnits, and per-instance work.
+func (m *Model) Predict(th, timeInUnits, work float64) Prediction {
+	if th <= 0 || timeInUnits <= 0 || work <= 0 {
+		panic(fmt.Sprintf("model: Predict needs positive inputs (th=%v, units=%v, work=%v)",
+			th, timeInUnits, work))
+	}
+	lmpl := work / timeInUnits
+	pts := m.Curve.Points()
+	gmplCap := float64(pts[len(pts)-1].Gmpl) * divergenceFactor
+
+	// Fixed point of T = timeInUnits × Db(th/1000 × T × lmpl), T in ms.
+	t := timeInUnits * m.Curve.UnitTime(0)
+	for i := 0; i < maxIterations; i++ {
+		gmpl := th / 1000 * t * lmpl
+		if gmpl > gmplCap {
+			return Prediction{Converged: false, Lmpl: lmpl, Gmpl: gmpl, TimeInSeconds: math.Inf(1)}
+		}
+		next := timeInUnits * m.Curve.UnitTime(gmpl)
+		if math.Abs(next-t) < 1e-9*(1+t) {
+			u := m.Curve.UnitTime(gmpl)
+			return Prediction{
+				Converged:     true,
+				TimeInSeconds: next,
+				UnitTime:      u,
+				Gmpl:          gmpl,
+				Impl:          th / 1000 * next,
+				Lmpl:          lmpl,
+			}
+		}
+		// Damped update keeps oscillation-free convergence near the
+		// stability boundary.
+		t = 0.5*t + 0.5*next
+	}
+	return Prediction{Converged: false, Lmpl: lmpl, TimeInSeconds: math.Inf(1)}
+}
+
+// OperatingPoint is a (Work, TimeInUnits) pair offered by some execution
+// strategy — one row of a guideline map.
+type OperatingPoint struct {
+	// Strategy is the strategy code that realizes the point (e.g. "PC*100").
+	Strategy string
+	// Work is the strategy's average units of processing per instance.
+	Work float64
+	// TimeInUnits is the strategy's average response time in units.
+	TimeInUnits float64
+}
+
+// MaxWork returns, per the paper's first tuning prescription, the largest
+// Work among the offered operating points that the given throughput can
+// sustain (i.e. whose prediction converges); ok is false when none can.
+func (m *Model) MaxWork(th float64, points []OperatingPoint) (maxWork float64, ok bool) {
+	for _, p := range points {
+		if pr := m.Predict(th, p.TimeInUnits, p.Work); pr.Converged && p.Work > maxWork {
+			maxWork = p.Work
+			ok = true
+		}
+	}
+	return maxWork, ok
+}
+
+// Choice is the model's recommendation for one operating point.
+type Choice struct {
+	OperatingPoint
+	Prediction Prediction
+}
+
+// Best applies the paper's second tuning prescription: among the offered
+// operating points, choose the one with the smallest predicted
+// TimeInSeconds at throughput th. ok is false when no point is sustainable.
+func (m *Model) Best(th float64, points []OperatingPoint) (Choice, bool) {
+	var best Choice
+	found := false
+	for _, p := range points {
+		pr := m.Predict(th, p.TimeInUnits, p.Work)
+		if !pr.Converged {
+			continue
+		}
+		if !found || pr.TimeInSeconds < best.Prediction.TimeInSeconds {
+			best = Choice{OperatingPoint: p, Prediction: pr}
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,340 @@
+// Package prequal implements the prequalifier of the decision flow
+// execution architecture (paper §3–§4): the component that maintains, for a
+// running flow instance, the set of candidate attributes that are ready to
+// be evaluated.
+//
+// Its centerpiece is the paper's Propagation Algorithm, which performs
+//
+//   - eager evaluation of enabling conditions: conditions are re-evaluated
+//     under three-valued logic each time an input stabilizes, so an
+//     attribute can become ENABLED or DISABLED before all attributes in its
+//     condition are stable (one false conjunct suffices);
+//
+//   - forward propagation: a newly DISABLED attribute is stable with value
+//     ⟂, which can decide downstream conditions and readiness in turn,
+//     cascading through the schema; and
+//
+//   - backward propagation: starting from the targets, the algorithm
+//     derives which attributes are still *needed* for successful
+//     completion; attributes needed by no target path are removed from the
+//     candidate pool so no work is wasted on them.
+//
+// The algorithm is incremental — each call processes newly stabilized
+// attributes via a worklist — and its cost per invocation is linear in the
+// size of the decision flow (attributes + edges), regardless of execution
+// order, matching the paper's complexity claim.
+package prequal
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// Options selects the prequalifier variants compared in the paper's
+// experiments.
+type Options struct {
+	// Propagate enables the Propagation Algorithm (option 'P'): eager
+	// condition evaluation plus forward/backward propagation of unneeded
+	// attributes. When false (option 'N', "Naive"), conditions are evaluated
+	// only when all their inputs are stable and no unneeded-detection is
+	// performed.
+	Propagate bool
+	// Speculative admits READY attributes (condition still undetermined)
+	// into the candidate pool (option 'S'); when false (option 'C',
+	// "Conservative") only READY+ENABLED attributes are admitted.
+	Speculative bool
+}
+
+// Prequalifier tracks candidate eligibility for one flow instance.
+// It owns all snapshot state transitions except the recording of computed
+// task values (the engine's job via NoteResult).
+type Prequalifier struct {
+	s    *core.Schema
+	sn   *snapshot.Snapshot
+	opts Options
+
+	// cond[a] caches the decided truth of a's enabling condition; Unknown
+	// until decided. Once True/False it never changes (stability of Eval3).
+	cond []expr.Truth
+	// unstableIn[a] counts a's data inputs that are not yet stable.
+	unstableIn []int
+	// needed[a] reports whether a's value may still be required to complete
+	// the instance; recomputed by backward propagation. Without the 'P'
+	// option every attribute is considered needed.
+	needed []bool
+	// launched[a] marks attributes whose task the engine has started (or
+	// executed); they are no longer candidates.
+	launched []bool
+	// inPool caches pool membership to keep Candidates cheap.
+	queue []core.AttrID
+}
+
+// New creates a prequalifier over the given snapshot and runs the initial
+// propagation pass (sources are stable from the start; constant conditions
+// decide immediately).
+func New(sn *snapshot.Snapshot, opts Options) *Prequalifier {
+	s := sn.Schema()
+	n := s.NumAttrs()
+	p := &Prequalifier{
+		s:          s,
+		sn:         sn,
+		opts:       opts,
+		cond:       make([]expr.Truth, n),
+		unstableIn: make([]int, n),
+		needed:     make([]bool, n),
+		launched:   make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		id := core.AttrID(i)
+		p.cond[i] = expr.Unknown
+		a := s.Attr(id)
+		if a.IsSource() {
+			p.cond[i] = expr.True
+			continue
+		}
+		for _, in := range s.DataInputs(id) {
+			if !sn.Stable(in) {
+				p.unstableIn[i]++
+			}
+		}
+	}
+	// Initial pass: evaluate every condition once (decides constants and
+	// conditions over sources) and establish readiness. Sources are already
+	// reflected in unstableIn and in the snapshot env, so they need no
+	// worklist entries of their own.
+	for i := 0; i < n; i++ {
+		id := core.AttrID(i)
+		if p.s.Attr(id).IsSource() {
+			continue
+		}
+		p.tryDecide(id)
+		p.tryReady(id)
+	}
+	p.drain()
+	return p
+}
+
+// Snapshot returns the snapshot the prequalifier operates on.
+func (p *Prequalifier) Snapshot() *snapshot.Snapshot { return p.sn }
+
+// Options returns the configured variant flags.
+func (p *Prequalifier) Options() Options { return p.opts }
+
+// CondTruth returns the decided truth of the attribute's enabling
+// condition, or Unknown.
+func (p *Prequalifier) CondTruth(id core.AttrID) expr.Truth { return p.cond[id] }
+
+// Needed reports whether the attribute is currently considered needed for
+// successful completion. With the 'N' option this is always true.
+func (p *Prequalifier) Needed(id core.AttrID) bool { return p.needed[id] }
+
+// MarkLaunched records that the engine has started (or completed) the
+// attribute's task, removing it from the candidate pool.
+func (p *Prequalifier) MarkLaunched(id core.AttrID) { p.launched[id] = true }
+
+// Launched reports whether MarkLaunched was called for the attribute.
+func (p *Prequalifier) Launched(id core.AttrID) bool { return p.launched[id] }
+
+// NoteResult records the completion of the attribute's task with value v
+// and propagates the consequences. The outcome depends on the attribute's
+// current state:
+//
+//   - READY+ENABLED: the value is final (→ VALUE, stable);
+//   - READY: the value is speculative (→ COMPUTED); the attribute
+//     stabilizes later when its condition decides;
+//   - DISABLED (condition resolved false while the task was in flight):
+//     the result is discarded — the work was wasted, which is exactly the
+//     speculation cost the experiments measure.
+func (p *Prequalifier) NoteResult(id core.AttrID, v value.Value) {
+	switch p.sn.State(id) {
+	case snapshot.ReadyEnabled:
+		if err := p.sn.SetValue(id, v); err != nil {
+			panic(err)
+		}
+		p.enqueue(id)
+	case snapshot.Ready:
+		if err := p.sn.SetComputed(id, v); err != nil {
+			panic(err)
+		}
+		// Not stable yet; nothing to propagate. If the condition later
+		// resolves true the cached value stabilizes via tryDecide.
+	case snapshot.Disabled:
+		// Discard. Already propagated when it was disabled.
+	default:
+		panic("prequal: NoteResult in unexpected state " + p.sn.State(id).String())
+	}
+	p.drain()
+}
+
+// Candidates returns the current candidate pool in ascending ID order:
+// attributes whose task could be started now under the configured options,
+// excluding launched ones. With 'P', unneeded attributes are excluded.
+func (p *Prequalifier) Candidates() []core.AttrID {
+	var out []core.AttrID
+	for i := 0; i < p.s.NumAttrs(); i++ {
+		id := core.AttrID(i)
+		if p.eligible(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// eligible reports pool membership for one attribute.
+func (p *Prequalifier) eligible(id core.AttrID) bool {
+	if p.launched[id] || p.s.Attr(id).IsSource() {
+		return false
+	}
+	if p.opts.Propagate && !p.needed[id] {
+		return false
+	}
+	switch p.sn.State(id) {
+	case snapshot.ReadyEnabled:
+		return true
+	case snapshot.Ready:
+		return p.opts.Speculative
+	default:
+		return false
+	}
+}
+
+// --- propagation internals ---
+
+func (p *Prequalifier) enqueue(id core.AttrID) { p.queue = append(p.queue, id) }
+
+// drain runs the forward worklist to a fixpoint, then recomputes the
+// backward needed set. Total cost is O(attrs + edges) per call.
+func (p *Prequalifier) drain() {
+	for len(p.queue) > 0 {
+		id := p.queue[0]
+		p.queue = p.queue[1:]
+		// id just stabilized. Update readiness of data dependents and
+		// condition knowledge of enabling dependents.
+		for _, b := range p.s.DataDependents(id) {
+			p.unstableIn[b]--
+			p.tryReady(b)
+		}
+		for _, b := range p.s.EnablingDependents(id) {
+			p.tryDecide(b)
+		}
+	}
+	p.recomputeNeeded()
+}
+
+// tryReady promotes b to READY/READY+ENABLED when all data inputs are
+// stable.
+func (p *Prequalifier) tryReady(b core.AttrID) {
+	if p.unstableIn[b] > 0 || p.sn.Stable(b) {
+		return
+	}
+	st := p.sn.State(b)
+	if st == snapshot.Computed { // already has a value; readiness moot
+		return
+	}
+	switch p.cond[b] {
+	case expr.True:
+		if st != snapshot.ReadyEnabled {
+			p.sn.MustTransition(b, snapshot.ReadyEnabled)
+		}
+	default:
+		if st != snapshot.Ready {
+			p.sn.MustTransition(b, snapshot.Ready)
+		}
+	}
+}
+
+// tryDecide attempts eager evaluation of b's enabling condition. Without
+// the 'P' option, the naive rule applies instead: the condition is only
+// evaluated once every attribute it references is stable.
+func (p *Prequalifier) tryDecide(b core.AttrID) {
+	if p.cond[b] != expr.Unknown || p.sn.Stable(b) {
+		return
+	}
+	a := p.s.Attr(b)
+	if !p.opts.Propagate {
+		for _, in := range p.s.EnablingInputs(b) {
+			if !p.sn.Stable(in) {
+				return
+			}
+		}
+	}
+	t := expr.Eval3(a.Enabling, p.sn.Env())
+	if t == expr.Unknown {
+		return
+	}
+	p.cond[b] = t
+	if t == expr.False {
+		// Forward propagation: the attribute is DISABLED and thereby
+		// *stable* with ⟂ — enqueue so dependents learn immediately.
+		p.sn.MustTransition(b, snapshot.Disabled)
+		p.enqueue(b)
+		return
+	}
+	// Condition true.
+	switch p.sn.State(b) {
+	case snapshot.Computed:
+		// A speculative value was waiting on this decision: it is final.
+		p.sn.MustTransition(b, snapshot.Value)
+		p.enqueue(b)
+	case snapshot.Ready:
+		p.sn.MustTransition(b, snapshot.ReadyEnabled)
+	case snapshot.Uninitialized:
+		p.sn.MustTransition(b, snapshot.Enabled)
+	}
+}
+
+// recomputeNeeded performs backward propagation: in reverse topological
+// order, an unstable attribute is needed iff it is an undisabled target, or
+// it feeds (as data input) a needed attribute that may still execute its
+// task, or it occurs in the undecided condition of a needed attribute.
+//
+// Without the 'P' option, everything is marked needed.
+func (p *Prequalifier) recomputeNeeded() {
+	if !p.opts.Propagate {
+		for i := range p.needed {
+			p.needed[i] = true
+		}
+		return
+	}
+	for i := range p.needed {
+		p.needed[i] = false
+	}
+	topo := p.s.TopoOrder()
+	for i := len(topo) - 1; i >= 0; i-- {
+		b := topo[i]
+		if p.sn.Stable(b) {
+			continue // stable attributes require no further work
+		}
+		need := p.s.Attr(b).IsTarget
+		if !need {
+			for _, c := range p.s.DataDependents(b) {
+				if p.needed[c] && p.mayExecute(c) {
+					need = true
+					break
+				}
+			}
+		}
+		if !need {
+			for _, c := range p.s.EnablingDependents(b) {
+				if p.needed[c] && p.cond[c] == expr.Unknown && !p.sn.Stable(c) {
+					need = true
+					break
+				}
+			}
+		}
+		p.needed[b] = need
+	}
+}
+
+// mayExecute reports whether c's task may still run (so its data inputs
+// must stabilize): true unless c already has a value or is disabled.
+func (p *Prequalifier) mayExecute(c core.AttrID) bool {
+	switch p.sn.State(c) {
+	case snapshot.Computed, snapshot.Value, snapshot.Disabled:
+		return false
+	default:
+		return true
+	}
+}

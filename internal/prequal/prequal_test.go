@@ -1,0 +1,357 @@
+package prequal
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// promoLike builds a miniature of the paper's running example:
+//
+//	income (source)
+//	hit_list    <- query, cond true, feeds identify
+//	give_promo  <- synthesis-ish query, cond "income > 0"
+//	identify    <- cond "give_promo == true", input hit_list
+//	assembly    <- target, cond "give_promo == true", input identify
+//
+// With income = 0, give_promo is DISABLED, so identify and assembly become
+// DISABLED by forward propagation, and hit_list becomes *unneeded* by
+// backward propagation — exactly the paper's §4 example.
+func promoLike(t testing.TB) *core.Schema {
+	t.Helper()
+	return core.NewBuilder("promo-mini").
+		Source("income").
+		Foreign("hit_list", expr.TrueExpr, nil, 3, core.ConstCompute(value.List(value.Str("coat")))).
+		Foreign("give_promo", expr.MustParse("income > 0"), []string{"income"}, 1, core.ConstCompute(value.Bool(true))).
+		Foreign("identify", expr.MustParse("give_promo == true"), []string{"hit_list"}, 2, core.ConstCompute(value.Str("img"))).
+		Foreign("assembly", expr.MustParse("give_promo == true"), []string{"identify"}, 1, core.ConstCompute(value.Str("page"))).
+		Target("assembly").
+		MustBuild()
+}
+
+func pq(t testing.TB, s *core.Schema, sources map[string]value.Value, opts Options) *Prequalifier {
+	t.Helper()
+	return New(snapshot.New(s, sources), opts)
+}
+
+func names(s *core.Schema, ids []core.AttrID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = s.Attr(id).Name
+	}
+	return out
+}
+
+func TestInitialCandidatesConservative(t *testing.T) {
+	s := promoLike(t)
+	p := pq(t, s, map[string]value.Value{"income": value.Int(5)}, Options{Propagate: true})
+	// hit_list: cond true, no inputs -> READY+ENABLED.
+	// give_promo: cond income>0 decides true eagerly, input income stable -> READY+ENABLED.
+	got := names(s, p.Candidates())
+	want := map[string]bool{"hit_list": true, "give_promo": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("initial candidates = %v", got)
+	}
+}
+
+func TestForwardPropagationDisablesCascade(t *testing.T) {
+	s := promoLike(t)
+	p := pq(t, s, map[string]value.Value{"income": value.Int(0)}, Options{Propagate: true})
+	sn := p.Snapshot()
+	// income=0: give_promo DISABLED eagerly; "give_promo == true" is then
+	// false (⟂ == true), so identify and assembly cascade to DISABLED.
+	for _, name := range []string{"give_promo", "identify", "assembly"} {
+		if st := sn.State(s.MustLookup(name).ID()); st != snapshot.Disabled {
+			t.Errorf("%s state = %v, want DISABLED", name, st)
+		}
+	}
+	if !sn.Terminal() {
+		t.Error("all targets disabled -> instance is terminal immediately")
+	}
+}
+
+func TestBackwardPropagationUnneeded(t *testing.T) {
+	s := promoLike(t)
+	p := pq(t, s, map[string]value.Value{"income": value.Int(0)}, Options{Propagate: true})
+	// hit_list is READY+ENABLED but feeds only the disabled identify:
+	// backward propagation must mark it unneeded and keep it out of the pool.
+	hl := s.MustLookup("hit_list").ID()
+	if p.Needed(hl) {
+		t.Error("hit_list should be unneeded")
+	}
+	if got := p.Candidates(); len(got) != 0 {
+		t.Errorf("candidates = %v, want none", names(s, got))
+	}
+}
+
+func TestNaiveKeepsUnneeded(t *testing.T) {
+	s := promoLike(t)
+	p := pq(t, s, map[string]value.Value{"income": value.Int(0)}, Options{Propagate: false})
+	// Naive ('N'): no backward propagation, hit_list stays a candidate.
+	got := names(s, p.Candidates())
+	found := false
+	for _, n := range got {
+		if n == "hit_list" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("naive candidates = %v, should include hit_list", got)
+	}
+}
+
+func TestNaiveStillDecidesWithAllInputsStable(t *testing.T) {
+	// The 'N' option evaluates conditions only when every referenced
+	// attribute is stable — but then it must decide, so DISABLED attributes
+	// are still never *executed* under the 'C' admission rule.
+	s := promoLike(t)
+	p := pq(t, s, map[string]value.Value{"income": value.Int(0)}, Options{})
+	sn := p.Snapshot()
+	gp := s.MustLookup("give_promo").ID()
+	if sn.State(gp) != snapshot.Disabled {
+		t.Errorf("give_promo = %v, want DISABLED (income is stable)", sn.State(gp))
+	}
+}
+
+func TestEagerDecisionBeforeInputsStable(t *testing.T) {
+	// cond of c references both a (unstable) and src: "src > 10 and a > 0".
+	// With src=5 the conjunction is decided false while a is still unknown.
+	s := core.NewBuilder("eager").
+		Source("src").
+		Foreign("a", expr.TrueExpr, nil, 2, core.ConstCompute(value.Int(1))).
+		Foreign("c", expr.MustParse("src > 10 and a > 0"), []string{"a"}, 1, core.ConstCompute(value.Int(2))).
+		Foreign("tgt", expr.TrueExpr, []string{"c"}, 1, core.ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+	p := pq(t, s, map[string]value.Value{"src": value.Int(5)}, Options{Propagate: true})
+	sn := p.Snapshot()
+	c := s.MustLookup("c").ID()
+	if sn.State(c) != snapshot.Disabled {
+		t.Errorf("c = %v, want DISABLED before a stabilizes", sn.State(c))
+	}
+	// Without 'P', the condition waits for a.
+	p2 := pq(t, s, map[string]value.Value{"src": value.Int(5)}, Options{})
+	if st := p2.Snapshot().State(c); st == snapshot.Disabled {
+		t.Errorf("naive should not decide early, got %v", st)
+	}
+}
+
+func TestSpeculativeAdmitsReady(t *testing.T) {
+	// b's condition depends on a (not yet executed), b's input is src only:
+	// b is READY but not ENABLED.
+	s := core.NewBuilder("spec").
+		Source("src").
+		Foreign("a", expr.TrueExpr, nil, 2, core.ConstCompute(value.Int(1))).
+		Foreign("b", expr.MustParse("a > 0"), []string{"src"}, 1, core.ConstCompute(value.Int(5))).
+		Foreign("tgt", expr.TrueExpr, []string{"b"}, 1, core.ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+	cons := pq(t, s, nil, Options{Propagate: true})
+	b := s.MustLookup("b").ID()
+	if cons.Snapshot().State(b) != snapshot.Ready {
+		t.Fatalf("b = %v, want READY", cons.Snapshot().State(b))
+	}
+	for _, id := range cons.Candidates() {
+		if id == b {
+			t.Error("conservative pool must not admit READY attribute b")
+		}
+	}
+	spec := pq(t, s, nil, Options{Propagate: true, Speculative: true})
+	found := false
+	for _, id := range spec.Candidates() {
+		if id == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("speculative pool must admit READY attribute b")
+	}
+}
+
+func TestNoteResultFinal(t *testing.T) {
+	s := promoLike(t)
+	p := pq(t, s, map[string]value.Value{"income": value.Int(5)}, Options{Propagate: true})
+	gp := s.MustLookup("give_promo").ID()
+	p.MarkLaunched(gp)
+	p.NoteResult(gp, value.Bool(true))
+	sn := p.Snapshot()
+	if sn.State(gp) != snapshot.Value {
+		t.Fatalf("give_promo = %v, want VALUE", sn.State(gp))
+	}
+	// give_promo == true decides identify/assembly conditions to true;
+	// identify needs hit_list which is unstable, so identify is ENABLED.
+	id := s.MustLookup("identify").ID()
+	if st := sn.State(id); st != snapshot.Enabled {
+		t.Errorf("identify = %v, want ENABLED", st)
+	}
+}
+
+func TestNoteResultSpeculative(t *testing.T) {
+	s := core.NewBuilder("spec2").
+		Source("src").
+		Foreign("a", expr.TrueExpr, nil, 2, core.ConstCompute(value.Int(1))).
+		Foreign("b", expr.MustParse("a > 0"), []string{"src"}, 1, core.ConstCompute(value.Int(5))).
+		Foreign("tgt", expr.TrueExpr, []string{"b"}, 1, core.ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+	p := pq(t, s, nil, Options{Propagate: true, Speculative: true})
+	sn := p.Snapshot()
+	b := s.MustLookup("b").ID()
+	a := s.MustLookup("a").ID()
+
+	// Speculative completion: b READY -> COMPUTED, not stable.
+	p.MarkLaunched(b)
+	p.NoteResult(b, value.Int(5))
+	if sn.State(b) != snapshot.Computed {
+		t.Fatalf("b = %v, want COMPUTED", sn.State(b))
+	}
+	if sn.Stable(b) {
+		t.Fatal("COMPUTED must not be stable")
+	}
+	// a completes with 1: cond a>0 true -> b's cached value becomes final.
+	p.MarkLaunched(a)
+	p.NoteResult(a, value.Int(1))
+	if sn.State(b) != snapshot.Value || !value.Identical(sn.Val(b), value.Int(5)) {
+		t.Fatalf("b = %v(%v), want VALUE(5)", sn.State(b), sn.Val(b))
+	}
+	// tgt becomes READY+ENABLED because b stabilized.
+	tgt := s.MustLookup("tgt").ID()
+	if sn.State(tgt) != snapshot.ReadyEnabled {
+		t.Errorf("tgt = %v, want READY+ENABLED", sn.State(tgt))
+	}
+}
+
+func TestNoteResultDiscardedWhenDisabled(t *testing.T) {
+	s := core.NewBuilder("spec3").
+		Source("src").
+		Foreign("a", expr.TrueExpr, nil, 2, core.ConstCompute(value.Int(-1))).
+		Foreign("b", expr.MustParse("a > 0"), []string{"src"}, 1, core.ConstCompute(value.Int(5))).
+		Foreign("tgt", expr.TrueExpr, []string{"b"}, 1, core.ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+	p := pq(t, s, nil, Options{Propagate: true, Speculative: true})
+	sn := p.Snapshot()
+	a, b := s.MustLookup("a").ID(), s.MustLookup("b").ID()
+
+	// b launched speculatively; before it completes, a=-1 disables b.
+	p.MarkLaunched(b)
+	p.MarkLaunched(a)
+	p.NoteResult(a, value.Int(-1))
+	if sn.State(b) != snapshot.Disabled {
+		t.Fatalf("b = %v, want DISABLED", sn.State(b))
+	}
+	// The in-flight result arrives and must be discarded silently.
+	p.NoteResult(b, value.Int(5))
+	if sn.State(b) != snapshot.Disabled || !sn.Val(b).IsNull() {
+		t.Error("late speculative result must be discarded")
+	}
+}
+
+func TestComputedThenDisabled(t *testing.T) {
+	s := core.NewBuilder("spec4").
+		Source("src").
+		Foreign("a", expr.TrueExpr, nil, 2, core.ConstCompute(value.Int(-1))).
+		Foreign("b", expr.MustParse("a > 0"), []string{"src"}, 1, core.ConstCompute(value.Int(5))).
+		Foreign("tgt", expr.TrueExpr, []string{"b"}, 1, core.ConstCompute(value.Int(3))).
+		Target("tgt").
+		MustBuild()
+	p := pq(t, s, nil, Options{Propagate: true, Speculative: true})
+	sn := p.Snapshot()
+	a, b := s.MustLookup("a").ID(), s.MustLookup("b").ID()
+
+	// b completes speculatively first (COMPUTED), then a=-1 falsifies.
+	p.MarkLaunched(b)
+	p.NoteResult(b, value.Int(5))
+	if sn.State(b) != snapshot.Computed {
+		t.Fatalf("b = %v, want COMPUTED", sn.State(b))
+	}
+	p.MarkLaunched(a)
+	p.NoteResult(a, value.Int(-1))
+	if sn.State(b) != snapshot.Disabled || !sn.Val(b).IsNull() {
+		t.Errorf("b = %v(%v), want DISABLED(⟂)", sn.State(b), sn.Val(b))
+	}
+}
+
+func TestCandidatesExcludeLaunched(t *testing.T) {
+	s := promoLike(t)
+	p := pq(t, s, map[string]value.Value{"income": value.Int(5)}, Options{Propagate: true})
+	hl := s.MustLookup("hit_list").ID()
+	p.MarkLaunched(hl)
+	if !p.Launched(hl) {
+		t.Error("Launched not recorded")
+	}
+	for _, id := range p.Candidates() {
+		if id == hl {
+			t.Error("launched attribute must leave the pool")
+		}
+	}
+}
+
+func TestNeededWithoutPropagateAlwaysTrue(t *testing.T) {
+	s := promoLike(t)
+	p := pq(t, s, map[string]value.Value{"income": value.Int(0)}, Options{})
+	for i := 0; i < s.NumAttrs(); i++ {
+		if !p.Needed(core.AttrID(i)) {
+			t.Fatalf("naive prequalifier must treat all attributes as needed")
+		}
+	}
+}
+
+func TestUnneededViaDecidedCondition(t *testing.T) {
+	// e is referenced only in tgt's condition. Once the condition is
+	// decided (by src alone), e is unneeded even though tgt stays enabled.
+	s := core.NewBuilder("condneed").
+		Source("src").
+		Foreign("e", expr.TrueExpr, nil, 4, core.ConstCompute(value.Int(1))).
+		Foreign("tgt", expr.MustParse("src > 0 or e > 0"), []string{"src"}, 1, core.ConstCompute(value.Int(9))).
+		Target("tgt").
+		MustBuild()
+	p := pq(t, s, map[string]value.Value{"src": value.Int(5)}, Options{Propagate: true})
+	e := s.MustLookup("e").ID()
+	if p.Needed(e) {
+		t.Error("e should be unneeded once tgt's condition is decided")
+	}
+	// With src=0 the disjunction still waits on e: e is needed.
+	p2 := pq(t, s, map[string]value.Value{"src": value.Int(0)}, Options{Propagate: true})
+	if !p2.Needed(e) {
+		t.Error("e should be needed while the condition is undecided")
+	}
+}
+
+// Drive a full serial execution with the prequalifier and verify the final
+// snapshot against the declarative oracle, across options and inputs.
+func TestSerialExecutionMatchesOracle(t *testing.T) {
+	s := promoLike(t)
+	for _, income := range []int64{0, 5} {
+		sources := map[string]value.Value{"income": value.Int(income)}
+		oracle := snapshot.Complete(s, sources)
+		for _, opts := range []Options{
+			{},
+			{Propagate: true},
+			{Speculative: true},
+			{Propagate: true, Speculative: true},
+		} {
+			p := pq(t, s, sources, opts)
+			sn := p.Snapshot()
+			for steps := 0; !sn.Terminal() && steps < 100; steps++ {
+				cands := p.Candidates()
+				if len(cands) == 0 {
+					t.Fatalf("income=%d opts=%+v: stuck with no candidates:\n%s", income, opts, sn)
+				}
+				id := cands[0]
+				a := s.Attr(id)
+				p.MarkLaunched(id)
+				p.NoteResult(id, a.Task.Compute(sn.Inputs(id)))
+			}
+			if !sn.Terminal() {
+				t.Fatalf("income=%d opts=%+v: did not terminate", income, opts)
+			}
+			if err := snapshot.CheckAgainstOracle(sn, oracle); err != nil {
+				t.Errorf("income=%d opts=%+v: %v", income, opts, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package randschema generates *unstructured* random decision flow schemas
+// for property-based testing. Unlike package gen — which reproduces the
+// paper's regular row/column patterns with scripted condition truth —
+// randschema draws arbitrary DAGs, arbitrary condition ASTs and arbitrary
+// (but pure) task functions, exercising corner cases the experiment
+// patterns never hit: multi-source flows, conditions mixing isnull with
+// deep boolean nesting, synthesis/foreign mixes, fan-in joins, multiple
+// targets, and attributes with no consumers.
+//
+// The invariant the rest of the system is tested against: for any schema
+// from this package, any strategy's execution must terminate and agree
+// with the declarative oracle.
+package randschema
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Config bounds the random draw. The zero value is replaced by Defaults.
+type Config struct {
+	// MinAttrs/MaxAttrs bound the total attribute count (sources included).
+	MinAttrs, MaxAttrs int
+	// MaxSources bounds the number of source attributes (at least 1).
+	MaxSources int
+	// MaxInputs bounds the data-flow fan-in per task.
+	MaxInputs int
+	// MaxCondDepth bounds enabling-condition AST depth.
+	MaxCondDepth int
+	// MaxCost bounds foreign task costs (minimum 1).
+	MaxCost int
+	// SynthesisProb is the probability a task is synthesis rather than
+	// foreign.
+	SynthesisProb float64
+}
+
+// Defaults returns the standard fuzzing envelope.
+func Defaults() Config {
+	return Config{
+		MinAttrs:      5,
+		MaxAttrs:      40,
+		MaxSources:    3,
+		MaxInputs:     3,
+		MaxCondDepth:  3,
+		MaxCost:       5,
+		SynthesisProb: 0.3,
+	}
+}
+
+// Generate draws a random well-formed schema. The same rng state yields
+// the same schema, so failures shrink to a seed.
+func Generate(rng *rand.Rand, cfg Config) *core.Schema {
+	if cfg.MinAttrs == 0 {
+		cfg = Defaults()
+	}
+	n := cfg.MinAttrs + rng.Intn(cfg.MaxAttrs-cfg.MinAttrs+1)
+	nSources := 1 + rng.Intn(cfg.MaxSources)
+	if nSources >= n {
+		nSources = 1
+	}
+
+	b := core.NewBuilder(fmt.Sprintf("rand-%d", rng.Int63()))
+	names := make([]string, 0, n)
+	for i := 0; i < nSources; i++ {
+		name := fmt.Sprintf("s%d", i)
+		b.Source(name)
+		names = append(names, name)
+	}
+
+	for i := nSources; i < n; i++ {
+		name := fmt.Sprintf("a%d", i)
+		// Data inputs: random subset of earlier attributes.
+		var inputs []string
+		for _, j := range rng.Perm(len(names))[:rng.Intn(min(cfg.MaxInputs, len(names))+1)] {
+			inputs = append(inputs, names[j])
+		}
+		cond := randCond(rng, names, cfg.MaxCondDepth)
+		if rng.Float64() < cfg.SynthesisProb {
+			b.Synthesis(name, cond, inputs, randCompute(rng, inputs))
+		} else {
+			b.Foreign(name, cond, inputs, 1+rng.Intn(cfg.MaxCost), randCompute(rng, inputs))
+		}
+		names = append(names, name)
+	}
+
+	// Targets: the last attribute plus a few random non-sources.
+	b.Target(names[len(names)-1])
+	for i := 0; i < rng.Intn(3); i++ {
+		pick := names[nSources+rng.Intn(n-nSources)]
+		b.Target(pick)
+	}
+	return b.MustBuild()
+}
+
+// RandomSources draws source bindings exercising ints, bools and ⟂.
+func RandomSources(rng *rand.Rand, s *core.Schema) map[string]value.Value {
+	out := map[string]value.Value{}
+	for _, id := range s.Sources() {
+		switch rng.Intn(4) {
+		case 0:
+			out[s.Attr(id).Name] = value.Null
+		case 1:
+			out[s.Attr(id).Name] = value.Bool(rng.Intn(2) == 0)
+		default:
+			out[s.Attr(id).Name] = value.Int(int64(rng.Intn(41) - 20))
+		}
+	}
+	return out
+}
+
+// randCond draws an enabling condition AST over earlier attributes.
+func randCond(rng *rand.Rand, names []string, depth int) expr.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return randLeaf(rng, names)
+	}
+	switch rng.Intn(4) {
+	case 0:
+		k := 2 + rng.Intn(2)
+		sub := make([]expr.Expr, k)
+		for i := range sub {
+			sub[i] = randCond(rng, names, depth-1)
+		}
+		return expr.And{Exprs: sub}
+	case 1:
+		k := 2 + rng.Intn(2)
+		sub := make([]expr.Expr, k)
+		for i := range sub {
+			sub[i] = randCond(rng, names, depth-1)
+		}
+		return expr.Or{Exprs: sub}
+	case 2:
+		return expr.Not{E: randCond(rng, names, depth-1)}
+	default:
+		return randLeaf(rng, names)
+	}
+}
+
+func randLeaf(rng *rand.Rand, names []string) expr.Expr {
+	if len(names) == 0 || rng.Intn(8) == 0 {
+		// Constant leaves keep some conditions trivially decidable.
+		return expr.Const{Val: value.Bool(rng.Intn(2) == 0)}
+	}
+	attr := expr.Attr{Name: names[rng.Intn(len(names))]}
+	switch rng.Intn(5) {
+	case 0:
+		return expr.IsNull{E: attr}
+	case 1:
+		return expr.Not{E: expr.IsNull{E: attr}}
+	case 2:
+		if len(names) > 1 {
+			other := expr.Attr{Name: names[rng.Intn(len(names))]}
+			return expr.Cmp{Op: randOp(rng), L: attr, R: other}
+		}
+		fallthrough
+	default:
+		return expr.Cmp{Op: randOp(rng), L: attr, R: expr.Const{Val: value.Int(int64(rng.Intn(41) - 20))}}
+	}
+}
+
+func randOp(rng *rand.Rand) expr.CmpOp {
+	return []expr.CmpOp{expr.EQ, expr.NE, expr.LT, expr.LE, expr.GT, expr.GE}[rng.Intn(6)]
+}
+
+// randCompute builds a pure task function: a fixed affine combination of
+// the numeric inputs (⟂ inputs count as a fixed constant), so data-flow
+// edges genuinely influence downstream values.
+func randCompute(rng *rand.Rand, inputs []string) core.ComputeFunc {
+	offset := int64(rng.Intn(21) - 10)
+	coeffs := make(map[string]int64, len(inputs))
+	nullSub := int64(rng.Intn(5))
+	for _, in := range inputs {
+		coeffs[in] = int64(rng.Intn(5) - 2)
+	}
+	mode := rng.Intn(10)
+	return func(in core.Inputs) value.Value {
+		if mode == 0 {
+			return value.Null // tasks may legitimately produce ⟂
+		}
+		total := offset
+		for name, c := range coeffs {
+			v := in.Get(name)
+			if iv, ok := v.AsInt(); ok {
+				total += c * iv
+			} else if bv, ok := v.AsBool(); ok && bv {
+				total += c
+			} else if v.IsNull() {
+				total += c * nullSub
+			}
+		}
+		if mode == 1 {
+			return value.Bool(total%2 == 0)
+		}
+		return value.Int(total)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

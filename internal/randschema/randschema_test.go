@@ -1,0 +1,101 @@
+package randschema
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+func TestGenerateIsWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := Generate(rng, Defaults()) // MustBuild inside panics if invalid
+		if s.NumAttrs() < 5 {
+			t.Fatalf("seed %d: too small (%d attrs)", seed, s.NumAttrs())
+		}
+		if len(s.Targets()) < 1 || len(s.Sources()) < 1 {
+			t.Fatalf("seed %d: missing sources or targets", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(7)), Defaults())
+	b := Generate(rand.New(rand.NewSource(7)), Defaults())
+	if a.NumAttrs() != b.NumAttrs() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := 0; i < a.NumAttrs(); i++ {
+		x, y := a.Attr(core.AttrID(i)), b.Attr(core.AttrID(i))
+		if x.Name != y.Name || x.Cost() != y.Cost() {
+			t.Fatal("same seed produced different attributes")
+		}
+		if x.Enabling != nil && x.Enabling.String() != y.Enabling.String() {
+			t.Fatal("same seed produced different conditions")
+		}
+	}
+}
+
+func TestRandomSourcesCoverKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Generate(rng, Defaults())
+	sawNull, sawInt := false, false
+	for i := 0; i < 50; i++ {
+		for _, v := range RandomSources(rng, s) {
+			if v.IsNull() {
+				sawNull = true
+			}
+			if v.Kind() == value.KindInt {
+				sawInt = true
+			}
+		}
+	}
+	if !sawNull || !sawInt {
+		t.Error("source distribution should include ⟂ and ints")
+	}
+}
+
+func TestComputeFunctionsArePure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := Generate(rng, Defaults())
+	srcs := RandomSources(rand.New(rand.NewSource(5)), s)
+	a := snapshot.Complete(s, srcs)
+	b := snapshot.Complete(s, srcs)
+	for i := 0; i < s.NumAttrs(); i++ {
+		id := core.AttrID(i)
+		if a.State(id) != b.State(id) || !value.Identical(a.Val(id), b.Val(id)) {
+			t.Fatalf("oracle differs across evaluations at %s: impure compute",
+				s.Attr(id).Name)
+		}
+	}
+}
+
+func TestDataEdgesMatter(t *testing.T) {
+	// Different source values should change some downstream value in at
+	// least one of several schemas (affine computes with nonzero coeffs).
+	changed := false
+	for seed := int64(0); seed < 10 && !changed; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := Generate(rng, Defaults())
+		src1 := map[string]value.Value{}
+		src2 := map[string]value.Value{}
+		for _, id := range s.Sources() {
+			src1[s.Attr(id).Name] = value.Int(1)
+			src2[s.Attr(id).Name] = value.Int(17)
+		}
+		a, b := snapshot.Complete(s, src1), snapshot.Complete(s, src2)
+		for i := 0; i < s.NumAttrs(); i++ {
+			id := core.AttrID(i)
+			if !value.Identical(a.Val(id), b.Val(id)) {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Error("no schema propagated source changes downstream; computes degenerate?")
+	}
+}

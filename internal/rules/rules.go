@@ -1,0 +1,217 @@
+// Package rules implements the "generalized form of business rules" that
+// the decision flow model offers for specifying synthesis tasks (paper §2,
+// citing the Vortex workflow model of [HLS+99a]).
+//
+// A rule set computes one attribute: each rule has a firing condition over
+// the task's input attributes and a contribution expression; the
+// contributions of all firing rules are combined under a declared policy
+// (weighted sum, min/max, first-wins, or list collection). This is the
+// mechanism behind attributes like the paper's "promo hit list" — many
+// independent business factors each contribute a score, and the policy
+// states how the factors aggregate — and it is what makes decision flows
+// "more structured than expert systems", confining the effect of editing
+// one rule to one attribute.
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Policy states how the contributions of firing rules combine into the
+// attribute's value.
+type Policy uint8
+
+const (
+	// WeightedSum sums numeric contributions scaled by rule weights.
+	WeightedSum Policy = iota
+	// MaxOf takes the maximum contribution (ties keep the earlier rule).
+	MaxOf
+	// MinOf takes the minimum contribution.
+	MinOf
+	// FirstWins takes the contribution of the first firing rule in
+	// declaration order — a priority list.
+	FirstWins
+	// Collect gathers all contributions into a list value, in declaration
+	// order (e.g. assembling a hit list).
+	Collect
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case WeightedSum:
+		return "weighted-sum"
+	case MaxOf:
+		return "max"
+	case MinOf:
+		return "min"
+	case FirstWins:
+		return "first-wins"
+	case Collect:
+		return "collect"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Rule is one business rule.
+type Rule struct {
+	// Name identifies the rule in audits.
+	Name string
+	// When guards the rule; a nil condition always fires. Evaluated over
+	// the task's (stable) inputs, so ⟂-handling follows the expression
+	// language's semantics.
+	When expr.Expr
+	// Contribute produces the rule's contribution when it fires.
+	Contribute expr.Expr
+	// Weight scales numeric contributions under the WeightedSum policy;
+	// a zero weight is treated as 1.
+	Weight float64
+}
+
+// Set is an ordered rule set with a combining policy.
+type Set struct {
+	// Policy combines firing-rule contributions.
+	Policy Policy
+	// Default is the attribute value when no rule fires. The zero Value is
+	// ⟂, which matches the model's "no information" convention.
+	Default value.Value
+	// Rules fire independently; order matters for FirstWins and Collect.
+	Rules []Rule
+}
+
+// InputAttrs returns the sorted union of attributes referenced by all rule
+// conditions and contributions — the data inputs the owning synthesis task
+// must declare.
+func (s *Set) InputAttrs() []string {
+	seen := map[string]bool{}
+	var union []string
+	add := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		for _, n := range expr.Attrs(e) {
+			if !seen[n] {
+				seen[n] = true
+				union = append(union, n)
+			}
+		}
+	}
+	for _, r := range s.Rules {
+		add(r.When)
+		add(r.Contribute)
+	}
+	// Keep deterministic order.
+	for i := 1; i < len(union); i++ {
+		for j := i; j > 0 && union[j] < union[j-1]; j-- {
+			union[j], union[j-1] = union[j-1], union[j]
+		}
+	}
+	return union
+}
+
+// Firing describes one rule's outcome in an evaluation, for audit trails.
+type Firing struct {
+	Rule  string
+	Fired bool
+	Value value.Value // contribution if fired
+}
+
+// Evaluate runs the rule set over the inputs, returning the combined value
+// and the per-rule audit trail.
+func (s *Set) Evaluate(in core.Inputs) (value.Value, []Firing) {
+	env := inputsEnv{in}
+	audit := make([]Firing, len(s.Rules))
+	var contributions []value.Value
+	var weights []float64
+	for i, r := range s.Rules {
+		audit[i] = Firing{Rule: r.Name}
+		fired := true
+		if r.When != nil {
+			fired = expr.Eval3(r.When, env) == expr.True
+		}
+		if !fired {
+			continue
+		}
+		v, _ := expr.EvalValue(r.Contribute, env)
+		audit[i].Fired = true
+		audit[i].Value = v
+		contributions = append(contributions, v)
+		w := r.Weight
+		if w == 0 {
+			w = 1
+		}
+		weights = append(weights, w)
+	}
+	if len(contributions) == 0 {
+		return s.Default, audit
+	}
+	return s.combine(contributions, weights), audit
+}
+
+func (s *Set) combine(vals []value.Value, weights []float64) value.Value {
+	switch s.Policy {
+	case WeightedSum:
+		sum := 0.0
+		any := false
+		for i, v := range vals {
+			if f, ok := v.AsFloat(); ok {
+				sum += f * weights[i]
+				any = true
+			}
+		}
+		if !any {
+			return s.Default
+		}
+		return value.Float(sum)
+	case MaxOf:
+		best := value.Null
+		for _, v := range vals {
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			if c, ok := value.Compare(v, best); ok && c > 0 {
+				best = v
+			}
+		}
+		return best
+	case MinOf:
+		best := value.Null
+		for _, v := range vals {
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			if c, ok := value.Compare(v, best); ok && c < 0 {
+				best = v
+			}
+		}
+		return best
+	case FirstWins:
+		return vals[0]
+	case Collect:
+		return value.List(vals...)
+	default:
+		return s.Default
+	}
+}
+
+// Task adapts the rule set to a core.ComputeFunc for use as a synthesis
+// task (audit discarded).
+func (s *Set) Task() core.ComputeFunc {
+	return func(in core.Inputs) value.Value {
+		v, _ := s.Evaluate(in)
+		return v
+	}
+}
+
+// inputsEnv exposes task inputs as an expression environment; inputs are
+// stable by construction, so every attribute is known.
+type inputsEnv struct{ in core.Inputs }
+
+func (e inputsEnv) Lookup(name string) (value.Value, bool) { return e.in.Get(name), true }

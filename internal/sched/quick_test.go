@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: capacity is monotone in %Permitted, bounded by pool+inFlight,
+// and never below one.
+func TestQuickCapacityProperties(t *testing.T) {
+	f := func(p1, p2, pool, inflight uint8) bool {
+		a := int(p1) % 101
+		b := int(p2) % 101
+		if a > b {
+			a, b = b, a
+		}
+		po, fl := int(pool)%50, int(inflight)%50
+		low := New(TopoEarliest, a).Capacity(po, fl)
+		high := New(TopoEarliest, b).Capacity(po, fl)
+		if low < 1 || high < 1 {
+			return false
+		}
+		if low > high {
+			return false
+		}
+		if m := po + fl; m >= 1 && high > m {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Select never returns more tasks than capacity minus in-flight,
+// never duplicates, and only returns offered candidates.
+func TestQuickSelectWellFormed(t *testing.T) {
+	s, cands := ladder(&testing.T{})
+	f := func(p uint8, inflight uint8) bool {
+		pct := int(p) % 101
+		fl := int(inflight) % 6
+		sel := New(Cheapest, pct).Select(s, cands, fl)
+		cap := New(Cheapest, pct).Capacity(len(cands), fl)
+		if len(sel) > cap-fl && len(sel) > 0 {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, id := range sel {
+			if seen[int64(id)] {
+				return false
+			}
+			seen[int64(id)] = true
+			found := false
+			for _, c := range cands {
+				if c == id {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

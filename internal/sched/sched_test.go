@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// ladder builds a schema with four candidates of varying rank and cost:
+//
+//	rank 1: a (cost 5), b (cost 1)
+//	rank 2: c (cost 3), d (cost 2)
+func ladder(t testing.TB) (*core.Schema, []core.AttrID) {
+	t.Helper()
+	s := core.NewBuilder("ladder").
+		Source("src").
+		Foreign("a", expr.TrueExpr, []string{"src"}, 5, nil).
+		Foreign("b", expr.TrueExpr, []string{"src"}, 1, nil).
+		Foreign("c", expr.TrueExpr, []string{"a"}, 3, nil).
+		Foreign("d", expr.TrueExpr, []string{"b"}, 2, nil).
+		Foreign("tgt", expr.TrueExpr, []string{"c", "d"}, 1, nil).
+		Target("tgt").
+		MustBuild()
+	ids := []core.AttrID{
+		s.MustLookup("c").ID(),
+		s.MustLookup("a").ID(),
+		s.MustLookup("d").ID(),
+		s.MustLookup("b").ID(),
+	}
+	return s, ids
+}
+
+func TestHeuristicString(t *testing.T) {
+	if TopoEarliest.String() != "E" || Cheapest.String() != "C" {
+		t.Error("Heuristic.String wrong")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	cases := []struct {
+		permitted, pool, inFlight, want int
+	}{
+		{0, 10, 0, 1},    // no parallelism: exactly one
+		{0, 10, 1, 1},    // still one
+		{100, 10, 0, 10}, // full pool
+		{100, 7, 3, 10},  // pool + running
+		{50, 10, 0, 5},
+		{50, 3, 1, 2},
+		{40, 10, 0, 4},
+		{10, 2, 0, 1}, // floor of one
+		{100, 0, 0, 1},
+	}
+	for _, c := range cases {
+		s := New(TopoEarliest, c.permitted)
+		if got := s.Capacity(c.pool, c.inFlight); got != c.want {
+			t.Errorf("Capacity(permitted=%d, pool=%d, inFlight=%d) = %d, want %d",
+				c.permitted, c.pool, c.inFlight, got, c.want)
+		}
+	}
+}
+
+func TestSelectEarliestOrdersByRank(t *testing.T) {
+	s, cands := ladder(t)
+	sel := New(TopoEarliest, 100).Select(s, cands, 0)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	// rank 1 first (b before a: same rank, cheaper first as tiebreak).
+	wantOrder := []string{"b", "a", "d", "c"}
+	for i, id := range sel {
+		if s.Attr(id).Name != wantOrder[i] {
+			t.Fatalf("order = %v, want %v", attrNames(s, sel), wantOrder)
+		}
+	}
+}
+
+func TestSelectCheapestOrdersByCost(t *testing.T) {
+	s, cands := ladder(t)
+	sel := New(Cheapest, 100).Select(s, cands, 0)
+	wantOrder := []string{"b", "d", "c", "a"}
+	for i, id := range sel {
+		if s.Attr(id).Name != wantOrder[i] {
+			t.Fatalf("order = %v, want %v", attrNames(s, sel), wantOrder)
+		}
+	}
+}
+
+func TestSelectSerial(t *testing.T) {
+	s, cands := ladder(t)
+	sched := New(TopoEarliest, 0)
+	sel := sched.Select(s, cands, 0)
+	if len(sel) != 1 || s.Attr(sel[0]).Name != "b" {
+		t.Fatalf("serial selection = %v", attrNames(s, sel))
+	}
+	// With one in flight, nothing more may launch.
+	if sel := sched.Select(s, cands, 1); len(sel) != 0 {
+		t.Fatalf("serial with in-flight should select nothing, got %v", attrNames(s, sel))
+	}
+}
+
+func TestSelectPartialParallelism(t *testing.T) {
+	s, cands := ladder(t)
+	sel := New(TopoEarliest, 50).Select(s, cands, 0)
+	if len(sel) != 2 {
+		t.Fatalf("50%% of 4 = %d selected, want 2", len(sel))
+	}
+	// After those two launch, capacity is used up.
+	rest := []core.AttrID{cands[0], cands[2]}
+	if sel := New(TopoEarliest, 50).Select(s, rest, 2); len(sel) != 0 {
+		t.Fatalf("capacity exhausted, got %v", attrNames(s, sel))
+	}
+}
+
+func TestSelectEmptyPool(t *testing.T) {
+	s, _ := ladder(t)
+	if sel := New(Cheapest, 100).Select(s, nil, 3); sel != nil {
+		t.Error("empty pool must select nothing")
+	}
+}
+
+func TestSelectDoesNotMutateInput(t *testing.T) {
+	s, cands := ladder(t)
+	orig := append([]core.AttrID(nil), cands...)
+	New(Cheapest, 100).Select(s, cands, 0)
+	for i := range orig {
+		if cands[i] != orig[i] {
+			t.Fatal("Select must not reorder the caller's slice")
+		}
+	}
+}
+
+func TestSelectDeterministicTieBreak(t *testing.T) {
+	// Two attributes with equal rank and cost: ID order decides.
+	s := core.NewBuilder("tie").
+		Source("src").
+		Foreign("x", expr.TrueExpr, []string{"src"}, 2, nil).
+		Foreign("y", expr.TrueExpr, []string{"src"}, 2, nil).
+		Foreign("tgt", expr.TrueExpr, []string{"x", "y"}, 1, nil).
+		Target("tgt").
+		MustBuild()
+	cands := []core.AttrID{s.MustLookup("y").ID(), s.MustLookup("x").ID()}
+	for _, h := range []Heuristic{TopoEarliest, Cheapest} {
+		sel := New(h, 0).Select(s, cands, 0)
+		if len(sel) != 1 || s.Attr(sel[0]).Name != "x" {
+			t.Errorf("heuristic %v tie-break = %v, want x", h, attrNames(s, sel))
+		}
+	}
+}
+
+func TestZeroValueScheduler(t *testing.T) {
+	s, cands := ladder(t)
+	var sched Scheduler // TopoEarliest, 0 %: serial
+	sel := sched.Select(s, cands, 0)
+	if len(sel) != 1 {
+		t.Fatalf("zero-value scheduler selected %d", len(sel))
+	}
+}
+
+func attrNames(s *core.Schema, ids []core.AttrID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = s.Attr(id).Name
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package sim is a small deterministic discrete-event simulation core: a
+// virtual clock, a time-ordered event queue, and multi-server FCFS
+// resources with queueing statistics.
+//
+// It replaces CSIM 18, the commercial simulation library the paper used to
+// model its external database server (§5 "Experiment Environment"). Only
+// the primitives that the database model needs are implemented — timed
+// events and service-queue resources — but they are general enough to build
+// other queueing substrates on.
+//
+// Determinism: events at equal times fire in scheduling order (a strictly
+// increasing sequence number breaks ties), so a simulation driven by a
+// seeded RNG reproduces exactly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time. The unit is whatever the model assigns (the
+// database model uses milliseconds; the infinite-resource experiments use
+// abstract units of processing).
+type Time = float64
+
+// event is one scheduled callback.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// New returns a fresh simulator at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics — it would silently corrupt causality.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d time units from now.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Step fires the next event; it reports false when no events remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.t
+	e.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ t, then advances the clock to t.
+func (s *Sim) RunUntil(t Time) {
+	for len(s.events) > 0 && s.events[0].t <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Resource is a multi-server FCFS service station (a CSIM "facility"):
+// requests are served by up to Servers at once; excess requests wait in
+// FIFO order. Statistics accumulate for utilization and waiting analysis.
+type Resource struct {
+	sim     *Sim
+	name    string
+	servers int
+
+	busy  int
+	queue []request
+
+	// statistics
+	completed    uint64
+	totalWait    float64 // sum of queueing delays
+	totalService float64 // sum of service demands
+	busyIntegral float64 // ∫ busy dt, for utilization
+	lastChange   Time
+}
+
+type request struct {
+	service float64
+	done    func()
+	arrived Time
+}
+
+// NewResource creates a resource with the given number of servers.
+func NewResource(s *Sim, name string, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{sim: s, name: name, servers: servers, lastChange: s.Now()}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Servers returns the number of servers.
+func (r *Resource) Servers() int { return r.servers }
+
+// InService returns the number of requests currently being served.
+func (r *Resource) InService() int { return r.busy }
+
+// QueueLen returns the number of requests waiting for a server.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Use requests service time on the resource; done runs at service
+// completion (after any queueing delay). service must be non-negative.
+func (r *Resource) Use(service float64, done func()) {
+	if service < 0 {
+		panic("sim: negative service demand")
+	}
+	req := request{service: service, done: done, arrived: r.sim.Now()}
+	if r.busy < r.servers {
+		r.start(req)
+		return
+	}
+	r.queue = append(r.queue, req)
+}
+
+func (r *Resource) start(req request) {
+	r.accumulate()
+	r.busy++
+	r.totalWait += r.sim.Now() - req.arrived
+	r.totalService += req.service
+	r.sim.After(req.service, func() {
+		r.accumulate()
+		r.busy--
+		r.completed++
+		if len(r.queue) > 0 {
+			next := r.queue[0]
+			r.queue = r.queue[1:]
+			r.start(next)
+		}
+		if req.done != nil {
+			req.done()
+		}
+	})
+}
+
+// accumulate folds the busy-time integral up to now.
+func (r *Resource) accumulate() {
+	now := r.sim.Now()
+	r.busyIntegral += float64(r.busy) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Stats is a statistics snapshot of a resource.
+type Stats struct {
+	Completed   uint64  // requests fully served
+	AvgWait     float64 // mean queueing delay per started request
+	Utilization float64 // mean fraction of servers busy since t=0
+}
+
+// Stats returns current statistics. Utilization is relative to elapsed
+// virtual time; it is zero before any time has passed.
+func (r *Resource) Stats() Stats {
+	r.accumulate()
+	st := Stats{Completed: r.completed}
+	started := r.completed + uint64(r.busy)
+	if started > 0 {
+		st.AvgWait = r.totalWait / float64(started)
+	}
+	if now := r.sim.Now(); now > 0 {
+		st.Utilization = r.busyIntegral / (now * float64(r.servers))
+	}
+	return st
+}

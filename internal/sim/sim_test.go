@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatal("clock must start at 0")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(5, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(9, func() { order = append(order, 3) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 9 {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(3, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("simultaneous events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	s := New()
+	var fired Time = -1
+	s.At(10, func() {
+		s.After(5, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 15 {
+		t.Fatalf("After fired at %v, want 15", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past must panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestStepAndPending(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatal("Pending != 2")
+	}
+	if !s.Step() || s.Now() != 1 || s.Pending() != 1 {
+		t.Fatal("Step 1 wrong")
+	}
+	if !s.Step() || s.Now() != 2 {
+		t.Fatal("Step 2 wrong")
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, tm := range []Time{1, 5, 10} {
+		tm := tm
+		s.At(tm, func() { fired = append(fired, tm) })
+	}
+	s.RunUntil(5)
+	if len(fired) != 2 || s.Now() != 5 {
+		t.Fatalf("RunUntil(5): fired=%v now=%v", fired, s.Now())
+	}
+	s.RunUntil(20)
+	if len(fired) != 3 || s.Now() != 20 {
+		t.Fatalf("RunUntil(20): fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestResourceSingleServerFCFS(t *testing.T) {
+	s := New()
+	r := NewResource(s, "disk", 1)
+	var done []Time
+	record := func() { done = append(done, s.Now()) }
+	// Three requests of 5 each arriving at t=0: finish at 5, 10, 15.
+	r.Use(5, record)
+	r.Use(5, record)
+	r.Use(5, record)
+	s.Run()
+	want := []Time{5, 10, 15}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceMultiServer(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu", 2)
+	var done []Time
+	record := func() { done = append(done, s.Now()) }
+	// Four requests of 4 each, 2 servers: finish at 4, 4, 8, 8.
+	for i := 0; i < 4; i++ {
+		r.Use(4, record)
+	}
+	s.Run()
+	want := []Time{4, 4, 8, 8}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceQueueStats(t *testing.T) {
+	s := New()
+	r := NewResource(s, "disk", 1)
+	r.Use(10, nil)
+	r.Use(10, nil) // waits 10
+	r.Use(10, nil) // waits 20
+	if r.QueueLen() != 2 || r.InService() != 1 {
+		t.Fatalf("queue=%d busy=%d", r.QueueLen(), r.InService())
+	}
+	s.Run()
+	st := r.Stats()
+	if st.Completed != 3 {
+		t.Errorf("completed = %d", st.Completed)
+	}
+	if wantAvg := (0.0 + 10 + 20) / 3; math.Abs(st.AvgWait-wantAvg) > 1e-9 {
+		t.Errorf("avg wait = %v, want %v", st.AvgWait, wantAvg)
+	}
+	if math.Abs(st.Utilization-1.0) > 1e-9 { // busy the whole 30 time units
+		t.Errorf("utilization = %v, want 1", st.Utilization)
+	}
+}
+
+func TestResourceUtilizationPartial(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu", 2)
+	r.Use(10, nil) // one of two servers busy for 10
+	s.At(20, func() {})
+	s.Run()
+	st := r.Stats()
+	// 10 busy-server-units over 20 time units × 2 servers = 0.25.
+	if math.Abs(st.Utilization-0.25) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.25", st.Utilization)
+	}
+}
+
+func TestResourceZeroService(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu", 1)
+	fired := false
+	r.Use(0, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Error("zero service must still complete")
+	}
+}
+
+func TestResourceNegativeServicePanics(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative service must panic")
+		}
+	}()
+	r.Use(-1, nil)
+}
+
+func TestResourceNoServersPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("0-server resource must panic")
+		}
+	}()
+	NewResource(s, "bad", 0)
+}
+
+func TestResourceChainedUse(t *testing.T) {
+	// A "process": CPU then disk, repeated twice; verifies composition of
+	// callbacks across resources.
+	s := New()
+	cpu := NewResource(s, "cpu", 1)
+	disk := NewResource(s, "disk", 1)
+	var finish Time
+	var unit func(rounds int)
+	unit = func(rounds int) {
+		if rounds == 0 {
+			finish = s.Now()
+			return
+		}
+		cpu.Use(1, func() {
+			disk.Use(5, func() {
+				unit(rounds - 1)
+			})
+		})
+	}
+	unit(2)
+	s.Run()
+	if finish != 12 { // (1+5)*2
+		t.Fatalf("finish = %v, want 12", finish)
+	}
+}
+
+func TestResourceNameAndServers(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu", 4)
+	if r.Name() != "cpu" || r.Servers() != 4 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New()
+		r := NewResource(s, "x", 2)
+		var done []Time
+		for i := 0; i < 20; i++ {
+			d := float64(i%5 + 1)
+			s.At(float64(i)/3, func() {
+				r.Use(d, func() { done = append(done, s.Now()) })
+			})
+		}
+		s.Run()
+		return done
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

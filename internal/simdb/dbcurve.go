@@ -1,0 +1,136 @@
+package simdb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// CurvePoint is one measured (Gmpl, UnitTime) pair.
+type CurvePoint struct {
+	Gmpl     int     // database multiprogramming level
+	UnitTime float64 // mean milliseconds per unit of processing
+}
+
+// DbCurve is the empirically determined Db function of the analytical
+// model: the mapping from the database's multiprogramming level to its
+// response time per unit of processing (Figure 9(a)). Between measured
+// points it interpolates linearly; beyond the last point it extrapolates
+// with the final slope (the curve is asymptotically linear once the
+// bottleneck resource saturates).
+type DbCurve struct {
+	points []CurvePoint
+}
+
+// NewDbCurve builds a curve from measured points (sorted internally).
+func NewDbCurve(points []CurvePoint) *DbCurve {
+	if len(points) == 0 {
+		panic("simdb: empty Db curve")
+	}
+	ps := append([]CurvePoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Gmpl < ps[j].Gmpl })
+	return &DbCurve{points: ps}
+}
+
+// Points returns the measured points in ascending Gmpl order.
+func (c *DbCurve) Points() []CurvePoint { return c.points }
+
+// UnitTime returns Db(gmpl) in milliseconds, interpolating between
+// measurements. gmpl may be fractional (the analytical model works with
+// averages).
+func (c *DbCurve) UnitTime(gmpl float64) float64 {
+	ps := c.points
+	if gmpl <= float64(ps[0].Gmpl) {
+		return ps[0].UnitTime
+	}
+	for i := 1; i < len(ps); i++ {
+		if gmpl <= float64(ps[i].Gmpl) {
+			return lerp(ps[i-1], ps[i], gmpl)
+		}
+	}
+	if len(ps) == 1 {
+		return ps[0].UnitTime
+	}
+	// Extrapolate with the last segment's slope.
+	return lerp(ps[len(ps)-2], ps[len(ps)-1], gmpl)
+}
+
+func lerp(a, b CurvePoint, g float64) float64 {
+	dg := float64(b.Gmpl - a.Gmpl)
+	if dg == 0 {
+		return b.UnitTime
+	}
+	f := (g - float64(a.Gmpl)) / dg
+	return a.UnitTime + f*(b.UnitTime-a.UnitTime)
+}
+
+// String renders the curve compactly for reports.
+func (c *DbCurve) String() string {
+	s := "Db{"
+	for i, p := range c.points {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%.2f", p.Gmpl, p.UnitTime)
+	}
+	return s + "}"
+}
+
+// MeasureDbCurve runs a closed-loop calibration against a fresh server for
+// each requested multiprogramming level: gmpl perpetual workers each
+// execute single-unit queries back to back, and the mean per-unit response
+// time is measured over unitsPerLevel completed units (after discarding the
+// first tenth as warm-up). This is how the paper "empirically determined"
+// its Db function.
+func MeasureDbCurve(p Params, levels []int, unitsPerLevel int, seed int64) *DbCurve {
+	if unitsPerLevel < 10 {
+		unitsPerLevel = 10
+	}
+	points := make([]CurvePoint, 0, len(levels))
+	for _, g := range levels {
+		if g < 1 {
+			panic(fmt.Sprintf("simdb: Gmpl level %d < 1", g))
+		}
+		points = append(points, CurvePoint{Gmpl: g, UnitTime: measureLevel(p, g, unitsPerLevel, seed)})
+	}
+	return NewDbCurve(points)
+}
+
+func measureLevel(p Params, gmpl, units int, seed int64) float64 {
+	s := sim.New()
+	db := NewServer(s, p, seed)
+	warmup := units / 10
+	measured := 0
+	var sum float64
+	stop := false
+
+	var worker func()
+	worker = func() {
+		if stop {
+			return
+		}
+		start := s.Now()
+		db.Submit(1, func() {
+			if !stop {
+				if db.UnitsDone() > uint64(warmup) {
+					sum += s.Now() - start
+					measured++
+					if measured >= units {
+						stop = true
+						return
+					}
+				}
+				worker()
+			}
+		})
+	}
+	for i := 0; i < gmpl; i++ {
+		worker()
+	}
+	s.Run()
+	if measured == 0 {
+		return 0
+	}
+	return sum / float64(measured)
+}

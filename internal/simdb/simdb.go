@@ -1,0 +1,220 @@
+// Package simdb models the external database server of the paper's
+// experiments (§5): a physical model in the style of Agrawal, Carey and
+// Livny [ACL87] where CPUs and disks are service queues.
+//
+// A query's cost is expressed in units of processing. Executing one unit
+// consumes CPU service time on one of the database's CPUs and, per accessed
+// page, a disk IO on one of its disks unless the page hits the buffer pool.
+// Units of one query execute sequentially; units of different queries
+// compete for the same CPUs and disks, which is what makes the database's
+// per-unit response time (UnitTime) grow with its multiprogramming level
+// (Gmpl) — the empirically measured Db function of Figure 9(a).
+//
+// Defaults reproduce Table 1's last six rows: 4 CPUs, 10 disks, unit CPU
+// cost 1 (ms), 1 IO page per unit, 50 % buffer hit probability, 5 ms IO
+// delay.
+//
+// The package also provides Unbounded, the infinite-resource database used
+// by the first half of the evaluation, where a query of cost c simply
+// completes c units of virtual time after submission.
+package simdb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Params configures the simulated database (Table 1, last six rows).
+type Params struct {
+	// NumCPUs is the number of CPU servers (Table 1: 4).
+	NumCPUs int
+	// NumDisks is the number of disk servers (Table 1: 10).
+	NumDisks int
+	// UnitCPUTime is the CPU service demand, in milliseconds, of one unit
+	// of processing (Table 1: unit_CPU_cost = 1).
+	UnitCPUTime float64
+	// UnitIOPages is the number of page accesses per unit of processing
+	// (Table 1: unit_IO_cost = 1).
+	UnitIOPages int
+	// IOHitProb is the probability a page access hits the buffer pool and
+	// needs no disk IO (Table 1: %IO_hit = 50 → 0.5).
+	IOHitProb float64
+	// IODelay is the disk service time per physical IO in milliseconds
+	// (Table 1: IO_delay = 5).
+	IODelay float64
+	// OverheadUnits is a fixed per-query cost in units of processing
+	// (parsing, optimization, connection handling), charged before the
+	// query's own units. It is 0 in the paper's Table 1 configuration; the
+	// query-clustering ablation (§6 future work) sets it positive so that
+	// batching queries amortizes the overhead.
+	OverheadUnits int
+}
+
+// DefaultParams returns the Table 1 database configuration.
+func DefaultParams() Params {
+	return Params{
+		NumCPUs:     4,
+		NumDisks:    10,
+		UnitCPUTime: 1,
+		UnitIOPages: 1,
+		IOHitProb:   0.5,
+		IODelay:     5,
+	}
+}
+
+// validate panics on nonsensical parameters; configurations come from code,
+// not user input, so misconfiguration is a programming error.
+func (p Params) validate() {
+	if p.NumCPUs < 1 || p.NumDisks < 1 {
+		panic(fmt.Sprintf("simdb: need at least one CPU and disk (got %d, %d)", p.NumCPUs, p.NumDisks))
+	}
+	if p.UnitCPUTime < 0 || p.IODelay < 0 || p.UnitIOPages < 0 {
+		panic("simdb: negative service demands")
+	}
+	if p.IOHitProb < 0 || p.IOHitProb > 1 {
+		panic(fmt.Sprintf("simdb: IOHitProb %v out of [0,1]", p.IOHitProb))
+	}
+	if p.OverheadUnits < 0 {
+		panic("simdb: negative per-query overhead")
+	}
+}
+
+// Unbounded is the infinite-resource database: one unit of processing takes
+// exactly one unit of virtual time, with no contention. TimeInUnits and
+// Work in the paper's first experiment block are measured against it.
+type Unbounded struct {
+	S *sim.Sim
+}
+
+// Submit schedules done to run cost time units from now.
+func (u *Unbounded) Submit(cost int, done func()) {
+	if cost < 0 {
+		panic("simdb: negative query cost")
+	}
+	u.S.After(float64(cost), done)
+}
+
+// Server is the bounded-resource database.
+type Server struct {
+	s      *sim.Sim
+	params Params
+	cpus   *sim.Resource
+	disks  *sim.Resource
+	rng    *rand.Rand
+
+	active         int     // queries currently executing (= Gmpl)
+	activeIntegral float64 // ∫ active dt
+	lastChange     sim.Time
+	unitsDone      uint64
+	unitTimeSum    float64 // sum of individual unit durations
+	queriesDone    uint64
+}
+
+// NewServer creates a database server on the given simulator. seed fixes
+// the buffer-hit coin flips, making runs reproducible.
+func NewServer(s *sim.Sim, p Params, seed int64) *Server {
+	p.validate()
+	return &Server{
+		s:          s,
+		params:     p,
+		cpus:       sim.NewResource(s, "cpu", p.NumCPUs),
+		disks:      sim.NewResource(s, "disk", p.NumDisks),
+		rng:        rand.New(rand.NewSource(seed)),
+		lastChange: s.Now(),
+	}
+}
+
+// Params returns the server's configuration.
+func (db *Server) Params() Params { return db.params }
+
+// Submit starts a query of the given cost; done runs when its last unit
+// completes. cost 0 completes immediately (at the current time, via an
+// event, preserving causal ordering).
+func (db *Server) Submit(cost int, done func()) {
+	if cost < 0 {
+		panic("simdb: negative query cost")
+	}
+	if cost == 0 {
+		db.s.After(0, done)
+		return
+	}
+	db.noteActive(+1)
+	db.runUnit(cost+db.params.OverheadUnits, done)
+}
+
+// runUnit executes one unit of processing, then recurses for the remainder.
+func (db *Server) runUnit(remaining int, done func()) {
+	unitStart := db.s.Now()
+	db.cpus.Use(db.params.UnitCPUTime, func() {
+		db.ioPhase(db.params.UnitIOPages, func() {
+			db.unitsDone++
+			db.unitTimeSum += db.s.Now() - unitStart
+			if remaining > 1 {
+				db.runUnit(remaining-1, done)
+				return
+			}
+			db.queriesDone++
+			db.noteActive(-1)
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// ioPhase performs the unit's page accesses sequentially; buffer hits skip
+// the disk entirely.
+func (db *Server) ioPhase(pages int, then func()) {
+	if pages == 0 {
+		then()
+		return
+	}
+	if db.rng.Float64() < db.params.IOHitProb {
+		db.ioPhase(pages-1, then)
+		return
+	}
+	db.disks.Use(db.params.IODelay, func() {
+		db.ioPhase(pages-1, then)
+	})
+}
+
+func (db *Server) noteActive(delta int) {
+	now := db.s.Now()
+	db.activeIntegral += float64(db.active) * (now - db.lastChange)
+	db.lastChange = now
+	db.active += delta
+}
+
+// Active returns the current multiprogramming level Gmpl: the number of
+// queries executing on the database right now.
+func (db *Server) Active() int { return db.active }
+
+// AvgActive returns the time-averaged multiprogramming level since t=0.
+func (db *Server) AvgActive() float64 {
+	now := db.s.Now()
+	if now == 0 {
+		return 0
+	}
+	return (db.activeIntegral + float64(db.active)*(now-db.lastChange)) / now
+}
+
+// UnitsDone returns the total units of processing completed.
+func (db *Server) UnitsDone() uint64 { return db.unitsDone }
+
+// QueriesDone returns the total queries completed.
+func (db *Server) QueriesDone() uint64 { return db.queriesDone }
+
+// AvgUnitTime returns the mean response time per unit of processing, in
+// milliseconds — the UnitTime of the analytical model.
+func (db *Server) AvgUnitTime() float64 {
+	if db.unitsDone == 0 {
+		return 0
+	}
+	return db.unitTimeSum / float64(db.unitsDone)
+}
+
+// CPUStats and DiskStats expose the underlying resource statistics.
+func (db *Server) CPUStats() sim.Stats  { return db.cpus.Stats() }
+func (db *Server) DiskStats() sim.Stats { return db.disks.Stats() }

@@ -1,0 +1,280 @@
+package simdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.NumCPUs != 4 || p.NumDisks != 10 || p.UnitCPUTime != 1 ||
+		p.UnitIOPages != 1 || p.IOHitProb != 0.5 || p.IODelay != 5 {
+		t.Fatalf("defaults diverge from Table 1: %+v", p)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := []Params{
+		{NumCPUs: 0, NumDisks: 1},
+		{NumCPUs: 1, NumDisks: 0},
+		{NumCPUs: 1, NumDisks: 1, UnitCPUTime: -1},
+		{NumCPUs: 1, NumDisks: 1, IOHitProb: 1.5},
+		{NumCPUs: 1, NumDisks: 1, IOHitProb: -0.1},
+		{NumCPUs: 1, NumDisks: 1, UnitIOPages: -1},
+		{NumCPUs: 1, NumDisks: 1, IODelay: -1},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad params should panic: %+v", i, p)
+				}
+			}()
+			s := sim.New()
+			NewServer(s, p, 1)
+		}()
+	}
+}
+
+func TestUnboundedTiming(t *testing.T) {
+	s := sim.New()
+	u := &Unbounded{S: s}
+	var doneAt []sim.Time
+	u.Submit(3, func() { doneAt = append(doneAt, s.Now()) })
+	u.Submit(5, func() { doneAt = append(doneAt, s.Now()) })
+	s.Run()
+	if len(doneAt) != 2 || doneAt[0] != 3 || doneAt[1] != 5 {
+		t.Fatalf("unbounded completions = %v", doneAt)
+	}
+}
+
+func TestUnboundedNoContention(t *testing.T) {
+	s := sim.New()
+	u := &Unbounded{S: s}
+	n := 0
+	for i := 0; i < 100; i++ {
+		u.Submit(4, func() { n++ })
+	}
+	s.Run()
+	if n != 100 || s.Now() != 4 {
+		t.Fatalf("100 parallel cost-4 queries should all finish at t=4, got t=%v", s.Now())
+	}
+}
+
+func TestUnboundedNegativeCostPanics(t *testing.T) {
+	s := sim.New()
+	u := &Unbounded{S: s}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cost must panic")
+		}
+	}()
+	u.Submit(-1, nil)
+}
+
+func TestServerSingleQueryNoIO(t *testing.T) {
+	// With IOHitProb=1 every page hits the buffer: a cost-c query takes
+	// exactly c × UnitCPUTime on an idle server.
+	s := sim.New()
+	p := DefaultParams()
+	p.IOHitProb = 1
+	db := NewServer(s, p, 42)
+	var at sim.Time = -1
+	db.Submit(3, func() { at = s.Now() })
+	s.Run()
+	if at != 3 {
+		t.Fatalf("completion at %v, want 3 (3 units × 1 ms CPU)", at)
+	}
+	if db.UnitsDone() != 3 || db.QueriesDone() != 1 {
+		t.Fatalf("units=%d queries=%d", db.UnitsDone(), db.QueriesDone())
+	}
+}
+
+func TestServerAllMisses(t *testing.T) {
+	// IOHitProb=0: every unit takes CPU + one disk IO = 1 + 5 ms.
+	s := sim.New()
+	p := DefaultParams()
+	p.IOHitProb = 0
+	db := NewServer(s, p, 42)
+	var at sim.Time = -1
+	db.Submit(2, func() { at = s.Now() })
+	s.Run()
+	if at != 12 {
+		t.Fatalf("completion at %v, want 12", at)
+	}
+	if math.Abs(db.AvgUnitTime()-6) > 1e-9 {
+		t.Fatalf("AvgUnitTime = %v, want 6", db.AvgUnitTime())
+	}
+}
+
+func TestServerZeroCost(t *testing.T) {
+	s := sim.New()
+	db := NewServer(s, DefaultParams(), 1)
+	fired := false
+	db.Submit(0, func() { fired = true })
+	s.Run()
+	if !fired || db.QueriesDone() != 0 {
+		t.Error("zero-cost query should complete without touching resources")
+	}
+}
+
+func TestServerNegativeCostPanics(t *testing.T) {
+	s := sim.New()
+	db := NewServer(s, DefaultParams(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cost must panic")
+		}
+	}()
+	db.Submit(-2, nil)
+}
+
+func TestServerCPUContention(t *testing.T) {
+	// 8 single-unit queries, 4 CPUs, no IO: two CPU waves of 1 ms.
+	s := sim.New()
+	p := DefaultParams()
+	p.IOHitProb = 1
+	db := NewServer(s, p, 7)
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		db.Submit(1, func() { last = s.Now() })
+	}
+	s.Run()
+	if last != 2 {
+		t.Fatalf("last completion at %v, want 2 (two CPU waves)", last)
+	}
+}
+
+func TestServerActiveTracking(t *testing.T) {
+	s := sim.New()
+	p := DefaultParams()
+	p.IOHitProb = 1
+	db := NewServer(s, p, 7)
+	db.Submit(4, nil)
+	db.Submit(4, nil)
+	if db.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", db.Active())
+	}
+	s.Run()
+	if db.Active() != 0 {
+		t.Fatalf("Active after completion = %d", db.Active())
+	}
+	if avg := db.AvgActive(); math.Abs(avg-2) > 0.2 {
+		t.Errorf("AvgActive = %v, want ≈2", avg)
+	}
+}
+
+func TestServerDeterministicWithSeed(t *testing.T) {
+	run := func(seed int64) sim.Time {
+		s := sim.New()
+		db := NewServer(s, DefaultParams(), seed)
+		var last sim.Time
+		for i := 0; i < 50; i++ {
+			db.Submit(3, func() { last = s.Now() })
+		}
+		s.Run()
+		return last
+	}
+	if run(5) != run(5) {
+		t.Error("same seed must reproduce")
+	}
+	// Different seeds almost surely differ (buffer-hit coin flips).
+	if run(5) == run(6) {
+		t.Log("note: different seeds coincided; not failing but suspicious")
+	}
+}
+
+func TestResourceStatsExposed(t *testing.T) {
+	s := sim.New()
+	p := DefaultParams()
+	p.IOHitProb = 0
+	db := NewServer(s, p, 3)
+	db.Submit(5, nil)
+	s.Run()
+	if db.CPUStats().Completed != 5 {
+		t.Errorf("cpu completions = %d, want 5", db.CPUStats().Completed)
+	}
+	if db.DiskStats().Completed != 5 {
+		t.Errorf("disk completions = %d, want 5", db.DiskStats().Completed)
+	}
+}
+
+func TestDbCurveInterpolation(t *testing.T) {
+	c := NewDbCurve([]CurvePoint{{Gmpl: 10, UnitTime: 20}, {Gmpl: 1, UnitTime: 4}, {Gmpl: 5, UnitTime: 10}})
+	// Sorted internally.
+	if c.Points()[0].Gmpl != 1 {
+		t.Fatal("points not sorted")
+	}
+	cases := []struct{ g, want float64 }{
+		{0.5, 4}, // clamp below
+		{1, 4},
+		{3, 7}, // midpoint of (1,4)-(5,10)
+		{5, 10},
+		{7.5, 15}, // midpoint of (5,10)-(10,20)
+		{10, 20},
+		{15, 30}, // extrapolate slope 2
+	}
+	for _, cse := range cases {
+		if got := c.UnitTime(cse.g); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("UnitTime(%v) = %v, want %v", cse.g, got, cse.want)
+		}
+	}
+}
+
+func TestDbCurveSinglePoint(t *testing.T) {
+	c := NewDbCurve([]CurvePoint{{Gmpl: 4, UnitTime: 8}})
+	for _, g := range []float64{1, 4, 100} {
+		if c.UnitTime(g) != 8 {
+			t.Errorf("single-point curve should be constant, got %v at %v", c.UnitTime(g), g)
+		}
+	}
+}
+
+func TestDbCurveEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty curve must panic")
+		}
+	}()
+	NewDbCurve(nil)
+}
+
+func TestMeasureDbCurveMonotone(t *testing.T) {
+	// The measured Db function must be (weakly) increasing in Gmpl and
+	// bounded below by the no-contention unit time.
+	curve := MeasureDbCurve(DefaultParams(), []int{1, 4, 8, 16, 32}, 400, 11)
+	pts := curve.Points()
+	minUnit := 1.0 // UnitCPUTime; IO adds more on misses
+	prev := 0.0
+	for _, p := range pts {
+		if p.UnitTime < minUnit {
+			t.Errorf("UnitTime(%d) = %v below physical floor", p.Gmpl, p.UnitTime)
+		}
+		if p.UnitTime+1e-6 < prev {
+			t.Errorf("Db not monotone at %d: %v after %v", p.Gmpl, p.UnitTime, prev)
+		}
+		prev = p.UnitTime
+	}
+	// Heavy load must be clearly slower than light load.
+	if pts[len(pts)-1].UnitTime < 1.5*pts[0].UnitTime {
+		t.Errorf("contention too weak: %v -> %v", pts[0].UnitTime, pts[len(pts)-1].UnitTime)
+	}
+}
+
+func TestMeasureDbCurveBadLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("level < 1 must panic")
+		}
+	}()
+	MeasureDbCurve(DefaultParams(), []int{0}, 100, 1)
+}
+
+func TestDbCurveString(t *testing.T) {
+	c := NewDbCurve([]CurvePoint{{Gmpl: 1, UnitTime: 3.5}})
+	if c.String() != "Db{1:3.50}" {
+		t.Errorf("String = %q", c.String())
+	}
+}

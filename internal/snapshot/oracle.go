@@ -1,0 +1,99 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Complete computes the unique complete snapshot of §2's declarative
+// semantics for the given source values: processing attributes in
+// topological order, each non-source attribute is VALUE (with its task's
+// output) if its enabling condition evaluates true over the already-stable
+// prefix, DISABLED (with ⟂) otherwise. Acyclicity guarantees uniqueness.
+//
+// Complete is the oracle against which optimized executions are checked,
+// and is itself the paper's "straightforward approach" baseline (a
+// topological-sort execution) when paired with cost accounting in the
+// engine package.
+func Complete(s *core.Schema, sources map[string]value.Value) *Snapshot {
+	sn := New(s, sources)
+	for _, id := range s.TopoOrder() {
+		a := s.Attr(id)
+		if a.IsSource() {
+			continue
+		}
+		t := expr.MustEval(a.Enabling, sn.Env())
+		if t == expr.True {
+			var v value.Value
+			if a.Task != nil && a.Task.Compute != nil {
+				v = a.Task.Compute(sn.Inputs(id))
+			}
+			sn.MustTransition(id, ReadyEnabled)
+			if err := sn.SetValue(id, v); err != nil {
+				panic(err)
+			}
+		} else {
+			sn.MustTransition(id, Disabled)
+		}
+	}
+	return sn
+}
+
+// CheckAgainstOracle verifies that an execution snapshot is correct with
+// respect to the declarative semantics: every target attribute must be
+// stable with the oracle's state and value, and no attribute may have
+// reached a terminal state that contradicts the oracle. (States and values
+// of non-target attributes that were never stabilized are irrelevant, per
+// the paper.)
+func CheckAgainstOracle(exec, oracle *Snapshot) error {
+	s := exec.Schema()
+	if s != oracle.Schema() {
+		return fmt.Errorf("snapshot: exec and oracle use different schemas")
+	}
+	for i := 0; i < s.NumAttrs(); i++ {
+		id := core.AttrID(i)
+		a := s.Attr(id)
+		es, os := exec.State(id), oracle.State(id)
+		if a.IsTarget && !es.Stable() {
+			return fmt.Errorf("snapshot: target %q not stable (state %v)", a.Name, es)
+		}
+		if !es.Stable() {
+			continue
+		}
+		if es != os {
+			return fmt.Errorf("snapshot: %q stabilized as %v but oracle says %v", a.Name, es, os)
+		}
+		if es == Value && !value.Identical(exec.Val(id), oracle.Val(id)) {
+			return fmt.Errorf("snapshot: %q has value %v but oracle says %v",
+				a.Name, exec.Val(id), oracle.Val(id))
+		}
+	}
+	return nil
+}
+
+// Record is one attribute's row in the relational export of a snapshot.
+type Record struct {
+	Attr  string `json:"attr"`
+	State string `json:"state"`
+	Value string `json:"value,omitempty"`
+}
+
+// Relation exports the snapshot as a flat relation, one tuple per
+// attribute — the paper's §2 observation that snapshots "provide a basis
+// for reporting on the behavior of a decision flow" and feed post-hoc data
+// mining of the decision policy.
+func (sn *Snapshot) Relation() []Record {
+	out := make([]Record, sn.schema.NumAttrs())
+	for i := range out {
+		id := core.AttrID(i)
+		r := Record{Attr: sn.schema.Attr(id).Name, State: sn.states[id].String()}
+		if sn.states[id] == Value || sn.states[id] == Computed {
+			r.Value = sn.vals[id].String()
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package snapshot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var allStates = []State{Uninitialized, Enabled, Ready, ReadyEnabled, Computed, Value, Disabled}
+
+func stateFrom(b byte) State { return allStates[int(b)%len(allStates)] }
+
+// Property: Allowed is reflexive.
+func TestQuickAllowedReflexive(t *testing.T) {
+	f := func(b byte) bool { return Allowed(stateFrom(b), stateFrom(b)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: terminal states admit no outgoing transitions (other than
+// self).
+func TestQuickTerminalAbsorbing(t *testing.T) {
+	f := func(b byte) bool {
+		to := stateFrom(b)
+		for _, from := range []State{Value, Disabled} {
+			if to != from && Allowed(from, to) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transitive closure stays legal along Figure 3's forward
+// direction — if a→b and b→c are allowed and b is not terminal, then the
+// information ordering implies a→c is allowed too (the automaton is a
+// partial order plus the disable escape).
+func TestQuickAllowedTransitiveOnInfoGrowth(t *testing.T) {
+	f := func(x, y, z byte) bool {
+		a, b, c := stateFrom(x), stateFrom(y), stateFrom(z)
+		if !Allowed(a, b) || !Allowed(b, c) {
+			return true // premise fails: vacuous
+		}
+		return Allowed(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no state can both precede ENABLED-carrying states and later be
+// DISABLED — i.e. if Allowed(s, Disabled) then s carries no established
+// true condition (ENABLED, READY+ENABLED and VALUE are excluded).
+func TestQuickDisableOnlyWithoutEnabled(t *testing.T) {
+	f := func(b byte) bool {
+		s := stateFrom(b)
+		if !Allowed(s, Disabled) {
+			return true
+		}
+		switch s {
+		case Enabled, ReadyEnabled, Value:
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

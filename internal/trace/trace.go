@@ -1,0 +1,284 @@
+// Package trace records decision flow executions as the "series of
+// snapshots" of the paper's §3: a timestamped log of every attribute state
+// transition, task launch and completion. Traces serve three purposes:
+//
+//   - debugging and teaching: Render prints a readable timeline of an
+//     execution, making eagerness, speculation and waste visible;
+//   - verification: Check validates the trace against the Figure 3
+//     automaton and the monotonicity property (attributes never leave a
+//     stable state, values are assigned at most once);
+//   - analytics: traces feed the mining package's cross-execution
+//     reporting.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/snapshot"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// Transition is an attribute state change.
+	Transition Kind = iota
+	// Launch is a foreign task submitted to the database.
+	Launch
+	// Complete is a foreign task result arriving (possibly discarded).
+	Complete
+	// SynthesisRun is a synthesis task executed locally.
+	SynthesisRun
+	// Terminal marks the instance reaching a terminal snapshot.
+	Terminal
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case Transition:
+		return "transition"
+	case Launch:
+		return "launch"
+	case Complete:
+		return "complete"
+	case SynthesisRun:
+		return "synthesis"
+	case Terminal:
+		return "terminal"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of a trace.
+type Event struct {
+	// T is the virtual time of the event.
+	T float64
+	// Kind classifies the event.
+	Kind Kind
+	// Attr is the attribute involved (NoAttr for Terminal).
+	Attr core.AttrID
+	// From and To are set for Transition events.
+	From, To snapshot.State
+	// Cost is set for Launch events (units of processing).
+	Cost int
+	// Speculative marks launches made while the enabling condition was
+	// still undetermined, and completions whose results were discarded.
+	Speculative bool
+	// Discarded marks Complete events whose result was thrown away.
+	Discarded bool
+}
+
+// Trace is the recorded event log of one instance.
+type Trace struct {
+	Schema *core.Schema
+	Events []Event
+}
+
+// Recorder captures a trace through engine.Hooks. Use NewRecorder, pass
+// Hooks() to the engine, then read Trace after the run.
+type Recorder struct {
+	tr Trace
+}
+
+// NewRecorder creates a recorder for instances of the given schema.
+func NewRecorder(s *core.Schema) *Recorder {
+	return &Recorder{tr: Trace{Schema: s}}
+}
+
+// Hooks returns the engine hooks that feed this recorder.
+func (r *Recorder) Hooks() engine.Hooks {
+	return engine.Hooks{
+		OnTransition: func(t float64, id core.AttrID, from, to snapshot.State) {
+			r.tr.Events = append(r.tr.Events, Event{T: t, Kind: Transition, Attr: id, From: from, To: to})
+		},
+		OnLaunch: func(t float64, id core.AttrID, cost int, speculative bool) {
+			r.tr.Events = append(r.tr.Events, Event{T: t, Kind: Launch, Attr: id, Cost: cost, Speculative: speculative})
+		},
+		OnComplete: func(t float64, id core.AttrID, discarded bool) {
+			r.tr.Events = append(r.tr.Events, Event{T: t, Kind: Complete, Attr: id, Discarded: discarded})
+		},
+		OnSynthesis: func(t float64, id core.AttrID) {
+			r.tr.Events = append(r.tr.Events, Event{T: t, Kind: SynthesisRun, Attr: id})
+		},
+		OnTerminal: func(t float64) {
+			r.tr.Events = append(r.tr.Events, Event{T: t, Kind: Terminal, Attr: core.NoAttr})
+		},
+	}
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return &r.tr }
+
+// Check validates the trace against the execution model:
+//
+//   - every Transition is legal per the Figure 3 automaton;
+//   - no attribute transitions after reaching a stable state;
+//   - every non-speculative Launch happens in READY+ENABLED, every
+//     speculative one in READY;
+//   - at most one Launch per attribute (queries are never re-issued);
+//   - events are time-ordered.
+func (t *Trace) Check() error {
+	state := make(map[core.AttrID]snapshot.State)
+	launched := make(map[core.AttrID]bool)
+	lastT := 0.0
+	for i, e := range t.Events {
+		if e.T < lastT {
+			return fmt.Errorf("trace: event %d at t=%v before t=%v", i, e.T, lastT)
+		}
+		lastT = e.T
+		switch e.Kind {
+		case Transition:
+			cur, ok := state[e.Attr]
+			if !ok {
+				cur = snapshot.Uninitialized
+			}
+			if cur != e.From {
+				return fmt.Errorf("trace: event %d: %s transitions from %v but was %v",
+					i, t.name(e.Attr), e.From, cur)
+			}
+			if cur.Stable() {
+				return fmt.Errorf("trace: event %d: %s transitions out of stable %v",
+					i, t.name(e.Attr), cur)
+			}
+			if !snapshot.Allowed(e.From, e.To) {
+				return fmt.Errorf("trace: event %d: illegal %v -> %v for %s",
+					i, e.From, e.To, t.name(e.Attr))
+			}
+			state[e.Attr] = e.To
+		case Launch:
+			if launched[e.Attr] {
+				return fmt.Errorf("trace: event %d: %s launched twice", i, t.name(e.Attr))
+			}
+			launched[e.Attr] = true
+			st := state[e.Attr]
+			if e.Speculative && st != snapshot.Ready {
+				return fmt.Errorf("trace: event %d: speculative launch of %s in %v",
+					i, t.name(e.Attr), st)
+			}
+			if !e.Speculative && st != snapshot.ReadyEnabled {
+				return fmt.Errorf("trace: event %d: launch of %s in %v", i, t.name(e.Attr), st)
+			}
+		case Complete:
+			if !launched[e.Attr] {
+				return fmt.Errorf("trace: event %d: completion of unlaunched %s", i, t.name(e.Attr))
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Trace) name(id core.AttrID) string {
+	if id == core.NoAttr {
+		return "<none>"
+	}
+	return t.Schema.Attr(id).Name
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Transitions   int
+	Launches      int
+	Speculative   int
+	Discarded     int
+	SynthesisRuns int
+	Duration      float64
+}
+
+// Stats computes summary statistics.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	for _, e := range t.Events {
+		switch e.Kind {
+		case Transition:
+			s.Transitions++
+		case Launch:
+			s.Launches++
+			if e.Speculative {
+				s.Speculative++
+			}
+		case Complete:
+			if e.Discarded {
+				s.Discarded++
+			}
+		case SynthesisRun:
+			s.SynthesisRuns++
+		case Terminal:
+			s.Duration = e.T
+		}
+	}
+	return s
+}
+
+// Render prints the trace as a timeline, one line per event, grouped by
+// time.
+func (t *Trace) Render() string {
+	var sb strings.Builder
+	for _, e := range t.Events {
+		fmt.Fprintf(&sb, "t=%-8.4g ", e.T)
+		switch e.Kind {
+		case Transition:
+			fmt.Fprintf(&sb, "%-20s %v -> %v", t.name(e.Attr), e.From, e.To)
+		case Launch:
+			tag := ""
+			if e.Speculative {
+				tag = " (speculative)"
+			}
+			fmt.Fprintf(&sb, "%-20s launch cost=%d%s", t.name(e.Attr), e.Cost, tag)
+		case Complete:
+			tag := ""
+			if e.Discarded {
+				tag = " (discarded)"
+			}
+			fmt.Fprintf(&sb, "%-20s complete%s", t.name(e.Attr), tag)
+		case SynthesisRun:
+			fmt.Fprintf(&sb, "%-20s synthesized", t.name(e.Attr))
+		case Terminal:
+			fmt.Fprintf(&sb, "%-20s", "** terminal snapshot **")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ByAttr returns the events touching one attribute, in order.
+func (t *Trace) ByAttr(name string) []Event {
+	a, ok := t.Schema.Lookup(name)
+	if !ok {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.Events {
+		if e.Attr == a.ID() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FinalStates reconstructs each attribute's last observed state, sorted by
+// attribute name (attributes never observed are omitted).
+func (t *Trace) FinalStates() map[string]snapshot.State {
+	out := map[string]snapshot.State{}
+	for _, e := range t.Events {
+		if e.Kind == Transition {
+			out[t.name(e.Attr)] = e.To
+		}
+	}
+	return out
+}
+
+// SortedNames returns the attribute names present in FinalStates, sorted.
+func SortedNames(m map[string]snapshot.State) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

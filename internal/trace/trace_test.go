@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/simdb"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// specFlow: b launches speculatively; a decides b's fate.
+func specFlow(t testing.TB, aVal int64) *core.Schema {
+	t.Helper()
+	return core.NewBuilder("spec").
+		Source("src").
+		Foreign("a", expr.TrueExpr, []string{"src"}, 2, core.ConstCompute(value.Int(aVal))).
+		Foreign("b", expr.MustParse("a > 0"), []string{"src"}, 3, core.ConstCompute(value.Int(7))).
+		SynthesisExpr("s", expr.TrueExpr, expr.MustParse("coalesce(b, 0)")).
+		Foreign("tgt", expr.TrueExpr, []string{"s"}, 1, core.ConstCompute(value.Int(9))).
+		Target("tgt").
+		MustBuild()
+}
+
+// record runs one instance with a recorder attached.
+func record(t testing.TB, s *core.Schema, code string) (*Trace, *engine.Result) {
+	t.Helper()
+	rec := NewRecorder(s)
+	sm := sim.New()
+	e := &engine.Engine{
+		Sim:      sm,
+		DB:       &simdb.Unbounded{S: sm},
+		Strategy: engine.MustParseStrategy(code),
+		Hooks:    rec.Hooks(),
+	}
+	res := e.Start(s, nil, nil)
+	sm.Run()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return rec.Trace(), res
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Transition: "transition", Launch: "launch", Complete: "complete",
+		SynthesisRun: "synthesis", Terminal: "terminal", Kind(9): "Kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestTraceCapturesLifecycle(t *testing.T) {
+	tr, res := record(t, specFlow(t, 5), "PSE100")
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Launches != res.Launched {
+		t.Errorf("trace launches %d != result %d", st.Launches, res.Launched)
+	}
+	if st.SynthesisRuns != res.SynthesisRuns {
+		t.Errorf("trace synthesis %d != result %d", st.SynthesisRuns, res.SynthesisRuns)
+	}
+	if st.Duration != res.Elapsed {
+		t.Errorf("trace duration %v != result elapsed %v", st.Duration, res.Elapsed)
+	}
+	if st.Transitions == 0 {
+		t.Error("no transitions recorded")
+	}
+	// b launched speculatively (condition undetermined at t=0).
+	if st.Speculative != 1 {
+		t.Errorf("speculative launches = %d, want 1", st.Speculative)
+	}
+	if st.Discarded != 0 {
+		t.Errorf("discards = %d, want 0 (condition came true)", st.Discarded)
+	}
+}
+
+func TestTraceRecordsDiscard(t *testing.T) {
+	tr, res := record(t, specFlow(t, -1), "PSE100")
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Discarded != 1 {
+		t.Errorf("discards = %d, want 1 (b disabled mid-flight)", st.Discarded)
+	}
+	if res.WastedWork == 0 {
+		t.Error("result should report wasted work")
+	}
+	// b's event sequence: READY, launch(spec), DISABLED, complete(discarded).
+	events := tr.ByAttr("b")
+	var kinds []string
+	for _, e := range events {
+		if e.Kind == Transition {
+			kinds = append(kinds, e.To.String())
+		} else {
+			kinds = append(kinds, e.Kind.String())
+		}
+	}
+	want := []string{"READY", "launch", "DISABLED", "complete"}
+	if len(kinds) != len(want) {
+		t.Fatalf("b events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("b events = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestTraceFinalStatesMatchSnapshot(t *testing.T) {
+	s := specFlow(t, 5)
+	tr, res := record(t, s, "PCE100")
+	finals := tr.FinalStates()
+	for _, name := range SortedNames(finals) {
+		id := s.MustLookup(name).ID()
+		if res.Snapshot.State(id) != finals[name] {
+			t.Errorf("%s: trace final %v != snapshot %v", name, finals[name], res.Snapshot.State(id))
+		}
+	}
+}
+
+func TestRenderReadable(t *testing.T) {
+	tr, _ := record(t, specFlow(t, -1), "PSE100")
+	out := tr.Render()
+	for _, want := range []string{"launch cost=3 (speculative)", "complete (discarded)", "terminal snapshot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckDetectsBadTraces(t *testing.T) {
+	s := specFlow(t, 5)
+	a := s.MustLookup("a").ID()
+	cases := []struct {
+		name   string
+		events []Event
+		want   string
+	}{
+		{"time going backwards", []Event{
+			{T: 5, Kind: Transition, Attr: a, From: snapshot.Uninitialized, To: snapshot.Ready},
+			{T: 1, Kind: Transition, Attr: a, From: snapshot.Ready, To: snapshot.ReadyEnabled},
+		}, "before"},
+		{"wrong from-state", []Event{
+			{T: 0, Kind: Transition, Attr: a, From: snapshot.Ready, To: snapshot.ReadyEnabled},
+		}, "but was"},
+		{"illegal transition", []Event{
+			{T: 0, Kind: Transition, Attr: a, From: snapshot.Uninitialized, To: snapshot.Enabled},
+			{T: 1, Kind: Transition, Attr: a, From: snapshot.Enabled, To: snapshot.Disabled},
+		}, "illegal"},
+		{"transition out of stable", []Event{
+			{T: 0, Kind: Transition, Attr: a, From: snapshot.Uninitialized, To: snapshot.Disabled},
+			{T: 1, Kind: Transition, Attr: a, From: snapshot.Disabled, To: snapshot.Disabled},
+		}, "stable"},
+		{"double launch", []Event{
+			{T: 0, Kind: Transition, Attr: a, From: snapshot.Uninitialized, To: snapshot.ReadyEnabled},
+			{T: 0, Kind: Launch, Attr: a, Cost: 1},
+			{T: 1, Kind: Launch, Attr: a, Cost: 1},
+		}, "twice"},
+		{"speculative launch while enabled", []Event{
+			{T: 0, Kind: Transition, Attr: a, From: snapshot.Uninitialized, To: snapshot.ReadyEnabled},
+			{T: 0, Kind: Launch, Attr: a, Cost: 1, Speculative: true},
+		}, "speculative launch"},
+		{"launch before ready", []Event{
+			{T: 0, Kind: Launch, Attr: a, Cost: 1},
+		}, "launch of"},
+		{"completion without launch", []Event{
+			{T: 0, Kind: Complete, Attr: a},
+		}, "unlaunched"},
+	}
+	for _, c := range cases {
+		tr := &Trace{Schema: s, Events: c.events}
+		err := tr.Check()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// Every strategy produces automaton-valid traces on generated patterns.
+func TestGeneratedTracesAlwaysValid(t *testing.T) {
+	p := gen.Default()
+	p.NbNodes = 32
+	p.PctEnabled = 50
+	for _, code := range []string{"NCC0", "PCE0", "PCE100", "PSE100", "PSC40", "NSE60"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			p.Seed = seed
+			g := gen.Generate(p)
+			rec := NewRecorder(g.Schema)
+			sm := sim.New()
+			e := &engine.Engine{
+				Sim: sm, DB: &simdb.Unbounded{S: sm},
+				Strategy: engine.MustParseStrategy(code), Hooks: rec.Hooks(),
+			}
+			res := e.Start(g.Schema, g.SourceValues(), nil)
+			sm.Run()
+			if res.Err != nil {
+				t.Fatalf("%s seed %d: %v", code, seed, res.Err)
+			}
+			if err := rec.Trace().Check(); err != nil {
+				t.Errorf("%s seed %d: %v", code, seed, err)
+			}
+		}
+	}
+}
+
+func TestByAttrUnknown(t *testing.T) {
+	tr, _ := record(t, specFlow(t, 5), "PCE0")
+	if tr.ByAttr("ghost") != nil {
+		t.Error("unknown attribute should yield nil")
+	}
+}
