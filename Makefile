@@ -1,0 +1,26 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so local
+# runs and CI can't drift: CI simply calls these targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run every benchmark once; catches bit-rot without burning CI time.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: build vet test race bench

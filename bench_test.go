@@ -173,6 +173,32 @@ func BenchmarkConditionEval(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceThroughput measures the wall-clock serving runtime end
+// to end through the facade: a closed-loop load of PSE100 instances of the
+// default 64-node pattern against the zero-latency backend. The reported
+// inst/s metric is the sustained serving throughput on this machine.
+func BenchmarkServiceThroughput(b *testing.B) {
+	g := gen.Generate(gen.Default())
+	svc := decisionflow.NewService(decisionflow.ServiceConfig{})
+	defer svc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := decisionflow.RunLoad(svc, decisionflow.ServiceLoad{
+		Schema:   g.Schema,
+		Sources:  g.SourceValues(),
+		Strategy: decisionflow.MustParseStrategy("PSE100"),
+		Count:    b.N,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Stats.Errors > 0 {
+		b.Fatalf("%d errored instances", rep.Stats.Errors)
+	}
+	b.ReportMetric(rep.Throughput, "inst/s")
+}
+
 // BenchmarkOpenWorkload measures a 60-instance Poisson workload against
 // the simulated database.
 func BenchmarkOpenWorkload(b *testing.B) {

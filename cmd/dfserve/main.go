@@ -1,0 +1,144 @@
+// Command dfserve load-tests the concurrent wall-clock serving runtime:
+// it fires decision flow instances at a runtime.Service — as a Poisson
+// open workload or a fixed-concurrency closed workload — and prints a
+// latency/throughput report. It is the wall-clock analogue of the paper's
+// §5 open-workload experiment, run on real goroutines instead of the
+// discrete-event simulator.
+//
+// Examples:
+//
+//	dfserve                                  # peak throughput, quickstart schema, PSE100
+//	dfserve -n 200000 -strategy PCE0         # serial strategy ceiling
+//	dfserve -schema pattern                  # Table 1 64-node generated pattern
+//	dfserve -rate 20000 -n 100000            # 20k inst/s Poisson open workload
+//	dfserve -backend latency -base 500us     # inject 500µs per-query latency
+//	dfserve -backend simdb -scale 0.01       # paced CPU/disk sim, 100× compressed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	decisionflow "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		schemaName = flag.String("schema", "quickstart", "schema to serve: quickstart | pattern (Table 1 generator)")
+		strategy   = flag.String("strategy", "PSE100", "strategy code, e.g. PSE100, PCE0, NCC0")
+		count      = flag.Int("n", 100000, "instances to fire")
+		rate       = flag.Float64("rate", 0, "Poisson arrival rate in inst/s; 0 = closed loop (peak throughput)")
+		conc       = flag.Int("c", 0, "closed-loop outstanding instances (0 = 4x workers)")
+		workers    = flag.Int("workers", 0, "service workers (0 = GOMAXPROCS)")
+		inflight   = flag.Int("inflight", 0, "global in-flight task bound (0 = 16x workers)")
+		backend    = flag.String("backend", "instant", "database backend: instant | latency | simdb")
+		base       = flag.Duration("base", 200*time.Microsecond, "latency backend: fixed per-query latency")
+		perUnit    = flag.Duration("perunit", 50*time.Microsecond, "latency backend: latency per unit of processing")
+		jitter     = flag.Float64("jitter", 0.2, "latency backend: relative jitter in [0,1)")
+		parallel   = flag.Int("parallel", 0, "latency backend: max concurrent queries (0 = unbounded)")
+		scale      = flag.Float64("scale", 0.01, "simdb backend: wall-clock ms per virtual ms")
+		seed       = flag.Int64("seed", 1, "seed for arrivals and the simulated database")
+	)
+	flag.Parse()
+
+	st, err := decisionflow.ParseStrategy(*strategy)
+	if err != nil {
+		fail(err)
+	}
+
+	var (
+		schema  *decisionflow.Schema
+		sources decisionflow.Sources
+	)
+	switch *schemaName {
+	case "quickstart":
+		schema, sources = quickstartFlow()
+	case "pattern":
+		g := gen.Generate(gen.Default())
+		schema, sources = g.Schema, g.SourceValues()
+	default:
+		fail(fmt.Errorf("unknown schema %q (want quickstart or pattern)", *schemaName))
+	}
+
+	var db decisionflow.Backend
+	var paced *decisionflow.PacedSimBackend
+	switch *backend {
+	case "instant":
+		db = decisionflow.InstantBackend{}
+	case "latency":
+		db = &decisionflow.LatencyBackend{Base: *base, PerUnit: *perUnit, Jitter: *jitter, Parallel: *parallel}
+	case "simdb":
+		paced = decisionflow.NewPacedSimBackend(decisionflow.DefaultDBParams(), *seed, *scale)
+		db = paced
+	default:
+		fail(fmt.Errorf("unknown backend %q (want instant, latency or simdb)", *backend))
+	}
+
+	svc := decisionflow.NewService(decisionflow.ServiceConfig{
+		Backend:          db,
+		Workers:          *workers,
+		MaxInFlightTasks: *inflight,
+	})
+	defer svc.Close()
+
+	mode := "closed loop (peak throughput)"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open workload, Poisson %.0f inst/s", *rate)
+	}
+	fmt.Printf("serving %s under %s — %d instances, %s, %s backend\n",
+		*schemaName, st, *count, mode, *backend)
+
+	rep, err := decisionflow.RunLoad(svc, decisionflow.ServiceLoad{
+		Schema:      schema,
+		Sources:     sources,
+		Strategy:    st,
+		Count:       *count,
+		Rate:        *rate,
+		Concurrency: *conc,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(rep)
+	if paced != nil {
+		gmpl, unitTime, queries := paced.Stats()
+		fmt.Printf("simdb: queries=%d avg Gmpl=%.1f avg UnitTime=%.2fms (virtual)\n", queries, gmpl, unitTime)
+		paced.Stop()
+	}
+}
+
+// quickstartFlow is the five-attribute shipping-upgrade flow of the
+// package quick start.
+func quickstartFlow() (*decisionflow.Schema, decisionflow.Sources) {
+	schema := decisionflow.NewBuilder("shipping-upgrade").
+		Source("order_total").
+		Source("customer_id").
+		Foreign("tier", decisionflow.TrueCond, []string{"customer_id"}, 2,
+			func(in decisionflow.Inputs) decisionflow.Value {
+				if id, ok := in.Get("customer_id").AsInt(); ok && id%2 == 1 {
+					return decisionflow.Str("gold")
+				}
+				return decisionflow.Str("standard")
+			}).
+		Foreign("warehouse_load", decisionflow.Cond("order_total > 50"), nil, 3,
+			decisionflow.ConstCompute(decisionflow.Int(40))).
+		SynthesisExpr("score", decisionflow.TrueCond,
+			decisionflow.MustParseExpr(`order_total / 10 + coalesce(warehouse_load, 100) / -2`)).
+		Foreign("upgrade", decisionflow.Cond(`score > -10 and tier == "gold"`), []string{"tier", "score"}, 1,
+			decisionflow.ConstCompute(decisionflow.Str("free 2-day shipping"))).
+		Target("upgrade").
+		MustBuild()
+	return schema, decisionflow.Sources{
+		"order_total": decisionflow.Int(120),
+		"customer_id": decisionflow.Int(7),
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dfserve:", err)
+	os.Exit(1)
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/mining"
 	"repro/internal/model"
 	"repro/internal/rules"
+	rt "repro/internal/runtime"
 	"repro/internal/simdb"
 	"repro/internal/snapshot"
 	"repro/internal/trace"
@@ -200,6 +201,61 @@ func Complete(s *Schema, sources Sources) *Snapshot { return snapshot.Complete(s
 func CheckAgainstOracle(exec, oracle *Snapshot) error {
 	return snapshot.CheckAgainstOracle(exec, oracle)
 }
+
+// --- Wall-clock serving runtime ---
+
+// Service executes many decision flow instances concurrently in wall-clock
+// time: a worker pool drives the same engine loop as the simulator, but
+// task completions are real events from a Backend. See NewService.
+type Service = rt.Service
+
+// ServiceConfig configures a Service (backend, workers, global in-flight
+// task admission).
+type ServiceConfig = rt.Config
+
+// ServeRequest asks a Service to execute one instance; its Done callback
+// receives the Result (valid only during the call — clone what you keep).
+type ServeRequest = rt.Request
+
+// ServiceStats aggregates serving metrics: completions, work, and
+// wall-clock latency percentiles (p50/p95/p99).
+type ServiceStats = rt.Stats
+
+// Backend abstracts the external database in wall-clock time; bring your
+// own for real integrations.
+type Backend = rt.Backend
+
+// InstantBackend completes every query immediately — the engine-side
+// throughput ceiling.
+type InstantBackend = rt.Instant
+
+// LatencyBackend injects configurable per-query latency on real timers,
+// optionally bounding concurrent queries.
+type LatencyBackend = rt.Latency
+
+// PacedSimBackend runs the paper's simulated CPU/disk database server
+// against the wall clock, so contention emerges under real concurrency.
+type PacedSimBackend = rt.PacedSim
+
+// ServiceLoad describes a load-generation run (Poisson open workload or
+// fixed-concurrency closed workload) against a Service.
+type ServiceLoad = rt.Load
+
+// LoadReport summarizes a load run: throughput and latency percentiles.
+type LoadReport = rt.Report
+
+// NewService starts a wall-clock serving runtime.
+func NewService(cfg ServiceConfig) *Service { return rt.New(cfg) }
+
+// NewPacedSimBackend creates a wall-clock-paced simulated database; scale
+// is wall-clock milliseconds per virtual millisecond (≤ 0 means 1).
+func NewPacedSimBackend(p DBParams, seed int64, scale float64) *PacedSimBackend {
+	return rt.NewPacedSim(p, seed, scale)
+}
+
+// RunLoad fires a load at the service and reports throughput and latency;
+// cmd/dfserve is the CLI wrapper.
+func RunLoad(s *Service, l ServiceLoad) (LoadReport, error) { return rt.RunLoad(s, l) }
 
 // --- Workloads, database simulation, and planning ---
 

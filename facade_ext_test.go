@@ -50,6 +50,49 @@ func TestPublicAPITraceRecorder(t *testing.T) {
 	}
 }
 
+// TestPublicAPIService serves the tiny flow through the wall-clock
+// runtime facade: synchronous Do, a closed-loop RunLoad, and the service
+// stats must agree with the virtual-time engine's work accounting.
+func TestPublicAPIService(t *testing.T) {
+	flow := tinyFlow(t)
+	sources := decisionflow.Sources{"x": decisionflow.Int(1)}
+	st := decisionflow.MustParseStrategy("PSE100")
+
+	svc := decisionflow.NewService(decisionflow.ServiceConfig{
+		Backend: decisionflow.InstantBackend{},
+	})
+	defer svc.Close()
+
+	res, err := svc.Do(flow, sources, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	sim := decisionflow.Run(flow, sources, st)
+	if res.Work != sim.Work {
+		t.Errorf("service Work = %d, engine Work = %d", res.Work, sim.Work)
+	}
+	oracle := decisionflow.Complete(flow, sources)
+	if err := decisionflow.CheckAgainstOracle(res.Snapshot, oracle); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := decisionflow.RunLoad(svc, decisionflow.ServiceLoad{
+		Schema: flow, Sources: sources, Strategy: st, Count: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Completed != 200 || rep.Stats.Errors != 0 {
+		t.Fatalf("load stats: %+v", rep.Stats)
+	}
+	if want := uint64(200) * uint64(sim.Work); rep.Stats.Work != want {
+		t.Errorf("aggregate Work = %d, want %d", rep.Stats.Work, want)
+	}
+}
+
 func TestPublicAPIMining(t *testing.T) {
 	flow := tinyFlow(t)
 	c := decisionflow.NewMiningCollector(flow, 1)

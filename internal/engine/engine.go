@@ -15,8 +15,6 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
-	"repro/internal/prequal"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/simdb"
 	"repro/internal/snapshot"
@@ -136,21 +134,15 @@ func (e *Engine) dbFor(name string) (DB, bool) {
 	return db, ok
 }
 
-// instance is one running decision flow.
+// instance is one running decision flow: the shared clock-agnostic Core
+// loop driven by virtual-time task completions.
 type instance struct {
-	e        *Engine
-	schema   *core.Schema
-	pq       *prequal.Prequalifier
-	sn       *snapshot.Snapshot
-	sch      *sched.Scheduler
-	start    sim.Time
-	inFlight int
-	done     bool
-	res      *Result
-	onDone   func(*Result)
-	// launchedCost remembers the cost of each in-flight task for waste
-	// accounting at early termination.
-	flightCost map[core.AttrID]int
+	e      *Engine
+	core   Core
+	start  sim.Time
+	done   bool
+	res    *Result
+	onDone func(*Result)
 }
 
 // Start begins executing an instance of the schema with the given source
@@ -159,24 +151,24 @@ type instance struct {
 // The returned Result pointer is the same one passed to onDone; it is fully
 // populated only after onDone fires.
 func (e *Engine) Start(s *core.Schema, sources map[string]value.Value, onDone func(*Result)) *Result {
-	sn := snapshot.New(s, sources)
+	inst := &instance{
+		e:      e,
+		start:  e.Sim.Now(),
+		onDone: onDone,
+	}
+	var obs snapshot.Observer
 	if e.Hooks.OnTransition != nil {
 		hook := e.Hooks.OnTransition
 		sm := e.Sim
-		sn.SetObserver(func(id core.AttrID, from, to snapshot.State) {
+		obs = func(id core.AttrID, from, to snapshot.State) {
 			hook(sm.Now(), id, from, to)
-		})
+		}
 	}
-	inst := &instance{
-		e:          e,
-		schema:     s,
-		sn:         sn,
-		pq:         prequal.New(sn, e.Strategy.prequalOptions()),
-		sch:        e.Strategy.scheduler(),
-		start:      e.Sim.Now(),
-		res:        &Result{Snapshot: sn, Strategy: e.Strategy},
-		onDone:     onDone,
-		flightCost: make(map[core.AttrID]int),
+	inst.core.Reset(s, sources, e.Strategy, nil, obs)
+	inst.res = inst.core.Result()
+	if e.Hooks.OnSynthesis != nil {
+		hook := e.Hooks.OnSynthesis
+		inst.core.OnSynthesis = func(id core.AttrID) { hook(e.Sim.Now(), id) }
 	}
 	inst.step()
 	return inst.res
@@ -194,84 +186,48 @@ func Run(s *core.Schema, sources map[string]value.Value, strategy Strategy) *Res
 	return res
 }
 
-// step runs the prequalifying and scheduling phases until quiescence:
-// synthesis candidates execute immediately (they are local and free);
-// foreign candidates are submitted to the DB within the parallelism budget.
+// step advances the core loop and submits the launches it selects.
 func (in *instance) step() {
 	if in.done {
 		return
 	}
-	for {
-		if in.sn.Terminal() {
-			in.finish(nil)
-			return
-		}
-		cands := in.pq.Candidates()
-		// Execute synthesis candidates inline: they cost no DB work and
-		// unblock further propagation at the same virtual instant.
-		ranSynthesis := false
-		var foreign []core.AttrID
-		for _, id := range cands {
-			task := in.schema.Attr(id).Task
-			if task.Kind == core.SynthesisTask {
-				in.pq.MarkLaunched(id)
-				in.res.SynthesisRuns++
-				if in.e.Hooks.OnSynthesis != nil {
-					in.e.Hooks.OnSynthesis(in.e.Sim.Now(), id)
-				}
-				in.pq.NoteResult(id, in.compute(id))
-				ranSynthesis = true
-				break // pool changed; recompute candidates
-			}
-			foreign = append(foreign, id)
-		}
-		if ranSynthesis {
-			continue
-		}
-		// Scheduling phase: launch foreign tasks up to the %Permitted cap.
-		selected := in.sch.Select(in.schema, foreign, in.inFlight)
-		if len(selected) == 0 {
-			if in.inFlight == 0 {
-				// Nothing running, nothing to run, not terminal: stuck.
-				in.finish(fmt.Errorf("engine: instance stuck; no candidates, nothing in flight:\n%s", in.sn))
-			}
-			return
-		}
-		if in.e.ClusterSameDB {
-			if !in.launchClustered(selected) {
-				return
-			}
-		} else {
-			for _, id := range selected {
-				if !in.launch(id) {
-					return
-				}
-			}
-		}
-		// Launching never stabilizes anything by itself; wait for events.
+	launches, status := in.core.Advance()
+	switch status {
+	case StatusDone:
+		in.finish(nil)
+		return
+	case StatusStuck:
+		in.finish(fmt.Errorf("engine: instance stuck; no candidates, nothing in flight:\n%s", in.core.Snapshot()))
 		return
 	}
+	if len(launches) == 0 {
+		return // waiting on in-flight completions
+	}
+	if in.e.ClusterSameDB {
+		in.launchClustered(launches)
+	} else {
+		for _, id := range launches {
+			if !in.launch(id) {
+				return
+			}
+		}
+	}
+	// Launching never stabilizes anything by itself; wait for events.
 }
 
-// bookLaunch records the accounting shared by single and clustered
-// launches; it reports false when the task's database is unknown (the
-// instance fails).
+// bookLaunch resolves the task's database and records launch accounting;
+// it reports false when the database is unknown (the instance fails).
 func (in *instance) bookLaunch(id core.AttrID) (DB, bool) {
-	a := in.schema.Attr(id)
+	a := in.core.schema.Attr(id)
 	db, ok := in.e.dbFor(a.Task.DB)
 	if !ok {
 		in.finish(fmt.Errorf("engine: attribute %q targets unknown database %q", a.Name, a.Task.DB))
 		return nil, false
 	}
-	cost := a.Cost()
+	cost, speculative := in.core.Book(id)
 	if in.e.Hooks.OnLaunch != nil {
-		in.e.Hooks.OnLaunch(in.e.Sim.Now(), id, cost, in.sn.State(id) == snapshot.Ready)
+		in.e.Hooks.OnLaunch(in.e.Sim.Now(), id, cost, speculative)
 	}
-	in.pq.MarkLaunched(id)
-	in.res.Work += cost
-	in.res.Launched++
-	in.inFlight++
-	in.flightCost[id] = cost
 	return db, true
 }
 
@@ -281,14 +237,14 @@ func (in *instance) launch(id core.AttrID) bool {
 	if !ok {
 		return false
 	}
-	db.Submit(in.schema.Attr(id).Cost(), func() { in.complete(id) })
+	db.Submit(in.core.schema.Attr(id).Cost(), func() { in.complete(id) })
 	return true
 }
 
 // launchClustered groups the selected tasks by target database and submits
 // one combined query per group; every member's result arrives when the
 // batch completes.
-func (in *instance) launchClustered(selected []core.AttrID) bool {
+func (in *instance) launchClustered(selected []core.AttrID) {
 	type group struct {
 		db    DB
 		ids   []core.AttrID
@@ -299,9 +255,9 @@ func (in *instance) launchClustered(selected []core.AttrID) bool {
 	for _, id := range selected {
 		db, ok := in.bookLaunch(id)
 		if !ok {
-			return false
+			return
 		}
-		name := in.schema.Attr(id).Task.DB
+		name := in.core.schema.Attr(id).Task.DB
 		g := byName[name]
 		if g == nil {
 			g = &group{db: db}
@@ -309,7 +265,7 @@ func (in *instance) launchClustered(selected []core.AttrID) bool {
 			groups = append(groups, g)
 		}
 		g.ids = append(g.ids, id)
-		g.total += in.schema.Attr(id).Cost()
+		g.total += in.core.schema.Attr(id).Cost()
 	}
 	for _, g := range groups {
 		ids := g.ids
@@ -319,7 +275,6 @@ func (in *instance) launchClustered(selected []core.AttrID) bool {
 			}
 		})
 	}
-	return true
 }
 
 // complete is the evaluation phase for one finished task.
@@ -327,34 +282,14 @@ func (in *instance) complete(id core.AttrID) {
 	if in.done {
 		return // instance already terminated; work was counted at launch
 	}
-	in.inFlight--
-	delete(in.flightCost, id)
-	discarded := in.sn.State(id) == snapshot.Disabled
+	discarded := in.core.Discarded(id)
 	if in.e.Hooks.OnComplete != nil {
 		in.e.Hooks.OnComplete(in.e.Sim.Now(), id, discarded)
 	}
-	switch {
-	case discarded:
-		// The condition resolved false while the query ran: result discarded.
-		in.res.WastedWork += in.schema.Attr(id).Cost()
-		in.pq.NoteResult(id, value.Null)
-	case in.e.failNext():
-		// Injected failure: the query "executed" but delivered no data.
-		in.res.Failures++
-		in.pq.NoteResult(id, value.Null)
-	default:
-		in.pq.NoteResult(id, in.compute(id))
-	}
+	// The failure draw is only consumed for results that actually arrive
+	// (not discarded ones), preserving the seeded draw order.
+	in.core.Complete(id, !discarded && in.e.failNext())
 	in.step()
-}
-
-// compute evaluates the task's function over the instance's stable inputs.
-func (in *instance) compute(id core.AttrID) value.Value {
-	task := in.schema.Attr(id).Task
-	if task == nil || task.Compute == nil {
-		return value.Null
-	}
-	return task.Compute(in.sn.Inputs(id))
 }
 
 // finish seals the result and notifies the caller.
@@ -363,15 +298,11 @@ func (in *instance) finish(err error) {
 		return
 	}
 	in.done = true
+	in.core.Abort() // seals in-flight waste; no-op if the core already sealed
 	in.res.Elapsed = in.e.Sim.Now() - in.start
 	in.res.Err = err
 	if in.e.Hooks.OnTerminal != nil {
 		in.e.Hooks.OnTerminal(in.e.Sim.Now())
-	}
-	// Tasks still in flight at termination are pure waste (their results
-	// will be ignored); their cost is already in Work.
-	for _, c := range in.flightCost {
-		in.res.WastedWork += c
 	}
 	if in.onDone != nil {
 		in.onDone(in.res)

@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/prequal"
+	"repro/internal/sched"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// Status reports what a Core needs next after Advance.
+type Status uint8
+
+const (
+	// StatusRunning: tasks were selected for launch and/or tasks are in
+	// flight; the caller submits any returned launches and waits for
+	// completions.
+	StatusRunning Status = iota
+	// StatusDone: the instance reached a terminal snapshot.
+	StatusDone
+	// StatusStuck: no candidates, nothing in flight, and the snapshot is
+	// not terminal — a malformed schema or an engine bug.
+	StatusStuck
+)
+
+// Core is the clock- and transport-agnostic execution loop of one decision
+// flow instance: the evaluation → prequalifying → scheduling phases of the
+// paper's §3, parameterized by a §4 strategy, with Work / WastedWork
+// accounting. It is extracted from the virtual-time Engine so the same
+// loop can be driven by real wall-clock completions (internal/runtime) or
+// by discrete-event simulation (Engine):
+//
+//   - Advance runs the loop to quiescence and returns the foreign tasks to
+//     launch; the caller owns submission (to a simulated or real database).
+//   - Book records the launch-time accounting for one selected task.
+//   - Complete feeds one finished task back in (the evaluation phase).
+//
+// Core is not safe for concurrent use; callers serialize per instance.
+// All storage is reusable via Reset, so instances can be pooled.
+type Core struct {
+	schema *core.Schema
+	sn     *snapshot.Snapshot
+	pq     *prequal.Prequalifier
+	sch    sched.Scheduler
+	res    *Result
+	done   bool
+
+	// inFlight holds the launched-but-uncompleted foreign tasks; their
+	// cost is charged to WastedWork if the instance terminates first.
+	inFlight []core.AttrID
+	// scratch buffers keep Advance allocation-free at steady state.
+	cands []core.AttrID
+	sel   []core.AttrID
+
+	// OnSynthesis, if non-nil, observes each local synthesis execution.
+	OnSynthesis func(id core.AttrID)
+}
+
+// NewCore creates a core for one instance of the schema. res receives the
+// accounting; pass nil to allocate a fresh Result. obs, if non-nil, is
+// installed as the snapshot's transition observer before the initial
+// propagation pass, so it sees every transition from the very first.
+func NewCore(s *core.Schema, sources map[string]value.Value, st Strategy, res *Result, obs snapshot.Observer) *Core {
+	c := &Core{}
+	c.Reset(s, sources, st, res, obs)
+	return c
+}
+
+// Reset reinitializes the core for a new instance, reusing the snapshot,
+// prequalifier and scratch storage of the previous run. res receives the
+// accounting; pass nil to allocate a fresh Result. obs replaces any
+// observer from the previous run (nil clears it) and is installed before
+// the prequalifier's initial propagation pass.
+func (c *Core) Reset(s *core.Schema, sources map[string]value.Value, st Strategy, res *Result, obs snapshot.Observer) {
+	c.schema = s
+	if c.sn == nil {
+		c.sn = snapshot.New(s, sources)
+	} else {
+		c.sn.Reset(s, sources)
+	}
+	c.sn.SetObserver(obs)
+	if c.pq == nil {
+		c.pq = prequal.New(c.sn, st.prequalOptions())
+	} else {
+		c.pq.Reset(c.sn, st.prequalOptions())
+	}
+	c.sch = sched.Scheduler{Heuristic: st.Heuristic, Permitted: st.Permitted}
+	if res == nil {
+		res = &Result{}
+	}
+	*res = Result{Snapshot: c.sn, Strategy: st}
+	c.res = res
+	c.done = false
+	c.inFlight = c.inFlight[:0]
+	c.OnSynthesis = nil
+}
+
+// Snapshot returns the instance's snapshot.
+func (c *Core) Snapshot() *snapshot.Snapshot { return c.sn }
+
+// Result returns the result the core accounts into.
+func (c *Core) Result() *Result { return c.res }
+
+// Done reports whether the instance has terminated (terminal snapshot,
+// stuck, or aborted).
+func (c *Core) Done() bool { return c.done }
+
+// InFlight returns the number of launched-but-uncompleted foreign tasks.
+func (c *Core) InFlight() int { return len(c.inFlight) }
+
+// Advance runs the prequalifying and scheduling phases until quiescence:
+// synthesis candidates execute inline (they are local and free); foreign
+// candidates are selected within the strategy's parallelism budget and
+// returned for the caller to Book and submit. The returned slice is only
+// valid until the next Advance. On StatusDone and StatusStuck the core
+// seals waste accounting for any tasks still in flight.
+func (c *Core) Advance() ([]core.AttrID, Status) {
+	if c.done {
+		return nil, StatusDone
+	}
+	for {
+		if c.sn.Terminal() {
+			c.seal()
+			return nil, StatusDone
+		}
+		c.cands = c.pq.AppendCandidates(c.cands[:0])
+		// Execute synthesis candidates inline: they cost no DB work and
+		// unblock further propagation at the same instant.
+		ranSynthesis := false
+		foreign := c.cands[:0]
+		for _, id := range c.cands {
+			task := c.schema.Attr(id).Task
+			if task.Kind == core.SynthesisTask {
+				c.pq.MarkLaunched(id)
+				c.res.SynthesisRuns++
+				if c.OnSynthesis != nil {
+					c.OnSynthesis(id)
+				}
+				c.pq.NoteResult(id, c.compute(id))
+				ranSynthesis = true
+				break // pool changed; recompute candidates
+			}
+			foreign = append(foreign, id)
+		}
+		if ranSynthesis {
+			continue
+		}
+		// Scheduling phase: select foreign tasks up to the %Permitted cap.
+		selected := c.sch.SelectInto(c.schema, foreign, len(c.inFlight), c.sel)
+		if cap(selected) > cap(c.sel) {
+			c.sel = selected[:0]
+		}
+		if len(selected) == 0 {
+			if len(c.inFlight) == 0 {
+				// Nothing running, nothing to run, not terminal: stuck.
+				c.seal()
+				return nil, StatusStuck
+			}
+			return nil, StatusRunning
+		}
+		return selected, StatusRunning
+	}
+}
+
+// Book records the launch of one selected foreign task: it leaves the
+// candidate pool, its cost is charged to Work, and it joins the in-flight
+// set. It returns the task's cost and whether the launch is speculative
+// (enabling condition still undetermined).
+func (c *Core) Book(id core.AttrID) (cost int, speculative bool) {
+	cost = c.schema.Attr(id).Cost()
+	speculative = c.sn.State(id) == snapshot.Ready
+	c.pq.MarkLaunched(id)
+	c.res.Work += cost
+	c.res.Launched++
+	c.inFlight = append(c.inFlight, id)
+	return cost, speculative
+}
+
+// Discarded reports whether a completing task's result would be thrown
+// away: its attribute was DISABLED while the task ran.
+func (c *Core) Discarded(id core.AttrID) bool {
+	return c.sn.State(id) == snapshot.Disabled
+}
+
+// Complete is the evaluation phase for one finished foreign task. failed
+// injects a database failure: the query "executed" (its cost stays in
+// Work) but delivers ⟂. It reports whether the result was discarded.
+// Completions arriving after termination are ignored (their work was
+// counted at launch and sealed as waste).
+func (c *Core) Complete(id core.AttrID, failed bool) (discarded bool) {
+	if c.done {
+		return false
+	}
+	c.dropInFlight(id)
+	discarded = c.Discarded(id)
+	switch {
+	case discarded:
+		// The condition resolved false while the query ran: result discarded.
+		c.res.WastedWork += c.schema.Attr(id).Cost()
+		c.pq.NoteResult(id, value.Null)
+	case failed:
+		c.res.Failures++
+		c.pq.NoteResult(id, value.Null)
+	default:
+		c.pq.NoteResult(id, c.compute(id))
+	}
+	return discarded
+}
+
+// Abort terminates the instance early (transport error). Waste accounting
+// is sealed; the caller records the error on the Result.
+func (c *Core) Abort() { c.seal() }
+
+// seal marks the instance done and charges tasks still in flight to
+// WastedWork: their results will be ignored, and their cost is already in
+// Work.
+func (c *Core) seal() {
+	if c.done {
+		return
+	}
+	c.done = true
+	for _, id := range c.inFlight {
+		c.res.WastedWork += c.schema.Attr(id).Cost()
+	}
+}
+
+// dropInFlight removes id from the in-flight set.
+func (c *Core) dropInFlight(id core.AttrID) {
+	for i, f := range c.inFlight {
+		if f == id {
+			c.inFlight[i] = c.inFlight[len(c.inFlight)-1]
+			c.inFlight = c.inFlight[:len(c.inFlight)-1]
+			return
+		}
+	}
+}
+
+// compute evaluates the task's function over the instance's stable inputs.
+func (c *Core) compute(id core.AttrID) value.Value {
+	task := c.schema.Attr(id).Task
+	if task == nil || task.Compute == nil {
+		return value.Null
+	}
+	return task.Compute(c.sn.Inputs(id))
+}

@@ -96,11 +96,6 @@ func (st Strategy) prequalOptions() prequal.Options {
 	return prequal.Options{Propagate: st.Propagate, Speculative: st.Speculative}
 }
 
-// scheduler builds the task scheduler for the strategy.
-func (st Strategy) scheduler() *sched.Scheduler {
-	return sched.New(st.Heuristic, st.Permitted)
-}
-
 // Strategies expands a list of codes into Strategy values; it panics on a
 // bad code (codes are compile-time constants in experiments).
 func Strategies(codes ...string) []Strategy {

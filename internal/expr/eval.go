@@ -63,23 +63,27 @@ func Eval3(e Expr, env Env) Truth {
 		}
 		return TruthOf(compare(n.Op, lv, rv))
 	case And:
-		ts := make([]Truth, len(n.Exprs))
-		for i, sub := range n.Exprs {
-			ts[i] = Eval3(sub, env)
-			if ts[i] == False {
+		out := True
+		for _, sub := range n.Exprs {
+			switch Eval3(sub, env) {
+			case False:
 				return False // short-circuit: one false conjunct decides
+			case Unknown:
+				out = Unknown
 			}
 		}
-		return AndT(ts...)
+		return out
 	case Or:
-		ts := make([]Truth, len(n.Exprs))
-		for i, sub := range n.Exprs {
-			ts[i] = Eval3(sub, env)
-			if ts[i] == True {
+		out := False
+		for _, sub := range n.Exprs {
+			switch Eval3(sub, env) {
+			case True:
 				return True // short-circuit: one true disjunct decides
+			case Unknown:
+				out = Unknown
 			}
 		}
-		return OrT(ts...)
+		return out
 	case Not:
 		return NotT(Eval3(n.E, env))
 	case IsNull:
@@ -223,15 +227,21 @@ func compare(op CmpOp, a, b value.Value) bool {
 }
 
 func evalCall(c Call, env Env) (value.Value, bool) {
-	args := make([]value.Value, len(c.Args))
-	for i, a := range c.Args {
+	// Argument lists are short in practice; a stack buffer keeps condition
+	// evaluation allocation-free on the serving hot path.
+	var buf [4]value.Value
+	args := buf[:0]
+	if len(c.Args) > len(buf) {
+		args = make([]value.Value, 0, len(c.Args))
+	}
+	for _, a := range c.Args {
 		v, ok := evalVal(a, env)
 		if !ok {
 			// coalesce can sometimes resolve early, but for simplicity and
 			// stability we require all arguments; Unknown stays Unknown.
 			return value.Null, false
 		}
-		args[i] = v
+		args = append(args, v)
 	}
 	switch c.Fn {
 	case "len":

@@ -75,17 +75,35 @@ type Prequalifier struct {
 // propagation pass (sources are stable from the start; constant conditions
 // decide immediately).
 func New(sn *snapshot.Snapshot, opts Options) *Prequalifier {
+	p := &Prequalifier{}
+	p.Reset(sn, opts)
+	return p
+}
+
+// Reset reinitializes the prequalifier over a (possibly different) snapshot
+// and option set, reusing its internal storage when large enough, and runs
+// the initial propagation pass. The wall-clock runtime pools prequalifiers
+// through Reset to keep its hot path allocation-free.
+func (p *Prequalifier) Reset(sn *snapshot.Snapshot, opts Options) {
 	s := sn.Schema()
 	n := s.NumAttrs()
-	p := &Prequalifier{
-		s:          s,
-		sn:         sn,
-		opts:       opts,
-		cond:       make([]expr.Truth, n),
-		unstableIn: make([]int, n),
-		needed:     make([]bool, n),
-		launched:   make([]bool, n),
+	p.s, p.sn, p.opts = s, sn, opts
+	if cap(p.cond) < n {
+		p.cond = make([]expr.Truth, n)
+		p.unstableIn = make([]int, n)
+		p.needed = make([]bool, n)
+		p.launched = make([]bool, n)
+	} else {
+		p.cond = p.cond[:n]
+		p.unstableIn = p.unstableIn[:n]
+		p.needed = p.needed[:n]
+		p.launched = p.launched[:n]
+		clear(p.cond)
+		clear(p.unstableIn)
+		clear(p.needed)
+		clear(p.launched)
 	}
+	p.queue = p.queue[:0]
 	for i := 0; i < n; i++ {
 		id := core.AttrID(i)
 		p.cond[i] = expr.Unknown
@@ -113,7 +131,6 @@ func New(sn *snapshot.Snapshot, opts Options) *Prequalifier {
 		p.tryReady(id)
 	}
 	p.drain()
-	return p
 }
 
 // Snapshot returns the snapshot the prequalifier operates on.
@@ -172,14 +189,20 @@ func (p *Prequalifier) NoteResult(id core.AttrID, v value.Value) {
 // attributes whose task could be started now under the configured options,
 // excluding launched ones. With 'P', unneeded attributes are excluded.
 func (p *Prequalifier) Candidates() []core.AttrID {
-	var out []core.AttrID
+	return p.AppendCandidates(nil)
+}
+
+// AppendCandidates appends the current candidate pool to dst (in ascending
+// ID order) and returns the extended slice — the allocation-free variant
+// of Candidates for callers that reuse a scratch buffer.
+func (p *Prequalifier) AppendCandidates(dst []core.AttrID) []core.AttrID {
 	for i := 0; i < p.s.NumAttrs(); i++ {
 		id := core.AttrID(i)
 		if p.eligible(id) {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }
 
 // eligible reports pool membership for one attribute.
@@ -205,11 +228,11 @@ func (p *Prequalifier) eligible(id core.AttrID) bool {
 func (p *Prequalifier) enqueue(id core.AttrID) { p.queue = append(p.queue, id) }
 
 // drain runs the forward worklist to a fixpoint, then recomputes the
-// backward needed set. Total cost is O(attrs + edges) per call.
+// backward needed set. Total cost is O(attrs + edges) per call. The queue
+// is indexed rather than re-sliced so its storage is reused across calls.
 func (p *Prequalifier) drain() {
-	for len(p.queue) > 0 {
-		id := p.queue[0]
-		p.queue = p.queue[1:]
+	for i := 0; i < len(p.queue); i++ {
+		id := p.queue[i]
 		// id just stabilized. Update readiness of data dependents and
 		// condition knowledge of enabling dependents.
 		for _, b := range p.s.DataDependents(id) {
@@ -220,6 +243,7 @@ func (p *Prequalifier) drain() {
 			p.tryDecide(b)
 		}
 	}
+	p.queue = p.queue[:0]
 	p.recomputeNeeded()
 }
 

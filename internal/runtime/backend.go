@@ -1,0 +1,201 @@
+// Package runtime is the concurrent wall-clock serving runtime: it
+// executes many decision flow instances simultaneously on real goroutines,
+// in real time, against a pluggable external database backend.
+//
+// It is the production-facing counterpart of the virtual-time simulation
+// engine (internal/engine): both drive the same clock-agnostic instance
+// loop (engine.Core — evaluation → prequalifying → scheduling, §3 of the
+// paper, under the full §4 strategy space), but here task completions are
+// real events delivered by goroutines rather than discrete-event
+// simulation callbacks.
+//
+// The entry point is Service (see New): a worker pool that steps
+// instances, a global admission bound on in-flight database tasks, and
+// per-instance state pooling via sync.Pool so the steady-state hot path is
+// allocation-free. Load generation (Poisson open loop and bounded closed
+// loop) lives in RunLoad; cmd/dfserve is the CLI driver.
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simdb"
+)
+
+// Backend abstracts the external database server in wall-clock time:
+// Submit starts a query of the given cost in units of processing and calls
+// done exactly once when the result is available.
+//
+// done may be invoked synchronously from Submit or from any goroutine; the
+// service's completion handler is cheap and non-blocking (it releases an
+// admission token and enqueues the completion for a worker), so backends
+// need not defend against slow callbacks.
+//
+// Implementations must be safe for concurrent Submit calls.
+type Backend interface {
+	Submit(cost int, done func())
+}
+
+// Instant is the zero-latency backend: every query completes immediately
+// on the submitting goroutine. It measures the pure engine-side throughput
+// ceiling (scheduling, propagation, pooling), the wall-clock analogue of
+// the paper's infinite-resource database.
+type Instant struct{}
+
+// Submit completes the query immediately.
+func (Instant) Submit(cost int, done func()) { done() }
+
+// Latency is a latency-injecting concurrent backend: a query of cost c
+// completes Base + c×PerUnit (±Jitter) after submission, timed on real
+// timers. With Parallel > 0 at most that many queries execute at once and
+// excess submissions block, modeling a database with a bounded
+// multiprogramming level.
+type Latency struct {
+	// Base is the fixed per-query latency (connection, parse, optimize).
+	Base time.Duration
+	// PerUnit is the latency per unit of processing.
+	PerUnit time.Duration
+	// Jitter randomizes each query's latency uniformly in
+	// [1-Jitter, 1+Jitter]× the deterministic value. 0 disables.
+	Jitter float64
+	// Parallel bounds concurrently executing queries; 0 means unbounded.
+	Parallel int
+
+	once sync.Once
+	sem  chan struct{}
+}
+
+// Submit schedules done after the query's injected latency; it blocks
+// while Parallel queries are already executing.
+func (l *Latency) Submit(cost int, done func()) {
+	l.once.Do(func() {
+		if l.Parallel > 0 {
+			l.sem = make(chan struct{}, l.Parallel)
+		}
+	})
+	if l.sem != nil {
+		l.sem <- struct{}{}
+	}
+	d := l.Base + time.Duration(cost)*l.PerUnit
+	if l.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + l.Jitter*(2*rand.Float64()-1)))
+	}
+	time.AfterFunc(d, func() {
+		if l.sem != nil {
+			<-l.sem
+		}
+		done()
+	})
+}
+
+// PacedSim adapts the paper's simulated CPU/disk database server (simdb,
+// §5) to wall-clock execution: queries from concurrent goroutines are fed
+// into one discrete-event simulation whose virtual clock is paced against
+// real time, so database contention (the Gmpl → UnitTime curve of Figure
+// 9(a)) emerges under real concurrent load exactly as it does in the
+// virtual-time experiments.
+//
+// One virtual millisecond takes Scale wall-clock milliseconds; Scale < 1
+// compresses time for high-throughput runs.
+type PacedSim struct {
+	mu     sync.Mutex
+	sm     *sim.Sim
+	db     *simdb.Server
+	origin time.Time
+	scale  float64
+	timer  *time.Timer
+	fired  []func()
+}
+
+// NewPacedSim creates a paced simulated database with the given physical
+// parameters and seed. scale is wall-clock milliseconds per virtual
+// millisecond; values ≤ 0 default to 1 (real time).
+func NewPacedSim(p simdb.Params, seed int64, scale float64) *PacedSim {
+	if scale <= 0 {
+		scale = 1
+	}
+	sm := sim.New()
+	return &PacedSim{
+		sm:     sm,
+		db:     simdb.NewServer(sm, p, seed),
+		origin: time.Now(),
+		scale:  scale,
+	}
+}
+
+// Submit feeds the query into the simulation at the current (wall-mapped)
+// virtual time.
+func (b *PacedSim) Submit(cost int, done func()) {
+	b.mu.Lock()
+	b.advanceLocked()
+	b.db.Submit(cost, func() { b.fired = append(b.fired, done) })
+	b.rescheduleLocked()
+	fired := b.takeFiredLocked()
+	b.mu.Unlock()
+	for _, f := range fired {
+		f()
+	}
+}
+
+// Stats reports the simulated server's time-averaged multiprogramming
+// level (Gmpl), mean per-unit response time in virtual milliseconds, and
+// completed query count.
+func (b *PacedSim) Stats() (avgGmpl, avgUnitTime float64, queries uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.db.AvgActive(), b.db.AvgUnitTime(), b.db.QueriesDone()
+}
+
+// Stop cancels the pacing timer. Pending completions are dropped; only
+// call after the service has drained.
+func (b *PacedSim) Stop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+}
+
+// tick fires when the wall clock reaches the next virtual event.
+func (b *PacedSim) tick() {
+	b.mu.Lock()
+	b.advanceLocked()
+	b.rescheduleLocked()
+	fired := b.takeFiredLocked()
+	b.mu.Unlock()
+	for _, f := range fired {
+		f()
+	}
+}
+
+// advanceLocked runs the simulation up to the virtual time corresponding
+// to the wall clock now. Completion callbacks are collected in b.fired for
+// dispatch outside the lock.
+func (b *PacedSim) advanceLocked() {
+	v := float64(time.Since(b.origin)) / (b.scale * float64(time.Millisecond))
+	b.sm.RunUntil(v)
+}
+
+// rescheduleLocked arms the timer for the earliest pending virtual event.
+func (b *PacedSim) rescheduleLocked() {
+	next, ok := b.sm.NextAt()
+	if !ok {
+		return
+	}
+	deadline := b.origin.Add(time.Duration(next * b.scale * float64(time.Millisecond)))
+	d := max(time.Until(deadline), 0)
+	if b.timer == nil {
+		b.timer = time.AfterFunc(d, b.tick)
+	} else {
+		b.timer.Reset(d)
+	}
+}
+
+func (b *PacedSim) takeFiredLocked() []func() {
+	fired := b.fired
+	b.fired = nil
+	return fired
+}

@@ -1,0 +1,61 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+)
+
+// benchLoad runs a closed-loop load of b.N instances and reports
+// throughput.
+func benchLoad(b *testing.B, svc *Service, l Load) {
+	b.Helper()
+	defer svc.Close()
+	l.Count = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := RunLoad(svc, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if rep.Stats.Errors > 0 {
+		b.Fatalf("%d errored instances", rep.Stats.Errors)
+	}
+	b.ReportMetric(rep.Throughput, "inst/s")
+}
+
+// BenchmarkServeQuickstartPSE100 measures peak serving throughput for the
+// quickstart schema — the engine-side ceiling with a zero-latency backend
+// (the acceptance number for cmd/dfserve).
+func BenchmarkServeQuickstartPSE100(b *testing.B) {
+	s, sources := quickstart(b)
+	svc := New(Config{})
+	benchLoad(b, svc, Load{Schema: s, Sources: sources, Strategy: engine.MustParseStrategy("PSE100")})
+}
+
+// BenchmarkServePattern64PSE100 serves the Table 1 default 64-node
+// pattern, the paper's experimental workload, at full speculation.
+func BenchmarkServePattern64PSE100(b *testing.B) {
+	g := gen.Generate(gen.Default())
+	svc := New(Config{})
+	benchLoad(b, svc, Load{Schema: g.Schema, Sources: g.SourceValues(), Strategy: engine.MustParseStrategy("PSE100")})
+}
+
+// BenchmarkServeLatencyBackend serves the quickstart schema against a
+// 100µs-per-query backend, measuring how well the service overlaps
+// database waits across instances.
+func BenchmarkServeLatencyBackend(b *testing.B) {
+	s, sources := quickstart(b)
+	svc := New(Config{
+		Backend:          &Latency{Base: 100 * time.Microsecond},
+		MaxInFlightTasks: 4096,
+	})
+	benchLoad(b, svc, Load{
+		Schema: s, Sources: sources,
+		Strategy:    engine.MustParseStrategy("PSE100"),
+		Concurrency: 512,
+	})
+}

@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+// Load describes one load-generation run against a Service — the
+// wall-clock analogue of the paper's §5 open-workload experiment.
+type Load struct {
+	// Schema is the decision flow every instance executes.
+	Schema *core.Schema
+	// Sources are each instance's source-attribute values.
+	Sources map[string]value.Value
+	// Strategy selects the optimization options.
+	Strategy engine.Strategy
+	// Count is the number of instances to fire.
+	Count int
+	// Rate > 0 drives an open workload: instances arrive as a Poisson
+	// process at Rate instances/second regardless of completions (offered
+	// load — latency grows without bound past saturation, exactly as in
+	// Figure 9(b)). Rate <= 0 drives a closed workload instead: Concurrency
+	// instances are kept outstanding, measuring peak sustainable
+	// throughput.
+	Rate float64
+	// Concurrency is the closed-workload outstanding-instance count
+	// (default 4× the service's workers). Ignored when Rate > 0.
+	Concurrency int
+	// Seed drives the Poisson arrival process.
+	Seed int64
+}
+
+// Report summarizes one load run.
+type Report struct {
+	// Stats are the service metrics scoped to this run.
+	Stats Stats
+	// Duration is first submit to last completion.
+	Duration time.Duration
+	// Throughput is completed instances per second of Duration.
+	Throughput float64
+	// OfferedRate echoes Load.Rate for open workloads (0 for closed).
+	OfferedRate float64
+}
+
+// String renders the report for CLI output.
+func (r Report) String() string {
+	head := fmt.Sprintf("instances=%d duration=%v throughput=%.0f inst/s",
+		r.Stats.Completed, r.Duration.Round(time.Millisecond), r.Throughput)
+	if r.OfferedRate > 0 {
+		head += fmt.Sprintf(" (offered %.0f inst/s)", r.OfferedRate)
+	}
+	return head + "\n" + r.Stats.String()
+}
+
+// RunLoad fires the load at the service, waits for every instance to
+// complete, and reports throughput and latency. It resets the service's
+// stats at the start, so the report covers exactly this run; don't run
+// concurrent loads against one service if per-run stats matter.
+func RunLoad(s *Service, l Load) (Report, error) {
+	if l.Schema == nil {
+		return Report{}, fmt.Errorf("runtime: load needs a Schema")
+	}
+	if l.Count <= 0 {
+		return Report{}, fmt.Errorf("runtime: load needs Count > 0")
+	}
+	s.ResetStats()
+
+	var wg sync.WaitGroup
+	wg.Add(l.Count)
+	start := time.Now()
+
+	var err error
+	if l.Rate > 0 {
+		err = runOpen(s, l, &wg)
+	} else {
+		err = runClosed(s, l, &wg)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Stats:       s.Stats(),
+		Duration:    elapsed,
+		OfferedRate: max(l.Rate, 0),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Stats.Completed) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// runOpen submits Count Poisson arrivals at the offered rate, pacing
+// against absolute deadlines so generator hiccups don't skew the process.
+func runOpen(s *Service, l Load, wg *sync.WaitGroup) error {
+	rng := rand.New(rand.NewSource(l.Seed))
+	done := func(*engine.Result) { wg.Done() }
+	next := time.Now()
+	for i := 0; i < l.Count; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if err := s.Submit(Request{Schema: l.Schema, Sources: l.Sources, Strategy: l.Strategy, Done: done}); err != nil {
+			return err
+		}
+		next = next.Add(time.Duration(rng.ExpFloat64() / l.Rate * float64(time.Second)))
+	}
+	return nil
+}
+
+// runClosed keeps Concurrency instances outstanding: each completion
+// immediately submits the next until Count have been fired.
+func runClosed(s *Service, l Load, wg *sync.WaitGroup) error {
+	conc := l.Concurrency
+	if conc <= 0 {
+		conc = 4 * s.cfg.Workers
+	}
+	if conc > l.Count {
+		conc = l.Count
+	}
+	var fired atomic.Int64
+	fired.Store(int64(conc))
+	var done func(*engine.Result)
+	done = func(*engine.Result) {
+		// Claim and submit follow-on instances until one sticks or the
+		// count is exhausted. Submit only fails if the service was closed
+		// mid-run (an operator action); each failed claim is compensated
+		// so the load drains — this chain then claims the next instance,
+		// because no other completion will.
+		for fired.Add(1) <= int64(l.Count) {
+			if s.Submit(Request{Schema: l.Schema, Sources: l.Sources, Strategy: l.Strategy, Done: done}) == nil {
+				break
+			}
+			wg.Done()
+		}
+		wg.Done()
+	}
+	for i := 0; i < conc; i++ {
+		if err := s.Submit(Request{Schema: l.Schema, Sources: l.Sources, Strategy: l.Strategy, Done: done}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Stats aggregates the service's serving metrics since start (or the last
+// ResetStats). Work metrics are summed over completed instances only —
+// matching the per-instance Result accounting, so no work is lost or
+// double-counted across the fleet.
+type Stats struct {
+	// Submitted counts accepted Submit calls.
+	Submitted uint64
+	// Completed counts instances that reached a terminal snapshot
+	// (including those that finished with Err).
+	Completed uint64
+	// Errors counts completed instances with a non-nil Err.
+	Errors uint64
+	// Work / WastedWork / Launched / SynthesisRuns / Failures sum the
+	// corresponding Result fields over completed instances.
+	Work          uint64
+	WastedWork    uint64
+	Launched      uint64
+	SynthesisRuns uint64
+	Failures      uint64
+	// Latency percentiles over completed instances (wall clock, submit to
+	// terminal snapshot).
+	P50, P95, P99, Max time.Duration
+	// AvgLatency is the mean wall-clock latency.
+	AvgLatency time.Duration
+}
+
+// String renders the stats as a one-stop report block.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"completed=%d errors=%d work=%d wasted=%d launched=%d synthesis=%d\n"+
+			"latency p50=%v p95=%v p99=%v max=%v avg=%v",
+		st.Completed, st.Errors, st.Work, st.WastedWork, st.Launched, st.SynthesisRuns,
+		st.P50, st.P95, st.P99, st.Max, st.AvgLatency)
+}
+
+// shard is one worker's metrics slice; finalization always happens on a
+// worker, so each shard is written by exactly one goroutine (its own lock
+// is only contended by Stats readers).
+type shard struct {
+	mu        sync.Mutex
+	completed uint64
+	errors    uint64
+	work      uint64
+	wasted    uint64
+	launched  uint64
+	synth     uint64
+	failures  uint64
+	lats      []int64 // latency samples, ns
+}
+
+// record folds one completed instance into the shard.
+func (sh *shard) record(r *engine.Result, latency time.Duration) {
+	sh.mu.Lock()
+	sh.completed++
+	if r.Err != nil {
+		sh.errors++
+	}
+	sh.work += uint64(r.Work)
+	sh.wasted += uint64(r.WastedWork)
+	sh.launched += uint64(r.Launched)
+	sh.synth += uint64(r.SynthesisRuns)
+	sh.failures += uint64(r.Failures)
+	sh.lats = append(sh.lats, int64(latency))
+	sh.mu.Unlock()
+}
+
+// Stats merges all shards into an aggregate snapshot.
+func (s *Service) Stats() Stats {
+	st := Stats{Submitted: s.submitted.Load()}
+	var lats []int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Completed += sh.completed
+		st.Errors += sh.errors
+		st.Work += sh.work
+		st.WastedWork += sh.wasted
+		st.Launched += sh.launched
+		st.SynthesisRuns += sh.synth
+		st.Failures += sh.failures
+		lats = append(lats, sh.lats...)
+		sh.mu.Unlock()
+	}
+	if len(lats) == 0 {
+		return st
+	}
+	slices.Sort(lats)
+	var sum int64
+	for _, l := range lats {
+		sum += l
+	}
+	st.P50 = pct(lats, 0.50)
+	st.P95 = pct(lats, 0.95)
+	st.P99 = pct(lats, 0.99)
+	st.Max = time.Duration(lats[len(lats)-1])
+	st.AvgLatency = time.Duration(sum / int64(len(lats)))
+	return st
+}
+
+// ResetStats zeroes the aggregate metrics (latency samples included); the
+// load driver scopes each run this way.
+func (s *Service) ResetStats() {
+	s.submitted.Store(0)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.completed, sh.errors = 0, 0
+		sh.work, sh.wasted, sh.launched, sh.synth, sh.failures = 0, 0, 0, 0, 0
+		sh.lats = sh.lats[:0]
+		sh.mu.Unlock()
+	}
+}
+
+// pct returns the nearest-rank percentile of sorted ns samples.
+func pct(sorted []int64, p float64) time.Duration {
+	idx := int(p * float64(len(sorted)-1))
+	return time.Duration(sorted[idx])
+}

@@ -1,0 +1,371 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+// Request asks the service to execute one decision flow instance.
+type Request struct {
+	// Schema is the decision flow to execute.
+	Schema *core.Schema
+	// Sources are the instance's source-attribute values.
+	Sources map[string]value.Value
+	// Strategy selects the optimization options (e.g. "PSE100").
+	Strategy engine.Strategy
+	// Done, if non-nil, is invoked once when the instance reaches a
+	// terminal snapshot (or fails). It runs on a service worker; the
+	// Result — including its Snapshot — is only valid until Done returns,
+	// because the service recycles the instance's state. Clone what you
+	// keep. Result.Elapsed is the wall-clock latency in milliseconds.
+	Done func(*engine.Result)
+}
+
+// Config configures a Service.
+type Config struct {
+	// Backend is the external database queries execute against.
+	// Defaults to Instant{}.
+	Backend Backend
+	// Workers is the number of goroutines stepping instances.
+	// Defaults to GOMAXPROCS.
+	Workers int
+	// MaxInFlightTasks bounds the database tasks in flight across all
+	// instances (global admission control): launches beyond the bound
+	// wait for completions. Defaults to 16× Workers.
+	MaxInFlightTasks int
+}
+
+// Service executes decision flow instances concurrently in wall-clock
+// time: Submit enqueues an instance; a pool of workers drives each one
+// through the shared engine.Core loop; foreign tasks run on the Backend
+// under a global in-flight bound. Per-instance state (snapshot,
+// prequalifier, scheduler scratch) is pooled, so steady-state serving
+// performs no per-instance allocation.
+//
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg     Config
+	queue   jobQueue
+	tokens  chan struct{}
+	pool    sync.Pool
+	shards  []shard
+	active  sync.WaitGroup // one count per unretired instance
+	workers sync.WaitGroup
+
+	// closeMu makes Submit and Close safe to race: submits hold the read
+	// side across the accept-and-enqueue step, so once Close's write lock
+	// falls every later Submit observes closed and no active.Add can slip
+	// past active.Wait.
+	closeMu   sync.RWMutex
+	closed    bool
+	submitted atomic.Uint64
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("runtime: service closed")
+
+// New starts a service with the given configuration.
+func New(cfg Config) *Service {
+	if cfg.Backend == nil {
+		cfg.Backend = Instant{}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = stdruntime.GOMAXPROCS(0)
+	}
+	if cfg.MaxInFlightTasks <= 0 {
+		cfg.MaxInFlightTasks = 16 * cfg.Workers
+	}
+	s := &Service{
+		cfg:    cfg,
+		tokens: make(chan struct{}, cfg.MaxInFlightTasks),
+		shards: make([]shard, cfg.Workers),
+	}
+	s.queue.cond.L = &s.queue.mu
+	s.pool.New = func() any { return &inst{svc: s} }
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(&s.shards[i])
+	}
+	return s
+}
+
+// Submit enqueues one instance for execution. It returns immediately; the
+// request's Done callback reports completion.
+func (s *Service) Submit(req Request) error {
+	if req.Schema == nil {
+		return errors.New("runtime: request needs a Schema")
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	in := s.pool.Get().(*inst)
+	in.req = req
+	in.start = time.Now()
+	s.submitted.Add(1)
+	s.active.Add(1)
+	s.queue.push(job{in: in, begin: true})
+	return nil
+}
+
+// Do executes one instance synchronously and returns an independent result
+// (snapshot cloned out of the pooled state).
+func (s *Service) Do(schema *core.Schema, sources map[string]value.Value, st engine.Strategy) (*engine.Result, error) {
+	var out engine.Result
+	done := make(chan struct{})
+	err := s.Submit(Request{
+		Schema:   schema,
+		Sources:  sources,
+		Strategy: st,
+		Done: func(r *engine.Result) {
+			out = *r
+			out.Snapshot = r.Snapshot.Clone()
+			close(done)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	<-done
+	return &out, nil
+}
+
+// Close stops accepting new instances, waits for every submitted instance
+// to finish (including stragglers of early-terminated instances), and
+// shuts the workers down.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	wasClosed := s.closed
+	s.closed = true
+	s.closeMu.Unlock()
+	if wasClosed {
+		return
+	}
+	s.active.Wait()
+	s.queue.close()
+	s.workers.Wait()
+}
+
+// worker steps instances: begin jobs initialize a pooled instance and run
+// its first advance; completion jobs feed one finished database task back
+// into the instance's loop.
+func (s *Service) worker(sh *shard) {
+	defer s.workers.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		if j.begin {
+			j.in.begin(sh)
+		} else {
+			j.in.finishTask(sh, j.id)
+		}
+	}
+}
+
+// taskDone is the backend completion path: release the admission token and
+// hand the completion to the worker pool. It must stay cheap and
+// non-blocking — it runs on backend goroutines (timers, pacers).
+func (s *Service) taskDone(in *inst, id core.AttrID) {
+	<-s.tokens
+	s.queue.push(job{in: in, id: id})
+}
+
+// --- instance ---
+
+// inst is one pooled wall-clock instance: the shared engine.Core loop plus
+// the bookkeeping that serializes concurrent completions. mu guards all
+// fields below it; the lock is held while stepping the core and while
+// submitting launches (safe: completion delivery never blocks on it).
+type inst struct {
+	svc   *Service
+	req   Request
+	start time.Time
+
+	mu          sync.Mutex
+	core        engine.Core
+	res         engine.Result
+	outstanding int // backend tasks submitted but not yet completed
+	finalized   bool
+	refs        int // completion callbacks + result readers keeping the state alive
+	// doneFns caches one completion closure per attribute so steady-state
+	// launches allocate nothing.
+	doneFns []func()
+}
+
+// begin initializes the pooled state for the new request and runs the
+// first advance.
+func (in *inst) begin(sh *shard) {
+	in.mu.Lock()
+	in.core.Reset(in.req.Schema, in.req.Sources, in.req.Strategy, &in.res, nil)
+	in.outstanding = 0
+	in.finalized = false
+	in.refs = 0
+	in.drive(sh)
+}
+
+// drive advances the core and submits the launches it selects. Called
+// with in.mu held; releases it on every path.
+func (in *inst) drive(sh *shard) {
+	launches, status := in.core.Advance()
+	if status != engine.StatusRunning {
+		in.finalize(sh, status)
+		return
+	}
+	for _, id := range launches {
+		cost, _ := in.core.Book(id)
+		in.outstanding++
+		done := in.doneFn(id)
+		in.svc.tokens <- struct{}{} // global admission; blocks under overload
+		in.svc.cfg.Backend.Submit(cost, done)
+	}
+	in.mu.Unlock()
+}
+
+// finishTask is the evaluation phase for one completed database task.
+func (in *inst) finishTask(sh *shard, id core.AttrID) {
+	in.mu.Lock()
+	in.outstanding--
+	if in.finalized {
+		// Straggler of an early-terminated instance: its work was sealed
+		// as waste at termination; just release the state when last out.
+		in.deref()
+		return
+	}
+	in.core.Complete(id, false)
+	in.drive(sh)
+}
+
+// finalize records the terminal result, notifies the caller, and returns
+// the instance to the pool once no completions or readers remain. Called
+// with in.mu held; releases it.
+func (in *inst) finalize(sh *shard, status engine.Status) {
+	in.finalized = true
+	if status == engine.StatusStuck {
+		in.res.Err = fmt.Errorf("runtime: instance stuck; no candidates, nothing in flight:\n%s", in.core.Snapshot())
+	}
+	latency := time.Since(in.start)
+	in.res.Elapsed = float64(latency) / float64(time.Millisecond)
+	sh.record(&in.res, latency)
+	// Keep the state alive for the callback plus every outstanding
+	// completion; the last dropper recycles.
+	in.refs = in.outstanding + 1
+	cb := in.req.Done
+	res := &in.res
+	in.mu.Unlock()
+	if cb != nil {
+		cb(res)
+	}
+	in.mu.Lock()
+	in.deref()
+}
+
+// deref drops one reference and retires the instance when none remain.
+// Called with in.mu held; releases it.
+func (in *inst) deref() {
+	in.refs--
+	retire := in.refs == 0
+	in.mu.Unlock()
+	if retire {
+		in.req = Request{} // drop caller references before pooling
+		in.svc.pool.Put(in)
+		in.svc.active.Done()
+	}
+}
+
+// doneFn returns the cached completion closure for the attribute.
+func (in *inst) doneFn(id core.AttrID) func() {
+	if int(id) >= len(in.doneFns) {
+		grown := make([]func(), in.req.Schema.NumAttrs())
+		copy(grown, in.doneFns)
+		in.doneFns = grown
+	}
+	if in.doneFns[id] == nil {
+		id := id
+		in.doneFns[id] = func() { in.svc.taskDone(in, id) }
+	}
+	return in.doneFns[id]
+}
+
+// --- worker queue ---
+
+// job is one unit of worker work: either the first advance of a freshly
+// submitted instance (begin) or the completion of database task id.
+type job struct {
+	in    *inst
+	id    core.AttrID
+	begin bool
+}
+
+// jobQueue is an unbounded MPMC FIFO. Unbounded is deliberate: admission
+// control bounds database tasks, while instance starts are the open
+// workload itself — under overload the queue depth is the load shed
+// signal (see Service.QueueDepth).
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	items  []job
+	head   int
+	closed bool
+}
+
+func (q *jobQueue) push(j job) {
+	q.mu.Lock()
+	// Compact when the dead prefix dominates, so a queue that never fully
+	// drains (sustained overload backlog) doesn't grow without bound.
+	if q.head > 32 && q.head > len(q.items)/2 {
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, j)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *jobQueue) pop() (job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head == len(q.items) {
+		return job{}, false
+	}
+	j := q.items[q.head]
+	q.items[q.head] = job{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return j, true
+}
+
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// QueueDepth returns the number of pending worker jobs (instance starts
+// plus undelivered completions) — the backlog signal under overload.
+func (s *Service) QueueDepth() int { return s.queue.depth() }

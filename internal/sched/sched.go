@@ -21,7 +21,8 @@
 package sched
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/core"
 )
@@ -79,6 +80,14 @@ func (s *Scheduler) Capacity(poolSize, inFlight int) int {
 // current candidate pool (the scheduler does not mutate it); inFlight is
 // the number of this instance's tasks currently executing.
 func (s *Scheduler) Select(schema *core.Schema, cands []core.AttrID, inFlight int) []core.AttrID {
+	return s.SelectInto(schema, cands, inFlight, nil)
+}
+
+// SelectInto is Select with a caller-provided scratch buffer: the ordered
+// copy of the pool is built in scratch (grown as needed), so steady-state
+// callers allocate nothing. The returned slice aliases scratch and is only
+// valid until the next call with the same buffer.
+func (s *Scheduler) SelectInto(schema *core.Schema, cands []core.AttrID, inFlight int, scratch []core.AttrID) []core.AttrID {
 	if len(cands) == 0 {
 		return nil
 	}
@@ -86,7 +95,7 @@ func (s *Scheduler) Select(schema *core.Schema, cands []core.AttrID, inFlight in
 	if slots <= 0 {
 		return nil
 	}
-	ordered := append([]core.AttrID(nil), cands...)
+	ordered := append(scratch[:0], cands...)
 	s.order(schema, ordered)
 	if slots > len(ordered) {
 		slots = len(ordered)
@@ -101,26 +110,24 @@ func (s *Scheduler) order(schema *core.Schema, ids []core.AttrID) {
 	cost := func(id core.AttrID) int { return schema.Attr(id).Cost() }
 	switch s.Heuristic {
 	case Cheapest:
-		sort.Slice(ids, func(i, j int) bool {
-			a, b := ids[i], ids[j]
-			if cost(a) != cost(b) {
-				return cost(a) < cost(b)
+		slices.SortFunc(ids, func(a, b core.AttrID) int {
+			if c := cmp.Compare(cost(a), cost(b)); c != 0 {
+				return c
 			}
-			if rank(a) != rank(b) {
-				return rank(a) < rank(b)
+			if c := cmp.Compare(rank(a), rank(b)); c != 0 {
+				return c
 			}
-			return a < b
+			return cmp.Compare(a, b)
 		})
 	default: // TopoEarliest
-		sort.Slice(ids, func(i, j int) bool {
-			a, b := ids[i], ids[j]
-			if rank(a) != rank(b) {
-				return rank(a) < rank(b)
+		slices.SortFunc(ids, func(a, b core.AttrID) int {
+			if c := cmp.Compare(rank(a), rank(b)); c != 0 {
+				return c
 			}
-			if cost(a) != cost(b) {
-				return cost(a) < cost(b)
+			if c := cmp.Compare(cost(a), cost(b)); c != 0 {
+				return c
 			}
-			return a < b
+			return cmp.Compare(a, b)
 		})
 	}
 }

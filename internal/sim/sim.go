@@ -99,6 +99,16 @@ func (s *Sim) RunUntil(t Time) {
 // Pending returns the number of scheduled events.
 func (s *Sim) Pending() int { return len(s.events) }
 
+// NextAt returns the virtual time of the earliest pending event; ok is
+// false when no events are scheduled. Pacing drivers use it to map the
+// next virtual event onto a wall-clock deadline.
+func (s *Sim) NextAt() (Time, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].t, true
+}
+
 // Resource is a multi-server FCFS service station (a CSIM "facility"):
 // requests are served by up to Servers at once; excess requests wait in
 // FIFO order. Statistics accumulate for utilization and waiting analysis.

@@ -133,6 +133,12 @@ type Snapshot struct {
 	states   []State
 	vals     []value.Value
 	observer Observer
+
+	// env and inputs cache the interface boxes handed out by Env and
+	// Inputs; both views are stateless beyond the snapshot pointer, so
+	// one box each serves the snapshot's whole life (across Resets too).
+	env    expr.Env
+	inputs core.Inputs
 }
 
 // Observer is notified of every state transition an attribute makes —
@@ -147,16 +153,32 @@ func (sn *Snapshot) SetObserver(o Observer) { sn.observer = o }
 // made with incomplete information"), all other attributes are
 // UNINITIALIZED.
 func New(s *core.Schema, sources map[string]value.Value) *Snapshot {
-	sn := &Snapshot{
-		schema: s,
-		states: make([]State, s.NumAttrs()),
-		vals:   make([]value.Value, s.NumAttrs()),
+	sn := &Snapshot{}
+	sn.Reset(s, sources)
+	return sn
+}
+
+// Reset reinitializes the snapshot for a fresh instance of the schema,
+// reusing the state and value storage when it is large enough. It clears
+// any installed observer. The wall-clock runtime pools snapshots through
+// Reset to keep its hot path allocation-free.
+func (sn *Snapshot) Reset(s *core.Schema, sources map[string]value.Value) {
+	n := s.NumAttrs()
+	sn.schema = s
+	sn.observer = nil
+	if cap(sn.states) < n {
+		sn.states = make([]State, n)
+		sn.vals = make([]value.Value, n)
+	} else {
+		sn.states = sn.states[:n]
+		sn.vals = sn.vals[:n]
+		clear(sn.states)
+		clear(sn.vals)
 	}
 	for _, id := range s.Sources() {
 		sn.states[id] = Value
 		sn.vals[id] = sources[s.Attr(id).Name]
 	}
-	return sn
 }
 
 // Schema returns the schema this snapshot ranges over.
@@ -234,7 +256,13 @@ func (sn *Snapshot) Terminal() bool {
 // known iff it is stable (sources are stable from the start). COMPUTED
 // values are deliberately *not* exposed — a speculative value must not
 // influence condition evaluation until its own condition is resolved.
-func (sn *Snapshot) Env() expr.Env { return snapEnv{sn} }
+// The returned interface is cached so repeated calls don't allocate.
+func (sn *Snapshot) Env() expr.Env {
+	if sn.env == nil {
+		sn.env = snapEnv{sn}
+	}
+	return sn.env
+}
 
 type snapEnv struct{ sn *Snapshot }
 
@@ -251,8 +279,14 @@ func (e snapEnv) Lookup(name string) (value.Value, bool) {
 
 // Inputs exposes the stable inputs of the given attribute's task. It must
 // only be used when the attribute is READY (all data inputs stable);
-// unstable inputs read as ⟂.
-func (sn *Snapshot) Inputs(id core.AttrID) core.Inputs { return snapInputs{sn} }
+// unstable inputs read as ⟂. The returned interface is cached so repeated
+// calls don't allocate.
+func (sn *Snapshot) Inputs(id core.AttrID) core.Inputs {
+	if sn.inputs == nil {
+		sn.inputs = snapInputs{sn}
+	}
+	return sn.inputs
+}
 
 type snapInputs struct{ sn *Snapshot }
 
