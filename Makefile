@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+# Serving benchmarks guarded against throughput regressions (inst/s).
+SERVING_BENCH ?= Serve|ServiceThroughput
+SERVING_ITERS ?= 3000x
+BENCH_TOLERANCE ?= 0.20
+
+.PHONY: all build vet test race bench fuzz-smoke bench-serving bench-guard ci
 
 all: ci
 
@@ -23,4 +28,29 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: build vet test race bench
+# Short fuzzing pass over the three-valued expression evaluator: random
+# trees + partial environments vs an independent reference evaluator.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzEval3$$' -fuzztime=10s ./internal/expr
+
+# Run the serving benchmarks at a fixed iteration count and record the
+# results as BENCH_serving.json (throughput, hit rates, batch shape).
+bench-serving:
+	$(GO) test -run='^$$' -bench='$(SERVING_BENCH)' -benchtime=$(SERVING_ITERS) ./internal/runtime . > bench-serving.out
+	$(GO) run ./cmd/benchguard -in bench-serving.out -out BENCH_serving.json
+
+# Fail when any serving benchmark's inst/s regressed more than
+# BENCH_TOLERANCE vs the committed baseline. Refresh the baseline by
+# copying BENCH_serving.json over BENCH_baseline.json in the same change
+# that justifies the shift.
+#
+# The default guards machine-independent ratios (each benchmark vs the
+# same run's serving ceiling), so `make ci` passes on any hardware. On
+# the machine that recorded the baseline, `make bench-guard
+# BENCH_NORMALIZE=` switches to absolute throughput, which also catches
+# uniform slowdowns the ratio mode cannot see.
+BENCH_NORMALIZE ?= BenchmarkServeQuickstartPSE100
+bench-guard: bench-serving
+	$(GO) run ./cmd/benchguard -current BENCH_serving.json -baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) $(if $(BENCH_NORMALIZE),-normalize $(BENCH_NORMALIZE))
+
+ci: build vet test race bench fuzz-smoke bench-guard

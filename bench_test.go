@@ -197,6 +197,52 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		b.Fatalf("%d errored instances", rep.Stats.Errors)
 	}
 	b.ReportMetric(rep.Throughput, "inst/s")
+	reportServiceQueryMetrics(b, rep.Stats)
+}
+
+// reportServiceQueryMetrics emits the query layer's hit rates and batch
+// shape so BENCH files expose sharing trajectories (zeros when off).
+func reportServiceQueryMetrics(b *testing.B, st decisionflow.ServiceStats) {
+	b.Helper()
+	if st.Launched > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(st.Launched), "cache-hit-rate")
+		b.ReportMetric(float64(st.DedupHits)/float64(st.Launched), "dedup-rate")
+	}
+	if st.Batches > 0 {
+		b.ReportMetric(st.AvgBatchSize(), "queries/batch")
+	}
+}
+
+// BenchmarkServiceThroughputShared is BenchmarkServiceThroughput with the
+// query layer fully on (batch+dedup+cache) through the facade: identical
+// instances of the 64-node pattern, so cache hits dominate after warmup.
+func BenchmarkServiceThroughputShared(b *testing.B) {
+	g := gen.Generate(gen.Default())
+	svc := decisionflow.NewService(decisionflow.ServiceConfig{
+		Query: decisionflow.QueryConfig{
+			BatchSize: 32,
+			Dedup:     true,
+			CacheSize: 4096,
+		},
+	})
+	defer svc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := decisionflow.RunLoad(svc, decisionflow.ServiceLoad{
+		Schema:   g.Schema,
+		Sources:  g.SourceValues(),
+		Strategy: decisionflow.MustParseStrategy("PSE100"),
+		Count:    b.N,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Stats.Errors > 0 {
+		b.Fatalf("%d errored instances", rep.Stats.Errors)
+	}
+	b.ReportMetric(rep.Throughput, "inst/s")
+	reportServiceQueryMetrics(b, rep.Stats)
 }
 
 // BenchmarkOpenWorkload measures a 60-instance Poisson workload against

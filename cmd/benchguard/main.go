@@ -1,0 +1,216 @@
+// Command benchguard turns `go test -bench` output into a committed JSON
+// benchmark record and enforces a throughput regression budget against a
+// committed baseline.
+//
+// Emit mode parses benchmark output and writes the record:
+//
+//	go test -run '^$' -bench Serve -benchtime 3000x ./internal/runtime > bench.out
+//	benchguard -in bench.out -out BENCH_serving.json
+//
+// Check mode compares a current record against a baseline and exits
+// nonzero when any benchmark's inst/s throughput regressed more than the
+// tolerance (default 0.20 = 20%):
+//
+//	benchguard -current BENCH_serving.json -baseline BENCH_baseline.json
+//
+// Improvements and new benchmarks never fail the check; a benchmark
+// missing from the current record does (it means coverage silently
+// disappeared). A missing baseline file passes with a note, so the guard
+// bootstraps cleanly on fresh branches.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is the serialized benchmark file.
+type Record struct {
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// measurements.
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's measurements.
+type Bench struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkServeQuickstartPSE100-8   3000   2785 ns/op   369209 inst/s   59 B/op"
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "emit: benchmark output file to parse ('-' for stdin)")
+		out       = flag.String("out", "", "emit: JSON record to write")
+		current   = flag.String("current", "", "check: current JSON record")
+		baseline  = flag.String("baseline", "", "check: committed baseline JSON record")
+		tolerance = flag.Float64("tolerance", 0.20, "check: allowed fractional inst/s regression")
+		metric    = flag.String("metric", "inst/s", "check: throughput metric to guard")
+		normalize = flag.String("normalize", "", "check: divide every measurement by this benchmark's, guarding machine-independent ratios instead of absolute throughput (for baselines recorded on different hardware, e.g. CI runners)")
+	)
+	flag.Parse()
+
+	switch {
+	case *in != "" && *out != "":
+		if err := emit(*in, *out); err != nil {
+			fail(err)
+		}
+	case *current != "" && *baseline != "":
+		if err := check(*current, *baseline, *metric, *normalize, *tolerance); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("usage: benchguard -in bench.out -out FILE.json | benchguard -current FILE.json -baseline BASE.json"))
+	}
+}
+
+func emit(in, out string) error {
+	f := os.Stdin
+	if in != "-" {
+		var err error
+		if f, err = os.Open(in); err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	rec := Record{Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{NsPerOp: ns, Metrics: parseMetrics(m[3])}
+		rec.Benchmarks[m[1]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("benchguard: no benchmark lines found in %s", in)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(rec.Benchmarks), out)
+	return nil
+}
+
+// parseMetrics extracts "value unit" pairs from the tail of a benchmark
+// line (inst/s, B/op, allocs/op, custom ReportMetric units).
+func parseMetrics(rest string) map[string]float64 {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	out := map[string]float64{}
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		out[fields[i+1]] = v
+	}
+	return out
+}
+
+func check(currentPath, baselinePath, metric, normalize string, tolerance float64) error {
+	cur, err := load(currentPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(baselinePath)
+	if os.IsNotExist(err) {
+		fmt.Printf("benchguard: no baseline at %s; commit the current record to create one\n", baselinePath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	// Normalized mode divides every measurement by the reference
+	// benchmark's, so machine speed cancels and the guard compares each
+	// path's throughput relative to the same run's serving ceiling. A
+	// uniform slowdown (including one hitting the reference itself) is
+	// invisible by construction — normalized baselines guard shape, not
+	// absolute speed.
+	baseDiv, curDiv := 1.0, 1.0
+	if normalize != "" {
+		if baseDiv = base.Benchmarks[normalize].Metrics[metric]; baseDiv <= 0 {
+			return fmt.Errorf("benchguard: baseline lacks normalization benchmark %s with %s", normalize, metric)
+		}
+		if curDiv = cur.Benchmarks[normalize].Metrics[metric]; curDiv <= 0 {
+			return fmt.Errorf("benchguard: current run lacks normalization benchmark %s with %s", normalize, metric)
+		}
+	}
+	var regressions []string
+	checked := 0
+	for name, bb := range base.Benchmarks {
+		if name == normalize {
+			continue // its ratio is 1 by construction
+		}
+		bv, ok := bb.Metrics[metric]
+		if !ok || bv <= 0 {
+			continue
+		}
+		cb, ok := cur.Benchmarks[name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: present in baseline, missing from current run", name))
+			continue
+		}
+		cv := cb.Metrics[metric]
+		bv, cv = bv/baseDiv, cv/curDiv
+		checked++
+		if cv < bv*(1-tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s %.4g -> %.4g (-%.1f%%, budget %.0f%%)",
+					name, metric, bv, cv, 100*(1-cv/bv), 100*tolerance))
+		} else {
+			fmt.Printf("benchguard: %s %s %.4g -> %.4g ok\n", name, metric, bv, cv)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchguard: %d throughput regression(s) beyond %.0f%%:\n\t%s",
+			len(regressions), 100*tolerance, strings.Join(regressions, "\n\t"))
+	}
+	if checked == 0 {
+		return fmt.Errorf("benchguard: baseline %s has no %q measurements to guard", baselinePath, metric)
+	}
+	fmt.Printf("benchguard: %d benchmarks within budget\n", checked)
+	return nil
+}
+
+func load(path string) (Record, error) {
+	var rec Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("benchguard: parsing %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

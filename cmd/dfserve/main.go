@@ -41,6 +41,12 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "latency backend: max concurrent queries (0 = unbounded)")
 		scale      = flag.Float64("scale", 0.01, "simdb backend: wall-clock ms per virtual ms")
 		seed       = flag.Int64("seed", 1, "seed for arrivals and the simulated database")
+		batch      = flag.Int("batch", 0, "query layer: max queries per combined backend call (0/1 = no batching)")
+		window     = flag.Duration("window", 200*time.Microsecond, "query layer: batch deadline window")
+		dedup      = flag.Bool("dedup", false, "query layer: single-flight dedup of identical in-flight queries")
+		cache      = flag.Int("cache", 0, "query layer: attribute-result cache entries (0 = no cache)")
+		cachettl   = flag.Duration("cachettl", 0, "query layer: cache entry TTL (0 = never expires)")
+		spread     = flag.Int("spread", 1, "spread instances over this many distinct source vectors (1 = identical instances)")
 	)
 	flag.Parse()
 
@@ -81,6 +87,13 @@ func main() {
 		Backend:          db,
 		Workers:          *workers,
 		MaxInFlightTasks: *inflight,
+		Query: decisionflow.QueryConfig{
+			BatchSize:   *batch,
+			BatchWindow: *window,
+			Dedup:       *dedup,
+			CacheSize:   *cache,
+			CacheTTL:    *cachettl,
+		},
 	})
 	defer svc.Close()
 
@@ -88,10 +101,15 @@ func main() {
 	if *rate > 0 {
 		mode = fmt.Sprintf("open workload, Poisson %.0f inst/s", *rate)
 	}
-	fmt.Printf("serving %s under %s — %d instances, %s, %s backend\n",
-		*schemaName, st, *count, mode, *backend)
+	layer := ""
+	if *batch > 1 || *dedup || *cache > 0 {
+		layer = fmt.Sprintf(", query layer [batch=%d window=%v dedup=%v cache=%d ttl=%v]",
+			*batch, *window, *dedup, *cache, *cachettl)
+	}
+	fmt.Printf("serving %s under %s — %d instances, %s, %s backend%s\n",
+		*schemaName, st, *count, mode, *backend, layer)
 
-	rep, err := decisionflow.RunLoad(svc, decisionflow.ServiceLoad{
+	load := decisionflow.ServiceLoad{
 		Schema:      schema,
 		Sources:     sources,
 		Strategy:    st,
@@ -99,7 +117,11 @@ func main() {
 		Rate:        *rate,
 		Concurrency: *conc,
 		Seed:        *seed,
-	})
+	}
+	if *spread > 1 {
+		load.SourcesFor = spreadSources(sources, *spread)
+	}
+	rep, err := decisionflow.RunLoad(svc, load)
 	if err != nil {
 		fail(err)
 	}
@@ -136,6 +158,32 @@ func quickstartFlow() (*decisionflow.Schema, decisionflow.Sources) {
 		"order_total": decisionflow.Int(120),
 		"customer_id": decisionflow.Int(7),
 	}
+}
+
+// spreadSources precomputes n variants of the base source bindings, each
+// shifting every integer source by the variant index, and returns the
+// per-instance selector (instance i runs variant i mod n). Distinct
+// variants produce distinct query identities, which is what moves the
+// query layer out of the degenerate all-instances-identical regime.
+func spreadSources(base decisionflow.Sources, n int) func(i int) decisionflow.Sources {
+	varied := false
+	variants := make([]decisionflow.Sources, n)
+	for v := range variants {
+		m := make(decisionflow.Sources, len(base))
+		for name, val := range base {
+			if iv, ok := val.AsInt(); ok {
+				m[name] = decisionflow.Int(iv + int64(v))
+				varied = true
+			} else {
+				m[name] = val
+			}
+		}
+		variants[v] = m
+	}
+	if !varied {
+		fail(fmt.Errorf("-spread %d has no effect: no integer source to vary, all instances would be identical", n))
+	}
+	return func(i int) decisionflow.Sources { return variants[i%n] }
 }
 
 func fail(err error) {

@@ -210,8 +210,14 @@ func CheckAgainstOracle(exec, oracle *Snapshot) error {
 type Service = rt.Service
 
 // ServiceConfig configures a Service (backend, workers, global in-flight
-// task admission).
+// task admission, query layer).
 type ServiceConfig = rt.Config
+
+// QueryConfig configures the service's shared query layer: cross-instance
+// batching (size- and deadline-triggered), single-flight deduplication of
+// identical in-flight queries, and the sharded LRU+TTL attribute-result
+// cache. The zero value disables the layer.
+type QueryConfig = rt.QueryConfig
 
 // ServeRequest asks a Service to execute one instance; its Done callback
 // receives the Result (valid only during the call — clone what you keep).
@@ -224,6 +230,10 @@ type ServiceStats = rt.Stats
 // Backend abstracts the external database in wall-clock time; bring your
 // own for real integrations.
 type Backend = rt.Backend
+
+// BatchExec is the optional Backend capability of executing several
+// queries as one combined round trip (the query layer's batching target).
+type BatchExec = rt.BatchExec
 
 // InstantBackend completes every query immediately — the engine-side
 // throughput ceiling.

@@ -96,6 +96,14 @@ type Task struct {
 	// database "to simplify the discussion" and raises multi-database
 	// execution as future work (§6); this field implements that extension.
 	DB string
+	// Volatile marks a foreign task whose query result may differ between
+	// executions with identical inputs (a read of mutating external state,
+	// a side-effecting call). The serving runtime's query layer never
+	// deduplicates or caches volatile tasks across instances; each launch
+	// performs its own backend round trip. Non-volatile tasks inherit the
+	// ComputeFunc purity contract, which is what makes a shared or cached
+	// result indistinguishable from a fresh one.
+	Volatile bool
 }
 
 // Attribute is one node of a decision flow.

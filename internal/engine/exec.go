@@ -176,6 +176,29 @@ func (c *Core) Book(id core.AttrID) (cost int, speculative bool) {
 	return cost, speculative
 }
 
+// AppendQueryArgs renders the sharing identity of id's foreign task at
+// launch time — its data-input values, in declared input order — appending
+// to dst and returning the extended buffer. Candidates are only launched
+// once every data input is stable (READY / READY+ENABLED), so the rendered
+// arguments are final: together with the schema and attribute they fully
+// determine the task's result for any pure ComputeFunc. ok is false when
+// the task's result must not be shared across instances (Task.Volatile, or
+// no task); the caller then bypasses deduplication and caching.
+func (c *Core) AppendQueryArgs(id core.AttrID, dst []byte) (_ []byte, ok bool) {
+	task := c.schema.Attr(id).Task
+	if task == nil || task.Volatile {
+		return dst, false
+	}
+	for _, in := range c.schema.DataInputs(id) {
+		// Value.String is type-distinguishing (strings quoted, floats keep a
+		// decimal point), and the unit separator keeps adjacent values from
+		// running together, so distinct input vectors render distinctly.
+		dst = append(dst, c.sn.Val(in).String()...)
+		dst = append(dst, 0x1f)
+	}
+	return dst, true
+}
+
 // Discarded reports whether a completing task's result would be thrown
 // away: its attribute was DISABLED while the task ran.
 func (c *Core) Discarded(id core.AttrID) bool {

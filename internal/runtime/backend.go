@@ -39,6 +39,18 @@ type Backend interface {
 	Submit(cost int, done func())
 }
 
+// BatchExec is an optional Backend capability: execute several queries as
+// one combined round trip, paying the backend's fixed per-query cost once
+// for the whole batch. done is called exactly once, when every member's
+// result is available; the caller (the service's query layer) fans the
+// completion out to the individual queries.
+//
+// Semantically a batch is the paper's §6 query clustering applied across
+// instances: per-result latency is traded for fixed-cost amortization.
+type BatchExec interface {
+	SubmitBatch(costs []int, done func())
+}
+
 // Instant is the zero-latency backend: every query completes immediately
 // on the submitting goroutine. It measures the pure engine-side throughput
 // ceiling (scheduling, propagation, pooling), the wall-clock analogue of
@@ -47,6 +59,9 @@ type Instant struct{}
 
 // Submit completes the query immediately.
 func (Instant) Submit(cost int, done func()) { done() }
+
+// SubmitBatch completes the whole batch immediately.
+func (Instant) SubmitBatch(costs []int, done func()) { done() }
 
 // Latency is a latency-injecting concurrent backend: a query of cost c
 // completes Base + c×PerUnit (±Jitter) after submission, timed on real
@@ -71,6 +86,22 @@ type Latency struct {
 // Submit schedules done after the query's injected latency; it blocks
 // while Parallel queries are already executing.
 func (l *Latency) Submit(cost int, done func()) {
+	l.run(cost, done)
+}
+
+// SubmitBatch executes the batch as one combined query: a single
+// multiprogramming slot, one Base charge, and the summed per-unit latency
+// — the fixed per-query cost is paid once for the whole batch.
+func (l *Latency) SubmitBatch(costs []int, done func()) {
+	total := 0
+	for _, c := range costs {
+		total += c
+	}
+	l.run(total, done)
+}
+
+// run injects the latency for one (possibly combined) query.
+func (l *Latency) run(cost int, done func()) {
 	l.once.Do(func() {
 		if l.Parallel > 0 {
 			l.sem = make(chan struct{}, l.Parallel)
@@ -132,6 +163,21 @@ func (b *PacedSim) Submit(cost int, done func()) {
 	b.mu.Lock()
 	b.advanceLocked()
 	b.db.Submit(cost, func() { b.fired = append(b.fired, done) })
+	b.rescheduleLocked()
+	fired := b.takeFiredLocked()
+	b.mu.Unlock()
+	for _, f := range fired {
+		f()
+	}
+}
+
+// SubmitBatch feeds the whole batch into the simulation as one combined
+// query: one multiprogramming slot, the per-query overhead
+// (simdb.Params.OverheadUnits) charged once.
+func (b *PacedSim) SubmitBatch(costs []int, done func()) {
+	b.mu.Lock()
+	b.advanceLocked()
+	b.db.SubmitBatch(costs, func() { b.fired = append(b.fired, done) })
 	b.rescheduleLocked()
 	fired := b.takeFiredLocked()
 	b.mu.Unlock()

@@ -6,10 +6,12 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/value"
 )
 
 // benchLoad runs a closed-loop load of b.N instances and reports
-// throughput.
+// throughput plus the query layer's hit-rate trajectory (all zero when the
+// layer is off), so BENCH files track sharing effectiveness over time.
 func benchLoad(b *testing.B, svc *Service, l Load) {
 	b.Helper()
 	defer svc.Close()
@@ -25,6 +27,19 @@ func benchLoad(b *testing.B, svc *Service, l Load) {
 		b.Fatalf("%d errored instances", rep.Stats.Errors)
 	}
 	b.ReportMetric(rep.Throughput, "inst/s")
+	reportQueryMetrics(b, rep.Stats)
+}
+
+// reportQueryMetrics emits the query layer's hit rates and batch shape.
+func reportQueryMetrics(b *testing.B, st Stats) {
+	b.Helper()
+	if st.Launched > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(st.Launched), "cache-hit-rate")
+		b.ReportMetric(float64(st.DedupHits)/float64(st.Launched), "dedup-rate")
+	}
+	if st.Batches > 0 {
+		b.ReportMetric(st.AvgBatchSize(), "queries/batch")
+	}
 }
 
 // BenchmarkServeQuickstartPSE100 measures peak serving throughput for the
@@ -57,5 +72,66 @@ func BenchmarkServeLatencyBackend(b *testing.B) {
 		Schema: s, Sources: sources,
 		Strategy:    engine.MustParseStrategy("PSE100"),
 		Concurrency: 512,
+	})
+}
+
+// BenchmarkServeDedupLatency is the acceptance scenario: identical
+// instances against a 32-parallel latency backend with batching+dedup on,
+// so nearly every launch shares an in-flight round trip.
+func BenchmarkServeDedupLatency(b *testing.B) {
+	s, sources := quickstart(b)
+	svc := New(Config{
+		Backend:          &Latency{Base: 200 * time.Microsecond, PerUnit: 50 * time.Microsecond, Parallel: 32},
+		MaxInFlightTasks: 4096,
+		Query:            QueryConfig{BatchSize: 32, BatchWindow: 200 * time.Microsecond, Dedup: true},
+	})
+	benchLoad(b, svc, Load{
+		Schema: s, Sources: sources,
+		Strategy:    engine.MustParseStrategy("PSE100"),
+		Concurrency: 256,
+	})
+}
+
+// BenchmarkServeBatchDiverse spreads instances over 4096 distinct source
+// vectors, the regime where dedup rarely fires and cross-instance
+// batching does the amortization (queries/batch tracks the coalescing).
+func BenchmarkServeBatchDiverse(b *testing.B) {
+	s, sources := quickstart(b)
+	variants := make([]map[string]value.Value, 4096)
+	for v := range variants {
+		m := make(map[string]value.Value, len(sources))
+		for name, val := range sources {
+			if iv, ok := val.AsInt(); ok {
+				m[name] = value.Int(iv + int64(v))
+			} else {
+				m[name] = val
+			}
+		}
+		variants[v] = m
+	}
+	svc := New(Config{
+		Backend:          &Latency{Base: 200 * time.Microsecond, PerUnit: 10 * time.Microsecond, Parallel: 32},
+		MaxInFlightTasks: 4096,
+		Query:            QueryConfig{BatchSize: 32, BatchWindow: 200 * time.Microsecond, Dedup: true, CacheSize: 16384},
+	})
+	benchLoad(b, svc, Load{
+		Schema:      s,
+		SourcesFor:  func(i int) map[string]value.Value { return variants[i%len(variants)] },
+		Strategy:    engine.MustParseStrategy("PSE100"),
+		Concurrency: 256,
+	})
+}
+
+// BenchmarkServeCachedInstant measures the cache-hit fast path itself: an
+// instant backend plus a warm cache, so the benchmark is dominated by key
+// rendering, shard lookup, and completion delivery.
+func BenchmarkServeCachedInstant(b *testing.B) {
+	s, sources := quickstart(b)
+	svc := New(Config{
+		Query: QueryConfig{CacheSize: 1024},
+	})
+	benchLoad(b, svc, Load{
+		Schema: s, Sources: sources,
+		Strategy: engine.MustParseStrategy("PSE100"),
 	})
 }

@@ -19,6 +19,12 @@ type Load struct {
 	Schema *core.Schema
 	// Sources are each instance's source-attribute values.
 	Sources map[string]value.Value
+	// SourcesFor, if non-nil, overrides Sources per instance: instance i
+	// runs with SourcesFor(i). It lets a load spread instances over many
+	// distinct input vectors — the knob that separates the query layer's
+	// dedup/cache hit regime (identical instances) from its batching
+	// regime (diverse instances). It must be safe for concurrent calls.
+	SourcesFor func(i int) map[string]value.Value
 	// Strategy selects the optimization options.
 	Strategy engine.Strategy
 	// Count is the number of instances to fire.
@@ -99,6 +105,14 @@ func RunLoad(s *Service, l Load) (Report, error) {
 	return rep, nil
 }
 
+// sourcesFor resolves instance i's source bindings.
+func (l *Load) sourcesFor(i int) map[string]value.Value {
+	if l.SourcesFor != nil {
+		return l.SourcesFor(i)
+	}
+	return l.Sources
+}
+
 // runOpen submits Count Poisson arrivals at the offered rate, pacing
 // against absolute deadlines so generator hiccups don't skew the process.
 func runOpen(s *Service, l Load, wg *sync.WaitGroup) error {
@@ -109,7 +123,7 @@ func runOpen(s *Service, l Load, wg *sync.WaitGroup) error {
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		if err := s.Submit(Request{Schema: l.Schema, Sources: l.Sources, Strategy: l.Strategy, Done: done}); err != nil {
+		if err := s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(i), Strategy: l.Strategy, Done: done}); err != nil {
 			return err
 		}
 		next = next.Add(time.Duration(rng.ExpFloat64() / l.Rate * float64(time.Second)))
@@ -136,8 +150,12 @@ func runClosed(s *Service, l Load, wg *sync.WaitGroup) error {
 		// mid-run (an operator action); each failed claim is compensated
 		// so the load drains — this chain then claims the next instance,
 		// because no other completion will.
-		for fired.Add(1) <= int64(l.Count) {
-			if s.Submit(Request{Schema: l.Schema, Sources: l.Sources, Strategy: l.Strategy, Done: done}) == nil {
+		for {
+			i := fired.Add(1)
+			if i > int64(l.Count) {
+				break
+			}
+			if s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(int(i - 1)), Strategy: l.Strategy, Done: done}) == nil {
 				break
 			}
 			wg.Done()
@@ -145,7 +163,7 @@ func runClosed(s *Service, l Load, wg *sync.WaitGroup) error {
 		wg.Done()
 	}
 	for i := 0; i < conc; i++ {
-		if err := s.Submit(Request{Schema: l.Schema, Sources: l.Sources, Strategy: l.Strategy, Done: done}); err != nil {
+		if err := s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(i), Strategy: l.Strategy, Done: done}); err != nil {
 			return err
 		}
 	}

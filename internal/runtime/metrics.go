@@ -33,15 +33,43 @@ type Stats struct {
 	P50, P95, P99, Max time.Duration
 	// AvgLatency is the mean wall-clock latency.
 	AvgLatency time.Duration
+
+	// Query-layer metrics (all zero when Config.Query is off). Every
+	// launched task is accounted to exactly one of BackendQueries,
+	// DedupHits or CacheHits — the conservation identity
+	// Launched == BackendQueries + DedupHits + CacheHits the property
+	// tests assert. Unlike the Work metrics above, these count at launch
+	// time, so they include queries of instances still in flight.
+	BackendQueries uint64 // unique queries handed to the backend
+	Batches        uint64 // backend round trips (≤ BackendQueries)
+	DedupHits      uint64 // launches that shared an in-flight query
+	CacheHits      uint64 // launches answered by the attribute cache
+	CacheMisses    uint64 // cache lookups that went to the backend
 }
 
-// String renders the stats as a one-stop report block.
+// AvgBatchSize returns the mean queries per backend round trip (1 when
+// batching never coalesced anything; 0 before any query).
+func (st Stats) AvgBatchSize() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.BackendQueries) / float64(st.Batches)
+}
+
+// String renders the stats as a one-stop report block; the query-layer
+// line appears only when the layer saw traffic.
 func (st Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"completed=%d errors=%d work=%d wasted=%d launched=%d synthesis=%d\n"+
 			"latency p50=%v p95=%v p99=%v max=%v avg=%v",
 		st.Completed, st.Errors, st.Work, st.WastedWork, st.Launched, st.SynthesisRuns,
 		st.P50, st.P95, st.P99, st.Max, st.AvgLatency)
+	if st.BackendQueries+st.DedupHits+st.CacheHits > 0 {
+		out += fmt.Sprintf(
+			"\nquery layer: backend=%d batches=%d avg-batch=%.1f dedup-hits=%d cache-hit/miss=%d/%d",
+			st.BackendQueries, st.Batches, st.AvgBatchSize(), st.DedupHits, st.CacheHits, st.CacheMisses)
+	}
+	return out
 }
 
 // shard is one worker's metrics slice; finalization always happens on a
@@ -78,6 +106,13 @@ func (sh *shard) record(r *engine.Result, latency time.Duration) {
 // Stats merges all shards into an aggregate snapshot.
 func (s *Service) Stats() Stats {
 	st := Stats{Submitted: s.submitted.Load()}
+	if d := s.disp; d != nil {
+		st.BackendQueries = d.backendQueries.Load()
+		st.Batches = d.batches.Load()
+		st.DedupHits = d.dedupHits.Load()
+		st.CacheHits = d.cacheHits.Load()
+		st.CacheMisses = d.cacheMisses.Load()
+	}
 	var lats []int64
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -112,6 +147,13 @@ func (s *Service) Stats() Stats {
 // load driver scopes each run this way.
 func (s *Service) ResetStats() {
 	s.submitted.Store(0)
+	if d := s.disp; d != nil {
+		d.backendQueries.Store(0)
+		d.batches.Store(0)
+		d.dedupHits.Store(0)
+		d.cacheHits.Store(0)
+		d.cacheMisses.Store(0)
+	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()

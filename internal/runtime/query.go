@@ -1,0 +1,423 @@
+package runtime
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// QueryConfig configures the service's shared query layer — the dispatcher
+// that sits between instance launches and the Backend. All features are
+// off by default (zero value), in which case launches go straight to the
+// Backend exactly as before.
+//
+// The layer attacks the paper's central cost — external database queries —
+// at fleet scale: when thousands of concurrent instances run the same
+// flow, many issue identical foreign-attribute queries. Batching amortizes
+// the per-query fixed cost, single-flight deduplication collapses
+// identical in-flight queries into one backend round trip, and the
+// attribute cache skips the round trip entirely for recently answered
+// queries. All three preserve the oracle invariant: a cached or deduped
+// completion is indistinguishable from a fresh one in every terminal
+// snapshot, because a query's sharing identity (schema, attribute, stable
+// data-input values) fully determines its result for pure task functions,
+// and each instance still materializes the value from its own inputs.
+type QueryConfig struct {
+	// BatchSize > 1 coalesces up to that many in-flight launches into one
+	// combined backend call (the size trigger). Backends implementing
+	// BatchExec execute the batch as a single round trip; others receive
+	// the members individually (same semantics, no amortization).
+	BatchSize int
+	// BatchWindow is the deadline trigger: a partial batch is flushed at
+	// most this long after its first query arrived. Defaults to 200µs when
+	// batching is enabled.
+	BatchWindow time.Duration
+	// Dedup enables single-flight deduplication: launches whose sharing
+	// identity matches a query already in flight attach to it and share
+	// its single backend round trip.
+	Dedup bool
+	// CacheSize > 0 enables the sharded LRU attribute-result cache with
+	// that many entries: a launch whose identity was answered within
+	// CacheTTL completes immediately, with no backend round trip.
+	CacheSize int
+	// CacheTTL bounds the age of usable cache entries; 0 means entries
+	// never expire (sound for strictly pure task functions; set a TTL when
+	// backing queries read slowly drifting external state).
+	CacheTTL time.Duration
+	// CacheShards spreads the cache and the single-flight table over this
+	// many independently locked shards. Defaults to 8.
+	CacheShards int
+}
+
+// enabled reports whether any feature of the layer is on.
+func (q QueryConfig) enabled() bool {
+	return q.BatchSize > 1 || q.Dedup || q.CacheSize > 0
+}
+
+// queryKey is the sharing identity of one foreign-task launch. Two
+// launches with equal keys are the same query: same schema (by identity),
+// same attribute, same stable data-input values (rendered by
+// engine.Core.AppendQueryArgs).
+type queryKey struct {
+	schema *core.Schema
+	id     core.AttrID
+	args   string
+}
+
+// flight is one query on its way to the backend, with every completion
+// callback waiting on it. dones is guarded by the owning shard's lock for
+// keyed flights; unkeyed flights have exactly one waiter and no sharing.
+type flight struct {
+	key   queryKey
+	keyed bool
+	cost  int
+	dones []func()
+}
+
+// dispatcher implements the shared query layer. It is created only when
+// QueryConfig.enabled(); a nil dispatcher means the pre-existing direct
+// Submit path.
+type dispatcher struct {
+	backend Backend
+	cfg     QueryConfig
+	// tokens is the service's global admission channel. The dispatcher
+	// owns admission at unique-backend-query granularity: one token per
+	// flight, held from enqueue to completion. Deduplicated and cached
+	// launches never touch it — they put no task on the database.
+	tokens chan struct{}
+	seed   maphash.Seed
+	shards []qshard
+
+	// batcher state: pending flights and the deadline timer.
+	bmu     sync.Mutex
+	pending []*flight
+	timer   *time.Timer
+
+	// metrics (see Stats).
+	backendQueries atomic.Uint64 // unique flights handed to the backend
+	batches        atomic.Uint64 // backend round trips
+	dedupHits      atomic.Uint64 // launches attached to an in-flight query
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+}
+
+// qshard is one lock domain of the single-flight table and the cache.
+type qshard struct {
+	mu       sync.Mutex
+	inflight map[queryKey]*flight
+	cache    lru
+}
+
+func newDispatcher(backend Backend, tokens chan struct{}, cfg QueryConfig) *dispatcher {
+	if cfg.BatchSize > 1 && cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 200 * time.Microsecond
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 8
+	}
+	d := &dispatcher{
+		backend: backend,
+		cfg:     cfg,
+		tokens:  tokens,
+		seed:    maphash.MakeSeed(),
+		shards:  make([]qshard, cfg.CacheShards),
+	}
+	perShard := 0
+	if cfg.CacheSize > 0 {
+		perShard = max(1, cfg.CacheSize/cfg.CacheShards)
+	}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		if cfg.Dedup {
+			sh.inflight = make(map[queryKey]*flight)
+		}
+		if perShard > 0 {
+			sh.cache.init(perShard)
+		}
+	}
+	return d
+}
+
+// shard picks the lock domain for a key.
+func (d *dispatcher) shard(key queryKey) *qshard {
+	var h maphash.Hash
+	h.SetSeed(d.seed)
+	h.WriteString(key.schema.Name())
+	h.WriteByte(byte(key.id))
+	h.WriteByte(byte(key.id >> 8))
+	h.WriteString(key.args)
+	return &d.shards[h.Sum64()%uint64(len(d.shards))]
+}
+
+// needsKey reports whether launches should render their sharing identity.
+func (d *dispatcher) needsKey() bool { return d.cfg.Dedup || d.cfg.CacheSize > 0 }
+
+// Submit routes one foreign-task launch. done is invoked exactly once when
+// the query's result is available — possibly synchronously (cache hit, or
+// an immediate backend). keyed=false launches (volatile tasks) bypass the
+// cache and dedup but still batch.
+func (d *dispatcher) Submit(key queryKey, keyed bool, cost int, done func()) {
+	if keyed && d.needsKey() {
+		sh := d.shard(key)
+		sh.mu.Lock()
+		if d.cfg.CacheSize > 0 {
+			if sh.cache.get(key, time.Now(), d.cfg.CacheTTL) {
+				sh.mu.Unlock()
+				d.cacheHits.Add(1)
+				done()
+				return
+			}
+		}
+		if d.cfg.Dedup {
+			if f := sh.inflight[key]; f != nil {
+				f.dones = append(f.dones, done)
+				sh.mu.Unlock()
+				d.dedupHits.Add(1)
+				return
+			}
+			f := &flight{key: key, keyed: true, cost: cost, dones: []func(){done}}
+			sh.inflight[key] = f
+			sh.mu.Unlock()
+			// A miss is a cache lookup that reaches the backend: dedup
+			// attaches above don't count.
+			if d.cfg.CacheSize > 0 {
+				d.cacheMisses.Add(1)
+			}
+			d.enqueue(f)
+			return
+		}
+		sh.mu.Unlock()
+		if d.cfg.CacheSize > 0 {
+			d.cacheMisses.Add(1)
+		}
+		d.enqueue(&flight{key: key, keyed: true, cost: cost, dones: []func(){done}})
+		return
+	}
+	d.enqueue(&flight{cost: cost, dones: []func(){done}})
+}
+
+// enqueue hands one unique query to the batcher (or straight to the
+// backend when batching is off). It acquires the query's admission token,
+// blocking under overload.
+func (d *dispatcher) enqueue(f *flight) {
+	d.tokens <- struct{}{}
+	d.backendQueries.Add(1)
+	if d.cfg.BatchSize <= 1 {
+		d.batches.Add(1)
+		d.backend.Submit(f.cost, func() { d.complete(f) })
+		return
+	}
+	d.bmu.Lock()
+	d.pending = append(d.pending, f)
+	if len(d.pending) >= d.cfg.BatchSize {
+		batch := d.pending
+		d.pending = nil
+		if d.timer != nil {
+			d.timer.Stop()
+		}
+		d.bmu.Unlock()
+		d.flush(batch)
+		return
+	}
+	if len(d.pending) == 1 {
+		// First query of a new batch: arm the deadline trigger.
+		if d.timer == nil {
+			d.timer = time.AfterFunc(d.cfg.BatchWindow, d.deadline)
+		} else {
+			d.timer.Reset(d.cfg.BatchWindow)
+		}
+	}
+	d.bmu.Unlock()
+}
+
+// deadline is the batch window expiry: flush whatever accumulated.
+func (d *dispatcher) deadline() {
+	d.bmu.Lock()
+	batch := d.pending
+	d.pending = nil
+	d.bmu.Unlock()
+	if len(batch) > 0 {
+		d.flush(batch)
+	}
+}
+
+// flush submits one cut batch to the backend. Runs on the goroutine that
+// tripped the size trigger or on the deadline timer's goroutine; it may
+// block on backend admission (e.g. Latency.Parallel), which back-pressures
+// later batches without stalling completion delivery.
+func (d *dispatcher) flush(batch []*flight) {
+	if len(batch) == 1 {
+		f := batch[0]
+		d.batches.Add(1)
+		d.backend.Submit(f.cost, func() { d.complete(f) })
+		return
+	}
+	if be, ok := d.backend.(BatchExec); ok {
+		costs := make([]int, len(batch))
+		for i, f := range batch {
+			costs[i] = f.cost
+		}
+		d.batches.Add(1)
+		be.SubmitBatch(costs, func() {
+			for _, f := range batch {
+				d.complete(f)
+			}
+		})
+		return
+	}
+	// Backend has no batch capability: members travel individually — same
+	// completion semantics, no amortization.
+	d.batches.Add(uint64(len(batch)))
+	for _, f := range batch {
+		f := f
+		d.backend.Submit(f.cost, func() { d.complete(f) })
+	}
+}
+
+// complete fans a finished flight out to its waiters, retiring it from the
+// single-flight table and priming the cache. It runs on backend goroutines;
+// each waiter is the service's cheap non-blocking completion handler.
+func (d *dispatcher) complete(f *flight) {
+	<-d.tokens // release backend admission first so capacity refills
+	var dones []func()
+	if f.keyed {
+		// f.dones of a keyed flight is only readable under the shard lock:
+		// dedup waiters append to it until the retirement below.
+		sh := d.shard(f.key)
+		sh.mu.Lock()
+		if d.cfg.Dedup {
+			delete(sh.inflight, f.key)
+		}
+		if d.cfg.CacheSize > 0 {
+			sh.cache.put(f.key, time.Now())
+		}
+		dones = f.dones
+		sh.mu.Unlock()
+	} else {
+		dones = f.dones // single waiter, never shared
+	}
+	for _, fn := range dones {
+		fn()
+	}
+}
+
+// stop cancels the pending deadline timer. Called after the service has
+// drained, when no flights remain.
+func (d *dispatcher) stop() {
+	d.bmu.Lock()
+	if d.timer != nil {
+		d.timer.Stop()
+	}
+	d.bmu.Unlock()
+}
+
+// --- sharded LRU+TTL cache ---
+
+// lru is one shard's fixed-capacity LRU of answered query identities with
+// insertion timestamps. The "result" needs no payload: the key (schema,
+// attribute, stable input values) fully determines the task's value for
+// pure ComputeFuncs, and the hitting instance materializes it locally from
+// its own identical inputs — what the cache elides is the backend round
+// trip, which is the entirety of a foreign task's cost in this model.
+type lru struct {
+	cap     int
+	entries map[queryKey]int // key -> slot index
+	slots   []lruSlot
+	head    int // most recently used; -1 when empty
+	tail    int // least recently used
+	free    []int
+}
+
+type lruSlot struct {
+	key        queryKey
+	at         time.Time
+	prev, next int
+}
+
+func (c *lru) init(capacity int) {
+	c.cap = capacity
+	c.entries = make(map[queryKey]int, capacity)
+	c.slots = make([]lruSlot, capacity)
+	c.free = make([]int, capacity)
+	for i := range c.free {
+		c.free[i] = capacity - 1 - i
+	}
+	c.head, c.tail = -1, -1
+}
+
+// get reports whether key was answered within ttl of now, refreshing its
+// recency. Expired entries are evicted on contact.
+func (c *lru) get(key queryKey, now time.Time, ttl time.Duration) bool {
+	i, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	if ttl > 0 && now.Sub(c.slots[i].at) > ttl {
+		c.remove(i)
+		return false
+	}
+	c.moveToFront(i)
+	return true
+}
+
+// put records key as answered at time at, evicting the least recently used
+// entry when full.
+func (c *lru) put(key queryKey, at time.Time) {
+	if c.cap == 0 {
+		return
+	}
+	if i, ok := c.entries[key]; ok {
+		c.slots[i].at = at
+		c.moveToFront(i)
+		return
+	}
+	if len(c.free) == 0 {
+		c.remove(c.tail)
+	}
+	i := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.slots[i] = lruSlot{key: key, at: at, prev: -1, next: c.head}
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+	c.entries[key] = i
+}
+
+func (c *lru) moveToFront(i int) {
+	if c.head == i {
+		return
+	}
+	s := &c.slots[i]
+	c.slots[s.prev].next = s.next
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+	s.prev, s.next = -1, c.head
+	c.slots[c.head].prev = i
+	c.head = i
+}
+
+func (c *lru) remove(i int) {
+	s := &c.slots[i]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+	delete(c.entries, s.key)
+	c.free = append(c.free, i)
+}

@@ -39,8 +39,16 @@ type Config struct {
 	Workers int
 	// MaxInFlightTasks bounds the database tasks in flight across all
 	// instances (global admission control): launches beyond the bound
-	// wait for completions. Defaults to 16× Workers.
+	// wait for completions. With the query layer enabled the bound
+	// applies to unique backend queries — deduplicated and cached
+	// launches put no task on the database and consume no admission.
+	// Defaults to 16× Workers.
 	MaxInFlightTasks int
+	// Query configures the shared query layer between instances and the
+	// Backend: cross-instance batching, single-flight deduplication of
+	// identical queries, and the attribute-result cache. The zero value
+	// disables the layer entirely (launches go straight to the Backend).
+	Query QueryConfig
 }
 
 // Service executes decision flow instances concurrently in wall-clock
@@ -57,6 +65,7 @@ type Service struct {
 	tokens  chan struct{}
 	pool    sync.Pool
 	shards  []shard
+	disp    *dispatcher    // shared query layer; nil when Config.Query is off
 	active  sync.WaitGroup // one count per unretired instance
 	workers sync.WaitGroup
 
@@ -87,6 +96,9 @@ func New(cfg Config) *Service {
 		cfg:    cfg,
 		tokens: make(chan struct{}, cfg.MaxInFlightTasks),
 		shards: make([]shard, cfg.Workers),
+	}
+	if cfg.Query.enabled() {
+		s.disp = newDispatcher(cfg.Backend, s.tokens, cfg.Query)
 	}
 	s.queue.cond.L = &s.queue.mu
 	s.pool.New = func() any { return &inst{svc: s} }
@@ -153,6 +165,9 @@ func (s *Service) Close() {
 	s.active.Wait()
 	s.queue.close()
 	s.workers.Wait()
+	if s.disp != nil {
+		s.disp.stop()
+	}
 }
 
 // worker steps instances: begin jobs initialize a pooled instance and run
@@ -181,6 +196,15 @@ func (s *Service) taskDone(in *inst, id core.AttrID) {
 	s.queue.push(job{in: in, id: id})
 }
 
+// taskDoneShared is the completion path for launches routed through the
+// query layer: admission tokens there belong to unique backend queries
+// (acquired and released by the dispatcher), not to per-instance launches
+// — a deduplicated or cached launch puts no new task on the database, so
+// it must not consume database admission. This only delivers.
+func (s *Service) taskDoneShared(in *inst, id core.AttrID) {
+	s.queue.push(job{in: in, id: id})
+}
+
 // --- instance ---
 
 // inst is one pooled wall-clock instance: the shared engine.Core loop plus
@@ -201,6 +225,8 @@ type inst struct {
 	// doneFns caches one completion closure per attribute so steady-state
 	// launches allocate nothing.
 	doneFns []func()
+	// keyBuf is the scratch buffer for rendering query sharing identities.
+	keyBuf []byte
 }
 
 // begin initializes the pooled state for the new request and runs the
@@ -226,10 +252,33 @@ func (in *inst) drive(sh *shard) {
 		cost, _ := in.core.Book(id)
 		in.outstanding++
 		done := in.doneFn(id)
-		in.svc.tokens <- struct{}{} // global admission; blocks under overload
-		in.svc.cfg.Backend.Submit(cost, done)
+		in.launch(id, cost, done)
 	}
 	in.mu.Unlock()
+}
+
+// launch routes one booked task to the backend — through the shared query
+// layer when configured. Called with in.mu held (safe: neither path blocks
+// on completion delivery; see Backend docs). Admission control differs by
+// path: the direct path acquires a token per launch, the query layer per
+// unique backend query (deduplicated and cached launches hit no database,
+// so they bypass admission).
+func (in *inst) launch(id core.AttrID, cost int, done func()) {
+	d := in.svc.disp
+	if d == nil {
+		in.svc.tokens <- struct{}{} // global admission; blocks under overload
+		in.svc.cfg.Backend.Submit(cost, done)
+		return
+	}
+	var key queryKey
+	keyed := false
+	if d.needsKey() {
+		in.keyBuf, keyed = in.core.AppendQueryArgs(id, in.keyBuf[:0])
+		if keyed {
+			key = queryKey{schema: in.req.Schema, id: id, args: string(in.keyBuf)}
+		}
+	}
+	d.Submit(key, keyed, cost, done)
 }
 
 // finishTask is the evaluation phase for one completed database task.
@@ -292,7 +341,11 @@ func (in *inst) doneFn(id core.AttrID) func() {
 	}
 	if in.doneFns[id] == nil {
 		id := id
-		in.doneFns[id] = func() { in.svc.taskDone(in, id) }
+		if in.svc.disp != nil {
+			in.doneFns[id] = func() { in.svc.taskDoneShared(in, id) }
+		} else {
+			in.doneFns[id] = func() { in.svc.taskDone(in, id) }
+		}
 	}
 	return in.doneFns[id]
 }

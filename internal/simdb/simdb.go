@@ -110,6 +110,7 @@ type Server struct {
 	unitsDone      uint64
 	unitTimeSum    float64 // sum of individual unit durations
 	queriesDone    uint64
+	batchesDone    uint64
 }
 
 // NewServer creates a database server on the given simulator. seed fixes
@@ -142,6 +143,43 @@ func (db *Server) Submit(cost int, done func()) {
 	}
 	db.noteActive(+1)
 	db.runUnit(cost+db.params.OverheadUnits, done)
+}
+
+// SubmitBatch starts one combined query executing the given per-query
+// costs back to back; done runs when the last unit completes. The batch
+// occupies a single multiprogramming slot (one Gmpl entry) and is charged
+// the fixed per-query overhead (Params.OverheadUnits) exactly once — the
+// amortization that makes query clustering/batching pay off (§6 future
+// work). Each member still counts as one completed query in QueriesDone,
+// so logical query accounting is unchanged by batching.
+func (db *Server) SubmitBatch(costs []int, done func()) {
+	total := 0
+	nonzero := uint64(0)
+	for _, c := range costs {
+		if c < 0 {
+			panic("simdb: negative query cost")
+		}
+		if c > 0 {
+			nonzero++
+		}
+		total += c
+	}
+	if total == 0 {
+		// Mirror Submit(0): complete immediately with no accounting, so
+		// batched and unbatched zero-cost queries read identically.
+		db.s.After(0, done)
+		return
+	}
+	db.noteActive(+1)
+	db.runUnit(total+db.params.OverheadUnits, func() {
+		// runUnit credited the batch as one query; re-credit as its
+		// members. Zero-cost members count nothing, exactly as Submit(0).
+		db.queriesDone += nonzero - 1
+		db.batchesDone++
+		if done != nil {
+			done()
+		}
+	})
 }
 
 // runUnit executes one unit of processing, then recurses for the remainder.
@@ -203,8 +241,13 @@ func (db *Server) AvgActive() float64 {
 // UnitsDone returns the total units of processing completed.
 func (db *Server) UnitsDone() uint64 { return db.unitsDone }
 
-// QueriesDone returns the total queries completed.
+// QueriesDone returns the total queries completed (batch members count
+// individually).
 func (db *Server) QueriesDone() uint64 { return db.queriesDone }
+
+// BatchesDone returns the number of combined queries executed via
+// SubmitBatch.
+func (db *Server) BatchesDone() uint64 { return db.batchesDone }
 
 // AvgUnitTime returns the mean response time per unit of processing, in
 // milliseconds — the UnitTime of the analytical model.
