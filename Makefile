@@ -8,7 +8,7 @@ SERVING_BENCH ?= Serve|ServiceThroughput
 SERVING_ITERS ?= 3000x
 BENCH_TOLERANCE ?= 0.20
 
-.PHONY: all build vet test race bench fuzz-smoke bench-serving bench-guard ci
+.PHONY: all build vet test race bench fuzz-smoke chaos bench-serving bench-guard ci
 
 all: ci
 
@@ -33,6 +33,13 @@ bench:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzEval3$$' -fuzztime=10s ./internal/expr
 
+# Deterministic chaos suite: kill/stall/degrade cluster replicas mid-run
+# and assert the oracle invariant, work conservation, and launch-exact
+# billing under -race. The seed matrix is fixed inside the tests; -count=1
+# defeats the test cache so every invocation really re-runs the faults.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/runtime
+
 # Run the serving benchmarks at a fixed iteration count and record the
 # results as BENCH_serving.json (throughput, hit rates, batch shape).
 bench-serving:
@@ -53,4 +60,4 @@ BENCH_NORMALIZE ?= BenchmarkServeQuickstartPSE100
 bench-guard: bench-serving
 	$(GO) run ./cmd/benchguard -current BENCH_serving.json -baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) $(if $(BENCH_NORMALIZE),-normalize $(BENCH_NORMALIZE))
 
-ci: build vet test race bench fuzz-smoke bench-guard
+ci: build vet test race bench fuzz-smoke chaos bench-guard

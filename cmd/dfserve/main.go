@@ -13,6 +13,9 @@
 //	dfserve -rate 20000 -n 100000            # 20k inst/s Poisson open workload
 //	dfserve -backend latency -base 500us     # inject 500µs per-query latency
 //	dfserve -backend simdb -scale 0.01       # paced CPU/disk sim, 100× compressed
+//	dfserve -shards 4 -replicas 2 -hedge 3ms # sharded replicated cluster, hedged
+//	dfserve -shards 4 -replicas 2 -skew 10 -retries 2 -failrate 0.01
+//	                                         # slow replica + faults, masked by retries
 package main
 
 import (
@@ -47,12 +50,33 @@ func main() {
 		cache      = flag.Int("cache", 0, "query layer: attribute-result cache entries (0 = no cache)")
 		cachettl   = flag.Duration("cachettl", 0, "query layer: cache entry TTL (0 = never expires)")
 		spread     = flag.Int("spread", 1, "spread instances over this many distinct source vectors (1 = identical instances)")
+		shards     = flag.Int("shards", 0, "cluster: consistent-hash shards (0 = single backend, no cluster)")
+		replicas   = flag.Int("replicas", 1, "cluster: replicas per shard")
+		lbName     = flag.String("lb", "rr", "cluster: replica load balancing: rr | least | p2c")
+		hedge      = flag.Duration("hedge", 0, "cluster: hedge a request on a second replica after this delay (0 = off)")
+		hedgeq     = flag.Float64("hedgeq", 0, "cluster: hedge past this observed latency quantile, e.g. 0.95 (used when -hedge is 0)")
+		retries    = flag.Int("retries", 1, "cluster: extra attempts (on another replica) after an error or timeout")
+		deadline   = flag.Duration("deadline", 0, "cluster: per-attempt deadline; timeouts retry elsewhere (0 = none)")
+		skew       = flag.Float64("skew", 1, "cluster: slow down the last replica of shard 0 by this factor (tail-at-scale demo)")
+		failrate   = flag.Float64("failrate", 0, "fault injection: fraction of queries erroring (latency/simdb backends)")
+		stallrate  = flag.Float64("stallrate", 0, "fault injection: fraction of queries never completing (latency/simdb backends)")
 	)
 	flag.Parse()
 
 	st, err := decisionflow.ParseStrategy(*strategy)
 	if err != nil {
 		fail(err)
+	}
+	if *stallrate > 0 {
+		// A stalled query never completes on its own; only a cluster
+		// deadline can abandon it and retry elsewhere. Without one the run
+		// would hang forever.
+		if *shards == 0 && *replicas <= 1 {
+			fail(fmt.Errorf("-stallrate needs a cluster (-shards/-replicas) so stalled queries can fail over"))
+		}
+		if *deadline <= 0 {
+			fail(fmt.Errorf("-stallrate needs -deadline > 0: a stalled query only fails over when its attempt times out"))
+		}
 	}
 
 	var (
@@ -69,18 +93,64 @@ func main() {
 		fail(fmt.Errorf("unknown schema %q (want quickstart or pattern)", *schemaName))
 	}
 
+	// newBackend builds one backend copy — the single backend, or the
+	// (shard, replica) cell of a cluster. skewFactor > 1 slows the copy
+	// down, modeling the tail-at-scale slow machine.
+	var pacedAll []*decisionflow.PacedSimBackend
+	newBackend := func(skewFactor float64, seedOff int64) decisionflow.Backend {
+		switch *backend {
+		case "instant":
+			return decisionflow.InstantBackend{}
+		case "latency":
+			return &decisionflow.LatencyBackend{
+				Base:      time.Duration(float64(*base) * skewFactor),
+				PerUnit:   time.Duration(float64(*perUnit) * skewFactor),
+				Jitter:    *jitter,
+				Parallel:  *parallel,
+				FailRate:  *failrate,
+				StallRate: *stallrate,
+				Seed:      *seed + seedOff,
+			}
+		case "simdb":
+			p := decisionflow.DefaultDBParams()
+			p.FailProb = *failrate
+			p.StallProb = *stallrate
+			p.SlowFactor = skewFactor
+			ps := decisionflow.NewPacedSimBackend(p, *seed+seedOff, *scale)
+			pacedAll = append(pacedAll, ps)
+			return ps
+		default:
+			fail(fmt.Errorf("unknown backend %q (want instant, latency or simdb)", *backend))
+			return nil
+		}
+	}
+
 	var db decisionflow.Backend
-	var paced *decisionflow.PacedSimBackend
-	switch *backend {
-	case "instant":
-		db = decisionflow.InstantBackend{}
-	case "latency":
-		db = &decisionflow.LatencyBackend{Base: *base, PerUnit: *perUnit, Jitter: *jitter, Parallel: *parallel}
-	case "simdb":
-		paced = decisionflow.NewPacedSimBackend(decisionflow.DefaultDBParams(), *seed, *scale)
-		db = paced
-	default:
-		fail(fmt.Errorf("unknown backend %q (want instant, latency or simdb)", *backend))
+	var cluster *decisionflow.ClusterBackend
+	if *shards > 0 || *replicas > 1 {
+		lb, err := decisionflow.ParseLBPolicy(*lbName)
+		if err != nil {
+			fail(err)
+		}
+		cluster = decisionflow.NewClusterBackend(decisionflow.ClusterConfig{
+			Shards:        max(*shards, 1),
+			Replicas:      *replicas,
+			LB:            lb,
+			Retries:       *retries,
+			Deadline:      *deadline,
+			HedgeDelay:    *hedge,
+			HedgeQuantile: *hedgeq,
+			New: func(s, r int) decisionflow.Backend {
+				sk := 1.0
+				if *skew > 1 && s == 0 && r == *replicas-1 {
+					sk = *skew
+				}
+				return newBackend(sk, int64(s*64+r+1))
+			},
+		})
+		db = cluster
+	} else {
+		db = newBackend(1, 0)
 	}
 
 	svc := decisionflow.NewService(decisionflow.ServiceConfig{
@@ -106,8 +176,13 @@ func main() {
 		layer = fmt.Sprintf(", query layer [batch=%d window=%v dedup=%v cache=%d ttl=%v]",
 			*batch, *window, *dedup, *cache, *cachettl)
 	}
-	fmt.Printf("serving %s under %s — %d instances, %s, %s backend%s\n",
-		*schemaName, st, *count, mode, *backend, layer)
+	topo := ""
+	if cluster != nil {
+		topo = fmt.Sprintf(", cluster [%dx%d lb=%s retries=%d deadline=%v hedge=%v/q%.2f skew=%g]",
+			max(*shards, 1), *replicas, *lbName, *retries, *deadline, *hedge, *hedgeq, *skew)
+	}
+	fmt.Printf("serving %s under %s — %d instances, %s, %s backend%s%s\n",
+		*schemaName, st, *count, mode, *backend, layer, topo)
 
 	load := decisionflow.ServiceLoad{
 		Schema:      schema,
@@ -126,10 +201,23 @@ func main() {
 		fail(err)
 	}
 	fmt.Println(rep)
-	if paced != nil {
-		gmpl, unitTime, queries := paced.Stats()
-		fmt.Printf("simdb: queries=%d avg Gmpl=%.1f avg UnitTime=%.2fms (virtual)\n", queries, gmpl, unitTime)
-		paced.Stop()
+	if len(pacedAll) > 0 {
+		var queries uint64
+		var gmpl, unitTime float64
+		for _, ps := range pacedAll {
+			g, u, q := ps.Stats()
+			queries += q
+			gmpl += g
+			unitTime += u
+		}
+		n := float64(len(pacedAll))
+		fmt.Printf("simdb×%d: queries=%d avg Gmpl=%.1f avg UnitTime=%.2fms (virtual)\n",
+			len(pacedAll), queries, gmpl/n, unitTime/n)
+	}
+	if cluster != nil {
+		cluster.Stop()
+	} else if len(pacedAll) == 1 {
+		pacedAll[0].Stop()
 	}
 }
 

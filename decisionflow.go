@@ -247,6 +247,48 @@ type LatencyBackend = rt.Latency
 // against the wall clock, so contention emerges under real concurrency.
 type PacedSimBackend = rt.PacedSim
 
+// Fallible is the optional Backend capability of reporting query outcome:
+// SubmitErr is Submit with an error delivered to done. The cluster uses it
+// to drive retries and failover; the service completes terminally failed
+// queries as task failures (value ⟂).
+type Fallible = rt.Fallible
+
+// ClusterBackend is a sharded, replicated Backend: N consistent-hash
+// shards × R replicas of any Backend, with replica load balancing,
+// per-attempt deadlines, retry-with-backoff on a different replica,
+// hedged requests, and per-replica circuit breakers. Queries route by
+// their sharing-identity hash, so the same logical query always lands on
+// the same shard; the query layer (batching/dedup/cache) composes on top.
+type ClusterBackend = rt.Cluster
+
+// ClusterConfig configures a ClusterBackend (topology, load balancing,
+// retries, deadline, hedging, breaker).
+type ClusterConfig = rt.ClusterConfig
+
+// ClusterStats is the cluster's resilience counters: hedges won, retries,
+// timeouts, breaker trips, plus the per-shard/per-replica breakdown.
+type ClusterStats = rt.ClusterStats
+
+// ReplicaStats is one replica's traffic view within ClusterStats.
+type ReplicaStats = rt.ReplicaStats
+
+// LBPolicy selects how a cluster shard picks replicas: RoundRobin,
+// LeastInFlight, or PowerOfTwo (two random choices, keep the less loaded).
+type LBPolicy = rt.LBPolicy
+
+// Replica load-balancing policies.
+const (
+	RoundRobin    = rt.RoundRobin
+	LeastInFlight = rt.LeastInFlight
+	PowerOfTwo    = rt.PowerOfTwo
+)
+
+// ParseLBPolicy parses a policy name: "rr", "least" or "p2c".
+func ParseLBPolicy(name string) (LBPolicy, error) { return rt.ParseLBPolicy(name) }
+
+// NewClusterBackend builds the shard × replica topology.
+func NewClusterBackend(cfg ClusterConfig) *ClusterBackend { return rt.NewCluster(cfg) }
+
 // ServiceLoad describes a load-generation run (Poisson open workload or
 // fixed-concurrency closed workload) against a Service.
 type ServiceLoad = rt.Load

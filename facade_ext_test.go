@@ -3,6 +3,7 @@ package decisionflow_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	decisionflow "repro"
 	"repro/internal/sim"
@@ -90,6 +91,58 @@ func TestPublicAPIService(t *testing.T) {
 	}
 	if want := uint64(200) * uint64(sim.Work); rep.Stats.Work != want {
 		t.Errorf("aggregate Work = %d, want %d", rep.Stats.Work, want)
+	}
+}
+
+// TestPublicAPIClusterService serves through the facade's cluster
+// exports: a 2×2 Latency cluster with faults on one replica, masked by
+// retries, with the resilience stats visible in the report.
+func TestPublicAPIClusterService(t *testing.T) {
+	flow := tinyFlow(t)
+	sources := decisionflow.Sources{"x": decisionflow.Int(1)}
+	st := decisionflow.MustParseStrategy("PSE100")
+
+	lb, err := decisionflow.ParseLBPolicy("p2c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := decisionflow.NewClusterBackend(decisionflow.ClusterConfig{
+		Shards:   2,
+		Replicas: 2,
+		LB:       lb,
+		Retries:  3,
+		New: func(s, r int) decisionflow.Backend {
+			be := &decisionflow.LatencyBackend{Base: 50 * time.Microsecond, Seed: int64(s*2 + r)}
+			if s == 0 && r == 0 {
+				be.FailRate = 0.3 // masked by retries on the sibling replica
+			}
+			return be
+		},
+	})
+	svc := decisionflow.NewService(decisionflow.ServiceConfig{Backend: cluster})
+	defer svc.Close()
+
+	rep, err := decisionflow.RunLoad(svc, decisionflow.ServiceLoad{
+		Schema: flow, Sources: sources, Strategy: st, Count: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Completed != 300 || rep.Stats.Errors != 0 {
+		t.Fatalf("load stats: %+v", rep.Stats)
+	}
+	if rep.Stats.Failures != 0 || rep.Stats.FailedQueries != 0 {
+		t.Fatalf("faults leaked past the cluster: %+v", rep.Stats)
+	}
+	cs := rep.Stats.Cluster
+	if cs == nil || cs.Shards != 2 || cs.Replicas != 2 {
+		t.Fatalf("cluster stats missing from report: %+v", cs)
+	}
+	if !strings.Contains(rep.Stats.String(), "cluster: shards=2 replicas=2") {
+		t.Fatalf("report lacks the cluster block:\n%s", rep.Stats)
+	}
+	if got := cluster.ClusterStats(); got.Errors == 0 || got.Retries == 0 {
+		t.Fatalf("failing replica produced no error/retry traffic: %+v", got)
 	}
 }
 

@@ -17,6 +17,7 @@
 package runtime
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"time"
@@ -51,6 +52,44 @@ type BatchExec interface {
 	SubmitBatch(costs []int, done func())
 }
 
+// Fallible is the optional Backend capability of reporting query outcome:
+// SubmitErr behaves like Submit, but done receives a non-nil error when
+// the query failed (the server is down, overloaded, or a fault was
+// injected). done(nil) is a success. Callers that find the capability use
+// it to drive retries, failover and failure accounting; callers that
+// don't, fall back to Submit, where failure is invisible.
+type Fallible interface {
+	SubmitErr(cost int, done func(error))
+}
+
+// FallibleBatch is Fallible's batch counterpart: the whole combined query
+// succeeds or fails as a unit.
+type FallibleBatch interface {
+	SubmitBatchErr(costs []int, done func(error))
+}
+
+// Routed is the optional Backend capability of placing each query by its
+// 64-bit sharing-identity hash, so the same logical query consistently
+// lands on the same partition of a sharded backend (implemented by
+// Cluster). Callers that hold a query's sharing identity (the service's
+// direct launch path and the query layer's dispatcher) prefer this over
+// Submit; unroutable queries pass an arbitrary hash and land wherever it
+// says.
+type Routed interface {
+	SubmitRouted(hash uint64, cost int, done func(error))
+}
+
+// RoutedBatch fans one combined batch out by per-member hash: each(i, err)
+// is invoked exactly once per member i as its partition's sub-batch
+// completes, so fast shards don't wait for slow ones.
+type RoutedBatch interface {
+	SubmitRoutedBatch(hashes []uint64, costs []int, each func(i int, err error))
+}
+
+// ErrInjected is the error fault-injecting backends report for queries
+// chosen to fail.
+var ErrInjected = errors.New("runtime: injected backend fault")
+
 // Instant is the zero-latency backend: every query completes immediately
 // on the submitting goroutine. It measures the pure engine-side throughput
 // ceiling (scheduling, propagation, pooling), the wall-clock analogue of
@@ -68,6 +107,12 @@ func (Instant) SubmitBatch(costs []int, done func()) { done() }
 // timers. With Parallel > 0 at most that many queries execute at once and
 // excess submissions block, modeling a database with a bounded
 // multiprogramming level.
+//
+// Fault injection (for resilience tests and chaos runs): FailRate queries
+// report ErrInjected after their normal latency, StallRate queries never
+// report at all — both drawn from a seeded stream, so runs reproduce.
+// Faults are observable only through the error-aware paths (SubmitErr,
+// SubmitBatchErr); the plain Submit/SubmitBatch paths stay fault-blind.
 type Latency struct {
 	// Base is the fixed per-query latency (connection, parse, optimize).
 	Base time.Duration
@@ -78,14 +123,33 @@ type Latency struct {
 	Jitter float64
 	// Parallel bounds concurrently executing queries; 0 means unbounded.
 	Parallel int
+	// FailRate is the fraction of queries that execute (full latency,
+	// multiprogramming slot) but report ErrInjected. 0 disables.
+	FailRate float64
+	// StallRate is the fraction of queries that never report completion —
+	// a hung connection. The multiprogramming slot is released after the
+	// normal latency, so a stalled backend still drains; only the caller
+	// waits forever (or until its own deadline fires). 0 disables.
+	StallRate float64
+	// Seed fixes the fault draws (FailRate/StallRate); runs with the same
+	// seed fail the same queries in submission order.
+	Seed int64
 
 	once sync.Once
 	sem  chan struct{}
+	mu   sync.Mutex // guards rng
+	rng  *rand.Rand
 }
 
 // Submit schedules done after the query's injected latency; it blocks
 // while Parallel queries are already executing.
 func (l *Latency) Submit(cost int, done func()) {
+	l.run(cost, func(error) { done() })
+}
+
+// SubmitErr is Submit with fault reporting: injected failures arrive as
+// ErrInjected, injected stalls never arrive.
+func (l *Latency) SubmitErr(cost int, done func(error)) {
 	l.run(cost, done)
 }
 
@@ -93,6 +157,12 @@ func (l *Latency) Submit(cost int, done func()) {
 // multiprogramming slot, one Base charge, and the summed per-unit latency
 // — the fixed per-query cost is paid once for the whole batch.
 func (l *Latency) SubmitBatch(costs []int, done func()) {
+	l.SubmitBatchErr(costs, func(error) { done() })
+}
+
+// SubmitBatchErr is SubmitBatch with fault reporting; the combined query
+// draws one fault, shared by every member.
+func (l *Latency) SubmitBatchErr(costs []int, done func(error)) {
 	total := 0
 	for _, c := range costs {
 		total += c
@@ -101,12 +171,23 @@ func (l *Latency) SubmitBatch(costs []int, done func()) {
 }
 
 // run injects the latency for one (possibly combined) query.
-func (l *Latency) run(cost int, done func()) {
+func (l *Latency) run(cost int, done func(error)) {
 	l.once.Do(func() {
 		if l.Parallel > 0 {
 			l.sem = make(chan struct{}, l.Parallel)
 		}
+		if l.FailRate > 0 || l.StallRate > 0 {
+			l.rng = rand.New(rand.NewSource(l.Seed))
+		}
 	})
+	var fail, stall bool
+	if l.rng != nil {
+		l.mu.Lock()
+		u := l.rng.Float64()
+		l.mu.Unlock()
+		fail = u < l.FailRate
+		stall = !fail && u < l.FailRate+l.StallRate
+	}
 	if l.sem != nil {
 		l.sem <- struct{}{}
 	}
@@ -118,7 +199,14 @@ func (l *Latency) run(cost int, done func()) {
 		if l.sem != nil {
 			<-l.sem
 		}
-		done()
+		if stall {
+			return
+		}
+		if fail {
+			done(ErrInjected)
+			return
+		}
+		done(nil)
 	})
 }
 
@@ -171,6 +259,20 @@ func (b *PacedSim) Submit(cost int, done func()) {
 	}
 }
 
+// SubmitErr is Submit with fault reporting, driven by the simulated
+// server's fault parameters (simdb.Params.FailProb / StallProb).
+func (b *PacedSim) SubmitErr(cost int, done func(error)) {
+	b.mu.Lock()
+	b.advanceLocked()
+	b.db.SubmitErr(cost, func(err error) { b.fired = append(b.fired, func() { done(err) }) })
+	b.rescheduleLocked()
+	fired := b.takeFiredLocked()
+	b.mu.Unlock()
+	for _, f := range fired {
+		f()
+	}
+}
+
 // SubmitBatch feeds the whole batch into the simulation as one combined
 // query: one multiprogramming slot, the per-query overhead
 // (simdb.Params.OverheadUnits) charged once.
@@ -178,6 +280,20 @@ func (b *PacedSim) SubmitBatch(costs []int, done func()) {
 	b.mu.Lock()
 	b.advanceLocked()
 	b.db.SubmitBatch(costs, func() { b.fired = append(b.fired, done) })
+	b.rescheduleLocked()
+	fired := b.takeFiredLocked()
+	b.mu.Unlock()
+	for _, f := range fired {
+		f()
+	}
+}
+
+// SubmitBatchErr is SubmitBatch with fault reporting; the combined query
+// draws one simulated fault, shared by every member.
+func (b *PacedSim) SubmitBatchErr(costs []int, done func(error)) {
+	b.mu.Lock()
+	b.advanceLocked()
+	b.db.SubmitBatchErr(costs, func(err error) { b.fired = append(b.fired, func() { done(err) }) })
 	b.rescheduleLocked()
 	fired := b.takeFiredLocked()
 	b.mu.Unlock()

@@ -11,8 +11,9 @@ import (
 
 // benchLoad runs a closed-loop load of b.N instances and reports
 // throughput plus the query layer's hit-rate trajectory (all zero when the
-// layer is off), so BENCH files track sharing effectiveness over time.
-func benchLoad(b *testing.B, svc *Service, l Load) {
+// layer is off), so BENCH files track sharing effectiveness over time. It
+// returns the report for benchmark-specific extra metrics.
+func benchLoad(b *testing.B, svc *Service, l Load) Report {
 	b.Helper()
 	defer svc.Close()
 	l.Count = b.N
@@ -28,6 +29,7 @@ func benchLoad(b *testing.B, svc *Service, l Load) {
 	}
 	b.ReportMetric(rep.Throughput, "inst/s")
 	reportQueryMetrics(b, rep.Stats)
+	return rep
 }
 
 // reportQueryMetrics emits the query layer's hit rates and batch shape.
@@ -97,7 +99,23 @@ func BenchmarkServeDedupLatency(b *testing.B) {
 // batching does the amortization (queries/batch tracks the coalescing).
 func BenchmarkServeBatchDiverse(b *testing.B) {
 	s, sources := quickstart(b)
-	variants := make([]map[string]value.Value, 4096)
+	svc := New(Config{
+		Backend:          &Latency{Base: 200 * time.Microsecond, PerUnit: 10 * time.Microsecond, Parallel: 32},
+		MaxInFlightTasks: 4096,
+		Query:            QueryConfig{BatchSize: 32, BatchWindow: 200 * time.Microsecond, Dedup: true, CacheSize: 16384},
+	})
+	benchLoad(b, svc, Load{
+		Schema:      s,
+		SourcesFor:  spreadVariants(sources, 4096),
+		Strategy:    engine.MustParseStrategy("PSE100"),
+		Concurrency: 256,
+	})
+}
+
+// spreadVariants precomputes n source vectors varying every integer source
+// by the variant index, so query identities spread across cluster shards.
+func spreadVariants(sources map[string]value.Value, n int) func(i int) map[string]value.Value {
+	variants := make([]map[string]value.Value, n)
 	for v := range variants {
 		m := make(map[string]value.Value, len(sources))
 		for name, val := range sources {
@@ -109,18 +127,69 @@ func BenchmarkServeBatchDiverse(b *testing.B) {
 		}
 		variants[v] = m
 	}
-	svc := New(Config{
-		Backend:          &Latency{Base: 200 * time.Microsecond, PerUnit: 10 * time.Microsecond, Parallel: 32},
-		MaxInFlightTasks: 4096,
-		Query:            QueryConfig{BatchSize: 32, BatchWindow: 200 * time.Microsecond, Dedup: true, CacheSize: 16384},
+	return func(i int) map[string]value.Value { return variants[i%n] }
+}
+
+// benchCluster is the tail-tolerance acceptance scenario: a 4-shard ×
+// 2-replica Latency cluster with one replica (shard 0, replica 1) skewed
+// 10× slower — the "slow machine" of the tail-at-scale setting. Instances
+// spread over 4096 source vectors, so ~1/8 of queries land on the slow
+// replica under round-robin. Hedging (just past the healthy latency band)
+// re-issues exactly those queries to the shard's healthy replica; p99-ms
+// and hedge-win-rate make the cut visible in BENCH_serving.json.
+func benchCluster(b *testing.B, hedge time.Duration) {
+	s, sources := quickstart(b)
+	cl := NewCluster(ClusterConfig{
+		Shards:     4,
+		Replicas:   2,
+		LB:         RoundRobin,
+		Retries:    1,
+		HedgeDelay: hedge,
+		New: func(shard, rep int) Backend {
+			l := &Latency{Base: 2 * time.Millisecond, PerUnit: 50 * time.Microsecond}
+			if shard == 0 && rep == 1 {
+				l.Base *= 10
+				l.PerUnit *= 10
+			}
+			return l
+		},
 	})
-	benchLoad(b, svc, Load{
+	// Vary sources in steps of two: customer_id stays odd, so every
+	// instance runs the full three-query chain (tier ∥ warehouse_load →
+	// upgrade) and the sequential tail the hedge must cut is always there.
+	variants := make([]map[string]value.Value, 4096)
+	for v := range variants {
+		m := make(map[string]value.Value, len(sources))
+		for name, val := range sources {
+			if iv, ok := val.AsInt(); ok {
+				m[name] = value.Int(iv + 2*int64(v))
+			} else {
+				m[name] = val
+			}
+		}
+		variants[v] = m
+	}
+	svc := New(Config{Backend: cl, MaxInFlightTasks: 4096})
+	rep := benchLoad(b, svc, Load{
 		Schema:      s,
 		SourcesFor:  func(i int) map[string]value.Value { return variants[i%len(variants)] },
 		Strategy:    engine.MustParseStrategy("PSE100"),
-		Concurrency: 256,
+		Concurrency: 32,
 	})
+	b.ReportMetric(float64(rep.Stats.P99)/float64(time.Millisecond), "p99-ms")
+	if rep.Stats.Hedges > 0 {
+		b.ReportMetric(float64(rep.Stats.HedgeWins)/float64(rep.Stats.Hedges), "hedge-win-rate")
+	}
 }
+
+// BenchmarkServeClusterUnhedged is the slow-replica baseline: the tail of
+// every closed-loop window is dominated by the 10×-slow replica.
+func BenchmarkServeClusterUnhedged(b *testing.B) { benchCluster(b, 0) }
+
+// BenchmarkServeClusterHedged is the same cluster with 3ms hedging (just
+// past the healthy chain latency); the acceptance criterion is p99 ≥3×
+// below the unhedged baseline at equal (closed-loop) load.
+func BenchmarkServeClusterHedged(b *testing.B) { benchCluster(b, 3*time.Millisecond) }
 
 // BenchmarkServeCachedInstant measures the cache-hit fast path itself: an
 // instant backend plus a warm cache, so the benchmark is dominated by key

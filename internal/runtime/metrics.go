@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,6 +46,18 @@ type Stats struct {
 	DedupHits      uint64 // launches that shared an in-flight query
 	CacheHits      uint64 // launches answered by the attribute cache
 	CacheMisses    uint64 // cache lookups that went to the backend
+
+	// Cluster resilience totals (all zero unless the Backend is a
+	// Cluster): hedges launched/won, retries after errors or timeouts,
+	// breaker trips, and queries whose every attempt failed. Cluster
+	// additionally carries the per-shard/per-replica breakdown.
+	Hedges        uint64
+	HedgeWins     uint64
+	Retries       uint64
+	Timeouts      uint64
+	BreakerTrips  uint64
+	FailedQueries uint64
+	Cluster       *ClusterStats
 }
 
 // AvgBatchSize returns the mean queries per backend round trip (1 when
@@ -56,20 +69,36 @@ func (st Stats) AvgBatchSize() float64 {
 	return float64(st.BackendQueries) / float64(st.Batches)
 }
 
-// String renders the stats as a one-stop report block; the query-layer
-// line appears only when the layer saw traffic.
+// String renders the stats as a one-stop report block in a single
+// strings.Builder pass; the query-layer line appears only when the layer
+// saw traffic, the cluster block only when the backend is a cluster. The
+// exact format is pinned by TestStatsStringGolden — extend that test with
+// any new line.
 func (st Stats) String() string {
-	out := fmt.Sprintf(
+	var b strings.Builder
+	fmt.Fprintf(&b,
 		"completed=%d errors=%d work=%d wasted=%d launched=%d synthesis=%d\n"+
 			"latency p50=%v p95=%v p99=%v max=%v avg=%v",
 		st.Completed, st.Errors, st.Work, st.WastedWork, st.Launched, st.SynthesisRuns,
 		st.P50, st.P95, st.P99, st.Max, st.AvgLatency)
 	if st.BackendQueries+st.DedupHits+st.CacheHits > 0 {
-		out += fmt.Sprintf(
+		fmt.Fprintf(&b,
 			"\nquery layer: backend=%d batches=%d avg-batch=%.1f dedup-hits=%d cache-hit/miss=%d/%d",
 			st.BackendQueries, st.Batches, st.AvgBatchSize(), st.DedupHits, st.CacheHits, st.CacheMisses)
 	}
-	return out
+	if c := st.Cluster; c != nil {
+		fmt.Fprintf(&b,
+			"\ncluster: shards=%d replicas=%d hedges=%d/%d won retries=%d timeouts=%d breaker-trips=%d failed=%d",
+			c.Shards, c.Replicas, c.HedgeWins, c.Hedges, c.Retries, c.Timeouts, c.BreakerTrips, c.Failed)
+		for s, row := range c.Replica {
+			fmt.Fprintf(&b, "\n  shard %d:", s)
+			for r, rep := range row {
+				fmt.Fprintf(&b, " r%d[q=%d err=%d to=%d trips=%d]",
+					r, rep.Queries, rep.Errors, rep.Timeouts, rep.BreakerTrips)
+			}
+		}
+	}
+	return b.String()
 }
 
 // shard is one worker's metrics slice; finalization always happens on a
@@ -103,6 +132,13 @@ func (sh *shard) record(r *engine.Result, latency time.Duration) {
 	sh.mu.Unlock()
 }
 
+// clusterStatser is the Backend capability of reporting cluster stats
+// (implemented by Cluster).
+type clusterStatser interface {
+	ClusterStats() ClusterStats
+	ResetStats()
+}
+
 // Stats merges all shards into an aggregate snapshot.
 func (s *Service) Stats() Stats {
 	st := Stats{Submitted: s.submitted.Load()}
@@ -112,6 +148,16 @@ func (s *Service) Stats() Stats {
 		st.DedupHits = d.dedupHits.Load()
 		st.CacheHits = d.cacheHits.Load()
 		st.CacheMisses = d.cacheMisses.Load()
+	}
+	if cs, ok := s.cfg.Backend.(clusterStatser); ok {
+		c := cs.ClusterStats()
+		st.Cluster = &c
+		st.Hedges = c.Hedges
+		st.HedgeWins = c.HedgeWins
+		st.Retries = c.Retries
+		st.Timeouts = c.Timeouts
+		st.BreakerTrips = c.BreakerTrips
+		st.FailedQueries = c.Failed
 	}
 	var lats []int64
 	for i := range s.shards {
@@ -153,6 +199,9 @@ func (s *Service) ResetStats() {
 		d.dedupHits.Store(0)
 		d.cacheHits.Store(0)
 		d.cacheMisses.Store(0)
+	}
+	if cs, ok := s.cfg.Backend.(clusterStatser); ok {
+		cs.ResetStats()
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]

@@ -1,0 +1,97 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+// The golden suite for Stats.String: the report is rendered in one
+// strings.Builder pass, and these fixtures pin the exact output — any new
+// line (per-shard cluster lines included) must show up here deliberately,
+// not mangle the format silently.
+
+func baseGoldenStats() Stats {
+	return Stats{
+		Submitted: 1200, Completed: 1000, Errors: 2,
+		Work: 5000, WastedWork: 120, Launched: 2500, SynthesisRuns: 800,
+		P50: 2 * time.Millisecond, P95: 9 * time.Millisecond,
+		P99: 14 * time.Millisecond, Max: 40 * time.Millisecond,
+		AvgLatency: 2500 * time.Microsecond,
+	}
+}
+
+func TestStatsStringGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		st   func() Stats
+		want string
+	}{
+		{
+			name: "base",
+			st:   baseGoldenStats,
+			want: "completed=1000 errors=2 work=5000 wasted=120 launched=2500 synthesis=800\n" +
+				"latency p50=2ms p95=9ms p99=14ms max=40ms avg=2.5ms",
+		},
+		{
+			name: "with-query-layer",
+			st: func() Stats {
+				st := baseGoldenStats()
+				st.BackendQueries = 1500
+				st.Batches = 300
+				st.DedupHits = 600
+				st.CacheHits = 400
+				st.CacheMisses = 1500
+				return st
+			},
+			want: "completed=1000 errors=2 work=5000 wasted=120 launched=2500 synthesis=800\n" +
+				"latency p50=2ms p95=9ms p99=14ms max=40ms avg=2.5ms\n" +
+				"query layer: backend=1500 batches=300 avg-batch=5.0 dedup-hits=600 cache-hit/miss=400/1500",
+		},
+		{
+			name: "with-cluster",
+			st: func() Stats {
+				st := baseGoldenStats()
+				st.Cluster = &ClusterStats{
+					Shards: 2, Replicas: 2,
+					Hedges: 50, HedgeWins: 30, Retries: 7, Timeouts: 3,
+					Errors: 9, BreakerTrips: 1, Failed: 2,
+					Replica: [][]ReplicaStats{
+						{{Queries: 700, Errors: 9, Timeouts: 3, BreakerTrips: 1}, {Queries: 650}},
+						{{Queries: 600}, {Queries: 610}},
+					},
+				}
+				return st
+			},
+			want: "completed=1000 errors=2 work=5000 wasted=120 launched=2500 synthesis=800\n" +
+				"latency p50=2ms p95=9ms p99=14ms max=40ms avg=2.5ms\n" +
+				"cluster: shards=2 replicas=2 hedges=30/50 won retries=7 timeouts=3 breaker-trips=1 failed=2\n" +
+				"  shard 0: r0[q=700 err=9 to=3 trips=1] r1[q=650 err=0 to=0 trips=0]\n" +
+				"  shard 1: r0[q=600 err=0 to=0 trips=0] r1[q=610 err=0 to=0 trips=0]",
+		},
+		{
+			name: "everything",
+			st: func() Stats {
+				st := baseGoldenStats()
+				st.BackendQueries = 10
+				st.Batches = 10
+				st.Cluster = &ClusterStats{
+					Shards: 1, Replicas: 1,
+					Replica: [][]ReplicaStats{{{Queries: 10}}},
+				}
+				return st
+			},
+			want: "completed=1000 errors=2 work=5000 wasted=120 launched=2500 synthesis=800\n" +
+				"latency p50=2ms p95=9ms p99=14ms max=40ms avg=2.5ms\n" +
+				"query layer: backend=10 batches=10 avg-batch=1.0 dedup-hits=0 cache-hit/miss=0/0\n" +
+				"cluster: shards=1 replicas=1 hedges=0/0 won retries=0 timeouts=0 breaker-trips=0 failed=0\n" +
+				"  shard 0: r0[q=10 err=0 to=0 trips=0]",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.st().String(); got != tc.want {
+				t.Errorf("Stats.String mismatch\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}

@@ -48,6 +48,98 @@ func propCombos() []propCombo {
 	}
 }
 
+// runPropFleet drives `schemas` random schemas (two source bindings each,
+// instPerBinding instances per binding over a rotating strategy mix)
+// through the service, asserting per-instance oracle agreement and exact
+// fleet-level work conservation. It returns the run's Stats for
+// configuration-specific checks.
+func runPropFleet(t *testing.T, svc *Service, schemas, instPerBinding int, seed int64) Stats {
+	t.Helper()
+	strategies := engine.Strategies("PSE100", "PCE0", "NCC0", "PSC40", "NSE60", "PCE100")
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Int64
+		failures  atomic.Int64
+		sumWork   atomic.Int64
+		sumWasted atomic.Int64
+		sumLaunch atomic.Int64
+		sumSynth  atomic.Int64
+		firstErr  atomic.Value
+	)
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for si := 0; si < schemas; si++ {
+		schemaSeed := rng.Int63()
+		s := randschema.Generate(rand.New(rand.NewSource(schemaSeed)), randschema.Config{})
+		for b := 0; b < 2; b++ {
+			sources := randschema.RandomSources(rng, s)
+			oracle := snapshot.Complete(s, sources)
+			for k := 0; k < instPerBinding; k++ {
+				st := strategies[(si+b+k)%len(strategies)]
+				wg.Add(1)
+				total++
+				err := svc.Submit(Request{
+					Schema:   s,
+					Sources:  sources,
+					Strategy: st,
+					Done: func(r *engine.Result) {
+						defer wg.Done()
+						completed.Add(1)
+						if r.Err != nil {
+							failures.Add(1)
+							firstErr.CompareAndSwap(nil, fmt.Sprintf("schema seed %d strategy %s: %v", schemaSeed, st, r.Err))
+							return
+						}
+						if err := snapshot.CheckAgainstOracle(r.Snapshot, oracle); err != nil {
+							failures.Add(1)
+							firstErr.CompareAndSwap(nil, fmt.Sprintf("schema seed %d strategy %s: oracle mismatch: %v", schemaSeed, st, err))
+							return
+						}
+						if r.WastedWork > r.Work {
+							failures.Add(1)
+							firstErr.CompareAndSwap(nil, fmt.Sprintf("schema seed %d strategy %s: WastedWork %d > Work %d", schemaSeed, st, r.WastedWork, r.Work))
+							return
+						}
+						sumWork.Add(int64(r.Work))
+						sumWasted.Add(int64(r.WastedWork))
+						sumLaunch.Add(int64(r.Launched))
+						sumSynth.Add(int64(r.SynthesisRuns))
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	wg.Wait()
+
+	if got := completed.Load(); got != int64(total) {
+		t.Fatalf("completed %d of %d instances", got, total)
+	}
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d instances failed; first: %s", f, firstErr.Load())
+	}
+	st := svc.Stats()
+	if st.Completed != uint64(total) || st.Errors != 0 {
+		t.Fatalf("stats completed=%d errors=%d, want %d/0", st.Completed, st.Errors, total)
+	}
+	// Work conservation: aggregates equal per-instance sums exactly.
+	if st.Work != uint64(sumWork.Load()) {
+		t.Errorf("aggregate Work %d != per-instance sum %d", st.Work, sumWork.Load())
+	}
+	if st.WastedWork != uint64(sumWasted.Load()) {
+		t.Errorf("aggregate WastedWork %d != per-instance sum %d", st.WastedWork, sumWasted.Load())
+	}
+	if st.Launched != uint64(sumLaunch.Load()) {
+		t.Errorf("aggregate Launched %d != per-instance sum %d", st.Launched, sumLaunch.Load())
+	}
+	if st.SynthesisRuns != uint64(sumSynth.Load()) {
+		t.Errorf("aggregate SynthesisRuns %d != per-instance sum %d", st.SynthesisRuns, sumSynth.Load())
+	}
+	return st
+}
+
 // TestPropertyRandomSchemasAllCombos drives ≥500 random schemas — 125 per
 // combination × 5 combinations, two source bindings each, a strategy mix
 // per binding — through the service. Run under -race by `make race`.
@@ -57,7 +149,6 @@ func TestPropertyRandomSchemasAllCombos(t *testing.T) {
 	if testing.Short() {
 		schemas = 25
 	}
-	strategies := engine.Strategies("PSE100", "PCE0", "NCC0", "PSC40", "NSE60", "PCE100")
 
 	for ci, combo := range propCombos() {
 		combo := combo
@@ -70,88 +161,7 @@ func TestPropertyRandomSchemasAllCombos(t *testing.T) {
 				Query:            combo.query,
 			})
 			defer svc.Close()
-
-			var (
-				wg        sync.WaitGroup
-				completed atomic.Int64
-				failures  atomic.Int64
-				sumWork   atomic.Int64
-				sumWasted atomic.Int64
-				sumLaunch atomic.Int64
-				sumSynth  atomic.Int64
-				firstErr  atomic.Value
-			)
-			rng := rand.New(rand.NewSource(seed))
-			total := 0
-			for si := 0; si < schemas; si++ {
-				schemaSeed := rng.Int63()
-				s := randschema.Generate(rand.New(rand.NewSource(schemaSeed)), randschema.Config{})
-				for b := 0; b < 2; b++ {
-					sources := randschema.RandomSources(rng, s)
-					oracle := snapshot.Complete(s, sources)
-					for k := 0; k < instPerBinding; k++ {
-						st := strategies[(si+b+k)%len(strategies)]
-						wg.Add(1)
-						total++
-						err := svc.Submit(Request{
-							Schema:   s,
-							Sources:  sources,
-							Strategy: st,
-							Done: func(r *engine.Result) {
-								defer wg.Done()
-								completed.Add(1)
-								if r.Err != nil {
-									failures.Add(1)
-									firstErr.CompareAndSwap(nil, fmt.Sprintf("schema seed %d strategy %s: %v", schemaSeed, st, r.Err))
-									return
-								}
-								if err := snapshot.CheckAgainstOracle(r.Snapshot, oracle); err != nil {
-									failures.Add(1)
-									firstErr.CompareAndSwap(nil, fmt.Sprintf("schema seed %d strategy %s: oracle mismatch: %v", schemaSeed, st, err))
-									return
-								}
-								if r.WastedWork > r.Work {
-									failures.Add(1)
-									firstErr.CompareAndSwap(nil, fmt.Sprintf("schema seed %d strategy %s: WastedWork %d > Work %d", schemaSeed, st, r.WastedWork, r.Work))
-									return
-								}
-								sumWork.Add(int64(r.Work))
-								sumWasted.Add(int64(r.WastedWork))
-								sumLaunch.Add(int64(r.Launched))
-								sumSynth.Add(int64(r.SynthesisRuns))
-							},
-						})
-						if err != nil {
-							t.Fatal(err)
-						}
-					}
-				}
-			}
-			wg.Wait()
-
-			if got := completed.Load(); got != int64(total) {
-				t.Fatalf("completed %d of %d instances", got, total)
-			}
-			if f := failures.Load(); f != 0 {
-				t.Fatalf("%d instances failed; first: %s", f, firstErr.Load())
-			}
-			st := svc.Stats()
-			if st.Completed != uint64(total) || st.Errors != 0 {
-				t.Fatalf("stats completed=%d errors=%d, want %d/0", st.Completed, st.Errors, total)
-			}
-			// Work conservation: aggregates equal per-instance sums exactly.
-			if st.Work != uint64(sumWork.Load()) {
-				t.Errorf("aggregate Work %d != per-instance sum %d", st.Work, sumWork.Load())
-			}
-			if st.WastedWork != uint64(sumWasted.Load()) {
-				t.Errorf("aggregate WastedWork %d != per-instance sum %d", st.WastedWork, sumWasted.Load())
-			}
-			if st.Launched != uint64(sumLaunch.Load()) {
-				t.Errorf("aggregate Launched %d != per-instance sum %d", st.Launched, sumLaunch.Load())
-			}
-			if st.SynthesisRuns != uint64(sumSynth.Load()) {
-				t.Errorf("aggregate SynthesisRuns %d != per-instance sum %d", st.SynthesisRuns, sumSynth.Load())
-			}
+			st := runPropFleet(t, svc, schemas, instPerBinding, seed)
 			if combo.query.enabled() {
 				// Billing exactness under sharing: every launch is exactly one
 				// of backend query / dedup hit / cache hit.
@@ -163,7 +173,7 @@ func TestPropertyRandomSchemasAllCombos(t *testing.T) {
 					t.Errorf("more backend queries (%d) than launches (%d)", st.BackendQueries, st.Launched)
 				}
 				if combo.query.CacheSize > 0 && st.CacheHits == 0 && !testing.Short() {
-					t.Errorf("cache combo produced zero hits over %d instances", total)
+					t.Errorf("cache combo produced zero hits over %d instances", st.Completed)
 				}
 				if combo.query.CacheSize > 0 && st.CacheMisses != st.BackendQueries {
 					// No volatile tasks here, so every backend query was
@@ -173,6 +183,88 @@ func TestPropertyRandomSchemasAllCombos(t *testing.T) {
 				}
 			} else if st.BackendQueries+st.DedupHits+st.CacheHits+st.Batches != 0 {
 				t.Errorf("query-layer metrics nonzero with layer off: %+v", st)
+			}
+		})
+	}
+}
+
+// TestPropertyClusterTopologies extends the random-schema sweep across the
+// cluster dimension: sampled topologies (1–4 shards × 1–3 replicas), every
+// load-balancing policy, hedging on and off, crossed with query-layer
+// configurations — so the query-layer × cluster product is covered by the
+// same oracle, conservation and billing checks as the single-backend
+// sweep. Replicas are jittered Latency backends, so completion
+// interleavings vary while every query ultimately succeeds.
+func TestPropertyClusterTopologies(t *testing.T) {
+	schemas := 18
+	if testing.Short() {
+		schemas = 6
+	}
+	type topo struct {
+		shards, replicas int
+		lb               LBPolicy
+		hedge            time.Duration
+		query            QueryConfig
+	}
+	batchq := QueryConfig{BatchSize: 4, BatchWindow: 30 * time.Microsecond, Dedup: true}
+	cacheq := QueryConfig{Dedup: true, CacheSize: 256}
+	allq := QueryConfig{BatchSize: 4, BatchWindow: 30 * time.Microsecond, Dedup: true, CacheSize: 256}
+	topos := []topo{
+		{1, 2, RoundRobin, 0, QueryConfig{}},
+		{2, 1, LeastInFlight, 0, batchq},
+		{2, 3, PowerOfTwo, 500 * time.Microsecond, cacheq},
+		{3, 2, RoundRobin, 500 * time.Microsecond, allq},
+		{4, 2, LeastInFlight, 0, allq},
+		{4, 3, PowerOfTwo, 0, batchq},
+		{3, 1, RoundRobin, 0, cacheq},
+		{4, 1, PowerOfTwo, 500 * time.Microsecond, QueryConfig{}},
+	}
+	for ti, tp := range topos {
+		tp := tp
+		name := fmt.Sprintf("%dx%d-%v-hedge%v", tp.shards, tp.replicas, tp.lb, tp.hedge > 0)
+		seed := int64(9000 + 31*ti)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cl := NewCluster(ClusterConfig{
+				Shards:     tp.shards,
+				Replicas:   tp.replicas,
+				LB:         tp.lb,
+				Retries:    2,
+				HedgeDelay: tp.hedge,
+				New: func(s, r int) Backend {
+					return &Latency{Base: 50 * time.Microsecond, PerUnit: 5 * time.Microsecond, Jitter: 0.5}
+				},
+			})
+			svc := New(Config{
+				Backend:          cl,
+				Workers:          4,
+				MaxInFlightTasks: 1024,
+				Query:            tp.query,
+			})
+			defer svc.Close()
+			st := runPropFleet(t, svc, schemas, 4, seed)
+			if st.Cluster == nil {
+				t.Fatal("cluster stats not wired")
+			}
+			if st.FailedQueries != 0 {
+				t.Errorf("healthy cluster surfaced %d failed queries", st.FailedQueries)
+			}
+			if tp.query.enabled() {
+				if st.Launched != st.BackendQueries+st.DedupHits+st.CacheHits {
+					t.Errorf("launch conservation violated over cluster: launched=%d backend=%d dedup=%d cache=%d",
+						st.Launched, st.BackendQueries, st.DedupHits, st.CacheHits)
+				}
+			}
+			// Every shard must have seen traffic on some replica (random
+			// schemas spread identities across the hash space).
+			for s, row := range st.Cluster.Replica {
+				total := uint64(0)
+				for _, rep := range row {
+					total += rep.Queries
+				}
+				if total == 0 {
+					t.Errorf("shard %d received no queries", s)
+				}
 			}
 		})
 	}

@@ -1,7 +1,6 @@
 package runtime
 
 import (
-	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,14 +66,59 @@ type queryKey struct {
 	args   string
 }
 
+// Identity hashing is FNV-1a, deliberately unseeded: a query's hash — and
+// therefore its cluster shard — must be stable across processes and
+// restarts, or consistent placement (and any per-shard locality built on
+// it) would reshuffle on every deploy. Inputs are schema/attribute names
+// and rendered attribute values, not attacker-controlled keys, so seedless
+// hashing is sound here.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvFold folds data into a running FNV-1a state. Both hash entry points
+// go through it, so the direct launch path (byte-slice args) and the
+// dispatcher (interned string args) cannot drift apart and split the same
+// query across cluster shards.
+func fnvFold[T ~string | ~[]byte](h uint64, data T) uint64 {
+	for i := 0; i < len(data); i++ {
+		h = (h ^ uint64(data[i])) * fnvPrime
+	}
+	return h
+}
+
+// hashIdentity hashes one sharing identity (schema, attribute, rendered
+// stable data-input values).
+func hashIdentity(schema *core.Schema, id core.AttrID, args []byte) uint64 {
+	return fnvFold(hashPrefix(schema, id), args)
+}
+
+// hashKey is hashIdentity over an interned queryKey.
+func hashKey(key queryKey) uint64 {
+	return fnvFold(hashPrefix(key.schema, key.id), key.args)
+}
+
+// hashPrefix folds the schema name and attribute id.
+func hashPrefix(schema *core.Schema, id core.AttrID) uint64 {
+	h := fnvFold(fnvOffset, schema.Name())
+	h = (h ^ uint64(id&0xff)) * fnvPrime
+	h = (h ^ uint64(id>>8)) * fnvPrime
+	return h
+}
+
 // flight is one query on its way to the backend, with every completion
 // callback waiting on it. dones is guarded by the owning shard's lock for
 // keyed flights; unkeyed flights have exactly one waiter and no sharing.
+// hash is the sharing-identity hash (a sequence-spread value for unkeyed
+// flights), used for lock-domain selection here and consistent shard
+// placement in a routed backend.
 type flight struct {
 	key   queryKey
 	keyed bool
+	hash  uint64
 	cost  int
-	dones []func()
+	dones []func(error)
 }
 
 // dispatcher implements the shared query layer. It is created only when
@@ -83,12 +127,20 @@ type flight struct {
 type dispatcher struct {
 	backend Backend
 	cfg     QueryConfig
+	// Backend capabilities, resolved once: routed backends (Cluster) get
+	// each flight's identity hash for consistent shard placement and fan
+	// batches out per shard; fallible ones report failures, which fan out
+	// to every waiter (shared fate, like any single-flight result).
+	routed      Routed
+	routedBatch RoutedBatch
+	fallible    Fallible
+	batchExec   BatchExec
 	// tokens is the service's global admission channel. The dispatcher
 	// owns admission at unique-backend-query granularity: one token per
 	// flight, held from enqueue to completion. Deduplicated and cached
 	// launches never touch it — they put no task on the database.
 	tokens chan struct{}
-	seed   maphash.Seed
+	seq    atomic.Uint64 // spreads unkeyed flights over routed shards
 	shards []qshard
 
 	// batcher state: pending flights and the deadline timer.
@@ -122,9 +174,12 @@ func newDispatcher(backend Backend, tokens chan struct{}, cfg QueryConfig) *disp
 		backend: backend,
 		cfg:     cfg,
 		tokens:  tokens,
-		seed:    maphash.MakeSeed(),
 		shards:  make([]qshard, cfg.CacheShards),
 	}
+	d.routed, _ = backend.(Routed)
+	d.routedBatch, _ = backend.(RoutedBatch)
+	d.fallible, _ = backend.(Fallible)
+	d.batchExec, _ = backend.(BatchExec)
 	perShard := 0
 	if cfg.CacheSize > 0 {
 		perShard = max(1, cfg.CacheSize/cfg.CacheShards)
@@ -141,33 +196,39 @@ func newDispatcher(backend Backend, tokens chan struct{}, cfg QueryConfig) *disp
 	return d
 }
 
-// shard picks the lock domain for a key.
-func (d *dispatcher) shard(key queryKey) *qshard {
-	var h maphash.Hash
-	h.SetSeed(d.seed)
-	h.WriteString(key.schema.Name())
-	h.WriteByte(byte(key.id))
-	h.WriteByte(byte(key.id >> 8))
-	h.WriteString(key.args)
-	return &d.shards[h.Sum64()%uint64(len(d.shards))]
+// shard picks the lock domain for an identity hash.
+func (d *dispatcher) shard(hash uint64) *qshard {
+	return &d.shards[hash%uint64(len(d.shards))]
 }
 
-// needsKey reports whether launches should render their sharing identity.
-func (d *dispatcher) needsKey() bool { return d.cfg.Dedup || d.cfg.CacheSize > 0 }
+// needsKey reports whether launches should render their sharing identity:
+// for the dedup/cache tables, or — even with both off — for consistent
+// shard placement on a routed backend.
+func (d *dispatcher) needsKey() bool {
+	return d.cfg.Dedup || d.cfg.CacheSize > 0 || d.routed != nil
+}
 
 // Submit routes one foreign-task launch. done is invoked exactly once when
 // the query's result is available — possibly synchronously (cache hit, or
 // an immediate backend). keyed=false launches (volatile tasks) bypass the
 // cache and dedup but still batch.
-func (d *dispatcher) Submit(key queryKey, keyed bool, cost int, done func()) {
+func (d *dispatcher) Submit(key queryKey, keyed bool, cost int, done func(error)) {
 	if keyed && d.needsKey() {
-		sh := d.shard(key)
+		hash := hashKey(key)
+		if !d.cfg.Dedup && d.cfg.CacheSize == 0 {
+			// Keyed purely for routing (batching-only layer over a routed
+			// backend): no sharing tables to consult, and exactly one
+			// waiter — but the identity hash still pins the shard.
+			d.enqueue(&flight{hash: hash, cost: cost, dones: []func(error){done}})
+			return
+		}
+		sh := d.shard(hash)
 		sh.mu.Lock()
 		if d.cfg.CacheSize > 0 {
 			if sh.cache.get(key, time.Now(), d.cfg.CacheTTL) {
 				sh.mu.Unlock()
 				d.cacheHits.Add(1)
-				done()
+				done(nil)
 				return
 			}
 		}
@@ -178,7 +239,7 @@ func (d *dispatcher) Submit(key queryKey, keyed bool, cost int, done func()) {
 				d.dedupHits.Add(1)
 				return
 			}
-			f := &flight{key: key, keyed: true, cost: cost, dones: []func(){done}}
+			f := &flight{key: key, keyed: true, hash: hash, cost: cost, dones: []func(error){done}}
 			sh.inflight[key] = f
 			sh.mu.Unlock()
 			// A miss is a cache lookup that reaches the backend: dedup
@@ -193,10 +254,10 @@ func (d *dispatcher) Submit(key queryKey, keyed bool, cost int, done func()) {
 		if d.cfg.CacheSize > 0 {
 			d.cacheMisses.Add(1)
 		}
-		d.enqueue(&flight{key: key, keyed: true, cost: cost, dones: []func(){done}})
+		d.enqueue(&flight{key: key, keyed: true, hash: hash, cost: cost, dones: []func(error){done}})
 		return
 	}
-	d.enqueue(&flight{cost: cost, dones: []func(){done}})
+	d.enqueue(&flight{hash: splitmix64(d.seq.Add(1)), cost: cost, dones: []func(error){done}})
 }
 
 // enqueue hands one unique query to the batcher (or straight to the
@@ -207,7 +268,7 @@ func (d *dispatcher) enqueue(f *flight) {
 	d.backendQueries.Add(1)
 	if d.cfg.BatchSize <= 1 {
 		d.batches.Add(1)
-		d.backend.Submit(f.cost, func() { d.complete(f) })
+		d.submitOne(f)
 		return
 	}
 	d.bmu.Lock()
@@ -244,26 +305,63 @@ func (d *dispatcher) deadline() {
 	}
 }
 
+// submitOne routes one unbatched flight to the backend, preferring the
+// routed (consistent shard placement) and fallible (fault reporting)
+// capabilities.
+func (d *dispatcher) submitOne(f *flight) {
+	switch {
+	case d.routed != nil:
+		d.routed.SubmitRouted(f.hash, f.cost, func(err error) { d.complete(f, err) })
+	case d.fallible != nil:
+		d.fallible.SubmitErr(f.cost, func(err error) { d.complete(f, err) })
+	default:
+		d.backend.Submit(f.cost, func() { d.complete(f, nil) })
+	}
+}
+
 // flush submits one cut batch to the backend. Runs on the goroutine that
 // tripped the size trigger or on the deadline timer's goroutine; it may
 // block on backend admission (e.g. Latency.Parallel), which back-pressures
 // later batches without stalling completion delivery.
 func (d *dispatcher) flush(batch []*flight) {
 	if len(batch) == 1 {
-		f := batch[0]
 		d.batches.Add(1)
-		d.backend.Submit(f.cost, func() { d.complete(f) })
+		d.submitOne(batch[0])
 		return
 	}
-	if be, ok := d.backend.(BatchExec); ok {
+	if d.routedBatch != nil {
+		// Sharded backend: the batch fans out per shard underneath; each
+		// member completes as its shard's sub-batch lands. Batches counts
+		// dispatcher cuts; the cluster's SubBatches counts shard trips.
+		hashes := make([]uint64, len(batch))
+		costs := make([]int, len(batch))
+		for i, f := range batch {
+			hashes[i] = f.hash
+			costs[i] = f.cost
+		}
+		d.batches.Add(1)
+		d.routedBatch.SubmitRoutedBatch(hashes, costs, func(i int, err error) {
+			d.complete(batch[i], err)
+		})
+		return
+	}
+	if d.batchExec != nil {
 		costs := make([]int, len(batch))
 		for i, f := range batch {
 			costs[i] = f.cost
 		}
 		d.batches.Add(1)
-		be.SubmitBatch(costs, func() {
+		if fb, ok := d.batchExec.(FallibleBatch); ok {
+			fb.SubmitBatchErr(costs, func(err error) {
+				for _, f := range batch {
+					d.complete(f, err)
+				}
+			})
+			return
+		}
+		d.batchExec.SubmitBatch(costs, func() {
 			for _, f := range batch {
-				d.complete(f)
+				d.complete(f, nil)
 			}
 		})
 		return
@@ -272,26 +370,28 @@ func (d *dispatcher) flush(batch []*flight) {
 	// completion semantics, no amortization.
 	d.batches.Add(uint64(len(batch)))
 	for _, f := range batch {
-		f := f
-		d.backend.Submit(f.cost, func() { d.complete(f) })
+		d.submitOne(f)
 	}
 }
 
 // complete fans a finished flight out to its waiters, retiring it from the
 // single-flight table and priming the cache. It runs on backend goroutines;
-// each waiter is the service's cheap non-blocking completion handler.
-func (d *dispatcher) complete(f *flight) {
+// each waiter is the service's cheap non-blocking completion handler. A
+// failed flight (err non-nil, every cluster retry exhausted) shares its
+// fate with all deduplicated waiters — standard single-flight semantics —
+// and is never cached, so the next identical launch retries the backend.
+func (d *dispatcher) complete(f *flight, err error) {
 	<-d.tokens // release backend admission first so capacity refills
-	var dones []func()
+	var dones []func(error)
 	if f.keyed {
 		// f.dones of a keyed flight is only readable under the shard lock:
 		// dedup waiters append to it until the retirement below.
-		sh := d.shard(f.key)
+		sh := d.shard(f.hash)
 		sh.mu.Lock()
 		if d.cfg.Dedup {
 			delete(sh.inflight, f.key)
 		}
-		if d.cfg.CacheSize > 0 {
+		if d.cfg.CacheSize > 0 && err == nil {
 			sh.cache.put(f.key, time.Now())
 		}
 		dones = f.dones
@@ -300,7 +400,7 @@ func (d *dispatcher) complete(f *flight) {
 		dones = f.dones // single waiter, never shared
 	}
 	for _, fn := range dones {
-		fn()
+		fn(err)
 	}
 }
 

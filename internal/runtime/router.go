@@ -1,0 +1,400 @@
+package runtime
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the routing half of the cluster backend: consistent shard
+// placement, replica load balancing, the per-replica circuit breaker, and
+// the latency histogram that drives percentile hedging. cluster.go owns
+// the per-query lifecycle (attempts, retries, hedges) on top of it.
+
+// LBPolicy selects how a shard picks the replica for a query.
+type LBPolicy int
+
+const (
+	// RoundRobin rotates through the shard's healthy replicas.
+	RoundRobin LBPolicy = iota
+	// LeastInFlight picks the healthy replica with the fewest queries
+	// currently outstanding — the strongest signal, at the cost of
+	// scanning every replica.
+	LeastInFlight
+	// PowerOfTwo samples two healthy replicas and keeps the less loaded —
+	// most of LeastInFlight's benefit at O(1) cost ("the power of two
+	// choices").
+	PowerOfTwo
+)
+
+// String renders the policy as its dfserve flag value.
+func (p LBPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "rr"
+	case LeastInFlight:
+		return "least"
+	case PowerOfTwo:
+		return "p2c"
+	}
+	return fmt.Sprintf("LBPolicy(%d)", int(p))
+}
+
+// ParseLBPolicy parses a dfserve-style policy name.
+func ParseLBPolicy(name string) (LBPolicy, error) {
+	switch name {
+	case "rr", "roundrobin":
+		return RoundRobin, nil
+	case "least", "least-in-flight":
+		return LeastInFlight, nil
+	case "p2c", "power-of-two":
+		return PowerOfTwo, nil
+	}
+	return 0, fmt.Errorf("runtime: unknown load-balancing policy %q (want rr, least or p2c)", name)
+}
+
+// jumpHash is Lamping–Veach jump consistent hashing: a uniform, stateless
+// map from a 64-bit key to one of n buckets where growing n from n to n+1
+// moves only 1/(n+1) of the keys — the consistent-hash property without a
+// ring to maintain.
+func jumpHash(key uint64, n int) int {
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// splitmix64 finalizes a weak sequence number into a well-mixed hash; it
+// spreads unroutable (volatile) queries uniformly over shards and feeds
+// the power-of-two replica sampler.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// --- circuit breaker ---
+
+// breaker states. Transitions: closed --(BreakAfter consecutive
+// failures)--> open --(cooldown elapses; one probe admitted)--> half-open
+// --(probe succeeds)--> closed, or --(probe fails)--> open again.
+const (
+	brClosed int32 = iota
+	brOpen
+	brHalfOpen
+)
+
+// breaker is a per-replica circuit breaker fed by the cluster's error,
+// timeout and success observations. It is lock-free: state transitions
+// race benignly (the worst case is one extra probe reaching a sick
+// replica).
+type breaker struct {
+	state    atomic.Int32
+	fails    atomic.Int32 // consecutive failures while closed/half-open
+	openedAt atomic.Int64 // wall time (ns) of the closed->open transition
+	trips    atomic.Uint64
+
+	after    int32 // consecutive failures that open the breaker
+	cooldown time.Duration
+}
+
+// admissible is the read-only availability check: closed, or open with
+// the cooldown elapsed (a probe could be admitted). Selection scans use
+// it to rank candidates without claiming the probe slot.
+func (b *breaker) admissible(now int64) bool {
+	switch b.state.Load() {
+	case brClosed:
+		return true
+	case brOpen:
+		return now-b.openedAt.Load() >= int64(b.cooldown)
+	default: // half-open: the probe is already out
+		return false
+	}
+}
+
+// admit claims the admission for one attempt. For an open breaker past its
+// cooldown this claims the single half-open probe slot; only the caller
+// that wins the claim may submit, so a probe is never stranded.
+func (b *breaker) admit(now int64) bool {
+	switch b.state.Load() {
+	case brClosed:
+		return true
+	case brOpen:
+		if now-b.openedAt.Load() < int64(b.cooldown) {
+			return false
+		}
+		return b.state.CompareAndSwap(brOpen, brHalfOpen)
+	default:
+		return false
+	}
+}
+
+// success feeds one successful completion.
+func (b *breaker) success() {
+	b.fails.Store(0)
+	b.state.Store(brClosed)
+}
+
+// failure feeds one error or timeout observation at wall time now (ns).
+func (b *breaker) failure(now int64) {
+	if b.state.Load() == brHalfOpen {
+		// Failed probe: straight back to open for another cooldown.
+		b.openedAt.Store(now)
+		b.state.Store(brOpen)
+		return
+	}
+	if b.fails.Add(1) >= b.after && b.state.CompareAndSwap(brClosed, brOpen) {
+		b.openedAt.Store(now)
+		b.trips.Add(1)
+		b.fails.Store(0)
+	}
+}
+
+// --- latency histogram ---
+
+// histBuckets spans 1ns..~9s in powers of two; slower completions land in
+// the last bucket.
+const histBuckets = 34
+
+// latHist is a lock-free log₂ histogram of completion latencies. It backs
+// percentile hedging: the hedge delay is the distribution's q-quantile,
+// so only the slowest (1-q) of requests pay a second backend round trip.
+type latHist struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+}
+
+// observe records one completion latency.
+func (h *latHist) observe(d time.Duration) {
+	b := bits.Len64(uint64(max(d, 1))) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.total.Add(1)
+}
+
+// quantile returns an upper bound of the q-quantile latency, or 0 when
+// fewer than minSamples completions have been observed (callers then skip
+// hedging until the histogram warms up).
+func (h *latHist) quantile(q float64, minSamples uint64) time.Duration {
+	total := h.total.Load()
+	if total < minSamples {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			return time.Duration(uint64(1) << uint(i+1)) // bucket upper bound
+		}
+	}
+	return time.Duration(uint64(1) << histBuckets)
+}
+
+// --- replica ---
+
+// replica is one backend copy within a shard: the backend itself with its
+// capabilities resolved once, the in-flight gauge the balancers read, the
+// circuit breaker, and its traffic counters.
+type replica struct {
+	be      Backend
+	fe      Fallible      // nil when the backend cannot report errors
+	feBatch FallibleBatch // nil when it cannot report batch errors
+	batch   BatchExec     // nil when it cannot combine round trips
+
+	inFlight atomic.Int64
+	brk      breaker
+
+	queries  atomic.Uint64 // attempts handed to this replica (incl. hedges/retries)
+	errors   atomic.Uint64 // attempts that reported an error
+	timeouts atomic.Uint64 // attempts abandoned by the per-attempt deadline
+}
+
+func newReplica(be Backend, breakAfter int32, cooldown time.Duration) *replica {
+	r := &replica{be: be}
+	r.fe, _ = be.(Fallible)
+	r.feBatch, _ = be.(FallibleBatch)
+	r.batch, _ = be.(BatchExec)
+	r.brk.after = breakAfter
+	r.brk.cooldown = cooldown
+	return r
+}
+
+// exec submits one attempt — a single query (costs nil) or a combined
+// sub-batch — and reports its outcome. Backends without error reporting
+// are treated as infallible; sub-batches on backends without batch support
+// fan out to member submissions and report the first member error after
+// all members land.
+func (r *replica) exec(cost int, costs []int, done func(error)) {
+	r.queries.Add(1)
+	r.inFlight.Add(1)
+	wrapped := func(err error) {
+		r.inFlight.Add(-1)
+		done(err)
+	}
+	switch {
+	case costs == nil && r.fe != nil:
+		r.fe.SubmitErr(cost, wrapped)
+	case costs == nil:
+		r.be.Submit(cost, func() { wrapped(nil) })
+	case r.feBatch != nil:
+		r.feBatch.SubmitBatchErr(costs, wrapped)
+	case r.batch != nil:
+		r.batch.SubmitBatch(costs, func() { wrapped(nil) })
+	default:
+		// No batch capability: members travel individually; the sub-batch
+		// completes when the last member lands, reporting any one error.
+		var (
+			left     atomic.Int64
+			firstErr atomic.Value
+		)
+		left.Store(int64(len(costs)))
+		for _, c := range costs {
+			memberDone := func(err error) {
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+				}
+				if left.Add(-1) == 0 {
+					err, _ := firstErr.Load().(error)
+					wrapped(err)
+				}
+			}
+			if r.fe != nil {
+				r.fe.SubmitErr(c, memberDone)
+			} else {
+				r.be.Submit(c, func() { memberDone(nil) })
+			}
+		}
+	}
+}
+
+// --- shard-level replica selection ---
+
+// cshard is one consistent-hash partition of the cluster: R replicas plus
+// the selection state and the latency histogram driving hedge delays.
+type cshard struct {
+	replicas []*replica
+	rr       atomic.Uint64 // round-robin cursor / p2c sample stream
+	hist     latHist
+}
+
+// pick selects a replica for a new attempt under the policy, skipping
+// replicas whose bit is set in exclude (already tried by this query) and
+// replicas whose breaker is open. When every replica is excluded or
+// broken it falls back to ignoring first the breaker, then the exclusion
+// — availability over perfect placement; a completely dead shard still
+// gets traffic (and fast errors) rather than none.
+func (sh *cshard) pick(policy LBPolicy, exclude uint64, now int64) *replica {
+	if len(sh.replicas) == 1 {
+		return sh.replicas[0]
+	}
+	if r := sh.pickAvailable(policy, exclude, now); r != nil {
+		return r
+	}
+	if r := sh.pickAvailable(policy, 0, now); r != nil {
+		return r
+	}
+	// Whole shard broken: least-loaded untried, then least-loaded overall.
+	if r := sh.pickLeast(exclude); r != nil {
+		return r
+	}
+	return sh.pickLeast(0)
+}
+
+// pickAvailable applies the policy over non-excluded, breaker-admitted
+// replicas; nil when none qualifies. The returned replica's admission
+// (including the half-open probe slot, if that's what it was) is claimed.
+func (sh *cshard) pickAvailable(policy LBPolicy, exclude uint64, now int64) *replica {
+	n := len(sh.replicas)
+	switch policy {
+	case LeastInFlight:
+		// Rank read-only, then claim; a lost probe-claim race excludes the
+		// candidate and re-ranks, so a probe slot is never stranded.
+		for {
+			var best *replica
+			for i, r := range sh.replicas {
+				if exclude&(1<<uint(i)) != 0 || !r.brk.admissible(now) {
+					continue
+				}
+				if best == nil || r.inFlight.Load() < best.inFlight.Load() {
+					best = r
+				}
+			}
+			if best == nil {
+				return nil
+			}
+			if best.brk.admit(now) {
+				return best
+			}
+			exclude |= 1 << uint(sh.index(best))
+		}
+	case PowerOfTwo:
+		h := splitmix64(sh.rr.Add(1))
+		a := sh.replicas[int(h%uint64(n))]
+		b := sh.replicas[int((h>>32)%uint64(n))]
+		if b.inFlight.Load() < a.inFlight.Load() {
+			a, b = b, a
+		}
+		for _, r := range []*replica{a, b} {
+			if !sh.excluded(r, exclude) && r.brk.admit(now) {
+				return r
+			}
+		}
+		// Both samples unusable: degrade to a round-robin style scan.
+		fallthrough
+	default: // RoundRobin
+		start := sh.rr.Add(1)
+		for i := 0; i < n; i++ {
+			r := sh.replicas[int((start+uint64(i))%uint64(n))]
+			if !sh.excluded(r, exclude) && r.brk.admit(now) {
+				return r
+			}
+		}
+		return nil
+	}
+}
+
+// pickLeast is the degraded-mode selector: least in flight among
+// non-excluded replicas, breaker ignored.
+func (sh *cshard) pickLeast(exclude uint64) *replica {
+	var best *replica
+	for i, r := range sh.replicas {
+		if exclude&(1<<uint(i)) != 0 {
+			continue
+		}
+		if best == nil || r.inFlight.Load() < best.inFlight.Load() {
+			best = r
+		}
+	}
+	return best
+}
+
+// excluded reports whether r's bit is set in the exclusion mask.
+func (sh *cshard) excluded(r *replica, exclude uint64) bool {
+	if exclude == 0 {
+		return false
+	}
+	for i, cand := range sh.replicas {
+		if cand == r {
+			return exclude&(1<<uint(i)) != 0
+		}
+	}
+	return false
+}
+
+// index returns r's position within the shard (for exclusion masks).
+func (sh *cshard) index(r *replica) int {
+	for i, cand := range sh.replicas {
+		if cand == r {
+			return i
+		}
+	}
+	return -1
+}

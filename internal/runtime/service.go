@@ -69,6 +69,14 @@ type Service struct {
 	active  sync.WaitGroup // one count per unretired instance
 	workers sync.WaitGroup
 
+	// Backend capabilities, resolved once. routed backends (Cluster) get
+	// the query's sharing-identity hash for consistent shard placement;
+	// fallible ones report failures, which complete the task as failed
+	// (value ⟂) instead of silently succeeding.
+	routed   Routed
+	fallible Fallible
+	routeSeq atomic.Uint64 // spreads unroutable direct launches over shards
+
 	// closeMu makes Submit and Close safe to race: submits hold the read
 	// side across the accept-and-enqueue step, so once Close's write lock
 	// falls every later Submit observes closed and no active.Add can slip
@@ -97,6 +105,8 @@ func New(cfg Config) *Service {
 		tokens: make(chan struct{}, cfg.MaxInFlightTasks),
 		shards: make([]shard, cfg.Workers),
 	}
+	s.routed, _ = cfg.Backend.(Routed)
+	s.fallible, _ = cfg.Backend.(Fallible)
 	if cfg.Query.enabled() {
 		s.disp = newDispatcher(cfg.Backend, s.tokens, cfg.Query)
 	}
@@ -183,17 +193,19 @@ func (s *Service) worker(sh *shard) {
 		if j.begin {
 			j.in.begin(sh)
 		} else {
-			j.in.finishTask(sh, j.id)
+			j.in.finishTask(sh, j.id, j.failed)
 		}
 	}
 }
 
 // taskDone is the backend completion path: release the admission token and
 // hand the completion to the worker pool. It must stay cheap and
-// non-blocking — it runs on backend goroutines (timers, pacers).
-func (s *Service) taskDone(in *inst, id core.AttrID) {
+// non-blocking — it runs on backend goroutines (timers, pacers). A non-nil
+// err means the query terminally failed (every cluster retry exhausted):
+// the task completes as failed, delivering ⟂.
+func (s *Service) taskDone(in *inst, id core.AttrID, err error) {
 	<-s.tokens
-	s.queue.push(job{in: in, id: id})
+	s.queue.push(job{in: in, id: id, failed: err != nil})
 }
 
 // taskDoneShared is the completion path for launches routed through the
@@ -201,8 +213,8 @@ func (s *Service) taskDone(in *inst, id core.AttrID) {
 // (acquired and released by the dispatcher), not to per-instance launches
 // — a deduplicated or cached launch puts no new task on the database, so
 // it must not consume database admission. This only delivers.
-func (s *Service) taskDoneShared(in *inst, id core.AttrID) {
-	s.queue.push(job{in: in, id: id})
+func (s *Service) taskDoneShared(in *inst, id core.AttrID, err error) {
+	s.queue.push(job{in: in, id: id, failed: err != nil})
 }
 
 // --- instance ---
@@ -223,8 +235,10 @@ type inst struct {
 	finalized   bool
 	refs        int // completion callbacks + result readers keeping the state alive
 	// doneFns caches one completion closure per attribute so steady-state
-	// launches allocate nothing.
-	doneFns []func()
+	// launches allocate nothing; okFns are their error-less adapters for
+	// backends without outcome reporting.
+	doneFns []func(error)
+	okFns   []func()
 	// keyBuf is the scratch buffer for rendering query sharing identities.
 	keyBuf []byte
 }
@@ -263,11 +277,30 @@ func (in *inst) drive(sh *shard) {
 // path: the direct path acquires a token per launch, the query layer per
 // unique backend query (deduplicated and cached launches hit no database,
 // so they bypass admission).
-func (in *inst) launch(id core.AttrID, cost int, done func()) {
+func (in *inst) launch(id core.AttrID, cost int, done func(error)) {
 	d := in.svc.disp
 	if d == nil {
-		in.svc.tokens <- struct{}{} // global admission; blocks under overload
-		in.svc.cfg.Backend.Submit(cost, done)
+		svc := in.svc
+		svc.tokens <- struct{}{} // global admission; blocks under overload
+		switch {
+		case svc.routed != nil:
+			// Sharded backend: place by sharing identity so the same
+			// logical query consistently lands on the same shard; volatile
+			// (unroutable) launches spread by sequence instead.
+			var h uint64
+			var keyed bool
+			in.keyBuf, keyed = in.core.AppendQueryArgs(id, in.keyBuf[:0])
+			if keyed {
+				h = hashIdentity(in.req.Schema, id, in.keyBuf)
+			} else {
+				h = splitmix64(svc.routeSeq.Add(1))
+			}
+			svc.routed.SubmitRouted(h, cost, done)
+		case svc.fallible != nil:
+			svc.fallible.SubmitErr(cost, done)
+		default:
+			svc.cfg.Backend.Submit(cost, in.okFn(id))
+		}
 		return
 	}
 	var key queryKey
@@ -282,7 +315,10 @@ func (in *inst) launch(id core.AttrID, cost int, done func()) {
 }
 
 // finishTask is the evaluation phase for one completed database task.
-func (in *inst) finishTask(sh *shard, id core.AttrID) {
+// failed completes the task as a database failure: the query's work was
+// done (and stays in Work) but it delivers ⟂ (counted in Result.Failures)
+// — the terminal outcome of a cluster query whose every retry failed.
+func (in *inst) finishTask(sh *shard, id core.AttrID, failed bool) {
 	in.mu.Lock()
 	in.outstanding--
 	if in.finalized {
@@ -291,7 +327,7 @@ func (in *inst) finishTask(sh *shard, id core.AttrID) {
 		in.deref()
 		return
 	}
-	in.core.Complete(id, false)
+	in.core.Complete(id, failed)
 	in.drive(sh)
 }
 
@@ -333,31 +369,48 @@ func (in *inst) deref() {
 }
 
 // doneFn returns the cached completion closure for the attribute.
-func (in *inst) doneFn(id core.AttrID) func() {
+func (in *inst) doneFn(id core.AttrID) func(error) {
 	if int(id) >= len(in.doneFns) {
-		grown := make([]func(), in.req.Schema.NumAttrs())
+		grown := make([]func(error), in.req.Schema.NumAttrs())
 		copy(grown, in.doneFns)
 		in.doneFns = grown
 	}
 	if in.doneFns[id] == nil {
 		id := id
 		if in.svc.disp != nil {
-			in.doneFns[id] = func() { in.svc.taskDoneShared(in, id) }
+			in.doneFns[id] = func(err error) { in.svc.taskDoneShared(in, id, err) }
 		} else {
-			in.doneFns[id] = func() { in.svc.taskDone(in, id) }
+			in.doneFns[id] = func(err error) { in.svc.taskDone(in, id, err) }
 		}
 	}
 	return in.doneFns[id]
 }
 
+// okFn returns the cached error-less adapter for the attribute, used with
+// backends that cannot report outcomes.
+func (in *inst) okFn(id core.AttrID) func() {
+	if int(id) >= len(in.okFns) {
+		grown := make([]func(), in.req.Schema.NumAttrs())
+		copy(grown, in.okFns)
+		in.okFns = grown
+	}
+	if in.okFns[id] == nil {
+		fn := in.doneFns[id] // doneFn ran first: launch resolves it before routing
+		in.okFns[id] = func() { fn(nil) }
+	}
+	return in.okFns[id]
+}
+
 // --- worker queue ---
 
 // job is one unit of worker work: either the first advance of a freshly
-// submitted instance (begin) or the completion of database task id.
+// submitted instance (begin) or the completion of database task id
+// (failed when the query terminally failed).
 type job struct {
-	in    *inst
-	id    core.AttrID
-	begin bool
+	in     *inst
+	id     core.AttrID
+	begin  bool
+	failed bool
 }
 
 // jobQueue is an unbounded MPMC FIFO. Unbounded is deliberate: admission

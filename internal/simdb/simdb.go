@@ -20,6 +20,7 @@
 package simdb
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -50,6 +51,24 @@ type Params struct {
 	// query-clustering ablation (§6 future work) sets it positive so that
 	// batching queries amortizes the overhead.
 	OverheadUnits int
+
+	// Fault injection and degradation, all zero in the paper's
+	// configuration. Faults are observable only through the error-aware
+	// submission paths (SubmitErr/SubmitBatchErr); the plain paths stay
+	// fault-blind, so the virtual-time engine's own failure injection
+	// (engine.FailureProb) is unaffected.
+
+	// FailProb is the probability a query executes fully (consuming CPU
+	// and disk as usual) but reports ErrInjected — a transaction abort
+	// after the work was done.
+	FailProb float64
+	// StallProb is the probability a query executes fully but never
+	// reports — a hung connection whose resources were nevertheless
+	// consumed.
+	StallProb float64
+	// SlowFactor multiplies every service time (CPU and IO) — a degraded
+	// replica running on ailing hardware. 0 or 1 means nominal speed.
+	SlowFactor float64
 }
 
 // DefaultParams returns the Table 1 database configuration.
@@ -79,6 +98,15 @@ func (p Params) validate() {
 	if p.OverheadUnits < 0 {
 		panic("simdb: negative per-query overhead")
 	}
+	if p.FailProb < 0 || p.FailProb > 1 || p.StallProb < 0 || p.StallProb > 1 {
+		panic(fmt.Sprintf("simdb: fault probabilities %v/%v out of [0,1]", p.FailProb, p.StallProb))
+	}
+	if p.FailProb+p.StallProb > 1 {
+		panic("simdb: FailProb + StallProb > 1")
+	}
+	if p.SlowFactor < 0 {
+		panic("simdb: negative SlowFactor")
+	}
 }
 
 // Unbounded is the infinite-resource database: one unit of processing takes
@@ -96,6 +124,10 @@ func (u *Unbounded) Submit(cost int, done func()) {
 	u.S.After(float64(cost), done)
 }
 
+// ErrInjected is the error reported (via SubmitErr/SubmitBatchErr) for
+// queries chosen to fail by Params.FailProb.
+var ErrInjected = errors.New("simdb: injected query failure")
+
 // Server is the bounded-resource database.
 type Server struct {
 	s      *sim.Sim
@@ -103,6 +135,10 @@ type Server struct {
 	cpus   *sim.Resource
 	disks  *sim.Resource
 	rng    *rand.Rand
+	// cpuTime and ioDelay are the effective service times: the configured
+	// demands scaled by SlowFactor.
+	cpuTime float64
+	ioDelay float64
 
 	active         int     // queries currently executing (= Gmpl)
 	activeIntegral float64 // ∫ active dt
@@ -117,12 +153,18 @@ type Server struct {
 // the buffer-hit coin flips, making runs reproducible.
 func NewServer(s *sim.Sim, p Params, seed int64) *Server {
 	p.validate()
+	factor := p.SlowFactor
+	if factor == 0 {
+		factor = 1
+	}
 	return &Server{
 		s:          s,
 		params:     p,
 		cpus:       sim.NewResource(s, "cpu", p.NumCPUs),
 		disks:      sim.NewResource(s, "disk", p.NumDisks),
 		rng:        rand.New(rand.NewSource(seed)),
+		cpuTime:    p.UnitCPUTime * factor,
+		ioDelay:    p.IODelay * factor,
 		lastChange: s.Now(),
 	}
 }
@@ -182,10 +224,51 @@ func (db *Server) SubmitBatch(costs []int, done func()) {
 	})
 }
 
+// SubmitErr is Submit with fault reporting: with probability FailProb the
+// query executes fully but reports ErrInjected; with probability StallProb
+// it executes fully but never reports. Fault draws come from the server's
+// seeded stream, so runs reproduce.
+func (db *Server) SubmitErr(cost int, done func(error)) {
+	fail, stall := db.drawFault()
+	switch {
+	case stall:
+		db.Submit(cost, func() {})
+	case fail:
+		db.Submit(cost, func() { done(ErrInjected) })
+	default:
+		db.Submit(cost, func() { done(nil) })
+	}
+}
+
+// SubmitBatchErr is SubmitBatch with fault reporting; the combined query
+// draws one fault, shared by every member.
+func (db *Server) SubmitBatchErr(costs []int, done func(error)) {
+	fail, stall := db.drawFault()
+	switch {
+	case stall:
+		db.SubmitBatch(costs, func() {})
+	case fail:
+		db.SubmitBatch(costs, func() { done(ErrInjected) })
+	default:
+		db.SubmitBatch(costs, func() { done(nil) })
+	}
+}
+
+// drawFault decides one query's injected fate.
+func (db *Server) drawFault() (fail, stall bool) {
+	if db.params.FailProb == 0 && db.params.StallProb == 0 {
+		return false, false
+	}
+	u := db.rng.Float64()
+	fail = u < db.params.FailProb
+	stall = !fail && u < db.params.FailProb+db.params.StallProb
+	return fail, stall
+}
+
 // runUnit executes one unit of processing, then recurses for the remainder.
 func (db *Server) runUnit(remaining int, done func()) {
 	unitStart := db.s.Now()
-	db.cpus.Use(db.params.UnitCPUTime, func() {
+	db.cpus.Use(db.cpuTime, func() {
 		db.ioPhase(db.params.UnitIOPages, func() {
 			db.unitsDone++
 			db.unitTimeSum += db.s.Now() - unitStart
@@ -213,7 +296,7 @@ func (db *Server) ioPhase(pages int, then func()) {
 		db.ioPhase(pages-1, then)
 		return
 	}
-	db.disks.Use(db.params.IODelay, func() {
+	db.disks.Use(db.ioDelay, func() {
 		db.ioPhase(pages-1, then)
 	})
 }
