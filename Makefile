@@ -8,7 +8,7 @@ SERVING_BENCH ?= Serve|ServiceThroughput
 SERVING_ITERS ?= 3000x
 BENCH_TOLERANCE ?= 0.20
 
-.PHONY: all build vet test race bench fuzz-smoke chaos bench-serving bench-guard ci
+.PHONY: all build vet test race bench fuzz-smoke chaos bench-serving bench-guard profile-serving ci
 
 all: ci
 
@@ -60,4 +60,14 @@ BENCH_NORMALIZE ?= BenchmarkServeQuickstartPSE100
 bench-guard: bench-serving
 	$(GO) run ./cmd/benchguard -current BENCH_serving.json -baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) $(if $(BENCH_NORMALIZE),-normalize $(BENCH_NORMALIZE))
 
-ci: build vet test race bench fuzz-smoke chaos bench-guard
+# Capture CPU/heap pprof profiles of the serving hot path (dfserve closed
+# loop). CI uploads prof/ with the bench output as workflow artifacts, so
+# every perf PR leaves a profile trail for regression archaeology:
+#   go tool pprof prof/dfserve-cpu.pprof
+PROFILE_N ?= 200000
+profile-serving:
+	mkdir -p prof
+	$(GO) run ./cmd/dfserve -n $(PROFILE_N) -cpuprofile prof/dfserve-cpu.pprof -memprofile prof/dfserve-mem.pprof
+	$(GO) run ./cmd/dfserve -n $(PROFILE_N) -schema pattern -cpuprofile prof/dfserve-pattern-cpu.pprof -memprofile prof/dfserve-pattern-mem.pprof
+
+ci: build vet test race bench fuzz-smoke chaos bench-guard profile-serving

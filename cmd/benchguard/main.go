@@ -13,6 +13,15 @@
 //
 //	benchguard -current BENCH_serving.json -baseline BENCH_baseline.json
 //
+// Beyond throughput, check mode guards the lower-is-better metrics where
+// the baseline reports them: p99-ms (tail latency) fails on a regression
+// past the same tolerance, and allocs/op fails on any increase beyond the
+// tolerance plus half an allocation (absorbing amortization rounding) —
+// so an accidental allocation on a hot path that stayed within the
+// throughput budget still fails CI. These are compared absolutely, never
+// normalized: allocation counts are machine-independent, and the guarded
+// p99s are dominated by injected backend latency rather than CPU speed.
+//
 // Improvements and new benchmarks never fail the check; a benchmark
 // missing from the current record does (it means coverage silently
 // disappeared). A missing baseline file passes with a note, so the guard
@@ -187,14 +196,51 @@ func check(currentPath, baselinePath, metric, normalize string, tolerance float6
 			fmt.Printf("benchguard: %s %s %.4g -> %.4g ok\n", name, metric, bv, cv)
 		}
 	}
+	// Lower-is-better guards: tail latency and allocation count, where the
+	// baseline reports them. Unlike throughput these are never normalized.
+	lowGuards := []struct {
+		metric string
+		eps    float64 // absolute slack on top of the fractional budget
+	}{
+		{"p99-ms", 0},
+		{"allocs/op", 0.5},
+	}
+	lowChecked := 0
+	for name, bb := range base.Benchmarks {
+		cb, ok := cur.Benchmarks[name]
+		if !ok {
+			continue // absence already reported by the throughput loop
+		}
+		for _, g := range lowGuards {
+			bv, ok := bb.Metrics[g.metric]
+			if !ok {
+				continue
+			}
+			cv, ok := cb.Metrics[g.metric]
+			if !ok {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s present in baseline, missing from current run", name, g.metric))
+				continue
+			}
+			lowChecked++
+			if cv > bv*(1+tolerance)+g.eps {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.4g -> %.4g (+%.1f%%, budget %.0f%%)",
+						name, g.metric, bv, cv, 100*(cv/bv-1), 100*tolerance))
+			} else {
+				fmt.Printf("benchguard: %s %s %.4g -> %.4g ok\n", name, g.metric, bv, cv)
+			}
+		}
+	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("benchguard: %d throughput regression(s) beyond %.0f%%:\n\t%s",
+		return fmt.Errorf("benchguard: %d regression(s) beyond %.0f%%:\n\t%s",
 			len(regressions), 100*tolerance, strings.Join(regressions, "\n\t"))
 	}
 	if checked == 0 {
 		return fmt.Errorf("benchguard: baseline %s has no %q measurements to guard", baselinePath, metric)
 	}
-	fmt.Printf("benchguard: %d benchmarks within budget\n", checked)
+	fmt.Printf("benchguard: %d benchmarks within throughput budget, %d latency/alloc measurements within budget\n",
+		checked, lowChecked)
 	return nil
 }
 

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	decisionflow "repro"
@@ -60,6 +62,8 @@ func main() {
 		skew       = flag.Float64("skew", 1, "cluster: slow down the last replica of shard 0 by this factor (tail-at-scale demo)")
 		failrate   = flag.Float64("failrate", 0, "fault injection: fraction of queries erroring (latency/simdb backends)")
 		stallrate  = flag.Float64("stallrate", 0, "fault injection: fraction of queries never completing (latency/simdb backends)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the load run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the load run to this file")
 	)
 	flag.Parse()
 
@@ -196,9 +200,37 @@ func main() {
 	if *spread > 1 {
 		load.SourcesFor = spreadSources(sources, *spread)
 	}
+	// Profiling brackets the load run only, so the profile is the serving
+	// hot path — setup and report rendering excluded.
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		cpuFile = f
+	}
 	rep, err := decisionflow.RunLoad(svc, load)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
 	if err != nil {
 		fail(err)
+	}
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fail(ferr)
+		}
+		runtime.GC() // surface only live steady-state allocations
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fail(ferr)
+		}
+		f.Close()
 	}
 	fmt.Println(rep)
 	if len(pacedAll) > 0 {

@@ -90,7 +90,20 @@ func (b *Builder) Synthesis(name string, cond expr.Expr, inputs []string, fn Com
 // SynthesisExpr declares a synthesis-task attribute computed by evaluating
 // e over its referenced attributes; the data inputs are derived from e.
 func (b *Builder) SynthesisExpr(name string, cond expr.Expr, e expr.Expr) *Builder {
-	return b.Synthesis(name, cond, expr.Attrs(e), ExprCompute(e))
+	b.addSynthesisExpr(name, cond, expr.Attrs(e), e)
+	return b
+}
+
+// addSynthesisExpr records an expression-computed synthesis attribute,
+// keeping the source expression on the Task so the schema compiler can
+// build its flat value program.
+func (b *Builder) addSynthesisExpr(name string, cond expr.Expr, inputs []string, e expr.Expr) {
+	b.add(&Attribute{
+		Name:     name,
+		Enabling: cond,
+		Inputs:   inputs,
+		Task:     &Task{Kind: SynthesisTask, Compute: ExprCompute(e), Expr: e},
+	})
 }
 
 // Target marks a previously declared attribute as a target. Unknown names
@@ -133,7 +146,8 @@ func (m *Module) Synthesis(name string, cond expr.Expr, inputs []string, fn Comp
 
 // SynthesisExpr declares an expression synthesis attribute inside the module.
 func (m *Module) SynthesisExpr(name string, cond expr.Expr, e expr.Expr) *Module {
-	return m.Synthesis(name, cond, expr.Attrs(e), ExprCompute(e))
+	m.b.addSynthesisExpr(name, expr.AndOf(m.cond, cond), expr.Attrs(e), e)
+	return m
 }
 
 // Done returns the parent builder for call chaining.

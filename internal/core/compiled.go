@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/expr"
+)
+
+// This file implements schema compilation: at Build time every enabling
+// condition (and every ExprCompute value expression) is compiled into a
+// flat expr.Program over the schema's dense AttrID slots, and every
+// attribute gets precomputed dependency bitsets over the enabling-flow
+// graph. The prequalifier executes the programs against the snapshot's
+// dense slot arrays and uses the bitsets to dirty exactly the conditions a
+// completion can decide — no interface dispatch, no string lookups, no
+// allocation on the serving hot path. The tree-walking evaluator remains
+// the reference semantics; any condition the compiler cannot handle (e.g.
+// a test-only Cmp3Adapter predicate) simply keeps a nil program and falls
+// back to the walker.
+
+// AttrSet is a bitset over a schema's AttrIDs. The underlying words are
+// exported by the slice type so hot paths can iterate set bits without a
+// callback; use Words (len(s)) and bit tricks, or ForEach for clarity.
+type AttrSet []uint64
+
+// NewAttrSet returns an empty set sized for n attributes.
+func NewAttrSet(n int) AttrSet { return make(AttrSet, (n+63)/64) }
+
+// Add inserts id into the set.
+func (s AttrSet) Add(id AttrID) { s[id>>6] |= 1 << (uint(id) & 63) }
+
+// Has reports membership of id.
+func (s AttrSet) Has(id AttrID) bool { return s[id>>6]&(1<<(uint(id)&63)) != 0 }
+
+// Or unions o into s. Both sets must be sized for the same schema.
+func (s AttrSet) Or(o AttrSet) {
+	for i, w := range o {
+		s[i] |= w
+	}
+}
+
+// ContainsAll reports whether every member of o is in s.
+func (s AttrSet) ContainsAll(o AttrSet) bool {
+	for i, w := range o {
+		if w&^s[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the set in place.
+func (s AttrSet) Clear() { clear(s) }
+
+// Empty reports whether no bit is set.
+func (s AttrSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of members.
+func (s AttrSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f for every member in ascending ID order.
+func (s AttrSet) ForEach(f func(AttrID)) {
+	for wi, w := range s {
+		for w != 0 {
+			f(AttrID(wi<<6 + bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// CondProgram returns the compiled program of a's enabling condition, or
+// nil when the condition is absent (sources) or not compilable — callers
+// then fall back to tree-walking expr.Eval3. Program slots are AttrIDs of
+// this schema, matching snapshot.Slots.
+func (s *Schema) CondProgram(a AttrID) *expr.Program { return s.condProgs[a] }
+
+// ValueProgram returns the compiled program of a's synthesis value
+// expression (Task.Expr), or nil when the task's value is computed by an
+// opaque ComputeFunc. The program is evaluated over a total environment
+// (nil known mask): every slot reads its current value, ⟂ when never set,
+// exactly as core.Inputs exposes them to ComputeFuncs.
+func (s *Schema) ValueProgram(a AttrID) *expr.Program { return s.valProgs[a] }
+
+// EnablingDeps returns the set of attributes a's enabling condition reads —
+// the attribute's dependency bitset. The set must not be modified.
+func (s *Schema) EnablingDeps(a AttrID) AttrSet { return s.enabDepsOf[a] }
+
+// EnablingDependentsSet returns the set of attributes whose enabling
+// condition reads a — the transpose of EnablingDeps, which is what a
+// completion of a dirties. The set must not be modified.
+func (s *Schema) EnablingDependentsSet(a AttrID) AttrSet { return s.enabDepOn[a] }
+
+// compilePrograms builds the compiled execution artifacts. Called once by
+// finalize after validation succeeds, so name resolution cannot fail for
+// enabling conditions (validation already resolved every reference).
+func (s *Schema) compilePrograms() {
+	n := len(s.attrs)
+	s.condProgs = make([]*expr.Program, n)
+	s.valProgs = make([]*expr.Program, n)
+	s.enabDepsOf = make([]AttrSet, n)
+	s.enabDepOn = make([]AttrSet, n)
+	resolve := func(name string) (int, bool) {
+		id, ok := s.byName[name]
+		return int(id), ok
+	}
+	for i, a := range s.attrs {
+		deps := NewAttrSet(n)
+		for _, in := range s.enabIn[i] {
+			deps.Add(in)
+		}
+		s.enabDepsOf[i] = deps
+		outs := NewAttrSet(n)
+		for _, b := range s.enabOut[i] {
+			outs.Add(b)
+		}
+		s.enabDepOn[i] = outs
+		if a.Enabling != nil {
+			if prog, err := expr.Compile(a.Enabling, resolve); err == nil {
+				s.condProgs[i] = prog
+			}
+		}
+		if a.Task != nil && a.Task.Expr != nil && a.Task.Compute != nil {
+			if prog, err := expr.Compile(a.Task.Expr, resolve); err == nil {
+				s.valProgs[i] = prog
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+func compiledTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewBuilder("compiled").
+		Source("src").
+		Foreign("a", expr.MustParse("src > 0"), []string{"src"}, 2, ConstCompute(value.Int(3))).
+		Foreign("b", expr.MustParse("a > 1 and src < 100"), []string{"a"}, 1, ConstCompute(value.Int(7))).
+		SynthesisExpr("s", expr.TrueExpr, expr.MustParse("a + coalesce(b, 10)")).
+		Foreign("tgt", expr.MustParse("s >= 0 or isnull(b)"), []string{"s"}, 1, ConstCompute(value.Int(1))).
+		Target("tgt").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSchemaCompilesConditionPrograms: every non-source attribute gets a
+// compiled condition program at Build time, and the program agrees with
+// tree-walking the enabling condition over equivalent environments.
+func TestSchemaCompilesConditionPrograms(t *testing.T) {
+	s := compiledTestSchema(t)
+	var m expr.Machine
+	n := s.NumAttrs()
+	vals := make([]value.Value, n)
+	known := make([]bool, n)
+	vals[s.MustLookup("src").ID()] = value.Int(5)
+	known[s.MustLookup("src").ID()] = true
+	env := expr.MapEnv{"src": value.Int(5)}
+	for i := 0; i < n; i++ {
+		id := AttrID(i)
+		a := s.Attr(id)
+		prog := s.CondProgram(id)
+		if a.IsSource() {
+			if prog != nil {
+				t.Errorf("source %q has a condition program", a.Name)
+			}
+			continue
+		}
+		if prog == nil {
+			t.Fatalf("attribute %q has no compiled condition program", a.Name)
+		}
+		if got, want := prog.Eval3(&m, vals, known), expr.Eval3(a.Enabling, env); got != want {
+			t.Errorf("%q: compiled condition %v, tree %v", a.Name, got, want)
+		}
+	}
+}
+
+// TestSchemaValueProgram: SynthesisExpr attributes carry a value program
+// equivalent to their ComputeFunc; opaque ComputeFuncs get none.
+func TestSchemaValueProgram(t *testing.T) {
+	s := compiledTestSchema(t)
+	sid := s.MustLookup("s").ID()
+	prog := s.ValueProgram(sid)
+	if prog == nil {
+		t.Fatal("SynthesisExpr attribute has no value program")
+	}
+	// Dense total env: a=3, b unset (⟂) — coalesce picks the fallback.
+	vals := make([]value.Value, s.NumAttrs())
+	vals[s.MustLookup("a").ID()] = value.Int(3)
+	var m expr.Machine
+	got, ok := prog.EvalValue(&m, vals, nil)
+	if !ok {
+		t.Fatal("total env evaluation must be known")
+	}
+	want := s.Attr(sid).Task.Compute(MapInputs{"a": value.Int(3)})
+	if !value.Identical(got, want) {
+		t.Errorf("value program = %v, ComputeFunc = %v", got, want)
+	}
+	if s.ValueProgram(s.MustLookup("a").ID()) != nil {
+		t.Error("opaque ConstCompute task has a value program")
+	}
+}
+
+// TestSchemaDependencyBitsets: EnablingDeps matches EnablingInputs and
+// EnablingDependentsSet is its exact transpose.
+func TestSchemaDependencyBitsets(t *testing.T) {
+	s := compiledTestSchema(t)
+	n := s.NumAttrs()
+	for i := 0; i < n; i++ {
+		id := AttrID(i)
+		deps := s.EnablingDeps(id)
+		if got, want := deps.Count(), len(s.EnablingInputs(id)); got != want {
+			t.Errorf("%q: deps bitset has %d members, adjacency %d", s.Attr(id).Name, got, want)
+		}
+		for _, in := range s.EnablingInputs(id) {
+			if !deps.Has(in) {
+				t.Errorf("%q: dependency %q missing from bitset", s.Attr(id).Name, s.Attr(in).Name)
+			}
+			if !s.EnablingDependentsSet(in).Has(id) {
+				t.Errorf("%q: transpose bitset of %q misses it", s.Attr(id).Name, s.Attr(in).Name)
+			}
+		}
+		// Transpose consistency the other way.
+		s.EnablingDependentsSet(id).ForEach(func(b AttrID) {
+			if !s.EnablingDeps(b).Has(id) {
+				t.Errorf("dependents set of %q lists %q, but forward set disagrees",
+					s.Attr(id).Name, s.Attr(b).Name)
+			}
+		})
+	}
+}
+
+// TestAttrSetOps covers the bitset primitives across word boundaries.
+func TestAttrSetOps(t *testing.T) {
+	s := NewAttrSet(130)
+	for _, id := range []AttrID{0, 63, 64, 129} {
+		s.Add(id)
+	}
+	if s.Count() != 4 {
+		t.Errorf("Count = %d, want 4", s.Count())
+	}
+	for _, id := range []AttrID{0, 63, 64, 129} {
+		if !s.Has(id) {
+			t.Errorf("Has(%d) = false", id)
+		}
+	}
+	if s.Has(1) || s.Has(65) || s.Has(128) {
+		t.Error("false positives")
+	}
+	o := NewAttrSet(130)
+	o.Add(1)
+	o.Add(63)
+	s.Or(o)
+	if !s.Has(1) || s.Count() != 5 {
+		t.Errorf("after Or: Count = %d, Has(1) = %v", s.Count(), s.Has(1))
+	}
+	if !s.ContainsAll(o) {
+		t.Error("ContainsAll(subset) = false")
+	}
+	if o.ContainsAll(s) {
+		t.Error("ContainsAll(superset) = true")
+	}
+	var got []AttrID
+	s.ForEach(func(id AttrID) { got = append(got, id) })
+	want := []AttrID{0, 1, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want ascending %v", got, want)
+		}
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear left members")
+	}
+}
+
+// TestModuleSynthesisExprKeepsTaskExpr: the module path records Task.Expr
+// (with the module condition conjoined into Enabling) so compiled value
+// programs survive flattening.
+func TestModuleSynthesisExprKeepsTaskExpr(t *testing.T) {
+	s, err := NewBuilder("mod").
+		Source("src").
+		Module(expr.MustParse("src > 0")).
+		SynthesisExpr("m", expr.TrueExpr, expr.MustParse("src * 2")).
+		Done().
+		Target("m").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.MustLookup("m").ID()
+	if s.Attr(id).Task.Expr == nil {
+		t.Fatal("module SynthesisExpr lost Task.Expr")
+	}
+	if s.ValueProgram(id) == nil {
+		t.Fatal("module SynthesisExpr has no value program")
+	}
+	if got, want := s.Attr(id).Enabling.String(), "src > 0"; got != want {
+		t.Errorf("module condition not conjoined: %q, want %q", got, want)
+	}
+}

@@ -104,6 +104,13 @@ type Task struct {
 	// ComputeFunc purity contract, which is what makes a shared or cached
 	// result indistinguishable from a fresh one.
 	Volatile bool
+	// Expr, when non-nil, records the expression Compute was built from
+	// (ExprCompute). The schema compiler turns it into a flat value program
+	// executed over dense slots on the hot path; Compute remains the
+	// reference semantics (and the oracle's evaluator). Both must be set
+	// from the same expression — Expr with a divergent Compute breaks the
+	// compiled path's equivalence guarantee.
+	Expr expr.Expr
 }
 
 // Attribute is one node of a decision flow.

@@ -109,12 +109,11 @@ func ParseSchema(src string) (*Schema, error) {
 				if cost != 0 {
 					return nil, fail("synth tasks cannot have a cost")
 				}
-				var fn ComputeFunc
 				if synthE != nil {
-					fn = ExprCompute(synthE)
-					inputs = mergeInputs(inputs, expr.Attrs(synthE))
+					b.addSynthesisExpr(name, full, mergeInputs(inputs, expr.Attrs(synthE)), synthE)
+				} else {
+					b.Synthesis(name, full, inputs, nil)
 				}
-				b.Synthesis(name, full, inputs, fn)
 			}
 		case "target":
 			if rest == "" {

@@ -27,6 +27,14 @@ type Schema struct {
 
 	topo []AttrID // a topological order of the dependency graph
 	rank []int    // rank[a] = longest-path distance from any source
+
+	// Compiled execution artifacts (see compiled.go): flat condition/value
+	// programs over dense AttrID slots, and the enabling-flow dependency
+	// bitsets in both directions.
+	condProgs  []*expr.Program
+	valProgs   []*expr.Program
+	enabDepsOf []AttrSet // enabDepsOf[a]: attrs a's condition reads
+	enabDepOn  []AttrSet // enabDepOn[a]: attrs whose condition reads a
 }
 
 // Name returns the schema's name.
@@ -224,6 +232,7 @@ func (s *Schema) finalize() error {
 		sort.Strings(problems)
 		return &ValidationError{Schema: s.name, Problems: problems}
 	}
+	s.compilePrograms()
 	return nil
 }
 

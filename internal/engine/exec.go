@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/prequal"
 	"repro/internal/sched"
 	"repro/internal/snapshot"
@@ -51,6 +52,9 @@ type Core struct {
 	// scratch buffers keep Advance allocation-free at steady state.
 	cands []core.AttrID
 	sel   []core.AttrID
+	// mach executes the schema's compiled value programs (synthesis
+	// expressions) over the snapshot's dense slots; reused across Resets.
+	mach expr.Machine
 
 	// OnSynthesis, if non-nil, observes each local synthesis execution.
 	OnSynthesis func(id core.AttrID)
@@ -259,10 +263,19 @@ func (c *Core) dropInFlight(id core.AttrID) {
 }
 
 // compute evaluates the task's function over the instance's stable inputs.
+// Tasks declared from an expression run the schema's compiled value
+// program over the snapshot's dense slots (a nil known mask: tasks read
+// every attribute's current value, ⟂ when never set, exactly the Inputs
+// contract); opaque ComputeFuncs take the interface path.
 func (c *Core) compute(id core.AttrID) value.Value {
 	task := c.schema.Attr(id).Task
 	if task == nil || task.Compute == nil {
 		return value.Null
+	}
+	if prog := c.schema.ValueProgram(id); prog != nil {
+		vals, _ := c.sn.Slots()
+		v, _ := prog.EvalValue(&c.mach, vals, nil)
+		return v
 	}
 	return task.Compute(c.sn.Inputs(id))
 }

@@ -1,0 +1,58 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// benchConds is a mix of schema-style enabling conditions over the x,y,z
+// slot universe, weighted toward the comparison/conjunction shapes the
+// generator emits.
+var benchConds = []string{
+	`x > 5 and y == "gold"`,
+	`x + y * 2 >= z or isnull(z)`,
+	`not (x < 0) and coalesce(y, 10) == 10 and x < 100`,
+	`min(x, 3) < max(z, 0) or y == "silver" or x == 7`,
+}
+
+func benchEnv() MapEnv {
+	return MapEnv{"x": value.Int(7), "y": value.Str("gold")} // z unknown
+}
+
+// BenchmarkEval3Tree measures the tree-walking evaluator: interface
+// dispatch per node, string-keyed environment lookups per attribute.
+func BenchmarkEval3Tree(b *testing.B) {
+	trees := make([]Expr, len(benchConds))
+	for i, src := range benchConds {
+		trees[i] = MustParse(src)
+	}
+	env := benchEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Eval3(trees[i%len(trees)], env)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}
+
+// BenchmarkEvalCompiled measures the same conditions as flat postfix
+// programs over dense slots — the serving hot path's evaluator.
+func BenchmarkEvalCompiled(b *testing.B) {
+	progs := make([]*Program, len(benchConds))
+	for i, src := range benchConds {
+		p, err := Compile(MustParse(src), testResolve)
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs[i] = p
+	}
+	vals, known := slotsOf(benchEnv())
+	var m Machine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		progs[i%len(progs)].Eval3(&m, vals, known)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}

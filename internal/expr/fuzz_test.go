@@ -7,7 +7,7 @@ import (
 )
 
 // FuzzEval3 drives Eval3 with random expression trees over random partial
-// environments, checking three properties the engine depends on:
+// environments, checking four properties the engine depends on:
 //
 //  1. crash-freedom: any tree this package can represent evaluates without
 //     panicking, as a condition and as a value;
@@ -16,7 +16,13 @@ import (
 //     short-circuiting, no shared helpers on the boolean path);
 //  3. stability (monotonicity): extending the environment never flips a
 //     known True/False — the property that makes the prequalifier's eager
-//     early decisions sound.
+//     early decisions sound;
+//  4. compilation equivalence: the flat program Compile produces evaluates
+//     identically to the tree-walker — Truth and value results, over the
+//     partial env, the fully extended env, and the total (nil known mask)
+//     env the engine evaluates value programs against — so the compiled
+//     serving hot path provably implements the same semantics the oracle
+//     tree-walks.
 //
 // It also round-trips every tree through String/Parse and requires the
 // reparsed tree to evaluate identically, tying the printer and parser into
@@ -41,7 +47,27 @@ func FuzzEval3(f *testing.F) {
 		// Crash-freedom in value position too.
 		_, _ = EvalValue(e, env)
 
-		// Monotonicity: make every attribute known and re-evaluate.
+		// Compiled program differential: every fuzzed tree must compile
+		// (the generator only emits core AST nodes) and the program must
+		// agree with the tree-walker on both the Truth and the value
+		// result over the dense-slot rendering of the same env.
+		cp, err := Compile(e, fuzzSlot)
+		if err != nil {
+			t.Fatalf("Compile failed: %v\nexpr: %s", err, e)
+		}
+		vals, known := fuzzSlots(env)
+		var m Machine
+		if ct := cp.Eval3(&m, vals, known); ct != got {
+			t.Fatalf("compiled Eval3 = %v, tree = %v\nexpr: %s\nenv: %v", ct, got, e, env)
+		}
+		tv, tok := EvalValue(e, env)
+		if cv, cok := cp.EvalValue(&m, vals, known); cok != tok || (cok && !value.Identical(cv, tv)) {
+			t.Fatalf("compiled EvalValue = (%v, %v), tree = (%v, %v)\nexpr: %s\nenv: %v",
+				cv, cok, tv, tok, e, env)
+		}
+
+		// Monotonicity: make every attribute known and re-evaluate, on
+		// both the tree and the compiled program.
 		full := MapEnv{}
 		for name, v := range env {
 			full[name] = v
@@ -51,10 +77,20 @@ func FuzzEval3(f *testing.F) {
 				full[name] = value.Int(int64(len(name)) - 2)
 			}
 		}
+		fullVals, fullKnown := fuzzSlots(full)
 		if got != Unknown {
 			if again := Eval3(e, full); again != got {
 				t.Fatalf("extension flipped %v to %v\nexpr: %s\nenv: %v", got, again, e, env)
 			}
+			if again := cp.Eval3(&m, fullVals, fullKnown); again != got {
+				t.Fatalf("extension flipped compiled %v to %v\nexpr: %s\nenv: %v", got, again, e, env)
+			}
+		}
+		// Total-environment mode (nil known mask, the engine's value-program
+		// path) must match the tree-walker over the all-known env.
+		tv, tok = EvalValue(e, full)
+		if cv, cok := cp.EvalValue(&m, fullVals, nil); cok != tok || (cok && !value.Identical(cv, tv)) {
+			t.Fatalf("compiled total EvalValue = (%v, %v), tree = (%v, %v)\nexpr: %s", cv, cok, tv, tok, e)
 		}
 
 		// Print/parse round trip evaluates identically.
@@ -71,6 +107,29 @@ func FuzzEval3(f *testing.F) {
 
 // fuzzAttrs is the attribute universe for generated trees.
 var fuzzAttrs = []string{"a0", "a1", "a2", "a3", "a4", "a5"}
+
+// fuzzSlot resolves a fuzz attribute to its dense slot index.
+func fuzzSlot(name string) (int, bool) {
+	for i, n := range fuzzAttrs {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// fuzzSlots renders a map environment into the dense slot arrays compiled
+// programs execute against.
+func fuzzSlots(env MapEnv) ([]value.Value, []bool) {
+	vals := make([]value.Value, len(fuzzAttrs))
+	known := make([]bool, len(fuzzAttrs))
+	for i, name := range fuzzAttrs {
+		if v, ok := env[name]; ok {
+			vals[i], known[i] = v, true
+		}
+	}
+	return vals, known
+}
 
 // fuzzEnv derives a partial environment from 16 bits: for each attribute,
 // bit 2i decides known/unknown and bit 2i+1 picks the value family; a

@@ -1,0 +1,56 @@
+package prequal
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/snapshot"
+	"repro/internal/value"
+)
+
+// benchPropagation drives complete instances of the Table 1 default
+// 64-node pattern through the prequalifier alone — Reset, then repeatedly
+// launch and complete every candidate until the pool drains — isolating
+// propagation cost from scheduling and the backend. fullSweep selects the
+// pre-compilation baseline (tree-walked conditions, per-edge condition
+// re-evaluation, eager backward propagation after every completion)
+// against the compiled incremental path; both produce identical snapshots.
+func benchPropagation(b *testing.B, fullSweep bool) {
+	g := gen.Generate(gen.Default())
+	sources := g.SourceValues()
+	sn := snapshot.New(g.Schema, sources)
+	p := New(sn, Options{Propagate: true, Speculative: true})
+	p.fullSweep = fullSweep
+	var cands []core.AttrID
+	completions := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn.Reset(g.Schema, sources)
+		p.Reset(sn, Options{Propagate: true, Speculative: true})
+		for {
+			cands = p.AppendCandidates(cands[:0])
+			if len(cands) == 0 {
+				break
+			}
+			for _, id := range cands {
+				p.MarkLaunched(id)
+				p.NoteResult(id, value.Int(1))
+				completions++
+			}
+		}
+	}
+	b.ReportMetric(float64(completions)/b.Elapsed().Seconds(), "completions/s")
+}
+
+// BenchmarkPrequalIncremental measures the compiled incremental
+// prequalifier: flat condition programs over dense slots, bitset-dirtied
+// re-evaluation, backward propagation deferred to pool reads.
+func BenchmarkPrequalIncremental(b *testing.B) { benchPropagation(b, false) }
+
+// BenchmarkPrequalFullSweep measures the pre-compilation baseline for
+// comparison: tree-walking Eval3 over the string-keyed snapshot env, one
+// re-evaluation per enabling edge, eager needed recomputation per
+// completion.
+func BenchmarkPrequalFullSweep(b *testing.B) { benchPropagation(b, true) }

@@ -23,9 +23,22 @@
 // attributes via a worklist — and its cost per invocation is linear in the
 // size of the decision flow (attributes + edges), regardless of execution
 // order, matching the paper's complexity claim.
+//
+// Execution is compiled: conditions run as the schema's flat programs
+// (core.CondProgram) over the snapshot's dense value/known slots instead of
+// tree-walking expr.Eval3 over a string-keyed environment. A completion
+// dirties exactly the attributes whose dependency bitsets contain it
+// (core.EnablingDependentsSet); each dirtied condition re-executes once per
+// propagation round however many of its inputs stabilized. Backward
+// propagation is deferred: completions only mark the needed set dirty, and
+// it is recomputed at most once per candidate-pool read. The tree-walking
+// evaluator remains the reference semantics and the fallback for
+// conditions the compiler cannot handle.
 package prequal
 
 import (
+	"math/bits"
+
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/snapshot"
@@ -55,20 +68,48 @@ type Prequalifier struct {
 	sn   *snapshot.Snapshot
 	opts Options
 
+	// vals and known are the snapshot's dense slot views (snapshot.Slots),
+	// the environment compiled condition programs execute against.
+	vals  []value.Value
+	known []bool
+	// mach is the reusable evaluation stack for compiled programs.
+	mach expr.Machine
+
 	// cond[a] caches the decided truth of a's enabling condition; Unknown
 	// until decided. Once True/False it never changes (stability of Eval3).
 	cond []expr.Truth
 	// unstableIn[a] counts a's data inputs that are not yet stable.
 	unstableIn []int
+	// stable mirrors the snapshot's stable set as a bitset, letting the
+	// naive ('N') readiness rule check a condition's full dependency bitset
+	// with a few word operations.
+	stable core.AttrSet
+	// dirty collects the attributes whose enabling condition must be
+	// re-evaluated this propagation round: the union of the
+	// EnablingDependentsSet bitsets of everything that stabilized. An
+	// attribute dirtied by several completions re-executes its program once.
+	dirty core.AttrSet
 	// needed[a] reports whether a's value may still be required to complete
 	// the instance; recomputed by backward propagation. Without the 'P'
 	// option every attribute is considered needed.
 	needed []bool
+	// neededDirty defers backward propagation: completions set it, and the
+	// needed set is recomputed at most once per candidate-pool read instead
+	// of after every completion.
+	neededDirty bool
 	// launched[a] marks attributes whose task the engine has started (or
 	// executed); they are no longer candidates.
 	launched []bool
-	// inPool caches pool membership to keep Candidates cheap.
+	// queue is the forward worklist of newly stabilized attributes.
 	queue []core.AttrID
+
+	// fullSweep disables compiled programs, dirty-set deduplication and
+	// deferred backward propagation, restoring the pre-compilation behavior
+	// (tree-walked conditions, per-edge re-evaluation, eager needed
+	// recomputation). It exists so benchmarks can measure the compiled
+	// incremental path against the full-sweep baseline; results are
+	// identical either way.
+	fullSweep bool
 }
 
 // New creates a prequalifier over the given snapshot and runs the initial
@@ -88,6 +129,7 @@ func (p *Prequalifier) Reset(sn *snapshot.Snapshot, opts Options) {
 	s := sn.Schema()
 	n := s.NumAttrs()
 	p.s, p.sn, p.opts = s, sn, opts
+	p.vals, p.known = sn.Slots()
 	if cap(p.cond) < n {
 		p.cond = make([]expr.Truth, n)
 		p.unstableIn = make([]int, n)
@@ -103,10 +145,23 @@ func (p *Prequalifier) Reset(sn *snapshot.Snapshot, opts Options) {
 		clear(p.needed)
 		clear(p.launched)
 	}
+	words := (n + 63) / 64
+	if cap(p.stable) < words {
+		p.stable = core.NewAttrSet(n)
+		p.dirty = core.NewAttrSet(n)
+	} else {
+		p.stable = p.stable[:words]
+		p.dirty = p.dirty[:words]
+		p.stable.Clear()
+		p.dirty.Clear()
+	}
 	p.queue = p.queue[:0]
 	for i := 0; i < n; i++ {
 		id := core.AttrID(i)
 		p.cond[i] = expr.Unknown
+		if p.known[i] {
+			p.stable.Add(id) // sources, plus any pre-stabilized attribute
+		}
 		a := s.Attr(id)
 		if a.IsSource() {
 			p.cond[i] = expr.True
@@ -120,7 +175,7 @@ func (p *Prequalifier) Reset(sn *snapshot.Snapshot, opts Options) {
 	}
 	// Initial pass: evaluate every condition once (decides constants and
 	// conditions over sources) and establish readiness. Sources are already
-	// reflected in unstableIn and in the snapshot env, so they need no
+	// reflected in unstableIn and in the snapshot slots, so they need no
 	// worklist entries of their own.
 	for i := 0; i < n; i++ {
 		id := core.AttrID(i)
@@ -131,6 +186,10 @@ func (p *Prequalifier) Reset(sn *snapshot.Snapshot, opts Options) {
 		p.tryReady(id)
 	}
 	p.drain()
+	p.neededDirty = true
+	if p.fullSweep {
+		p.ensureNeeded()
+	}
 }
 
 // Snapshot returns the snapshot the prequalifier operates on.
@@ -145,7 +204,10 @@ func (p *Prequalifier) CondTruth(id core.AttrID) expr.Truth { return p.cond[id] 
 
 // Needed reports whether the attribute is currently considered needed for
 // successful completion. With the 'N' option this is always true.
-func (p *Prequalifier) Needed(id core.AttrID) bool { return p.needed[id] }
+func (p *Prequalifier) Needed(id core.AttrID) bool {
+	p.ensureNeeded()
+	return p.needed[id]
+}
 
 // MarkLaunched records that the engine has started (or completed) the
 // attribute's task, removing it from the candidate pool.
@@ -182,7 +244,15 @@ func (p *Prequalifier) NoteResult(id core.AttrID, v value.Value) {
 	default:
 		panic("prequal: NoteResult in unexpected state " + p.sn.State(id).String())
 	}
+	// Any completion can change the needed set (a speculative COMPUTED
+	// value, for example, means the task will never execute again, so its
+	// data inputs may no longer be needed). Recomputation is deferred to
+	// the next candidate-pool read.
+	p.neededDirty = true
 	p.drain()
+	if p.fullSweep {
+		p.ensureNeeded()
+	}
 }
 
 // Candidates returns the current candidate pool in ascending ID order:
@@ -196,6 +266,7 @@ func (p *Prequalifier) Candidates() []core.AttrID {
 // ID order) and returns the extended slice — the allocation-free variant
 // of Candidates for callers that reuse a scratch buffer.
 func (p *Prequalifier) AppendCandidates(dst []core.AttrID) []core.AttrID {
+	p.ensureNeeded()
 	for i := 0; i < p.s.NumAttrs(); i++ {
 		id := core.AttrID(i)
 		if p.eligible(id) {
@@ -205,7 +276,8 @@ func (p *Prequalifier) AppendCandidates(dst []core.AttrID) []core.AttrID {
 	return dst
 }
 
-// eligible reports pool membership for one attribute.
+// eligible reports pool membership for one attribute. Callers must have
+// refreshed the needed set via ensureNeeded.
 func (p *Prequalifier) eligible(id core.AttrID) bool {
 	if p.launched[id] || p.s.Attr(id).IsSource() {
 		return false
@@ -225,32 +297,61 @@ func (p *Prequalifier) eligible(id core.AttrID) bool {
 
 // --- propagation internals ---
 
-func (p *Prequalifier) enqueue(id core.AttrID) { p.queue = append(p.queue, id) }
+// enqueue records that id just stabilized: it joins the forward worklist
+// and the stable bitset.
+func (p *Prequalifier) enqueue(id core.AttrID) {
+	p.stable.Add(id)
+	p.queue = append(p.queue, id)
+}
 
-// drain runs the forward worklist to a fixpoint, then recomputes the
-// backward needed set. Total cost is O(attrs + edges) per call. The queue
-// is indexed rather than re-sliced so its storage is reused across calls.
+// drain runs the forward propagation to a fixpoint. Each round first
+// processes the worklist of newly stabilized attributes — decrementing
+// data-dependent readiness counts and OR-ing enabling-dependent bitsets
+// into the dirty set — then re-executes each dirty condition program
+// exactly once. Conditions deciding False stabilize attributes in turn,
+// refilling the worklist for the next round. Total cost is linear in
+// attributes + edges touched; conditions re-execute once per round however
+// many of their inputs stabilized in it. The queue is indexed rather than
+// re-sliced so its storage is reused across calls.
 func (p *Prequalifier) drain() {
-	for i := 0; i < len(p.queue); i++ {
-		id := p.queue[i]
-		// id just stabilized. Update readiness of data dependents and
-		// condition knowledge of enabling dependents.
-		for _, b := range p.s.DataDependents(id) {
-			p.unstableIn[b]--
-			p.tryReady(b)
+	for len(p.queue) > 0 {
+		for i := 0; i < len(p.queue); i++ {
+			id := p.queue[i]
+			for _, b := range p.s.DataDependents(id) {
+				p.unstableIn[b]--
+				p.tryReady(b)
+			}
+			if p.fullSweep {
+				for _, b := range p.s.EnablingDependents(id) {
+					p.tryDecide(b)
+				}
+			} else {
+				p.dirty.Or(p.s.EnablingDependentsSet(id))
+			}
 		}
-		for _, b := range p.s.EnablingDependents(id) {
-			p.tryDecide(b)
+		p.queue = p.queue[:0]
+		// Decide the dirtied conditions. tryDecide may enqueue (newly
+		// DISABLED or finalized attributes), starting another round; bits
+		// set while scanning word wi land in later words or the next round.
+		for wi := range p.dirty {
+			w := p.dirty[wi]
+			if w == 0 {
+				continue
+			}
+			p.dirty[wi] = 0
+			for w != 0 {
+				b := core.AttrID(wi<<6 + bits.TrailingZeros64(w))
+				w &= w - 1
+				p.tryDecide(b)
+			}
 		}
 	}
-	p.queue = p.queue[:0]
-	p.recomputeNeeded()
 }
 
 // tryReady promotes b to READY/READY+ENABLED when all data inputs are
 // stable.
 func (p *Prequalifier) tryReady(b core.AttrID) {
-	if p.unstableIn[b] > 0 || p.sn.Stable(b) {
+	if p.unstableIn[b] > 0 || p.known[b] {
 		return
 	}
 	st := p.sn.State(b)
@@ -269,22 +370,25 @@ func (p *Prequalifier) tryReady(b core.AttrID) {
 	}
 }
 
-// tryDecide attempts eager evaluation of b's enabling condition. Without
-// the 'P' option, the naive rule applies instead: the condition is only
-// evaluated once every attribute it references is stable.
+// tryDecide attempts eager evaluation of b's enabling condition, executing
+// the schema's compiled program over the snapshot's dense slots (the
+// tree-walker is the fallback for uncompilable conditions). Without the
+// 'P' option, the naive rule applies instead: the condition is only
+// evaluated once every attribute it references is stable — a bitset
+// containment test against b's dependency set.
 func (p *Prequalifier) tryDecide(b core.AttrID) {
-	if p.cond[b] != expr.Unknown || p.sn.Stable(b) {
+	if p.cond[b] != expr.Unknown || p.known[b] {
 		return
 	}
-	a := p.s.Attr(b)
-	if !p.opts.Propagate {
-		for _, in := range p.s.EnablingInputs(b) {
-			if !p.sn.Stable(in) {
-				return
-			}
-		}
+	if !p.opts.Propagate && !p.stable.ContainsAll(p.s.EnablingDeps(b)) {
+		return
 	}
-	t := expr.Eval3(a.Enabling, p.sn.Env())
+	var t expr.Truth
+	if prog := p.s.CondProgram(b); prog != nil && !p.fullSweep {
+		t = prog.Eval3(&p.mach, p.vals, p.known)
+	} else {
+		t = expr.Eval3(p.s.Attr(b).Enabling, p.sn.Env())
+	}
 	if t == expr.Unknown {
 		return
 	}
@@ -309,6 +413,17 @@ func (p *Prequalifier) tryDecide(b core.AttrID) {
 	}
 }
 
+// ensureNeeded recomputes the needed set if it is stale. Deferring the
+// recomputation to pool reads means a burst of completions between two
+// Advance calls pays for one backward sweep, not one per completion.
+func (p *Prequalifier) ensureNeeded() {
+	if !p.neededDirty {
+		return
+	}
+	p.neededDirty = false
+	p.recomputeNeeded()
+}
+
 // recomputeNeeded performs backward propagation: in reverse topological
 // order, an unstable attribute is needed iff it is an undisabled target, or
 // it feeds (as data input) a needed attribute that may still execute its
@@ -328,7 +443,7 @@ func (p *Prequalifier) recomputeNeeded() {
 	topo := p.s.TopoOrder()
 	for i := len(topo) - 1; i >= 0; i-- {
 		b := topo[i]
-		if p.sn.Stable(b) {
+		if p.known[b] {
 			continue // stable attributes require no further work
 		}
 		need := p.s.Attr(b).IsTarget
@@ -342,7 +457,7 @@ func (p *Prequalifier) recomputeNeeded() {
 		}
 		if !need {
 			for _, c := range p.s.EnablingDependents(b) {
-				if p.needed[c] && p.cond[c] == expr.Unknown && !p.sn.Stable(c) {
+				if p.needed[c] && p.cond[c] == expr.Unknown && !p.known[c] {
 					need = true
 					break
 				}

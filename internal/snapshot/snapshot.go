@@ -132,6 +132,7 @@ type Snapshot struct {
 	schema   *core.Schema
 	states   []State
 	vals     []value.Value
+	known    []bool // known[a] = states[a].Stable(), the dense slot mask
 	observer Observer
 
 	// env and inputs cache the interface boxes handed out by Env and
@@ -169,15 +170,19 @@ func (sn *Snapshot) Reset(s *core.Schema, sources map[string]value.Value) {
 	if cap(sn.states) < n {
 		sn.states = make([]State, n)
 		sn.vals = make([]value.Value, n)
+		sn.known = make([]bool, n)
 	} else {
 		sn.states = sn.states[:n]
 		sn.vals = sn.vals[:n]
+		sn.known = sn.known[:n]
 		clear(sn.states)
 		clear(sn.vals)
+		clear(sn.known)
 	}
 	for _, id := range s.Sources() {
 		sn.states[id] = Value
 		sn.vals[id] = sources[s.Attr(id).Name]
+		sn.known[id] = true
 	}
 }
 
@@ -207,6 +212,9 @@ func (sn *Snapshot) Transition(id core.AttrID, to State) error {
 		sn.vals[id] = value.Null // a disabled attribute's value is ⟂
 	}
 	sn.states[id] = to
+	if to.Stable() {
+		sn.known[id] = true // stability is monotone: never reset
+	}
 	if sn.observer != nil && from != to {
 		sn.observer(id, from, to)
 	}
@@ -264,6 +272,17 @@ func (sn *Snapshot) Env() expr.Env {
 	return sn.env
 }
 
+// Slots exposes the snapshot's dense per-attribute storage for compiled
+// programs (core.CondProgram / core.ValueProgram): vals[id] is the current
+// value and known[id] reports stability, exactly the Env contract in slot
+// form — compiled conditions never observe a speculative COMPUTED value
+// because its slot stays unknown until the condition resolves. Both slices
+// are live views the snapshot keeps updating; callers must treat them as
+// read-only and re-fetch after Reset.
+func (sn *Snapshot) Slots() (vals []value.Value, known []bool) {
+	return sn.vals, sn.known
+}
+
 type snapEnv struct{ sn *Snapshot }
 
 func (e snapEnv) Lookup(name string) (value.Value, bool) {
@@ -304,6 +323,7 @@ func (sn *Snapshot) Clone() *Snapshot {
 		schema: sn.schema,
 		states: append([]State(nil), sn.states...),
 		vals:   append([]value.Value(nil), sn.vals...),
+		known:  append([]bool(nil), sn.known...),
 	}
 	return cp
 }
