@@ -4,11 +4,14 @@
 GO ?= go
 
 # Serving benchmarks guarded against throughput regressions (inst/s).
+# The iteration count trades CI time for measurement-window length: 3000
+# iterations of the fastest benchmarks finish in ~10ms and mostly measure
+# scheduler noise; 20000 keeps every window past ~50ms.
 SERVING_BENCH ?= Serve|ServiceThroughput
-SERVING_ITERS ?= 3000x
+SERVING_ITERS ?= 20000x
 BENCH_TOLERANCE ?= 0.20
 
-.PHONY: all build vet test race bench fuzz-smoke chaos bench-serving bench-guard profile-serving ci
+.PHONY: all build vet test race bench fuzz-smoke chaos smoke cover bench-serving bench-guard profile-serving ci
 
 all: ci
 
@@ -40,10 +43,24 @@ fuzz-smoke:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/runtime
 
+# End-to-end binary smoke: build the real dfsd and dfserve binaries,
+# launch the daemon, drive it with `dfserve -remote` over loopback HTTP,
+# SIGTERM it, and assert the graceful drain flushed everything.
+smoke:
+	$(GO) test -count=1 -run 'TestSmokeBinaries' ./cmd/dfsd
+
+# Coverage across every package; cover.out is the CI artifact, the
+# function summary line is the human-readable take-away. cmd/dfsd is
+# excluded: its only test is the binary e2e smoke (`make smoke` just ran
+# it), which execs separate processes and contributes zero coverage.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic $$($(GO) list ./... | grep -v '^repro/cmd/dfsd$$')
+	$(GO) tool cover -func=cover.out | tail -1
+
 # Run the serving benchmarks at a fixed iteration count and record the
 # results as BENCH_serving.json (throughput, hit rates, batch shape).
 bench-serving:
-	$(GO) test -run='^$$' -bench='$(SERVING_BENCH)' -benchtime=$(SERVING_ITERS) ./internal/runtime . > bench-serving.out
+	$(GO) test -run='^$$' -bench='$(SERVING_BENCH)' -benchtime=$(SERVING_ITERS) ./internal/runtime ./internal/server . > bench-serving.out
 	$(GO) run ./cmd/benchguard -in bench-serving.out -out BENCH_serving.json
 
 # Fail when any serving benchmark's inst/s regressed more than
@@ -56,9 +73,15 @@ bench-serving:
 # the machine that recorded the baseline, `make bench-guard
 # BENCH_NORMALIZE=` switches to absolute throughput, which also catches
 # uniform slowdowns the ratio mode cannot see.
+#
+# A flagged measurement is re-taken once before failing: a real
+# regression reproduces, a scheduler glitch on a busy runner does not.
 BENCH_NORMALIZE ?= BenchmarkServeQuickstartPSE100
+BENCH_GUARD_CMD = $(GO) run ./cmd/benchguard -current BENCH_serving.json -baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) $(if $(BENCH_NORMALIZE),-normalize $(BENCH_NORMALIZE))
 bench-guard: bench-serving
-	$(GO) run ./cmd/benchguard -current BENCH_serving.json -baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) $(if $(BENCH_NORMALIZE),-normalize $(BENCH_NORMALIZE))
+	$(BENCH_GUARD_CMD) || { \
+		echo "bench-guard: regression reported; re-measuring once to rule out runner noise"; \
+		$(MAKE) bench-serving && $(BENCH_GUARD_CMD); }
 
 # Capture CPU/heap pprof profiles of the serving hot path (dfserve closed
 # loop). CI uploads prof/ with the bench output as workflow artifacts, so
@@ -70,4 +93,4 @@ profile-serving:
 	$(GO) run ./cmd/dfserve -n $(PROFILE_N) -cpuprofile prof/dfserve-cpu.pprof -memprofile prof/dfserve-mem.pprof
 	$(GO) run ./cmd/dfserve -n $(PROFILE_N) -schema pattern -cpuprofile prof/dfserve-pattern-cpu.pprof -memprofile prof/dfserve-pattern-mem.pprof
 
-ci: build vet test race bench fuzz-smoke chaos bench-guard profile-serving
+ci: build vet test race bench fuzz-smoke chaos smoke cover bench-guard profile-serving

@@ -10,6 +10,7 @@
 package decisionflow_test
 
 import (
+	stdruntime "runtime"
 	"testing"
 
 	decisionflow "repro"
@@ -181,6 +182,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	g := gen.Generate(gen.Default())
 	svc := decisionflow.NewService(decisionflow.ServiceConfig{})
 	defer svc.Close()
+	stdruntime.GC() // clean heap: keep prior benchmarks' GC debt out of the window
 	b.ReportAllocs()
 	b.ResetTimer()
 	rep, err := decisionflow.RunLoad(svc, decisionflow.ServiceLoad{
@@ -226,6 +228,7 @@ func BenchmarkServiceThroughputShared(b *testing.B) {
 		},
 	})
 	defer svc.Close()
+	stdruntime.GC() // clean heap: keep prior benchmarks' GC debt out of the window
 	b.ReportAllocs()
 	b.ResetTimer()
 	rep, err := decisionflow.RunLoad(svc, decisionflow.ServiceLoad{

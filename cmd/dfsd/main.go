@@ -1,0 +1,118 @@
+// Command dfsd is the decision-flow server daemon: a networked,
+// multi-tenant HTTP/JSON front end (internal/server) over the wall-clock
+// serving runtime. It accepts the same backend / query-layer / cluster
+// flags as dfserve (shared via internal/cliconf), adds the front end's
+// tenant and overload knobs, and shuts down gracefully on SIGTERM/SIGINT:
+// stop accepting, flush every in-flight instance to its caller, print the
+// final stats, exit.
+//
+// Examples:
+//
+//	dfsd                                      # serve :8180, instant backend
+//	dfsd -addr :9000 -backend latency -base 500us
+//	dfsd -batch 32 -dedup -cache 65536        # production-shaped query layer
+//	dfsd -shards 4 -replicas 2 -hedge 3ms     # over a replicated cluster
+//	dfsd -tenant-rate 1000 -tenant-inflight 256
+//	                                          # per-tenant QoS limits
+//	dfserve -remote 127.0.0.1:8180            # drive it from the outside
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliconf"
+	"repro/internal/server"
+)
+
+func main() {
+	var cf cliconf.Flags
+	fs := flag.CommandLine
+	cf.Register(fs)
+	var (
+		addr         = fs.String("addr", ":8180", "listen address")
+		tenantRate   = fs.Float64("tenant-rate", 0, "per-tenant token-bucket rate limit in inst/s (0 = unlimited)")
+		tenantBurst  = fs.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = max(rate, 1))")
+		tenantFlight = fs.Int("tenant-inflight", 0, "per-tenant in-flight instance quota (0 = unlimited)")
+		shedQueue    = fs.Int("shed-queue", 0, "shed when the worker queue is deeper than this (0 = 4096, negative disables)")
+		shedP99      = fs.Duration("shed-p99", 0, "shed while the recent p99 exceeds this watermark (0 = off)")
+		latWindow    = fs.Int("latwindow", 4096, "latency samples retained per stats shard (sliding percentile window; 0 = unbounded)")
+		drainWait    = fs.Duration("drain", 30*time.Second, "graceful shutdown: max wait for in-flight instances")
+	)
+	flag.Parse()
+
+	// A long-running server must not accumulate latency samples without
+	// bound; the window also makes the shed-p99 watermark track *recent*
+	// tail latency instead of the all-time percentile.
+	cf.LatencyWindow = *latWindow
+	built, err := cf.Build()
+	if err != nil {
+		fail(err)
+	}
+
+	srv := server.New(server.Config{
+		Service: built.Service,
+		Tenant: server.TenantLimits{
+			RatePerSec:  *tenantRate,
+			Burst:       *tenantBurst,
+			MaxInFlight: *tenantFlight,
+		},
+		ShedQueueDepth: *shedQueue,
+		ShedP99:        *shedP99,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("dfsd: serving on %s — %s\n", ln.Addr(), cf.Describe())
+	if *tenantRate > 0 || *tenantFlight > 0 {
+		fmt.Printf("dfsd: tenant limits rate=%.0f/s burst=%d inflight=%d\n",
+			*tenantRate, *tenantBurst, *tenantFlight)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("dfsd: %v — draining (up to %v)\n", sig, *drainWait)
+	case err := <-errCh:
+		fail(err)
+	}
+
+	// Drain protocol: stop accepting connections and flip the server to
+	// draining concurrently — late requests on live connections get 503 —
+	// then wait for every admitted instance to flush to its caller.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	shutdownDone := make(chan struct{})
+	go func() { httpSrv.Shutdown(ctx); close(shutdownDone) }()
+	stats, err := srv.Drain(ctx)
+	<-shutdownDone
+	built.Stop()
+
+	fmt.Printf("dfsd: final stats\n%s\n", stats)
+	if sum := built.SimdbSummary(); sum != "" {
+		fmt.Println(sum)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("dfsd: drained cleanly")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dfsd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSmokeBinaries is the end-to-end binary smoke test `make smoke`
+// runs in CI: build the real dfsd and dfserve binaries, launch the
+// daemon, drive it with `dfserve -remote` (production-shaped query
+// layer: batching + dedup + cache), then SIGTERM the daemon and assert
+// the graceful drain completed with the final stats dump.
+func TestSmokeBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test builds and execs; skipped in -short")
+	}
+	dir := t.TempDir()
+	dfsd := filepath.Join(dir, "dfsd")
+	dfserve := filepath.Join(dir, "dfserve")
+	for bin, pkg := range map[string]string{dfsd: "repro/cmd/dfsd", dfserve: "repro/cmd/dfserve"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	addr := freeAddr(t)
+	var daemonOut bytes.Buffer
+	daemon := exec.Command(dfsd,
+		"-addr", addr,
+		"-batch", "32", "-dedup", "-cache", "65536",
+		"-tenant-inflight", "4096",
+	)
+	daemon.Stdout = &daemonOut
+	daemon.Stderr = &daemonOut
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	// Wait for the daemon to accept traffic.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dfsd never became healthy; output:\n%s", daemonOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	drive := exec.Command(dfserve,
+		"-remote", addr,
+		"-tenant", "smoke",
+		"-n", "30000", "-c", "64", "-reqbatch", "32", "-spread", "256",
+	)
+	out, err := drive.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dfserve -remote failed: %v\n%s\ndaemon output:\n%s", err, out, daemonOut.String())
+	}
+	text := string(out)
+	if !strings.Contains(text, "instances=30000") || !strings.Contains(text, "inst/s") {
+		t.Fatalf("dfserve report missing throughput:\n%s", text)
+	}
+	if !strings.Contains(text, "server tenant smoke:") {
+		t.Fatalf("dfserve report missing server-side tenant view:\n%s", text)
+	}
+
+	// Graceful drain: SIGTERM, clean exit, final stats with our tenant.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- daemon.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("dfsd exited non-zero after SIGTERM: %v\n%s", err, daemonOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("dfsd did not exit after SIGTERM; output:\n%s", daemonOut.String())
+	}
+	dtext := daemonOut.String()
+	for _, want := range []string{"final stats", "completed=30000", "tenant smoke:", "drained cleanly"} {
+		if !strings.Contains(dtext, want) {
+			t.Fatalf("daemon drain output missing %q:\n%s", want, dtext)
+		}
+	}
+	fmt.Println(text)
+}
+
+// freeAddr grabs an ephemeral loopback port for the daemon to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}

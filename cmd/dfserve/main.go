@@ -1,9 +1,14 @@
 // Command dfserve load-tests the concurrent wall-clock serving runtime:
-// it fires decision flow instances at a runtime.Service — as a Poisson
-// open workload or a fixed-concurrency closed workload — and prints a
-// latency/throughput report. It is the wall-clock analogue of the paper's
-// §5 open-workload experiment, run on real goroutines instead of the
-// discrete-event simulator.
+// it fires decision flow instances — as a Poisson open workload or a
+// fixed-concurrency closed workload — and prints a latency/throughput
+// report. It is the wall-clock analogue of the paper's §5 open-workload
+// experiment, run on real goroutines instead of the discrete-event
+// simulator.
+//
+// By default the service runs in-process. With -remote the same
+// open/closed-loop generator drives a dfsd daemon over HTTP through the
+// typed client instead, so the full network stack — client pool, JSON
+// codec, tenant admission, server, runtime — is benchmarkable end-to-end.
 //
 // Examples:
 //
@@ -14,296 +19,207 @@
 //	dfserve -backend latency -base 500us     # inject 500µs per-query latency
 //	dfserve -backend simdb -scale 0.01       # paced CPU/disk sim, 100× compressed
 //	dfserve -shards 4 -replicas 2 -hedge 3ms # sharded replicated cluster, hedged
-//	dfserve -shards 4 -replicas 2 -skew 10 -retries 2 -failrate 0.01
-//	                                         # slow replica + faults, masked by retries
+//	dfserve -remote 127.0.0.1:8180           # drive a dfsd daemon over HTTP
+//	dfserve -remote 127.0.0.1:8180 -tenant acme -reqbatch 64
+//	                                         # tagged tenant, 64 instances/request
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"time"
+	"strings"
 
-	decisionflow "repro"
-	"repro/internal/gen"
+	"repro/internal/cliconf"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/flows"
+	rt "repro/internal/runtime"
+	"repro/internal/value"
 )
 
 func main() {
+	var cf cliconf.Flags
+	fs := flag.CommandLine
+	cf.Register(fs)
 	var (
-		schemaName = flag.String("schema", "quickstart", "schema to serve: quickstart | pattern (Table 1 generator)")
-		strategy   = flag.String("strategy", "PSE100", "strategy code, e.g. PSE100, PCE0, NCC0")
-		count      = flag.Int("n", 100000, "instances to fire")
-		rate       = flag.Float64("rate", 0, "Poisson arrival rate in inst/s; 0 = closed loop (peak throughput)")
-		conc       = flag.Int("c", 0, "closed-loop outstanding instances (0 = 4x workers)")
-		workers    = flag.Int("workers", 0, "service workers (0 = GOMAXPROCS)")
-		inflight   = flag.Int("inflight", 0, "global in-flight task bound (0 = 16x workers)")
-		backend    = flag.String("backend", "instant", "database backend: instant | latency | simdb")
-		base       = flag.Duration("base", 200*time.Microsecond, "latency backend: fixed per-query latency")
-		perUnit    = flag.Duration("perunit", 50*time.Microsecond, "latency backend: latency per unit of processing")
-		jitter     = flag.Float64("jitter", 0.2, "latency backend: relative jitter in [0,1)")
-		parallel   = flag.Int("parallel", 0, "latency backend: max concurrent queries (0 = unbounded)")
-		scale      = flag.Float64("scale", 0.01, "simdb backend: wall-clock ms per virtual ms")
-		seed       = flag.Int64("seed", 1, "seed for arrivals and the simulated database")
-		batch      = flag.Int("batch", 0, "query layer: max queries per combined backend call (0/1 = no batching)")
-		window     = flag.Duration("window", 200*time.Microsecond, "query layer: batch deadline window")
-		dedup      = flag.Bool("dedup", false, "query layer: single-flight dedup of identical in-flight queries")
-		cache      = flag.Int("cache", 0, "query layer: attribute-result cache entries (0 = no cache)")
-		cachettl   = flag.Duration("cachettl", 0, "query layer: cache entry TTL (0 = never expires)")
-		spread     = flag.Int("spread", 1, "spread instances over this many distinct source vectors (1 = identical instances)")
-		shards     = flag.Int("shards", 0, "cluster: consistent-hash shards (0 = single backend, no cluster)")
-		replicas   = flag.Int("replicas", 1, "cluster: replicas per shard")
-		lbName     = flag.String("lb", "rr", "cluster: replica load balancing: rr | least | p2c")
-		hedge      = flag.Duration("hedge", 0, "cluster: hedge a request on a second replica after this delay (0 = off)")
-		hedgeq     = flag.Float64("hedgeq", 0, "cluster: hedge past this observed latency quantile, e.g. 0.95 (used when -hedge is 0)")
-		retries    = flag.Int("retries", 1, "cluster: extra attempts (on another replica) after an error or timeout")
-		deadline   = flag.Duration("deadline", 0, "cluster: per-attempt deadline; timeouts retry elsewhere (0 = none)")
-		skew       = flag.Float64("skew", 1, "cluster: slow down the last replica of shard 0 by this factor (tail-at-scale demo)")
-		failrate   = flag.Float64("failrate", 0, "fault injection: fraction of queries erroring (latency/simdb backends)")
-		stallrate  = flag.Float64("stallrate", 0, "fault injection: fraction of queries never completing (latency/simdb backends)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the load run to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile after the load run to this file")
+		schemaName = fs.String("schema", "quickstart", "schema to serve: quickstart | pattern (Table 1 generator)")
+		strategy   = fs.String("strategy", "PSE100", "strategy code, e.g. PSE100, PCE0, NCC0")
+		count      = fs.Int("n", 100000, "instances to fire")
+		rate       = fs.Float64("rate", 0, "Poisson arrival rate in inst/s; 0 = closed loop (peak throughput)")
+		conc       = fs.Int("c", 0, "closed-loop outstanding instances (0 = 4x workers; remote: outstanding requests, 0 = 64)")
+		spread     = fs.Int("spread", 1, "spread instances over this many distinct source vectors (1 = identical instances)")
+		remote     = fs.String("remote", "", "drive a dfsd server at this address over HTTP instead of serving in-process")
+		tenant     = fs.String("tenant", "", "remote: tenant to tag requests with (X-Tenant header)")
+		reqBatch   = fs.Int("reqbatch", 1, "remote: instances per HTTP request (amortizes round trips)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the load run to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile after the load run to this file")
 	)
 	flag.Parse()
 
-	st, err := decisionflow.ParseStrategy(*strategy)
+	st, err := engine.ParseStrategy(*strategy)
 	if err != nil {
 		fail(err)
 	}
-	if *stallrate > 0 {
-		// A stalled query never completes on its own; only a cluster
-		// deadline can abandon it and retry elsewhere. Without one the run
-		// would hang forever.
-		if *shards == 0 && *replicas <= 1 {
-			fail(fmt.Errorf("-stallrate needs a cluster (-shards/-replicas) so stalled queries can fail over"))
-		}
-		if *deadline <= 0 {
-			fail(fmt.Errorf("-stallrate needs -deadline > 0: a stalled query only fails over when its attempt times out"))
-		}
+	schema, sources, err := flows.ByName(*schemaName)
+	if err != nil {
+		fail(err)
 	}
-
-	var (
-		schema  *decisionflow.Schema
-		sources decisionflow.Sources
-	)
-	switch *schemaName {
-	case "quickstart":
-		schema, sources = quickstartFlow()
-	case "pattern":
-		g := gen.Generate(gen.Default())
-		schema, sources = g.Schema, g.SourceValues()
-	default:
-		fail(fmt.Errorf("unknown schema %q (want quickstart or pattern)", *schemaName))
-	}
-
-	// newBackend builds one backend copy — the single backend, or the
-	// (shard, replica) cell of a cluster. skewFactor > 1 slows the copy
-	// down, modeling the tail-at-scale slow machine.
-	var pacedAll []*decisionflow.PacedSimBackend
-	newBackend := func(skewFactor float64, seedOff int64) decisionflow.Backend {
-		switch *backend {
-		case "instant":
-			return decisionflow.InstantBackend{}
-		case "latency":
-			return &decisionflow.LatencyBackend{
-				Base:      time.Duration(float64(*base) * skewFactor),
-				PerUnit:   time.Duration(float64(*perUnit) * skewFactor),
-				Jitter:    *jitter,
-				Parallel:  *parallel,
-				FailRate:  *failrate,
-				StallRate: *stallrate,
-				Seed:      *seed + seedOff,
-			}
-		case "simdb":
-			p := decisionflow.DefaultDBParams()
-			p.FailProb = *failrate
-			p.StallProb = *stallrate
-			p.SlowFactor = skewFactor
-			ps := decisionflow.NewPacedSimBackend(p, *seed+seedOff, *scale)
-			pacedAll = append(pacedAll, ps)
-			return ps
-		default:
-			fail(fmt.Errorf("unknown backend %q (want instant, latency or simdb)", *backend))
-			return nil
-		}
-	}
-
-	var db decisionflow.Backend
-	var cluster *decisionflow.ClusterBackend
-	if *shards > 0 || *replicas > 1 {
-		lb, err := decisionflow.ParseLBPolicy(*lbName)
-		if err != nil {
+	var sourcesFor func(i int) map[string]value.Value
+	if *spread > 1 {
+		if sourcesFor, err = flows.Spread(sources, *spread); err != nil {
 			fail(err)
 		}
-		cluster = decisionflow.NewClusterBackend(decisionflow.ClusterConfig{
-			Shards:        max(*shards, 1),
-			Replicas:      *replicas,
-			LB:            lb,
-			Retries:       *retries,
-			Deadline:      *deadline,
-			HedgeDelay:    *hedge,
-			HedgeQuantile: *hedgeq,
-			New: func(s, r int) decisionflow.Backend {
-				sk := 1.0
-				if *skew > 1 && s == 0 && r == *replicas-1 {
-					sk = *skew
-				}
-				return newBackend(sk, int64(s*64+r+1))
-			},
-		})
-		db = cluster
-	} else {
-		db = newBackend(1, 0)
 	}
 
-	svc := decisionflow.NewService(decisionflow.ServiceConfig{
-		Backend:          db,
-		Workers:          *workers,
-		MaxInFlightTasks: *inflight,
-		Query: decisionflow.QueryConfig{
-			BatchSize:   *batch,
-			BatchWindow: *window,
-			Dedup:       *dedup,
-			CacheSize:   *cache,
-			CacheTTL:    *cachettl,
-		},
-	})
+	// Profiling brackets the load run only, so the profile is the serving
+	// (or client) hot path — setup and report rendering excluded.
+	profStart := func() func() {
+		var cpuFile *os.File
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				fail(err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fail(err)
+			}
+			cpuFile = f
+		}
+		return func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if *memprofile != "" {
+				f, ferr := os.Create(*memprofile)
+				if ferr != nil {
+					fail(ferr)
+				}
+				runtime.GC() // surface only live steady-state allocations
+				if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+					fail(ferr)
+				}
+				f.Close()
+			}
+		}
+	}
+
+	if *remote != "" {
+		// The backend/query-layer/cluster flags configure an in-process
+		// service; in remote mode that stack lives in the daemon and was
+		// configured by dfsd's own flags. Reject rather than silently
+		// benchmark a configuration that was never applied.
+		serverSide := cliconf.ServerSideFlagNames()
+		var misplaced []string
+		fs.Visit(func(f *flag.Flag) {
+			if serverSide[f.Name] {
+				misplaced = append(misplaced, "-"+f.Name)
+			}
+		})
+		if len(misplaced) > 0 {
+			fail(fmt.Errorf("flag(s) %s configure the in-process service and do not apply with -remote; pass them to dfsd instead",
+				strings.Join(misplaced, " ")))
+		}
+		runRemote(*remote, *tenant, *schemaName, *strategy, sources, sourcesFor,
+			*count, *rate, *conc, *reqBatch, cf.Seed, profStart)
+		return
+	}
+
+	built, err := cf.Build()
+	if err != nil {
+		fail(err)
+	}
+	svc := built.Service
 	defer svc.Close()
 
 	mode := "closed loop (peak throughput)"
 	if *rate > 0 {
 		mode = fmt.Sprintf("open workload, Poisson %.0f inst/s", *rate)
 	}
-	layer := ""
-	if *batch > 1 || *dedup || *cache > 0 {
-		layer = fmt.Sprintf(", query layer [batch=%d window=%v dedup=%v cache=%d ttl=%v]",
-			*batch, *window, *dedup, *cache, *cachettl)
-	}
-	topo := ""
-	if cluster != nil {
-		topo = fmt.Sprintf(", cluster [%dx%d lb=%s retries=%d deadline=%v hedge=%v/q%.2f skew=%g]",
-			max(*shards, 1), *replicas, *lbName, *retries, *deadline, *hedge, *hedgeq, *skew)
-	}
-	fmt.Printf("serving %s under %s — %d instances, %s, %s backend%s%s\n",
-		*schemaName, st, *count, mode, *backend, layer, topo)
+	fmt.Printf("serving %s under %s — %d instances, %s, %s\n",
+		*schemaName, st, *count, mode, cf.Describe())
 
-	load := decisionflow.ServiceLoad{
+	profStop := profStart()
+	rep, err := rt.RunLoad(svc, rt.Load{
 		Schema:      schema,
 		Sources:     sources,
+		SourcesFor:  sourcesFor,
 		Strategy:    st,
 		Count:       *count,
 		Rate:        *rate,
 		Concurrency: *conc,
-		Seed:        *seed,
-	}
-	if *spread > 1 {
-		load.SourcesFor = spreadSources(sources, *spread)
-	}
-	// Profiling brackets the load run only, so the profile is the serving
-	// hot path — setup and report rendering excluded.
-	var cpuFile *os.File
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fail(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
-		}
-		cpuFile = f
-	}
-	rep, err := decisionflow.RunLoad(svc, load)
-	if cpuFile != nil {
-		pprof.StopCPUProfile()
-		cpuFile.Close()
-	}
+		Seed:        cf.Seed,
+	})
+	profStop()
 	if err != nil {
 		fail(err)
 	}
-	if *memprofile != "" {
-		f, ferr := os.Create(*memprofile)
-		if ferr != nil {
-			fail(ferr)
-		}
-		runtime.GC() // surface only live steady-state allocations
-		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
-			fail(ferr)
-		}
-		f.Close()
+	fmt.Println(rep)
+	if sum := built.SimdbSummary(); sum != "" {
+		fmt.Println(sum)
+	}
+	built.Stop()
+}
+
+// runRemote drives a dfsd daemon through the typed client: same generator
+// shapes, measured at the client across the real network stack.
+func runRemote(addr, tenant, schemaName, strategy string,
+	sources map[string]value.Value, sourcesFor func(i int) map[string]value.Value,
+	count int, rate float64, conc, reqBatch int, seed int64, profStart func() func()) {
+	c := client.New(addr, client.Options{
+		Tenant:   tenant,
+		MaxConns: max(conc, 64),
+	})
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		fail(fmt.Errorf("server at %s not healthy: %w", addr, err))
+	}
+
+	mode := "closed loop (peak throughput)"
+	if rate > 0 {
+		mode = fmt.Sprintf("open workload, Poisson %.0f inst/s", rate)
+	}
+	who := ""
+	if tenant != "" {
+		who = fmt.Sprintf(" as tenant %q", tenant)
+	}
+	fmt.Printf("driving %s%s — schema %s under %s, %d instances, %s, %d inst/request\n",
+		addr, who, schemaName, strategy, count, mode, reqBatch)
+
+	profStop := profStart()
+	rep, err := client.RunLoad(ctx, c, client.Load{
+		Schema:      schemaName,
+		Strategy:    strategy,
+		Sources:     sources,
+		SourcesFor:  sourcesFor,
+		Count:       count,
+		Rate:        rate,
+		Concurrency: conc,
+		BatchSize:   reqBatch,
+		Seed:        seed,
+	})
+	profStop()
+	if err != nil {
+		fail(err)
 	}
 	fmt.Println(rep)
-	if len(pacedAll) > 0 {
-		var queries uint64
-		var gmpl, unitTime float64
-		for _, ps := range pacedAll {
-			g, u, q := ps.Stats()
-			queries += q
-			gmpl += g
-			unitTime += u
-		}
-		n := float64(len(pacedAll))
-		fmt.Printf("simdb×%d: queries=%d avg Gmpl=%.1f avg UnitTime=%.2fms (virtual)\n",
-			len(pacedAll), queries, gmpl/n, unitTime/n)
-	}
-	if cluster != nil {
-		cluster.Stop()
-	} else if len(pacedAll) == 1 {
-		pacedAll[0].Stop()
-	}
-}
 
-// quickstartFlow is the five-attribute shipping-upgrade flow of the
-// package quick start.
-func quickstartFlow() (*decisionflow.Schema, decisionflow.Sources) {
-	schema := decisionflow.NewBuilder("shipping-upgrade").
-		Source("order_total").
-		Source("customer_id").
-		Foreign("tier", decisionflow.TrueCond, []string{"customer_id"}, 2,
-			func(in decisionflow.Inputs) decisionflow.Value {
-				if id, ok := in.Get("customer_id").AsInt(); ok && id%2 == 1 {
-					return decisionflow.Str("gold")
-				}
-				return decisionflow.Str("standard")
-			}).
-		Foreign("warehouse_load", decisionflow.Cond("order_total > 50"), nil, 3,
-			decisionflow.ConstCompute(decisionflow.Int(40))).
-		SynthesisExpr("score", decisionflow.TrueCond,
-			decisionflow.MustParseExpr(`order_total / 10 + coalesce(warehouse_load, 100) / -2`)).
-		Foreign("upgrade", decisionflow.Cond(`score > -10 and tier == "gold"`), []string{"tier", "score"}, 1,
-			decisionflow.ConstCompute(decisionflow.Str("free 2-day shipping"))).
-		Target("upgrade").
-		MustBuild()
-	return schema, decisionflow.Sources{
-		"order_total": decisionflow.Int(120),
-		"customer_id": decisionflow.Int(7),
-	}
-}
-
-// spreadSources precomputes n variants of the base source bindings, each
-// shifting every integer source by the variant index, and returns the
-// per-instance selector (instance i runs variant i mod n). Distinct
-// variants produce distinct query identities, which is what moves the
-// query layer out of the degenerate all-instances-identical regime.
-func spreadSources(base decisionflow.Sources, n int) func(i int) decisionflow.Sources {
-	varied := false
-	variants := make([]decisionflow.Sources, n)
-	for v := range variants {
-		m := make(decisionflow.Sources, len(base))
-		for name, val := range base {
-			if iv, ok := val.AsInt(); ok {
-				m[name] = decisionflow.Int(iv + int64(v))
-				varied = true
-			} else {
-				m[name] = val
+	// The server-side view closes the loop: how the runtime saw this load
+	// (per-tenant slice included when we ran tagged).
+	if stats, err := c.Stats(ctx); err == nil {
+		fmt.Printf("server: uptime=%dms draining=%v\n", stats.UptimeMs, stats.Draining)
+		if tenant != "" {
+			if adm, ok := stats.Tenants[tenant]; ok {
+				fmt.Printf("server tenant %s: accepted=%d shed rate/quota/queue=%d/%d/%d in-flight=%d\n",
+					tenant, adm.Accepted, adm.ShedRate, adm.ShedQuota, adm.ShedQueue, adm.InFlight)
 			}
 		}
-		variants[v] = m
 	}
-	if !varied {
-		fail(fmt.Errorf("-spread %d has no effect: no integer source to vary, all instances would be identical", n))
-	}
-	return func(i int) decisionflow.Sources { return variants[i%n] }
 }
 
 func fail(err error) {

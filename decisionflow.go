@@ -49,6 +49,10 @@
 package decisionflow
 
 import (
+	"context"
+
+	"repro/internal/api"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/expr"
@@ -58,6 +62,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/rules"
 	rt "repro/internal/runtime"
+	"repro/internal/server"
 	"repro/internal/simdb"
 	"repro/internal/snapshot"
 	"repro/internal/trace"
@@ -308,6 +313,68 @@ func NewPacedSimBackend(p DBParams, seed int64, scale float64) *PacedSimBackend 
 // RunLoad fires a load at the service and reports throughput and latency;
 // cmd/dfserve is the CLI wrapper.
 func RunLoad(s *Service, l ServiceLoad) (LoadReport, error) { return rt.RunLoad(s, l) }
+
+// RunLoadContext is RunLoad with cancellation: once ctx is done the
+// generator stops submitting, in-flight instances abort, and the partial
+// report is returned with ctx.Err().
+func RunLoadContext(ctx context.Context, s *Service, l ServiceLoad) (LoadReport, error) {
+	return rt.RunLoadContext(ctx, s, l)
+}
+
+// TenantStats is one tenant's slice of ServiceStats: completions, errors,
+// and latency percentiles over the instances tagged with that tenant.
+type TenantStats = rt.TenantStats
+
+// --- Network serving ---
+
+// ServerConfig configures a DecisionServer: the Service to front,
+// per-tenant admission limits, and the global overload watermarks.
+type ServerConfig = server.Config
+
+// TenantLimits bounds each tenant's admission at the network front end:
+// token-bucket rate limit, burst, and in-flight instance quota.
+type TenantLimits = server.TenantLimits
+
+// DecisionServer is the multi-tenant HTTP/JSON front end over a Service:
+// schema registration, single/batched/async evaluation, per-tenant rate
+// limits and quotas, load shedding with Retry-After, and a graceful drain
+// protocol. cmd/dfsd is the daemon wrapper; mount Handler on any
+// http.Server.
+type DecisionServer = server.Server
+
+// NewServer builds the HTTP front end over cfg.Service.
+func NewServer(cfg ServerConfig) *DecisionServer { return server.New(cfg) }
+
+// ServerClient is the typed Go client of a DecisionServer: pooled
+// connections, retry-on-shed with the server's Retry-After hint, and the
+// same open/closed-loop load generator as the in-process runtime.
+type ServerClient = client.Client
+
+// ClientOptions tunes a ServerClient (tenant tag, pool size, retries).
+type ClientOptions = client.Options
+
+// NewClient creates a client for the server at base (host:port or URL).
+func NewClient(base string, opts ClientOptions) *ServerClient { return client.New(base, opts) }
+
+// EvalRequest / EvalResult are the wire shapes of one instance evaluation
+// (see internal/api for the full protocol).
+type EvalRequest = api.EvalRequest
+
+// EvalResult reports one completed instance over the wire.
+type EvalResult = api.EvalResult
+
+// RemoteLoad describes a load run against a remote server through a
+// ServerClient — the network analogue of ServiceLoad.
+type RemoteLoad = client.Load
+
+// RemoteLoadReport summarizes a remote load run, measured at the client.
+type RemoteLoadReport = client.Report
+
+// RunRemoteLoad fires the load at the server through the client;
+// `dfserve -remote` is the CLI wrapper.
+func RunRemoteLoad(ctx context.Context, c *ServerClient, l RemoteLoad) (RemoteLoadReport, error) {
+	return client.RunLoad(ctx, c, l)
+}
 
 // --- Workloads, database simulation, and planning ---
 

@@ -1,6 +1,8 @@
 package decisionflow_test
 
 import (
+	"context"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -242,5 +244,69 @@ func TestPublicAPIMultiDBAndClustering(t *testing.T) {
 	}
 	if v, _ := res.Snapshot.Val(flow.MustLookup("tgt").ID()).AsInt(); v != 3 {
 		t.Errorf("tgt = %v, want 3", res.Snapshot.Val(flow.MustLookup("tgt").ID()))
+	}
+}
+
+// TestPublicAPINetworkServing drives the full network stack through the
+// facade: NewServer over a Service, NewClient against an httptest
+// listener, typed eval, a remote closed-loop load, and the graceful drain.
+func TestPublicAPINetworkServing(t *testing.T) {
+	svc := decisionflow.NewService(decisionflow.ServiceConfig{})
+	srv := decisionflow.NewServer(decisionflow.ServerConfig{Service: svc})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	c := decisionflow.NewClient(hs.URL, decisionflow.ClientOptions{Tenant: "facade"})
+	defer c.Close()
+	ctx := context.Background()
+
+	// The built-in quickstart schema is preloaded; evaluate one instance.
+	res, err := c.Eval(ctx, decisionflow.EvalRequest{
+		Schema: "quickstart",
+		Sources: map[string]any{
+			"order_total": 120,
+			"customer_id": 7,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" {
+		t.Fatalf("instance error: %s", res.Error)
+	}
+	if got, _ := res.Values["upgrade"].(string); got != "free 2-day shipping" {
+		t.Fatalf("upgrade = %v, want free 2-day shipping", res.Values["upgrade"])
+	}
+
+	rep, err := decisionflow.RunRemoteLoad(ctx, c, decisionflow.RemoteLoad{
+		Schema: "quickstart",
+		Sources: decisionflow.Sources{
+			"order_total": decisionflow.Int(120),
+			"customer_id": decisionflow.Int(7),
+		},
+		Count:       500,
+		Concurrency: 16,
+		BatchSize:   25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instances != 500 || rep.Errors != 0 {
+		t.Fatalf("remote load: %+v", rep)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm := stats.Tenants["facade"]; adm.Accepted != 501 {
+		t.Fatalf("tenant accepted = %d, want 501", adm.Accepted)
+	}
+
+	if _, err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("health must fail after drain")
 	}
 }

@@ -1,0 +1,268 @@
+// Package api defines the wire protocol of the decision-flow server
+// (internal/server, cmd/dfsd): the JSON request/response shapes of the
+// /v1 HTTP endpoints and the codec between JSON values and the engine's
+// dynamically typed value.Value. Both the server and the typed Go client
+// (internal/client) build on this package, so the protocol has exactly one
+// definition.
+//
+// Values map to native JSON: ⟂ ↔ null, bool ↔ bool, int/float ↔ number,
+// string ↔ string, list ↔ array. Numbers decode through json.Number:
+// integral literals come back as Int values, everything else as Float —
+// matching how schema sources are typically declared.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// TenantHeader carries the caller's tenant on every request; requests
+// without it are attributed to DefaultTenant.
+const TenantHeader = "X-Tenant"
+
+// DefaultTenant attributes untagged requests.
+const DefaultTenant = "anonymous"
+
+// SchemaRequest registers a decision flow schema, written in the text
+// format of core.ParseSchema. Foreign tasks of registered schemas are
+// served by the backend with a deterministic server-side compute (a hash
+// of the task's name and stable inputs), since compute functions cannot
+// travel over the wire; synthesis expressions evaluate exactly as written.
+type SchemaRequest struct {
+	// Text is the schema in the line-oriented text format
+	// ("schema <name>\nsource x\nquery y from x cost 2 when x > 0\n…").
+	Text string `json:"text"`
+}
+
+// SchemaResponse acknowledges a registration.
+type SchemaResponse struct {
+	// Name is the registered schema's name (from the text's schema line).
+	Name string `json:"name"`
+	// Attrs is the number of attributes in the validated schema.
+	Attrs int `json:"attrs"`
+	// Targets are the schema's target attribute names.
+	Targets []string `json:"targets"`
+}
+
+// EvalRequest evaluates one instance of a registered schema.
+type EvalRequest struct {
+	// Schema names the registered (or built-in) schema to execute.
+	Schema string `json:"schema"`
+	// Strategy is the optimization strategy code (e.g. "PSE100"); empty
+	// uses the server's default.
+	Strategy string `json:"strategy,omitempty"`
+	// Sources binds the instance's source attributes (JSON values).
+	Sources map[string]any `json:"sources"`
+	// Async, when true, makes POST /v1/eval return 202 with an ID
+	// immediately; the result is fetched (long-polled) from
+	// GET /v1/results/{id}. For slow instances this frees the connection.
+	Async bool `json:"async,omitempty"`
+}
+
+// EvalResult reports one completed instance.
+type EvalResult struct {
+	// Values are the target attributes' final values (⟂ as null).
+	Values map[string]any `json:"values"`
+	// ElapsedMs is the wall-clock latency in milliseconds, submit to
+	// terminal snapshot, measured on the server.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Work / WastedWork / Launched / SynthesisRuns / Failures are the
+	// instance's accounting (see engine.Result).
+	Work          int `json:"work"`
+	WastedWork    int `json:"wasted_work,omitempty"`
+	Launched      int `json:"launched"`
+	SynthesisRuns int `json:"synthesis_runs,omitempty"`
+	Failures      int `json:"failures,omitempty"`
+	// Error is the instance's terminal error, if any (the HTTP status is
+	// still 200: the request was served, the instance failed).
+	Error string `json:"error,omitempty"`
+}
+
+// AsyncResponse acknowledges an async EvalRequest.
+type AsyncResponse struct {
+	// ID fetches the result from GET /v1/results/{id}.
+	ID string `json:"id"`
+}
+
+// PendingResponse is returned by GET /v1/results/{id} when the instance
+// has not finished within the long-poll timeout; poll again.
+type PendingResponse struct {
+	Pending bool `json:"pending"`
+}
+
+// BatchRequest evaluates many instances of one schema in a single round
+// trip.
+type BatchRequest struct {
+	// Schema and Strategy apply to every instance of the batch.
+	Schema   string `json:"schema"`
+	Strategy string `json:"strategy,omitempty"`
+	// Sources holds one source binding per instance.
+	Sources []map[string]any `json:"sources"`
+	// Stream, when true, returns results as NDJSON (one BatchItem line per
+	// instance, in completion order) instead of a single BatchResponse —
+	// slow instances don't block delivery of finished ones.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// BatchResponse carries the batch's results, in request order.
+type BatchResponse struct {
+	Results []EvalResult `json:"results"`
+}
+
+// BatchItem is one NDJSON line of a streamed batch: the result tagged
+// with its request index.
+type BatchItem struct {
+	Index int `json:"index"`
+	EvalResult
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMs echoes the Retry-After header (in milliseconds) on 429
+	// shed responses, for clients that prefer the body.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// StatsResponse is GET /v1/stats: the serving runtime's aggregate metrics
+// plus the front end's per-tenant admission view.
+type StatsResponse struct {
+	// Service is runtime.Stats rendered to JSON (latencies in
+	// nanoseconds, as time.Duration serializes).
+	Service json.RawMessage `json:"service"`
+	// Tenants is the per-tenant admission/shedding view, keyed by tenant.
+	Tenants map[string]TenantAdmission `json:"tenants,omitempty"`
+	// UptimeMs is milliseconds since the server started.
+	UptimeMs int64 `json:"uptime_ms"`
+	// Draining reports whether the server is in graceful shutdown.
+	Draining bool `json:"draining"`
+	// Schemas lists the registered schema names.
+	Schemas []string `json:"schemas"`
+}
+
+// TenantAdmission is one tenant's front-end admission counters. Shed
+// requests never reach the runtime, so these live here rather than in
+// runtime.Stats (which carries the tenant's completion/latency slice).
+type TenantAdmission struct {
+	// Accepted counts requests admitted to the runtime.
+	Accepted uint64 `json:"accepted"`
+	// ShedRate / ShedQuota / ShedQueue count 429s by cause: token-bucket
+	// rate limit, in-flight quota, global queue-depth watermark.
+	ShedRate  uint64 `json:"shed_rate,omitempty"`
+	ShedQuota uint64 `json:"shed_quota,omitempty"`
+	ShedQueue uint64 `json:"shed_queue,omitempty"`
+	// InFlight is the tenant's instances currently evaluating.
+	InFlight int64 `json:"in_flight"`
+}
+
+// --- value codec ---
+
+// ToJSON renders a value.Value as a JSON-marshalable Go value.
+func ToJSON(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		b, _ := v.AsBool()
+		return b
+	case value.KindInt:
+		i, _ := v.AsInt()
+		return i
+	case value.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case value.KindString:
+		s, _ := v.AsString()
+		return s
+	case value.KindList:
+		elems, _ := v.AsList()
+		out := make([]any, len(elems))
+		for i, e := range elems {
+			out[i] = ToJSON(e)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// FromJSON converts a decoded JSON value (as produced by a json.Decoder
+// with UseNumber) into a value.Value. Plain float64s (a decoder without
+// UseNumber) are accepted too: integral floats become Int values.
+func FromJSON(x any) (value.Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.Bool(t), nil
+	case string:
+		return value.Str(t), nil
+	case json.Number:
+		if i, err := t.Int64(); err == nil {
+			return value.Int(i), nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return value.Null, fmt.Errorf("api: bad number %q", t.String())
+		}
+		return value.Float(f), nil
+	case float64:
+		if t == float64(int64(t)) {
+			return value.Int(int64(t)), nil
+		}
+		return value.Float(t), nil
+	case []any:
+		elems := make([]value.Value, len(t))
+		for i, e := range t {
+			v, err := FromJSON(e)
+			if err != nil {
+				return value.Null, err
+			}
+			elems[i] = v
+		}
+		return value.List(elems...), nil
+	default:
+		return value.Null, fmt.Errorf("api: unsupported JSON value %T", x)
+	}
+}
+
+// DecodeSources converts a JSON source map into engine source bindings.
+func DecodeSources(m map[string]any) (map[string]value.Value, error) {
+	out := make(map[string]value.Value, len(m))
+	for name, x := range m {
+		v, err := FromJSON(x)
+		if err != nil {
+			return nil, fmt.Errorf("source %q: %w", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// EncodeSources is DecodeSources' inverse, for clients holding typed
+// values.
+func EncodeSources(m map[string]value.Value) map[string]any {
+	out := make(map[string]any, len(m))
+	for name, v := range m {
+		out[name] = ToJSON(v)
+	}
+	return out
+}
+
+// CleanTenant validates a tenant name from the wire: printable,
+// space-free, at most 64 bytes; empty maps to DefaultTenant.
+func CleanTenant(raw string) (string, error) {
+	if raw == "" {
+		return DefaultTenant, nil
+	}
+	if len(raw) > 64 {
+		return "", fmt.Errorf("api: tenant name longer than 64 bytes")
+	}
+	if strings.ContainsFunc(raw, func(r rune) bool { return r <= ' ' || r == 0x7f }) {
+		return "", fmt.Errorf("api: tenant name contains whitespace or control characters")
+	}
+	return raw, nil
+}

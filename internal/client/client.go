@@ -1,0 +1,340 @@
+// Package client is the typed Go client of the decision-flow server
+// (internal/server, cmd/dfsd): connection-pooled HTTP with retry-on-shed,
+// speaking the internal/api wire protocol. RunLoad drives the same
+// open/closed-loop generators as the in-process runtime against a remote
+// server, so the full network stack is benchmarkable end-to-end.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/value"
+)
+
+// Options tunes a Client.
+type Options struct {
+	// Tenant is sent as the X-Tenant header on every request; empty means
+	// the server's default tenant.
+	Tenant string
+	// MaxConns bounds pooled connections to the server (0 = 512). Idle
+	// connections are kept for reuse, so a closed-loop driver at
+	// concurrency C wants MaxConns >= C.
+	MaxConns int
+	// RetryShed is how many times a shed (429) request is retried, backing
+	// off per the server's Retry-After hint (0 = 3; negative disables).
+	RetryShed int
+	// MaxRetryWait caps one shed backoff (0 = 2s).
+	MaxRetryWait time.Duration
+	// Timeout bounds each HTTP attempt, connection setup included
+	// (0 = 60s).
+	Timeout time.Duration
+}
+
+// Client is a typed handle to one decision-flow server. Safe for
+// concurrent use.
+type Client struct {
+	base  string
+	opts  Options
+	httpc *http.Client
+}
+
+// ErrShed is wrapped by errors returned for requests still shed after
+// every retry; errors.Is(err, ErrShed) detects overload handling.
+var ErrShed = errors.New("client: request shed by server")
+
+// ErrDraining is wrapped when the server refused the request because it
+// is shutting down.
+var ErrDraining = errors.New("client: server draining")
+
+// New creates a client for the server at base (e.g.
+// "http://127.0.0.1:8180"; a bare host:port gets http://).
+func New(base string, opts Options) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if opts.MaxConns <= 0 {
+		opts.MaxConns = 512
+	}
+	if opts.RetryShed == 0 {
+		opts.RetryShed = 3
+	}
+	if opts.MaxRetryWait <= 0 {
+		opts.MaxRetryWait = 2 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        opts.MaxConns,
+		MaxIdleConnsPerHost: opts.MaxConns,
+		MaxConnsPerHost:     opts.MaxConns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{
+		base:  base,
+		opts:  opts,
+		httpc: &http.Client{Transport: tr, Timeout: opts.Timeout},
+	}
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() { c.httpc.CloseIdleConnections() }
+
+// RegisterSchemaText registers a schema written in the text format and
+// returns the server's acknowledgment.
+func (c *Client) RegisterSchemaText(ctx context.Context, text string) (api.SchemaResponse, error) {
+	var out api.SchemaResponse
+	err := c.post(ctx, "/v1/schemas", api.SchemaRequest{Text: text}, &out)
+	return out, err
+}
+
+// Eval evaluates one instance synchronously.
+func (c *Client) Eval(ctx context.Context, req api.EvalRequest) (api.EvalResult, error) {
+	req.Async = false
+	var out api.EvalResult
+	err := c.post(ctx, "/v1/eval", req, &out)
+	return out, err
+}
+
+// EvalValues is Eval over typed source values.
+func (c *Client) EvalValues(ctx context.Context, schema, strategy string, sources map[string]value.Value) (api.EvalResult, error) {
+	return c.Eval(ctx, api.EvalRequest{Schema: schema, Strategy: strategy, Sources: api.EncodeSources(sources)})
+}
+
+// EvalAsync submits one instance and returns its result ID for Result.
+func (c *Client) EvalAsync(ctx context.Context, req api.EvalRequest) (string, error) {
+	req.Async = true
+	var out api.AsyncResponse
+	if err := c.post(ctx, "/v1/eval", req, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Result long-polls an async result until it is ready or ctx is done,
+// re-polling on server-side timeouts.
+func (c *Client) Result(ctx context.Context, id string) (api.EvalResult, error) {
+	var out api.EvalResult
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.base+"/v1/results/"+id+"?timeout=30s", nil)
+		if err != nil {
+			return out, err
+		}
+		c.setHeaders(req)
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			return out, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return out, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return out, json.Unmarshal(body, &out)
+		case http.StatusAccepted:
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+			continue // still pending; poll again
+		default:
+			return out, decodeError(resp.StatusCode, body)
+		}
+	}
+}
+
+// EvalBatch evaluates many instances in one round trip (results in
+// request order).
+func (c *Client) EvalBatch(ctx context.Context, req api.BatchRequest) ([]api.EvalResult, error) {
+	req.Stream = false
+	var out api.BatchResponse
+	if err := c.post(ctx, "/v1/eval/batch", req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(req.Sources) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d instances", len(out.Results), len(req.Sources))
+	}
+	return out.Results, nil
+}
+
+// EvalBatchStream evaluates a batch with NDJSON delivery: each result is
+// handed to fn as it completes on the server, tagged with its request
+// index. fn runs on the reading goroutine. Streamed requests are not
+// retried on shed (delivery may have begun); callers wanting retries use
+// EvalBatch.
+func (c *Client) EvalBatchStream(ctx context.Context, req api.BatchRequest, fn func(api.BatchItem)) error {
+	req.Stream = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/eval/batch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	c.setHeaders(hreq)
+	resp, err := c.httpc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return decodeError(resp.StatusCode, data)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for i := 0; i < len(req.Sources); i++ {
+		var item api.BatchItem
+		if err := dec.Decode(&item); err != nil {
+			return fmt.Errorf("client: stream ended after %d/%d results: %w", i, len(req.Sources), err)
+		}
+		fn(item)
+	}
+	return nil
+}
+
+// Stats fetches the server's metrics.
+func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
+	var out api.StatsResponse
+	err := c.get(ctx, "/v1/stats", &out)
+	return out, err
+}
+
+// Health probes /healthz; nil means serving.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: health: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// --- plumbing ---
+
+func (c *Client) setHeaders(req *http.Request) {
+	if c.opts.Tenant != "" {
+		req.Header.Set(api.TenantHeader, c.opts.Tenant)
+	}
+	req.Header.Set("Content-Type", "application/json")
+}
+
+// post sends a JSON request and decodes the 2xx response into out,
+// retrying shed (429) attempts with the server's Retry-After hint.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		c.setHeaders(req)
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode/100 == 2 {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.opts.RetryShed {
+			wait := retryWait(resp, data)
+			if wait > c.opts.MaxRetryWait {
+				wait = c.opts.MaxRetryWait
+			}
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+				continue
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			}
+		}
+		return decodeError(resp.StatusCode, data)
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	c.setHeaders(req)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// retryWait extracts the backoff hint: the millisecond-precise body field
+// first, the whole-seconds header as fallback, 50ms when neither parses.
+func retryWait(resp *http.Response, body []byte) time.Duration {
+	var e api.ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.RetryAfterMs > 0 {
+		return time.Duration(e.RetryAfterMs) * time.Millisecond
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 50 * time.Millisecond
+}
+
+// decodeError turns a non-2xx response into a typed error.
+func decodeError(status int, body []byte) error {
+	var e api.ErrorResponse
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	switch status {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", ErrShed, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", ErrDraining, msg)
+	default:
+		return fmt.Errorf("client: HTTP %d: %s", status, msg)
+	}
+}

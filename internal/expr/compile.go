@@ -31,16 +31,16 @@ type opcode uint8
 
 const (
 	// Value-stack producers.
-	opConst opcode = iota // push consts[a]
-	opSlot                // push (vals[a], known[a])
-	opArith               // x = ArithOp; pop R, L, push result
-	opNeg                 // arithmetic negation
-	opLen                 // len(x)
-	opContains            // contains(list, x)
-	opMin                 // a = argc; fold value.Min
-	opMax                 // a = argc; fold value.Max
-	opCoalesce            // a = argc; first non-⟂ argument
-	opNullCall            // a = argc; unknown builtin / bad arity: total ⟂
+	opConst    opcode = iota // push consts[a]
+	opSlot                   // push (vals[a], known[a])
+	opArith                  // x = ArithOp; pop R, L, push result
+	opNeg                    // arithmetic negation
+	opLen                    // len(x)
+	opContains               // contains(list, x)
+	opMin                    // a = argc; fold value.Min
+	opMax                    // a = argc; fold value.Max
+	opCoalesce               // a = argc; first non-⟂ argument
+	opNullCall               // a = argc; unknown builtin / bad arity: total ⟂
 
 	// Truth-stack producers.
 	opCmp        // x = CmpOp; pop cells R, L, push comparison truth

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	stdruntime "runtime"
 	"testing"
 	"time"
 
@@ -17,6 +18,11 @@ func benchLoad(b *testing.B, svc *Service, l Load) Report {
 	b.Helper()
 	defer svc.Close()
 	l.Count = b.N
+	// Start the measured window on a clean heap: earlier benchmarks in
+	// the same process leave GC debt, and a collection landing inside a
+	// ~50ms window skews a CPU-bound benchmark by double digits — the
+	// dominant run-to-run noise on a 1-core runner.
+	stdruntime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
 	rep, err := RunLoad(svc, l)

@@ -272,9 +272,14 @@ func TestClusterBreakerIsolatesDegradedReplica(t *testing.T) {
 		{script: always(80*time.Millisecond, nil)}, // alive, far past deadline
 		{script: always(time.Millisecond, nil)},
 	}
+	// The deadline must dominate scheduler stalls, not just the healthy
+	// replica's 1ms: a coverage-instrumented run on a throttled 1-core
+	// host can stall a timer past 5ms, making the *healthy* attempt time
+	// out and the query fail spuriously. 10ms keeps 8x headroom on the
+	// healthy side while staying 8x under the degraded replica's 80ms.
 	cl := NewCluster(ClusterConfig{
 		Shards: 1, Replicas: 2, Retries: 2,
-		Deadline:   5 * time.Millisecond,
+		Deadline:   10 * time.Millisecond,
 		BreakAfter: 3, BreakCooldown: time.Minute, // no probes within the test
 		New: func(s, r int) Backend { return reps[r] },
 	})

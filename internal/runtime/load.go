@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -70,6 +71,16 @@ func (r Report) String() string {
 // stats at the start, so the report covers exactly this run; don't run
 // concurrent loads against one service if per-run stats matter.
 func RunLoad(s *Service, l Load) (Report, error) {
+	return RunLoadContext(context.Background(), s, l)
+}
+
+// RunLoadContext is RunLoad with cancellation: once ctx is done the
+// generator stops submitting, instances already in flight abort at their
+// next step (each Request carries ctx), and the partial report over the
+// instances that did complete is returned together with ctx.Err(). A
+// non-cancellation error (e.g. the service was closed mid-run) is returned
+// without waiting, as from RunLoad.
+func RunLoadContext(ctx context.Context, s *Service, l Load) (Report, error) {
 	if l.Schema == nil {
 		return Report{}, fmt.Errorf("runtime: load needs a Schema")
 	}
@@ -82,11 +93,17 @@ func RunLoad(s *Service, l Load) (Report, error) {
 	wg.Add(l.Count)
 	start := time.Now()
 
+	// Aborting instances observe ctx themselves; only a cancellable ctx is
+	// worth the per-step check.
+	reqCtx := ctx
+	if ctx.Done() == nil {
+		reqCtx = nil
+	}
 	var err error
 	if l.Rate > 0 {
-		err = runOpen(s, l, &wg)
+		err = runOpen(ctx, reqCtx, s, l, &wg)
 	} else {
-		err = runClosed(s, l, &wg)
+		err = runClosed(ctx, reqCtx, s, l, &wg)
 	}
 	if err != nil {
 		return Report{}, err
@@ -102,7 +119,7 @@ func RunLoad(s *Service, l Load) (Report, error) {
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Stats.Completed) / elapsed.Seconds()
 	}
-	return rep, nil
+	return rep, ctx.Err()
 }
 
 // sourcesFor resolves instance i's source bindings.
@@ -115,15 +132,31 @@ func (l *Load) sourcesFor(i int) map[string]value.Value {
 
 // runOpen submits Count Poisson arrivals at the offered rate, pacing
 // against absolute deadlines so generator hiccups don't skew the process.
-func runOpen(s *Service, l Load, wg *sync.WaitGroup) error {
+// On ctx cancellation it stops submitting, compensates the wait group for
+// the instances never fired, and returns nil (the caller reports ctx.Err).
+func runOpen(ctx, reqCtx context.Context, s *Service, l Load, wg *sync.WaitGroup) error {
 	rng := rand.New(rand.NewSource(l.Seed))
 	done := func(*engine.Result) { wg.Done() }
 	next := time.Now()
+	var timer *time.Timer
 	for i := 0; i < l.Count; i++ {
 		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
+			if timer == nil {
+				timer = time.NewTimer(d)
+				defer timer.Stop()
+			} else {
+				timer.Reset(d)
+			}
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+			}
 		}
-		if err := s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(i), Strategy: l.Strategy, Done: done}); err != nil {
+		if ctx.Err() != nil {
+			wg.Add(i - l.Count) // instances never fired
+			return nil
+		}
+		if err := s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(i), Strategy: l.Strategy, Done: done, Ctx: reqCtx}); err != nil {
 			return err
 		}
 		next = next.Add(time.Duration(rng.ExpFloat64() / l.Rate * float64(time.Second)))
@@ -132,8 +165,10 @@ func runOpen(s *Service, l Load, wg *sync.WaitGroup) error {
 }
 
 // runClosed keeps Concurrency instances outstanding: each completion
-// immediately submits the next until Count have been fired.
-func runClosed(s *Service, l Load, wg *sync.WaitGroup) error {
+// immediately submits the next until Count have been fired (or ctx is
+// canceled, after which completions stop chaining and the remaining claims
+// are compensated so the load drains).
+func runClosed(ctx, reqCtx context.Context, s *Service, l Load, wg *sync.WaitGroup) error {
 	conc := l.Concurrency
 	if conc <= 0 {
 		conc = 4 * s.cfg.Workers
@@ -145,6 +180,22 @@ func runClosed(s *Service, l Load, wg *sync.WaitGroup) error {
 	fired.Store(int64(conc))
 	var done func(*engine.Result)
 	done = func(*engine.Result) {
+		defer wg.Done() // this completion
+		if ctx.Err() != nil {
+			// Canceled: release every unfired claim in one compensating
+			// swap (exactly one chain wins the CAS; later chains and
+			// claims find fired already at Count).
+			for {
+				cur := fired.Load()
+				if cur >= int64(l.Count) {
+					return
+				}
+				if fired.CompareAndSwap(cur, int64(l.Count)) {
+					wg.Add(int(cur) - l.Count)
+					return
+				}
+			}
+		}
 		// Claim and submit follow-on instances until one sticks or the
 		// count is exhausted. Submit only fails if the service was closed
 		// mid-run (an operator action); each failed claim is compensated
@@ -155,15 +206,14 @@ func runClosed(s *Service, l Load, wg *sync.WaitGroup) error {
 			if i > int64(l.Count) {
 				break
 			}
-			if s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(int(i - 1)), Strategy: l.Strategy, Done: done}) == nil {
+			if s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(int(i - 1)), Strategy: l.Strategy, Done: done, Ctx: reqCtx}) == nil {
 				break
 			}
 			wg.Done()
 		}
-		wg.Done()
 	}
 	for i := 0; i < conc; i++ {
-		if err := s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(i), Strategy: l.Strategy, Done: done}); err != nil {
+		if err := s.Submit(Request{Schema: l.Schema, Sources: l.sourcesFor(i), Strategy: l.Strategy, Done: done, Ctx: reqCtx}); err != nil {
 			return err
 		}
 	}

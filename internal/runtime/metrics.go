@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"maps"
 	"slices"
 	"strings"
 	"sync"
@@ -58,6 +59,21 @@ type Stats struct {
 	BreakerTrips  uint64
 	FailedQueries uint64
 	Cluster       *ClusterStats
+
+	// Tenants breaks completions down by Request.Tenant, for requests that
+	// carried one (the network front end tags every instance with its
+	// tenant). Untagged instances appear only in the aggregate above.
+	Tenants map[string]TenantStats
+}
+
+// TenantStats is one tenant's slice of the service metrics: completions,
+// errors, and latency percentiles over that tenant's instances (subject to
+// Config.LatencyWindow like the aggregate percentiles).
+type TenantStats struct {
+	Completed          uint64
+	Errors             uint64
+	P50, P95, P99, Max time.Duration
+	AvgLatency         time.Duration
 }
 
 // AvgBatchSize returns the mean queries per backend round trip (1 when
@@ -98,6 +114,11 @@ func (st Stats) String() string {
 			}
 		}
 	}
+	for _, name := range slices.Sorted(maps.Keys(st.Tenants)) {
+		t := st.Tenants[name]
+		fmt.Fprintf(&b, "\ntenant %s: completed=%d errors=%d p50=%v p99=%v max=%v",
+			name, t.Completed, t.Errors, t.P50, t.P99, t.Max)
+	}
 	return b.String()
 }
 
@@ -106,6 +127,7 @@ func (st Stats) String() string {
 // is only contended by Stats readers).
 type shard struct {
 	mu        sync.Mutex
+	window    int // Config.LatencyWindow: max samples retained (0 = all)
 	completed uint64
 	errors    uint64
 	work      uint64
@@ -113,11 +135,47 @@ type shard struct {
 	launched  uint64
 	synth     uint64
 	failures  uint64
-	lats      []int64 // latency samples, ns
+	lats      latRing // latency samples, ns
+	tenants   map[string]*tenantCell
+}
+
+// tenantCell is one tenant's per-shard slice.
+type tenantCell struct {
+	completed uint64
+	errors    uint64
+	lats      latRing
+}
+
+// latRing holds latency samples: an unbounded append when window is 0, a
+// ring of the most recent window samples otherwise (so a long-running
+// server's percentiles cover a sliding window at constant memory).
+type latRing struct {
+	window int
+	buf    []int64
+	n      int // total samples recorded
+}
+
+func (r *latRing) add(v int64) {
+	if r.window <= 0 {
+		r.buf = append(r.buf, v)
+		r.n++
+		return
+	}
+	if len(r.buf) < r.window {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.n%r.window] = v
+	}
+	r.n++
+}
+
+func (r *latRing) reset() {
+	r.buf = r.buf[:0]
+	r.n = 0
 }
 
 // record folds one completed instance into the shard.
-func (sh *shard) record(r *engine.Result, latency time.Duration) {
+func (sh *shard) record(r *engine.Result, latency time.Duration, tenant string) {
 	sh.mu.Lock()
 	sh.completed++
 	if r.Err != nil {
@@ -128,7 +186,22 @@ func (sh *shard) record(r *engine.Result, latency time.Duration) {
 	sh.launched += uint64(r.Launched)
 	sh.synth += uint64(r.SynthesisRuns)
 	sh.failures += uint64(r.Failures)
-	sh.lats = append(sh.lats, int64(latency))
+	sh.lats.add(int64(latency))
+	if tenant != "" {
+		cell := sh.tenants[tenant]
+		if cell == nil {
+			if sh.tenants == nil {
+				sh.tenants = make(map[string]*tenantCell)
+			}
+			cell = &tenantCell{lats: latRing{window: sh.window}}
+			sh.tenants[tenant] = cell
+		}
+		cell.completed++
+		if r.Err != nil {
+			cell.errors++
+		}
+		cell.lats.add(int64(latency))
+	}
 	sh.mu.Unlock()
 }
 
@@ -160,6 +233,11 @@ func (s *Service) Stats() Stats {
 		st.FailedQueries = c.Failed
 	}
 	var lats []int64
+	type tenantAgg struct {
+		completed, errors uint64
+		lats              []int64
+	}
+	var tenants map[string]*tenantAgg
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -170,23 +248,102 @@ func (s *Service) Stats() Stats {
 		st.Launched += sh.launched
 		st.SynthesisRuns += sh.synth
 		st.Failures += sh.failures
-		lats = append(lats, sh.lats...)
+		lats = append(lats, sh.lats.buf...)
+		for name, cell := range sh.tenants {
+			if tenants == nil {
+				tenants = make(map[string]*tenantAgg)
+			}
+			agg := tenants[name]
+			if agg == nil {
+				agg = &tenantAgg{}
+				tenants[name] = agg
+			}
+			agg.completed += cell.completed
+			agg.errors += cell.errors
+			agg.lats = append(agg.lats, cell.lats.buf...)
+		}
 		sh.mu.Unlock()
 	}
+	if tenants != nil {
+		st.Tenants = make(map[string]TenantStats, len(tenants))
+		for name, agg := range tenants {
+			ts := TenantStats{Completed: agg.completed, Errors: agg.errors}
+			ts.P50, ts.P95, ts.P99, ts.Max, ts.AvgLatency = summarize(agg.lats)
+			st.Tenants[name] = ts
+		}
+	}
+	st.P50, st.P95, st.P99, st.Max, st.AvgLatency = summarize(lats)
+	return st
+}
+
+// summarize sorts ns samples in place and returns the latency summary.
+func summarize(lats []int64) (p50, p95, p99, max, avg time.Duration) {
 	if len(lats) == 0 {
-		return st
+		return 0, 0, 0, 0, 0
 	}
 	slices.Sort(lats)
 	var sum int64
 	for _, l := range lats {
 		sum += l
 	}
-	st.P50 = pct(lats, 0.50)
-	st.P95 = pct(lats, 0.95)
-	st.P99 = pct(lats, 0.99)
-	st.Max = time.Duration(lats[len(lats)-1])
-	st.AvgLatency = time.Duration(sum / int64(len(lats)))
-	return st
+	return pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99),
+		time.Duration(lats[len(lats)-1]), time.Duration(sum / int64(len(lats)))
+}
+
+// lastK appends up to the k most recently recorded samples to dst,
+// newest first.
+func (r *latRing) lastK(dst []int64, k int) []int64 {
+	n := len(r.buf)
+	if k > n {
+		k = n
+	}
+	if r.window <= 0 || n < r.window {
+		return append(dst, r.buf[n-k:]...)
+	}
+	for i := 0; i < k; i++ {
+		dst = append(dst, r.buf[(r.n-1-i)%r.window])
+	}
+	return dst
+}
+
+// RecentP99 returns the p99 over at most the `limit` most recent latency
+// samples per stats shard (limit <= 0 means every retained sample),
+// without the full Stats aggregation (tenant maps, counters) — cheap
+// enough for a background overload sampler to call several times a
+// second. An overload sampler passes the completion count of its last
+// interval as the limit, so the percentile reflects what just happened
+// rather than a retention window that older (possibly pathological)
+// samples still dominate.
+func (s *Service) RecentP99(limit int) time.Duration {
+	var lats []int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if limit <= 0 {
+			lats = append(lats, sh.lats.buf...)
+		} else {
+			lats = sh.lats.lastK(lats, limit)
+		}
+		sh.mu.Unlock()
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	slices.Sort(lats)
+	return pct(lats, 0.99)
+}
+
+// CompletedTotal returns the completed-instance count alone — the cheap
+// liveness companion to RecentP99 for overload samplers.
+func (s *Service) CompletedTotal() uint64 {
+	var total uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.completed
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // ResetStats zeroes the aggregate metrics (latency samples included); the
@@ -208,7 +365,8 @@ func (s *Service) ResetStats() {
 		sh.mu.Lock()
 		sh.completed, sh.errors = 0, 0
 		sh.work, sh.wasted, sh.launched, sh.synth, sh.failures = 0, 0, 0, 0, 0
-		sh.lats = sh.lats[:0]
+		sh.lats.reset()
+		sh.tenants = nil
 		sh.mu.Unlock()
 	}
 }

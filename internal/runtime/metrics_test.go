@@ -69,6 +69,23 @@ func TestStatsStringGolden(t *testing.T) {
 				"  shard 1: r0[q=600 err=0 to=0 trips=0] r1[q=610 err=0 to=0 trips=0]",
 		},
 		{
+			name: "with-tenants",
+			st: func() Stats {
+				st := baseGoldenStats()
+				st.Tenants = map[string]TenantStats{
+					"beta": {Completed: 400, Errors: 2,
+						P50: time.Millisecond, P99: 8 * time.Millisecond, Max: 20 * time.Millisecond},
+					"alpha": {Completed: 600,
+						P50: 3 * time.Millisecond, P99: 15 * time.Millisecond, Max: 40 * time.Millisecond},
+				}
+				return st
+			},
+			want: "completed=1000 errors=2 work=5000 wasted=120 launched=2500 synthesis=800\n" +
+				"latency p50=2ms p95=9ms p99=14ms max=40ms avg=2.5ms\n" +
+				"tenant alpha: completed=600 errors=0 p50=3ms p99=15ms max=40ms\n" +
+				"tenant beta: completed=400 errors=2 p50=1ms p99=8ms max=20ms",
+		},
+		{
 			name: "everything",
 			st: func() Stats {
 				st := baseGoldenStats()

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	stdruntime "runtime"
@@ -27,6 +28,16 @@ type Request struct {
 	// because the service recycles the instance's state. Clone what you
 	// keep. Result.Elapsed is the wall-clock latency in milliseconds.
 	Done func(*engine.Result)
+	// Ctx, if non-nil, cancels the instance: once Ctx is done the instance
+	// aborts at its next step instead of launching further work (tasks
+	// already on the backend run to completion and are charged as waste).
+	// The abort completes the instance with Result.Err wrapping Ctx.Err().
+	// DoContext additionally nudges the abort immediately on cancellation.
+	Ctx context.Context
+	// Tenant, if non-empty, attributes this instance to a tenant in the
+	// service's stats (per-tenant completion counts and latency
+	// percentiles in Stats.Tenants). The empty tenant is not tracked.
+	Tenant string
 }
 
 // Config configures a Service.
@@ -49,6 +60,12 @@ type Config struct {
 	// identical queries, and the attribute-result cache. The zero value
 	// disables the layer entirely (launches go straight to the Backend).
 	Query QueryConfig
+	// LatencyWindow, when > 0, bounds the latency samples retained per
+	// stats shard to the most recent LatencyWindow completions, so
+	// percentiles cover a sliding recent window and a long-running server
+	// holds constant memory. 0 (the default) retains every sample since
+	// the last ResetStats — exact percentiles for bounded load runs.
+	LatencyWindow int
 }
 
 // Service executes decision flow instances concurrently in wall-clock
@@ -105,6 +122,10 @@ func New(cfg Config) *Service {
 		tokens: make(chan struct{}, cfg.MaxInFlightTasks),
 		shards: make([]shard, cfg.Workers),
 	}
+	for i := range s.shards {
+		s.shards[i].window = cfg.LatencyWindow
+		s.shards[i].lats.window = cfg.LatencyWindow
+	}
 	s.routed, _ = cfg.Backend.(Routed)
 	s.fallible, _ = cfg.Backend.(Fallible)
 	if cfg.Query.enabled() {
@@ -122,32 +143,74 @@ func New(cfg Config) *Service {
 // Submit enqueues one instance for execution. It returns immediately; the
 // request's Done callback reports completion.
 func (s *Service) Submit(req Request) error {
+	_, _, err := s.submit(req)
+	return err
+}
+
+// SubmitCancel is Submit returning a cancel handle: calling it aborts the
+// instance promptly (it stops launching work and completes with
+// Result.Err wrapping cause), even while the instance idles on a slow
+// backend query. Cancel after completion is a no-op; it is safe to call
+// from any goroutine, any number of times. DoContext wires it to a
+// context; the network front end wires it to client disconnects.
+func (s *Service) SubmitCancel(req Request) (cancel func(cause error), err error) {
+	in, gen, err := s.submit(req)
+	if err != nil {
+		return nil, err
+	}
+	return func(cause error) {
+		if cause == nil {
+			cause = context.Canceled
+		}
+		s.queue.push(job{in: in, gen: gen, cancel: true, cancelErr: cause})
+	}, nil
+}
+
+// submit is Submit returning the accepted instance and its generation —
+// the handle DoContext needs to nudge a cancellation at the instance.
+func (s *Service) submit(req Request) (*inst, uint64, error) {
 	if req.Schema == nil {
-		return errors.New("runtime: request needs a Schema")
+		return nil, 0, errors.New("runtime: request needs a Schema")
 	}
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
-		return ErrClosed
+		return nil, 0, ErrClosed
 	}
 	in := s.pool.Get().(*inst)
 	in.req = req
 	in.start = time.Now()
+	// The generation stamps this occupancy of the pooled state: a cancel
+	// job carrying an older generation finds the instance recycled and
+	// does nothing. Submit owns the instance exclusively here (no job
+	// references it yet), and the queue's lock orders the store before
+	// any worker pop.
+	gen := in.gen.Add(1)
 	s.submitted.Add(1)
 	s.active.Add(1)
 	s.queue.push(job{in: in, begin: true})
-	return nil
+	return in, gen, nil
 }
 
 // Do executes one instance synchronously and returns an independent result
 // (snapshot cloned out of the pooled state).
 func (s *Service) Do(schema *core.Schema, sources map[string]value.Value, st engine.Strategy) (*engine.Result, error) {
+	return s.DoContext(context.Background(), schema, sources, st)
+}
+
+// DoContext is Do with cancellation: when ctx is done before the instance
+// completes, the instance is aborted — it stops launching work, completes
+// immediately with Result.Err wrapping ctx.Err(), and any tasks already on
+// the backend finish as accounted waste. The (partial) result is returned
+// either way; inspect Result.Err to distinguish.
+func (s *Service) DoContext(ctx context.Context, schema *core.Schema, sources map[string]value.Value, st engine.Strategy) (*engine.Result, error) {
 	var out engine.Result
 	done := make(chan struct{})
-	err := s.Submit(Request{
+	cancel, err := s.SubmitCancel(Request{
 		Schema:   schema,
 		Sources:  sources,
 		Strategy: st,
+		Ctx:      ctx,
 		Done: func(r *engine.Result) {
 			out = *r
 			out.Snapshot = r.Snapshot.Clone()
@@ -157,7 +220,15 @@ func (s *Service) Do(schema *core.Schema, sources map[string]value.Value, st eng
 	if err != nil {
 		return nil, err
 	}
-	<-done
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Nudge the abort: an instance idling on a slow backend query has
+		// no upcoming step at which to notice the cancellation, so feed it
+		// one. The generation check makes a late nudge a no-op.
+		cancel(ctx.Err())
+		<-done
+	}
 	return &out, nil
 }
 
@@ -190,9 +261,12 @@ func (s *Service) worker(sh *shard) {
 		if !ok {
 			return
 		}
-		if j.begin {
+		switch {
+		case j.begin:
 			j.in.begin(sh)
-		} else {
+		case j.cancel:
+			j.in.cancelJob(sh, j.gen, j.cancelErr)
+		default:
 			j.in.finishTask(sh, j.id, j.failed)
 		}
 	}
@@ -227,13 +301,22 @@ type inst struct {
 	svc   *Service
 	req   Request
 	start time.Time
+	// gen stamps each occupancy of this pooled state (incremented by
+	// submit); cancel jobs carry the generation they target so a nudge
+	// arriving after recycling is inert.
+	gen atomic.Uint64
 
 	mu          sync.Mutex
 	core        engine.Core
 	res         engine.Result
 	outstanding int // backend tasks submitted but not yet completed
 	finalized   bool
-	refs        int // completion callbacks + result readers keeping the state alive
+	// begunGen is the generation whose begin job has initialized the
+	// state; a cancel nudge only acts between begin and finalize of its
+	// own generation (before begin, the drive-time ctx check catches the
+	// cancellation anyway).
+	begunGen uint64
+	refs     int // completion callbacks + result readers keeping the state alive
 	// doneFns caches one completion closure per attribute so steady-state
 	// launches allocate nothing; okFns are their error-less adapters for
 	// backends without outcome reporting.
@@ -251,12 +334,19 @@ func (in *inst) begin(sh *shard) {
 	in.outstanding = 0
 	in.finalized = false
 	in.refs = 0
+	in.begunGen = in.gen.Load()
 	in.drive(sh)
 }
 
 // drive advances the core and submits the launches it selects. Called
 // with in.mu held; releases it on every path.
 func (in *inst) drive(sh *shard) {
+	if ctx := in.req.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			in.abort(sh, err)
+			return
+		}
+	}
 	launches, status := in.core.Advance()
 	if status != engine.StatusRunning {
 		in.finalize(sh, status)
@@ -331,6 +421,37 @@ func (in *inst) finishTask(sh *shard, id core.AttrID, failed bool) {
 	in.drive(sh)
 }
 
+// cancelJob delivers a cancellation nudge from SubmitCancel: abort the
+// instance unless it already finalized or the pooled state was recycled
+// for a newer request (generation mismatch). A nudge that outruns its own
+// begin job — possible with 2+ workers, since begin is popped first but a
+// second worker can acquire in.mu before begin does — is requeued rather
+// than dropped: the caller was promised a prompt abort even without a
+// Request.Ctx to catch it at drive time.
+func (in *inst) cancelJob(sh *shard, gen uint64, err error) {
+	in.mu.Lock()
+	if in.gen.Load() != gen || in.finalized {
+		in.mu.Unlock()
+		return
+	}
+	if in.begunGen != gen {
+		in.mu.Unlock()
+		in.svc.queue.push(job{in: in, gen: gen, cancel: true, cancelErr: err})
+		return
+	}
+	in.abort(sh, err)
+}
+
+// abort terminates the instance early on cancellation: waste accounting is
+// sealed (in-flight backend tasks complete as stragglers) and the instance
+// finalizes now with the cancellation recorded on the result. Called with
+// in.mu held; releases it.
+func (in *inst) abort(sh *shard, cause error) {
+	in.core.Abort()
+	in.res.Err = fmt.Errorf("runtime: instance aborted: %w", cause)
+	in.finalize(sh, engine.StatusDone)
+}
+
 // finalize records the terminal result, notifies the caller, and returns
 // the instance to the pool once no completions or readers remain. Called
 // with in.mu held; releases it.
@@ -341,7 +462,7 @@ func (in *inst) finalize(sh *shard, status engine.Status) {
 	}
 	latency := time.Since(in.start)
 	in.res.Elapsed = float64(latency) / float64(time.Millisecond)
-	sh.record(&in.res, latency)
+	sh.record(&in.res, latency, in.req.Tenant)
 	// Keep the state alive for the callback plus every outstanding
 	// completion; the last dropper recycles.
 	in.refs = in.outstanding + 1
@@ -403,14 +524,18 @@ func (in *inst) okFn(id core.AttrID) func() {
 
 // --- worker queue ---
 
-// job is one unit of worker work: either the first advance of a freshly
-// submitted instance (begin) or the completion of database task id
-// (failed when the query terminally failed).
+// job is one unit of worker work: the first advance of a freshly
+// submitted instance (begin), the completion of database task id (failed
+// when the query terminally failed), or a cancellation nudge (cancel,
+// targeting generation gen with cancelErr as the cause).
 type job struct {
-	in     *inst
-	id     core.AttrID
-	begin  bool
-	failed bool
+	in        *inst
+	id        core.AttrID
+	begin     bool
+	failed    bool
+	cancel    bool
+	gen       uint64
+	cancelErr error
 }
 
 // jobQueue is an unbounded MPMC FIFO. Unbounded is deliberate: admission

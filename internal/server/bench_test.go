@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	stdruntime "runtime"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/flows"
+	"repro/internal/runtime"
+)
+
+// benchServeHTTP drives the full network stack — typed client, loopback
+// HTTP, tenant admission, server, runtime — with the production-shaped
+// query layer of the e2e acceptance run (Instant backend, batching,
+// dedup, cache) and reports client-observed instances per second.
+// reqBatch is the number of instances per HTTP request: 1 measures
+// per-request protocol overhead, larger values amortize it exactly like
+// `dfserve -remote -reqbatch`.
+func benchServeHTTP(b *testing.B, reqBatch int) {
+	svc := runtime.New(runtime.Config{
+		Backend: runtime.Instant{},
+		Query: runtime.QueryConfig{
+			BatchSize:   32,
+			BatchWindow: 200 * time.Microsecond,
+			Dedup:       true,
+			CacheSize:   65536,
+		},
+	})
+	srv := New(Config{Service: svc})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL, client.Options{Tenant: "bench", MaxConns: 128})
+	defer c.Close()
+
+	_, sources, err := flows.ByName("quickstart")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sourcesFor, err := flows.Spread(sources, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Warm the connection pool, the JIT-shaped schema state, and the
+	// attribute cache so the measured window is steady state rather than
+	// TCP handshakes.
+	if _, err := client.RunLoad(context.Background(), c, client.Load{
+		Schema: "quickstart", Sources: sources, SourcesFor: sourcesFor,
+		Count: 4096, Concurrency: 64, BatchSize: reqBatch,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	svc.ResetStats()
+	stdruntime.GC() // clean heap: keep warmup/prior-benchmark GC debt out of the window
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := client.RunLoad(context.Background(), c, client.Load{
+		Schema:      "quickstart",
+		Sources:     sources,
+		SourcesFor:  sourcesFor,
+		Count:       b.N,
+		Concurrency: 64,
+		BatchSize:   reqBatch,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Failed > 0 || rep.Errors > 0 {
+		b.Fatalf("load run not clean: %+v", rep)
+	}
+	b.ReportMetric(rep.Throughput, "inst/s")
+	srv.Drain(context.Background())
+}
+
+// BenchmarkServeHTTPBatched is the e2e acceptance configuration: 32
+// instances per HTTP request (dfserve -remote -reqbatch 32).
+func BenchmarkServeHTTPBatched(b *testing.B) { benchServeHTTP(b, 32) }
+
+// BenchmarkServeHTTPSingle pays the full HTTP/JSON round trip per
+// instance — the per-request protocol overhead floor.
+func BenchmarkServeHTTPSingle(b *testing.B) { benchServeHTTP(b, 1) }

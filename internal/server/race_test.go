@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this test binary was built with -race, whose
+// ~10x CPU instrumentation cost invalidates wall-clock latency assertions.
+const raceEnabled = true

@@ -1,0 +1,783 @@
+// Package server is the networked front end of the serving runtime: a
+// multi-tenant HTTP/JSON API (wire shapes in internal/api) over
+// runtime.Service, with per-tenant admission control, global load
+// shedding, long-poll delivery for slow instances, and a graceful drain
+// protocol. cmd/dfsd is the daemon wrapper; internal/client is the typed
+// Go client.
+//
+// Endpoints:
+//
+//	POST /v1/schemas      register a schema (text format)
+//	POST /v1/eval         evaluate one instance (sync, or async via 202+ID)
+//	POST /v1/eval/batch   evaluate many instances (one response or NDJSON stream)
+//	GET  /v1/results/{id} long-poll an async result
+//	GET  /v1/stats        runtime + per-tenant metrics
+//	GET  /healthz         liveness (503 while draining)
+//
+// Admission runs in layers: per-tenant token-bucket rate limit and
+// in-flight quota first (429 + Retry-After, counted per cause), then the
+// global overload watermarks — worker queue depth and recent p99 — which
+// shed regardless of tenant (a full queue hurts everyone's latency). What
+// is admitted runs under the service's own backend admission.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/flows"
+	"repro/internal/runtime"
+	"repro/internal/value"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Service is the serving runtime to front. Required.
+	Service *runtime.Service
+	// DefaultStrategy runs instances whose request names none.
+	// Zero value means PSE100.
+	DefaultStrategy engine.Strategy
+	// Tenant are the per-tenant admission limits (each tenant gets its
+	// own bucket/quota with these bounds). Zero means unlimited.
+	Tenant TenantLimits
+	// ShedQueueDepth sheds new work once the service's worker queue is
+	// deeper than this watermark (0 = 4096). Negative disables.
+	ShedQueueDepth int
+	// ShedP99 sheds new work while the service's recent p99 exceeds this
+	// watermark (0 disables). The p99 is sampled in the background every
+	// WatermarkInterval; pair it with runtime.Config.LatencyWindow so the
+	// percentile covers a recent window rather than all time.
+	ShedP99 time.Duration
+	// WatermarkInterval is the p99 sampling period (0 = 250ms).
+	WatermarkInterval time.Duration
+	// ResultTTL bounds how long an unfetched async result is retained
+	// (0 = 1 minute).
+	ResultTTL time.Duration
+	// MaxBatch bounds instances per batch request (0 = 4096).
+	MaxBatch int
+	// MaxSchemas bounds registered schemas (0 = 1024).
+	MaxSchemas int
+	// MaxTenants bounds the distinct tenants tracked (0 = 4096). Tenant
+	// names are client-supplied, and each one pins admission state here
+	// plus latency cells in the runtime's stats shards for the server's
+	// lifetime — without a cap, a client cycling X-Tenant values grows
+	// server memory without bound. Past the cap, requests from unseen
+	// tenants are shed with 429.
+	MaxTenants int
+	// MaxBodyBytes bounds request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP front end. Create with New, expose via Handler,
+// shut down with Drain.
+type Server struct {
+	cfg   Config
+	svc   *runtime.Service
+	mux   *http.ServeMux
+	start time.Time
+
+	mu      sync.RWMutex // guards schemas
+	schemas map[string]*schemaEntry
+
+	tmu     sync.Mutex // guards tenants
+	tenants map[string]*tenant
+
+	results   sync.Map // async result id → *pending
+	resultSeq atomic.Uint64
+
+	// drainMu orders eval admission against Drain: evals hold the read
+	// side while raising the in-flight count, so once Drain's write lock
+	// falls every later eval observes draining and the WaitGroup can only
+	// go down.
+	drainMu  sync.RWMutex
+	draining bool
+	evals    sync.WaitGroup // admitted instances not yet completed
+
+	p99High  atomic.Bool
+	stopWake chan struct{}
+}
+
+// schemaEntry is one registered schema with its pre-resolved targets.
+// owner is the tenant that registered it ("" for built-ins): the schema
+// namespace is shared for reads, but only the owner may replace an
+// entry — without this, any tenant could silently swap another tenant's
+// schema and change its eval results.
+type schemaEntry struct {
+	schema      *core.Schema
+	owner       string
+	targetIDs   []core.AttrID
+	targetNames []string
+}
+
+func newEntry(s *core.Schema, owner string) *schemaEntry {
+	e := &schemaEntry{schema: s, owner: owner, targetIDs: s.Targets()}
+	for _, id := range e.targetIDs {
+		e.targetNames = append(e.targetNames, s.Attr(id).Name)
+	}
+	return e
+}
+
+// ErrDraining is returned (as a 503) to evals arriving during shutdown.
+var ErrDraining = errors.New("server: draining")
+
+// New builds a Server over the service, preloading the built-in flows
+// ("quickstart", "pattern") into the schema registry.
+func New(cfg Config) *Server {
+	if cfg.Service == nil {
+		panic("server: Config.Service is required")
+	}
+	if cfg.DefaultStrategy == (engine.Strategy{}) {
+		cfg.DefaultStrategy = engine.MustParseStrategy("PSE100")
+	}
+	if cfg.ShedQueueDepth == 0 {
+		cfg.ShedQueueDepth = 4096
+	}
+	if cfg.WatermarkInterval <= 0 {
+		cfg.WatermarkInterval = 250 * time.Millisecond
+	}
+	if cfg.ResultTTL <= 0 {
+		cfg.ResultTTL = time.Minute
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxSchemas <= 0 {
+		cfg.MaxSchemas = 1024
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 4096
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		cfg:      cfg,
+		svc:      cfg.Service,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		schemas:  make(map[string]*schemaEntry),
+		tenants:  make(map[string]*tenant),
+		stopWake: make(chan struct{}),
+	}
+	for _, name := range []string{"quickstart", "pattern"} {
+		sch, _, err := flows.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		s.schemas[name] = newEntry(sch, "")
+	}
+	s.mux.HandleFunc("POST /v1/schemas", s.handleSchemas)
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/eval/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.ShedP99 > 0 {
+		go s.watchP99()
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain executes the graceful shutdown protocol: flip to draining (new
+// evals get 503, /healthz reports down), wait for every admitted instance
+// to complete — bounded by ctx — then close the underlying service. It
+// returns the final runtime stats. The HTTP listener should stop
+// accepting before or concurrently with Drain (http.Server.Shutdown);
+// long-poll result fetches keep working throughout, so in-flight work is
+// flushed to its callers.
+func (s *Server) Drain(ctx context.Context) (runtime.Stats, error) {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if already {
+		return s.svc.Stats(), errors.New("server: already draining")
+	}
+	close(s.stopWake)
+
+	done := make(chan struct{})
+	go func() { s.evals.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: drain incomplete: %w", ctx.Err())
+	}
+	st := s.svc.Stats()
+	if err == nil {
+		// Everything admitted has completed; Close is instant.
+		s.svc.Close()
+	}
+	return st, err
+}
+
+// Draining reports whether the drain protocol has started.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// tenantFor returns (creating on first use) the tenant's admission
+// state, or nil when the tenant table is full and the name is unseen —
+// the memory-bounding backstop for client-controlled tenant names.
+func (s *Server) tenantFor(name string) *tenant {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	t := s.tenants[name]
+	if t == nil {
+		if len(s.tenants) >= s.cfg.MaxTenants {
+			return nil
+		}
+		t = newTenant(s.cfg.Tenant)
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// watchP99 samples the tail latency of the completions of the last
+// interval and flips the overload bit. Judging only the interval's own
+// completions (not the whole retention window) keeps the bit honest in
+// both directions: it cannot latch — a quiet interval (shedding blocked
+// everything, backlog drained) clears it so admitted traffic probes the
+// backend — and it cannot duty-cycle on stale samples, because a
+// recovered backend's fresh completions read fast immediately instead
+// of waiting for thousands of spike-era samples to age out of the ring.
+func (s *Server) watchP99() {
+	tick := time.NewTicker(s.cfg.WatermarkInterval)
+	defer tick.Stop()
+	var lastCompleted uint64
+	for {
+		select {
+		case <-s.stopWake:
+			return
+		case <-tick.C:
+			completed := s.svc.CompletedTotal()
+			delta := completed - lastCompleted
+			lastCompleted = completed
+			if delta == 0 {
+				s.p99High.Store(false)
+				continue
+			}
+			s.p99High.Store(s.svc.RecentP99(int(delta)) > s.cfg.ShedP99)
+		}
+	}
+}
+
+// admit runs the admission layers for n instances of tenant t. On
+// success the caller owns n claims on the tenant and the server's eval
+// WaitGroup. On refusal the response has been written.
+func (s *Server) admit(w http.ResponseWriter, t *tenant, n int) bool {
+	if t == nil {
+		// tenantFor refused to materialize a new tenant: table full.
+		writeErr(w, http.StatusTooManyRequests, "tenant table full", time.Second)
+		return false
+	}
+	ok, cause, retry := t.admit(n)
+	if !ok {
+		s.shed(w, cause, retry)
+		return false
+	}
+	if (s.cfg.ShedQueueDepth >= 0 && s.svc.QueueDepth() > s.cfg.ShedQueueDepth) || s.p99High.Load() {
+		t.unadmit(n)
+		t.shedByQueue(n)
+		s.shed(w, shedQueue, 25*time.Millisecond)
+		return false
+	}
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		t.unadmit(n)
+		writeErr(w, http.StatusServiceUnavailable, ErrDraining.Error(), 0)
+		return false
+	}
+	s.evals.Add(n)
+	s.drainMu.RUnlock()
+	t.accept(n)
+	return true
+}
+
+// shed writes the 429 with a standards-compliant Retry-After header
+// (whole seconds, rounded up) and a millisecond-precise body.
+func (s *Server) shed(w http.ResponseWriter, cause shedCause, retry time.Duration) {
+	msg := "over tenant rate limit"
+	switch cause {
+	case shedQuota:
+		msg = "over tenant in-flight quota"
+	case shedQueue:
+		msg = "server overloaded (queue depth or p99 past watermark)"
+	case shedTooLarge:
+		// Permanent: the batch exceeds the bucket's capacity outright.
+		writeErr(w, http.StatusBadRequest, "batch exceeds the tenant's burst capacity; split it", 0)
+		return
+	}
+	writeErr(w, http.StatusTooManyRequests, msg, retry)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string, retry time.Duration) {
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((retry+time.Second-1)/time.Second), 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(api.ErrorResponse{Error: msg, RetryAfterMs: int64(retry / time.Millisecond)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decode reads a JSON body with numbers preserved (json.Number).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return false
+	}
+	return true
+}
+
+// requestTenant resolves and validates the caller's tenant.
+func requestTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name, err := api.CleanTenant(r.Header.Get(api.TenantHeader))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), 0)
+		return "", false
+	}
+	return name, true
+}
+
+// --- handlers ---
+
+func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
+	tenantName, ok := requestTenant(w, r)
+	if !ok {
+		return
+	}
+	// Registration runs under the tenant's rate bucket too: an 8 MiB
+	// schema parse is not cheaper than an eval, and this endpoint must
+	// not be the unmetered way around TenantLimits.
+	t := s.tenantFor(tenantName)
+	if t == nil {
+		writeErr(w, http.StatusTooManyRequests, "tenant table full", time.Second)
+		return
+	}
+	if ok, cause, retry := t.admit(1); !ok {
+		s.shed(w, cause, retry)
+		return
+	}
+	defer t.release(1)
+	var req api.SchemaRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sch, err := core.ParseSchema(req.Text)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	// Foreign results are served by a deterministic hash compute — the
+	// wire carries structure, not code (see flows.BindDefaultComputes).
+	flows.BindDefaultComputes(sch)
+	entry := newEntry(sch, tenantName)
+	s.mu.Lock()
+	if prev, exists := s.schemas[sch.Name()]; exists {
+		if prev.owner != tenantName {
+			s.mu.Unlock()
+			writeErr(w, http.StatusForbidden,
+				fmt.Sprintf("schema %q is owned by another tenant", sch.Name()), 0)
+			return
+		}
+	} else if len(s.schemas) >= s.cfg.MaxSchemas {
+		s.mu.Unlock()
+		writeErr(w, http.StatusInsufficientStorage, "schema registry full", 0)
+		return
+	}
+	s.schemas[sch.Name()] = entry
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, api.SchemaResponse{
+		Name:    sch.Name(),
+		Attrs:   sch.NumAttrs(),
+		Targets: entry.targetNames,
+	})
+}
+
+// resolveSchema maps a request's schema name and strategy code to the
+// registry entry and parsed strategy (shared by single and batch eval).
+func (s *Server) resolveSchema(w http.ResponseWriter, name, strategy string) (*schemaEntry, engine.Strategy, bool) {
+	s.mu.RLock()
+	entry := s.schemas[name]
+	s.mu.RUnlock()
+	if entry == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown schema %q", name), 0)
+		return nil, engine.Strategy{}, false
+	}
+	st := s.cfg.DefaultStrategy
+	if strategy != "" {
+		var err error
+		if st, err = engine.ParseStrategy(strategy); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error(), 0)
+			return nil, engine.Strategy{}, false
+		}
+	}
+	return entry, st, true
+}
+
+// resolve is resolveSchema plus the single instance's source decode.
+func (s *Server) resolve(w http.ResponseWriter, name, strategy string, sources map[string]any) (*schemaEntry, engine.Strategy, map[string]value.Value, bool) {
+	entry, st, ok := s.resolveSchema(w, name, strategy)
+	if !ok {
+		return nil, engine.Strategy{}, nil, false
+	}
+	src, err := api.DecodeSources(sources)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error(), 0)
+		return nil, engine.Strategy{}, nil, false
+	}
+	return entry, st, src, true
+}
+
+// buildResult renders a completed instance for the wire. It runs inside
+// the runtime's Done callback, while the pooled snapshot is still valid.
+func buildResult(entry *schemaEntry, res *engine.Result) api.EvalResult {
+	out := api.EvalResult{
+		Values:        make(map[string]any, len(entry.targetIDs)),
+		ElapsedMs:     res.Elapsed,
+		Work:          res.Work,
+		WastedWork:    res.WastedWork,
+		Launched:      res.Launched,
+		SynthesisRuns: res.SynthesisRuns,
+		Failures:      res.Failures,
+	}
+	for i, id := range entry.targetIDs {
+		out.Values[entry.targetNames[i]] = api.ToJSON(res.Snapshot.Val(id))
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	return out
+}
+
+// unwind releases admission claims for a request that failed between
+// admission and reaching the runtime (decode/resolve error, a refused
+// batch second step, a closed service): the in-flight gauge, accepted
+// counter, and eval WaitGroup return, but the rate tokens stay burned —
+// metering the parse work was the point of admitting before decoding.
+func (s *Server) unwind(t *tenant, n int) {
+	t.release(n)
+	t.unaccept(n)
+	s.evals.Add(-n)
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	tenantName, ok := requestTenant(w, r)
+	if !ok {
+		return
+	}
+	// Admission precedes the body decode, so an over-limit tenant cannot
+	// use request parsing as its unmetered path around TenantLimits.
+	t := s.tenantFor(tenantName)
+	if !s.admit(w, t, 1) {
+		return
+	}
+	var req api.EvalRequest
+	if !s.decode(w, r, &req) {
+		s.unwind(t, 1)
+		return
+	}
+	entry, st, src, ok := s.resolve(w, req.Schema, req.Strategy, req.Sources)
+	if !ok {
+		s.unwind(t, 1)
+		return
+	}
+	if req.Async {
+		s.evalAsync(w, t, tenantName, entry, st, src)
+		return
+	}
+
+	resCh := make(chan api.EvalResult, 1)
+	cancel, err := s.svc.SubmitCancel(runtime.Request{
+		Schema:   entry.schema,
+		Sources:  src,
+		Strategy: st,
+		Tenant:   tenantName,
+		Ctx:      r.Context(),
+		Done: func(res *engine.Result) {
+			resCh <- buildResult(entry, res)
+		},
+	})
+	if err != nil {
+		s.unwind(t, 1)
+		writeErr(w, http.StatusServiceUnavailable, err.Error(), 0)
+		return
+	}
+	var out api.EvalResult
+	select {
+	case out = <-resCh:
+	case <-r.Context().Done():
+		// Client gone: abort the instance promptly, then wait for the
+		// abort to land so the claims release only after the runtime is
+		// done with the instance.
+		cancel(r.Context().Err())
+		out = <-resCh
+	}
+	t.release(1)
+	s.evals.Done()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// pending is one async instance's rendezvous.
+type pending struct {
+	tenant string
+	done   chan struct{}
+	result api.EvalResult
+}
+
+func (s *Server) evalAsync(w http.ResponseWriter, t *tenant, tenantName string, entry *schemaEntry, st engine.Strategy, src map[string]value.Value) {
+	id := strconv.FormatUint(s.resultSeq.Add(1), 36)
+	p := &pending{tenant: tenantName, done: make(chan struct{})}
+	s.results.Store(id, p)
+	err := s.svc.Submit(runtime.Request{
+		Schema:   entry.schema,
+		Sources:  src,
+		Strategy: st,
+		Tenant:   tenantName,
+		Done: func(res *engine.Result) {
+			p.result = buildResult(entry, res)
+			close(p.done)
+			t.release(1)
+			s.evals.Done()
+			// Unfetched results expire so abandoned polls can't pin
+			// memory.
+			time.AfterFunc(s.cfg.ResultTTL, func() { s.results.Delete(id) })
+		},
+	})
+	if err != nil {
+		s.results.Delete(id)
+		s.unwind(t, 1)
+		writeErr(w, http.StatusServiceUnavailable, err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.AsyncResponse{ID: id})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	tenantName, ok := requestTenant(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	v, found := s.results.Load(id)
+	if !found {
+		writeErr(w, http.StatusNotFound, "unknown or expired result id", 0)
+		return
+	}
+	p := v.(*pending)
+	if p.tenant != tenantName {
+		// Result IDs are tenant-scoped capabilities.
+		writeErr(w, http.StatusNotFound, "unknown or expired result id", 0)
+		return
+	}
+	timeout := 30 * time.Second
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad timeout: "+err.Error(), 0)
+			return
+		}
+		timeout = min(max(d, 0), 2*time.Minute)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-p.done:
+		// Results deliver once: of two concurrent polls, only the one
+		// that wins the delete gets the body.
+		if _, won := s.results.LoadAndDelete(id); !won {
+			writeErr(w, http.StatusNotFound, "unknown or expired result id", 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, p.result)
+	case <-timer.C:
+		writeJSON(w, http.StatusAccepted, api.PendingResponse{Pending: true})
+	case <-r.Context().Done():
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tenantName, ok := requestTenant(w, r)
+	if !ok {
+		return
+	}
+	// The batch size is unknown until the body is decoded, so admission
+	// runs in two steps: one instance's worth up front — the decode of an
+	// up-to-8MiB body must not be free for an over-limit tenant — and the
+	// remaining n-1 once n is known.
+	t := s.tenantFor(tenantName)
+	if !s.admit(w, t, 1) {
+		return
+	}
+	var req api.BatchRequest
+	if !s.decode(w, r, &req) {
+		s.unwind(t, 1)
+		return
+	}
+	n := len(req.Sources)
+	if n == 0 {
+		s.unwind(t, 1)
+		writeErr(w, http.StatusBadRequest, "empty batch", 0)
+		return
+	}
+	if n > s.cfg.MaxBatch {
+		s.unwind(t, 1)
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds limit %d", n, s.cfg.MaxBatch), 0)
+		return
+	}
+	entry, st, ok := s.resolveSchema(w, req.Schema, req.Strategy)
+	if !ok {
+		s.unwind(t, 1)
+		return
+	}
+	srcs := make([]map[string]value.Value, n)
+	for i, m := range req.Sources {
+		src, err := api.DecodeSources(m)
+		if err != nil {
+			s.unwind(t, 1)
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("instance %d: %v", i, err), 0)
+			return
+		}
+		srcs[i] = src
+	}
+	if n > 1 && !s.admit(w, t, n-1) {
+		s.unwind(t, 1)
+		return
+	}
+	if req.Stream {
+		s.batchStream(w, r, t, tenantName, entry, st, srcs)
+		return
+	}
+
+	results := make([]api.EvalResult, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i, src := range srcs {
+		i := i
+		err := s.svc.Submit(runtime.Request{
+			Schema:   entry.schema,
+			Sources:  src,
+			Strategy: st,
+			Tenant:   tenantName,
+			Ctx:      r.Context(),
+			Done: func(res *engine.Result) {
+				results[i] = buildResult(entry, res)
+				wg.Done()
+			},
+		})
+		if err != nil {
+			results[i] = api.EvalResult{Error: err.Error()}
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	t.release(n)
+	s.evals.Add(-n)
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: results})
+}
+
+// batchStream delivers batch results as NDJSON in completion order, so a
+// slow instance doesn't block delivery of finished ones.
+func (s *Server) batchStream(w http.ResponseWriter, r *http.Request, t *tenant, tenantName string, entry *schemaEntry, st engine.Strategy, srcs []map[string]value.Value) {
+	n := len(srcs)
+	items := make(chan api.BatchItem, n)
+	for i, src := range srcs {
+		i := i
+		err := s.svc.Submit(runtime.Request{
+			Schema:   entry.schema,
+			Sources:  src,
+			Strategy: st,
+			Tenant:   tenantName,
+			Ctx:      r.Context(),
+			Done: func(res *engine.Result) {
+				items <- api.BatchItem{Index: i, EvalResult: buildResult(entry, res)}
+			},
+		})
+		if err != nil {
+			items <- api.BatchItem{Index: i, EvalResult: api.EvalResult{Error: err.Error()}}
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	gone := false
+	for received := 0; received < n; received++ {
+		item := <-items
+		if gone {
+			continue // keep draining so claims release correctly
+		}
+		if r.Context().Err() != nil || enc.Encode(item) != nil {
+			gone = true
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	t.release(n)
+	s.evals.Add(-n)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	svcStats, err := json.Marshal(s.svc.Stats())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	s.tmu.Lock()
+	tenants := make(map[string]api.TenantAdmission, len(s.tenants))
+	for name, t := range s.tenants {
+		tenants[name] = t.admission()
+	}
+	s.tmu.Unlock()
+	s.mu.RLock()
+	names := make([]string, 0, len(s.schemas))
+	for name := range s.schemas {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	slices.Sort(names)
+	writeJSON(w, http.StatusOK, api.StatsResponse{
+		Service:  svcStats,
+		Tenants:  tenants,
+		UptimeMs: time.Since(s.start).Milliseconds(),
+		Draining: s.Draining(),
+		Schemas:  names,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "draining", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, "ok\n")
+}
