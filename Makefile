@@ -31,10 +31,14 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Short fuzzing pass over the three-valued expression evaluator: random
-# trees + partial environments vs an independent reference evaluator.
+# Short fuzzing passes: the three-valued expression evaluator (random
+# trees + partial environments vs an independent reference evaluator)
+# and the dfbin wire codec (JSON/binary differential round trip, plus
+# truncated/corrupt frames asserting clean errors, never panics).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzEval3$$' -fuzztime=10s ./internal/expr
+	$(GO) test -run='^$$' -fuzz='^FuzzBinaryJSONDifferential$$' -fuzztime=5s ./internal/api
+	$(GO) test -run='^$$' -fuzz='^FuzzBinaryFrameDecode$$' -fuzztime=5s ./internal/api
 
 # Deterministic chaos suite: kill/stall/degrade cluster replicas mid-run
 # and assert the oracle invariant, work conservation, and launch-exact
@@ -44,8 +48,9 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/runtime
 
 # End-to-end binary smoke: build the real dfsd and dfserve binaries,
-# launch the daemon, drive it with `dfserve -remote` over loopback HTTP,
-# SIGTERM it, and assert the graceful drain flushed everything.
+# launch the daemon (HTTP + dfbin listeners), drive it with `dfserve
+# -remote` over both wires, SIGTERM it under in-flight binary load, and
+# assert the graceful drain flushed everything.
 smoke:
 	$(GO) test -count=1 -run 'TestSmokeBinaries' ./cmd/dfsd
 

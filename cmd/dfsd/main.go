@@ -1,20 +1,27 @@
 // Command dfsd is the decision-flow server daemon: a networked,
-// multi-tenant HTTP/JSON front end (internal/server) over the wall-clock
-// serving runtime. It accepts the same backend / query-layer / cluster
-// flags as dfserve (shared via internal/cliconf), adds the front end's
-// tenant and overload knobs, and shuts down gracefully on SIGTERM/SIGINT:
-// stop accepting, flush every in-flight instance to its caller, print the
-// final stats, exit.
+// multi-tenant front end (internal/server) over the wall-clock serving
+// runtime, speaking both wires at once — HTTP/JSON on -addr and the
+// dfbin binary protocol on -binaddr, through one shared admission,
+// tenant, and drain core. It accepts the same backend / query-layer /
+// cluster flags as dfserve (shared via internal/cliconf, including
+// -config file defaults), adds the front end's tenant and overload
+// knobs, and shuts down gracefully on SIGTERM/SIGINT: stop accepting on
+// both listeners, flush every in-flight instance to its caller, print
+// the final stats, exit.
 //
 // Examples:
 //
-//	dfsd                                      # serve :8180, instant backend
+//	dfsd                                      # HTTP :8180 + dfbin :8181, instant backend
 //	dfsd -addr :9000 -backend latency -base 500us
 //	dfsd -batch 32 -dedup -cache 65536        # production-shaped query layer
 //	dfsd -shards 4 -replicas 2 -hedge 3ms     # over a replicated cluster
 //	dfsd -tenant-rate 1000 -tenant-inflight 256
 //	                                          # per-tenant QoS limits
-//	dfserve -remote 127.0.0.1:8180            # drive it from the outside
+//	dfsd -config dfsd.toml                    # file defaults, flags win
+//	dfsd -batch 32 -dedup -dumpconfig > dfsd.toml
+//	                                          # capture effective config
+//	dfserve -remote 127.0.0.1:8180            # drive it over HTTP
+//	dfserve -remote dfbin://127.0.0.1:8181    # drive it over the binary wire
 package main
 
 import (
@@ -37,7 +44,8 @@ func main() {
 	fs := flag.CommandLine
 	cf.Register(fs)
 	var (
-		addr         = fs.String("addr", ":8180", "listen address")
+		addr         = fs.String("addr", ":8180", "HTTP/JSON listen address")
+		binAddr      = fs.String("binaddr", ":8181", "dfbin binary-protocol listen address (empty disables)")
 		tenantRate   = fs.Float64("tenant-rate", 0, "per-tenant token-bucket rate limit in inst/s (0 = unlimited)")
 		tenantBurst  = fs.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = max(rate, 1))")
 		tenantFlight = fs.Int("tenant-inflight", 0, "per-tenant in-flight instance quota (0 = unlimited)")
@@ -47,6 +55,13 @@ func main() {
 		drainWait    = fs.Duration("drain", 30*time.Second, "graceful shutdown: max wait for in-flight instances")
 	)
 	flag.Parse()
+	if err := cliconf.ApplyConfigFile(fs, cf.ConfigPath); err != nil {
+		fail(err)
+	}
+	if cf.DumpConfig {
+		fmt.Print(cliconf.Dump(fs))
+		return
+	}
 
 	// A long-running server must not accumulate latency samples without
 	// bound; the window also makes the shed-p99 watermark track *recent*
@@ -73,14 +88,28 @@ func main() {
 		fail(err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("dfsd: serving on %s — %s\n", ln.Addr(), cf.Describe())
+	fmt.Printf("dfsd: serving HTTP on %s — %s\n", ln.Addr(), cf.Describe())
 	if *tenantRate > 0 || *tenantFlight > 0 {
 		fmt.Printf("dfsd: tenant limits rate=%.0f/s burst=%d inflight=%d\n",
 			*tenantRate, *tenantBurst, *tenantFlight)
 	}
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+	if *binAddr != "" {
+		bln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("dfsd: serving dfbin on %s\n", bln.Addr())
+		// ServeBinary returns nil when Drain closes the listener, so a nil
+		// error here must not look like the daemon exiting on its own.
+		go func() {
+			if err := srv.ServeBinary(bln); err != nil {
+				errCh <- err
+			}
+		}()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)

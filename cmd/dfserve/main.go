@@ -6,9 +6,11 @@
 // simulator.
 //
 // By default the service runs in-process. With -remote the same
-// open/closed-loop generator drives a dfsd daemon over HTTP through the
-// typed client instead, so the full network stack — client pool, JSON
-// codec, tenant admission, server, runtime — is benchmarkable end-to-end.
+// open/closed-loop generator drives a dfsd daemon through the typed
+// client instead — over JSON/HTTP (http://host:port) or the dfbin binary
+// protocol (dfbin://host:port) — so the full network stack of either
+// wire (client pool, codec, tenant admission, server, runtime) is
+// benchmarkable end-to-end.
 //
 // Examples:
 //
@@ -20,6 +22,7 @@
 //	dfserve -backend simdb -scale 0.01       # paced CPU/disk sim, 100× compressed
 //	dfserve -shards 4 -replicas 2 -hedge 3ms # sharded replicated cluster, hedged
 //	dfserve -remote 127.0.0.1:8180           # drive a dfsd daemon over HTTP
+//	dfserve -remote dfbin://127.0.0.1:8181   # same, over the binary protocol
 //	dfserve -remote 127.0.0.1:8180 -tenant acme -reqbatch 64
 //	                                         # tagged tenant, 64 instances/request
 package main
@@ -52,13 +55,20 @@ func main() {
 		rate       = fs.Float64("rate", 0, "Poisson arrival rate in inst/s; 0 = closed loop (peak throughput)")
 		conc       = fs.Int("c", 0, "closed-loop outstanding instances (0 = 4x workers; remote: outstanding requests, 0 = 64)")
 		spread     = fs.Int("spread", 1, "spread instances over this many distinct source vectors (1 = identical instances)")
-		remote     = fs.String("remote", "", "drive a dfsd server at this address over HTTP instead of serving in-process")
-		tenant     = fs.String("tenant", "", "remote: tenant to tag requests with (X-Tenant header)")
-		reqBatch   = fs.Int("reqbatch", 1, "remote: instances per HTTP request (amortizes round trips)")
+		remote     = fs.String("remote", "", "drive a dfsd server at this address instead of serving in-process (http://host:port for JSON, dfbin://host:port for the binary protocol; bare host:port = HTTP)")
+		tenant     = fs.String("tenant", "", "remote: tenant to tag requests with")
+		reqBatch   = fs.Int("reqbatch", 1, "remote: instances per request (amortizes round trips)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the load run to this file (go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write a heap profile after the load run to this file")
 	)
 	flag.Parse()
+	if err := cliconf.ApplyConfigFile(fs, cf.ConfigPath); err != nil {
+		fail(err)
+	}
+	if cf.DumpConfig {
+		fmt.Print(cliconf.Dump(fs))
+		return
+	}
 
 	st, err := engine.ParseStrategy(*strategy)
 	if err != nil {
@@ -170,10 +180,12 @@ func main() {
 func runRemote(addr, tenant, schemaName, strategy string,
 	sources map[string]value.Value, sourcesFor func(i int) map[string]value.Value,
 	count int, rate float64, conc, reqBatch int, seed int64, profStart func() func()) {
-	c := client.New(addr, client.Options{
-		Tenant:   tenant,
-		MaxConns: max(conc, 64),
-	})
+	c, err := client.New(addr,
+		client.WithTenant(tenant),
+		client.WithMaxConns(max(conc, 64)))
+	if err != nil {
+		fail(err)
+	}
 	defer c.Close()
 	ctx := context.Background()
 	if err := c.Health(ctx); err != nil {
@@ -188,8 +200,8 @@ func runRemote(addr, tenant, schemaName, strategy string,
 	if tenant != "" {
 		who = fmt.Sprintf(" as tenant %q", tenant)
 	}
-	fmt.Printf("driving %s%s — schema %s under %s, %d instances, %s, %d inst/request\n",
-		addr, who, schemaName, strategy, count, mode, reqBatch)
+	fmt.Printf("driving %s%s over %s — schema %s under %s, %d instances, %s, %d inst/request\n",
+		addr, who, c.Transport(), schemaName, strategy, count, mode, reqBatch)
 
 	profStop := profStart()
 	rep, err := client.RunLoad(ctx, c, client.Load{

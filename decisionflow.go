@@ -346,15 +346,49 @@ type DecisionServer = server.Server
 func NewServer(cfg ServerConfig) *DecisionServer { return server.New(cfg) }
 
 // ServerClient is the typed Go client of a DecisionServer: pooled
-// connections, retry-on-shed with the server's Retry-After hint, and the
-// same open/closed-loop load generator as the in-process runtime.
+// connections, retry-on-shed with the server's retry-after hint, and the
+// same open/closed-loop load generator as the in-process runtime. It
+// speaks either wire the server serves — JSON over HTTP or the dfbin
+// binary protocol over persistent TCP — behind one method surface.
 type ServerClient = client.Client
 
 // ClientOptions tunes a ServerClient (tenant tag, pool size, retries).
 type ClientOptions = client.Options
 
-// NewClient creates a client for the server at base (host:port or URL).
-func NewClient(base string, opts ClientOptions) *ServerClient { return client.New(base, opts) }
+// ClientOption is a functional option for Dial (WithTenant,
+// WithTransport, ...).
+type ClientOption = client.Option
+
+// TransportJSON / TransportBinary name the two wires a ServerClient can
+// speak; pass one to WithTransport to override scheme inference.
+const (
+	TransportJSON   = client.TransportJSON
+	TransportBinary = client.TransportBinary
+)
+
+// WithTenant tags every request with the tenant name.
+func WithTenant(name string) ClientOption { return client.WithTenant(name) }
+
+// WithTransport forces a wire (TransportJSON or TransportBinary)
+// instead of inferring it from the address scheme.
+func WithTransport(name string) ClientOption { return client.WithTransport(name) }
+
+// WithMaxConns bounds the client's connection pool.
+func WithMaxConns(n int) ClientOption { return client.WithMaxConns(n) }
+
+// WithRetryShed sets how many times a shed (429 / overload) response is
+// retried with the server's retry-after hint; 0 disables retries.
+func WithRetryShed(n int) ClientOption { return client.WithRetryShed(n) }
+
+// Dial creates a client for the server at addr, picking the transport
+// from the scheme: "http://host:port" (or bare host:port) speaks
+// JSON/HTTP, "dfbin://host:port" speaks the binary protocol.
+func Dial(addr string, opts ...ClientOption) (*ServerClient, error) { return client.New(addr, opts...) }
+
+// NewClient creates a JSON/HTTP-only client for the server at base
+// (host:port or URL). It is the legacy shim over the options struct;
+// Dial is the transport-aware surface.
+func NewClient(base string, opts ClientOptions) *ServerClient { return client.NewJSON(base, opts) }
 
 // EvalRequest / EvalResult are the wire shapes of one instance evaluation
 // (see internal/api for the full protocol).

@@ -2,6 +2,7 @@ package decisionflow_test
 
 import (
 	"context"
+	"net"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -308,5 +309,89 @@ func TestPublicAPINetworkServing(t *testing.T) {
 	}
 	if err := c.Health(ctx); err == nil {
 		t.Fatal("health must fail after drain")
+	}
+}
+
+// TestPublicAPIDialBinary pins the transport-aware client surface: Dial
+// picks the wire from the address scheme (dfbin:// → binary, URL/bare →
+// JSON), the functional options compose, both wires answer the same
+// typed Eval, and the legacy NewClient shim stays JSON-only.
+func TestPublicAPIDialBinary(t *testing.T) {
+	svc := decisionflow.NewService(decisionflow.ServiceConfig{})
+	srv := decisionflow.NewServer(decisionflow.ServerConfig{Service: svc})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeBinary(ln)
+	ctx := context.Background()
+
+	jc, err := decisionflow.Dial(hs.URL, decisionflow.WithTenant("facade"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	if jc.Transport() != decisionflow.TransportJSON {
+		t.Fatalf("Dial(%s) transport = %s, want %s", hs.URL, jc.Transport(), decisionflow.TransportJSON)
+	}
+
+	bc, err := decisionflow.Dial("dfbin://"+ln.Addr().String(),
+		decisionflow.WithTenant("facade"),
+		decisionflow.WithMaxConns(8),
+		decisionflow.WithRetryShed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	if bc.Transport() != decisionflow.TransportBinary {
+		t.Fatalf("binary Dial transport = %s, want %s", bc.Transport(), decisionflow.TransportBinary)
+	}
+
+	req := decisionflow.EvalRequest{
+		Schema:  "quickstart",
+		Sources: map[string]any{"order_total": 120, "customer_id": 7},
+	}
+	for _, c := range []*decisionflow.ServerClient{jc, bc} {
+		res, err := c.Eval(ctx, req)
+		if err != nil {
+			t.Fatalf("%s eval: %v", c.Transport(), err)
+		}
+		if got, _ := res.Values["upgrade"].(string); got != "free 2-day shipping" {
+			t.Fatalf("%s upgrade = %v, want free 2-day shipping", c.Transport(), res.Values["upgrade"])
+		}
+	}
+
+	// The same load generator drives either wire.
+	rep, err := decisionflow.RunRemoteLoad(ctx, bc, decisionflow.RemoteLoad{
+		Schema:      "quickstart",
+		Sources:     decisionflow.Sources{"order_total": decisionflow.Int(120), "customer_id": decisionflow.Int(7)},
+		Count:       500,
+		Concurrency: 16,
+		BatchSize:   25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instances != 500 || rep.Errors != 0 || rep.Failed != 0 {
+		t.Fatalf("binary remote load: %+v", rep)
+	}
+
+	// Forcing a transport that contradicts the scheme must fail loudly.
+	if _, err := decisionflow.Dial("dfbin://"+ln.Addr().String(),
+		decisionflow.WithTransport(decisionflow.TransportJSON)); err == nil {
+		t.Fatal("Dial must reject a transport/scheme mismatch")
+	}
+
+	// Legacy shim: JSON-only, never errors at construction.
+	lc := decisionflow.NewClient(hs.URL, decisionflow.ClientOptions{Tenant: "facade"})
+	defer lc.Close()
+	if lc.Transport() != decisionflow.TransportJSON {
+		t.Fatalf("NewClient transport = %s, want %s", lc.Transport(), decisionflow.TransportJSON)
+	}
+
+	if _, err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -191,7 +191,9 @@ func ToJSON(v value.Value) any {
 
 // FromJSON converts a decoded JSON value (as produced by a json.Decoder
 // with UseNumber) into a value.Value. Plain float64s (a decoder without
-// UseNumber) are accepted too: integral floats become Int values.
+// UseNumber) are accepted too: integral floats become Int values. Native
+// int/int64 (what ToJSON emits for Int values) round-trip as well, so a
+// client-built source map can pass through either codec unchanged.
 func FromJSON(x any) (value.Value, error) {
 	switch t := x.(type) {
 	case nil:
@@ -200,6 +202,10 @@ func FromJSON(x any) (value.Value, error) {
 		return value.Bool(t), nil
 	case string:
 		return value.Str(t), nil
+	case int:
+		return value.Int(int64(t)), nil
+	case int64:
+		return value.Int(t), nil
 	case json.Number:
 		if i, err := t.Int64(); err == nil {
 			return value.Int(i), nil

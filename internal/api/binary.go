@@ -1,0 +1,506 @@
+// Binary wire protocol ("dfbin"): the length-prefixed frame codec served
+// by the server's TCP front end beside the JSON/HTTP one. This file is the
+// protocol's single authority — frame types, the frame grammar, the binary
+// value codec and the shed/drain error codes — shared by internal/server
+// (encode results, decode requests) and internal/client (the inverse), so
+// the two directions cannot drift apart.
+//
+// Framing: every frame is
+//
+//	uint32 length (little endian, of everything that follows)
+//	byte   frame type
+//	...    payload
+//
+// Integers in payloads are unsigned varints (uvarint) unless noted; floats
+// and the schema fingerprint are 8-byte little-endian fixeds; strings are
+// uvarint length + UTF-8 bytes.
+//
+// Connection lifecycle: the client opens with Hello (magic, protocol
+// version, tenant — the binary analogue of the X-Tenant header); the
+// server answers HelloAck. The client then binds schemas it wants to
+// evaluate: Bind(schema, strategy) → BindAck carrying the schema's
+// deterministic fingerprint and its attribute-id table, after which Eval /
+// EvalBatch frames address attributes by dense AttrID instead of name. A
+// bind is a prepared statement: it pins the schema version it saw; if the
+// schema is re-registered the server fails the bind's evals with CodeStale
+// and the client re-binds.
+//
+// Request/response frames after Hello all begin with a uvarint request id
+// chosen by the client; the server echoes it, so one connection can have
+// any number of requests outstanding. Admission failures mirror the HTTP
+// semantics as Error frames: CodeShed ↔ 429 (with the same retry-after
+// hint, in milliseconds), CodeDraining ↔ 503. When the server starts a
+// graceful drain it pushes one unsolicited Drain frame on every
+// connection; in-flight evals still complete and are flushed before the
+// server closes the connection.
+//
+// Frame grammar (→ client-to-server, ← server-to-client):
+//
+//	→ Hello       "DFB1" version:uvarint tenant:string
+//	← HelloAck    version:uvarint draining:byte maxFrame:uvarint
+//	→ Bind        req:uvarint bind:uvarint schema:string strategy:string
+//	← BindAck     req:uvarint bind:uvarint fingerprint:u64le
+//	              nattrs:uvarint { flags:byte name:string }*nattrs
+//	              (flags bit0 = source, bit1 = target)
+//	→ Eval        req:uvarint bind:uvarint npairs:uvarint
+//	              { attr:uvarint value }*npairs
+//	← Result      req:uvarint result-body
+//	→ EvalBatch   req:uvarint bind:uvarint ninst:uvarint ncols:uvarint
+//	              cols:{ attr:uvarint }*ncols { value }*(ncols×ninst)
+//	              (column-major: all ninst values of col 0, then col 1, …)
+//	← BatchResult req:uvarint ninst:uvarint { result-body }*ninst
+//	← Error       req:uvarint code:byte retryAfterMs:uvarint msg:string
+//	→ Register    req:uvarint text:string
+//	← RegisterAck req:uvarint name:string nattrs:uvarint
+//	              ntargets:uvarint { target:string }*ntargets
+//	→ Stats       req:uvarint
+//	← StatsAck    req:uvarint json:string   (a StatsResponse)
+//	→ Ping        req:uvarint
+//	← Pong        req:uvarint draining:byte
+//	← Drain       (no payload; unsolicited)
+//
+//	result-body   elapsedUs:uvarint work:uvarint wasted:uvarint
+//	              launched:uvarint synth:uvarint failures:uvarint
+//	              err:string ntargets:uvarint { attr:uvarint value }*ntargets
+//
+// Value encoding (tag byte first): 0 ⟂, 1 false, 2 true, 3 int (zigzag
+// varint), 4 float (8-byte LE), 5 string, 6 list (uvarint count +
+// elements). Unlike JSON this is lossless over the whole value domain:
+// Int(2) and Float(2.0) stay distinct, and non-finite floats survive.
+package api
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/value"
+)
+
+// BinMagic opens every Hello payload; a server reading anything else on a
+// fresh connection closes it immediately (e.g. an HTTP request aimed at
+// the wrong port).
+const BinMagic = "DFB1"
+
+// BinVersion is the protocol version spoken by this build.
+const BinVersion = 1
+
+// DefaultMaxFrame bounds accepted frame sizes (type byte + payload) unless
+// configured otherwise; it matches the HTTP front end's default body cap
+// order of magnitude while leaving room for large batches.
+const DefaultMaxFrame = 16 << 20
+
+// Frame types.
+const (
+	FrameHello       byte = 0x01
+	FrameHelloAck    byte = 0x02
+	FrameBind        byte = 0x03
+	FrameBindAck     byte = 0x04
+	FrameEval        byte = 0x05
+	FrameResult      byte = 0x06
+	FrameEvalBatch   byte = 0x07
+	FrameBatchResult byte = 0x08
+	FrameError       byte = 0x09
+	FrameRegister    byte = 0x0A
+	FrameRegisterAck byte = 0x0B
+	FrameStats       byte = 0x0C
+	FrameStatsAck    byte = 0x0D
+	FramePing        byte = 0x0E
+	FramePong        byte = 0x0F
+	FrameDrain       byte = 0x10
+)
+
+// Error frame codes, mirroring the HTTP front end's status mapping.
+const (
+	CodeShed       byte = 1 // ↔ 429: admission shed; retryAfterMs is the hint
+	CodeDraining   byte = 2 // ↔ 503: server is draining
+	CodeBadRequest byte = 3 // ↔ 400: malformed frame content
+	CodeNotFound   byte = 4 // ↔ 404: unknown schema / bind id
+	CodeTooLarge   byte = 5 // ↔ 413: batch or frame over limit
+	CodeStale      byte = 6 // bind refers to a superseded schema; re-bind
+	CodeInternal   byte = 7 // ↔ 500
+)
+
+// BindFlag bits of the per-attribute flags byte in a BindAck table.
+const (
+	BindFlagSource byte = 1 << 0
+	BindFlagTarget byte = 1 << 1
+)
+
+// --- frame construction ---
+
+// BeginFrame starts a frame of the given type in dst, reserving the length
+// prefix. Append the payload with the Append* helpers, then patch the
+// length with FinishFrame.
+func BeginFrame(dst []byte, typ byte) []byte {
+	return append(dst, 0, 0, 0, 0, typ)
+}
+
+// FinishFrame patches the length prefix of the frame begun at offset start
+// (the value of len(dst) before BeginFrame) and returns b unchanged
+// otherwise. Frames can be concatenated in one buffer by passing the
+// running offset.
+func FinishFrame(b []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(b)-start-4))
+	return b
+}
+
+// AppendUvarint appends x as an unsigned varint.
+func AppendUvarint(dst []byte, x uint64) []byte { return binary.AppendUvarint(dst, x) }
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Value encoding tags.
+const (
+	tagNull  byte = 0
+	tagFalse byte = 1
+	tagTrue  byte = 2
+	tagInt   byte = 3
+	tagFloat byte = 4
+	tagStr   byte = 5
+	tagList  byte = 6
+)
+
+// AppendValue appends the binary encoding of v.
+func AppendValue(dst []byte, v value.Value) []byte {
+	switch v.Kind() {
+	case value.KindNull:
+		return append(dst, tagNull)
+	case value.KindBool:
+		if b, _ := v.AsBool(); b {
+			return append(dst, tagTrue)
+		}
+		return append(dst, tagFalse)
+	case value.KindInt:
+		i, _ := v.AsInt()
+		dst = append(dst, tagInt)
+		return binary.AppendVarint(dst, i)
+	case value.KindFloat:
+		f, _ := v.AsFloat()
+		dst = append(dst, tagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	case value.KindString:
+		s, _ := v.AsString()
+		dst = append(dst, tagStr)
+		return AppendString(dst, s)
+	case value.KindList:
+		elems, _ := v.AsList()
+		dst = append(dst, tagList)
+		dst = binary.AppendUvarint(dst, uint64(len(elems)))
+		for _, e := range elems {
+			dst = AppendValue(dst, e)
+		}
+		return dst
+	default:
+		return append(dst, tagNull)
+	}
+}
+
+// --- frame parsing ---
+
+// ErrFrame is the class of all malformed-frame errors the cursor and frame
+// reader produce; a handler that sees one tears the connection down (the
+// stream offset is unrecoverable).
+var ErrFrame = errors.New("api: malformed binary frame")
+
+// errTruncated is the sticky cursor error for running off the payload end.
+var errTruncated = fmt.Errorf("%w: truncated payload", ErrFrame)
+
+// maxListDepth bounds value nesting so a malicious frame cannot overflow
+// the decoder's stack.
+const maxListDepth = 64
+
+// Cursor decodes a frame payload sequentially. Decoding errors are sticky:
+// after the first failure every method returns a zero value and Err()
+// reports the cause, so parse code can run straight-line and check once.
+type Cursor struct {
+	b   []byte
+	err error
+}
+
+// NewCursor returns a cursor over a frame payload.
+func NewCursor(p []byte) Cursor { return Cursor{b: p} }
+
+// Err returns the first decoding error, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Rest returns the undecoded remainder of the payload.
+func (c *Cursor) Rest() []byte { return c.b }
+
+// Done returns the sticky error, or an error if payload bytes are left
+// over — a well-formed frame is consumed exactly.
+func (c *Cursor) Done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(c.b))
+	}
+	return nil
+}
+
+func (c *Cursor) fail() {
+	if c.err == nil {
+		c.err = errTruncated
+	}
+}
+
+// Byte decodes one byte.
+func (c *Cursor) Byte() byte {
+	if c.err != nil || len(c.b) < 1 {
+		c.fail()
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+// Uvarint decodes an unsigned varint.
+func (c *Cursor) Uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+// Varint decodes a signed (zigzag) varint.
+func (c *Cursor) Varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.b = c.b[n:]
+	return v
+}
+
+// U64 decodes an 8-byte little-endian fixed.
+func (c *Cursor) U64() uint64 {
+	if c.err != nil || len(c.b) < 8 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+// F64 decodes an 8-byte little-endian float.
+func (c *Cursor) F64() float64 { return math.Float64frombits(c.U64()) }
+
+// String decodes a length-prefixed string (allocates the string).
+func (c *Cursor) String() string {
+	n := c.Uvarint()
+	if c.err != nil || n > uint64(len(c.b)) {
+		c.fail()
+		return ""
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s
+}
+
+// Bytes decodes a length-prefixed byte string as a view into the payload,
+// valid only until the frame buffer is reused.
+func (c *Cursor) Bytes() []byte {
+	n := c.Uvarint()
+	if c.err != nil || n > uint64(len(c.b)) {
+		c.fail()
+		return nil
+	}
+	b := c.b[:n]
+	c.b = c.b[n:]
+	return b
+}
+
+// Value decodes one binary-encoded value.
+func (c *Cursor) Value() value.Value { return c.value(0) }
+
+func (c *Cursor) value(depth int) value.Value {
+	if depth > maxListDepth {
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: value nesting deeper than %d", ErrFrame, maxListDepth)
+		}
+		return value.Null
+	}
+	switch tag := c.Byte(); tag {
+	case tagNull:
+		return value.Null
+	case tagFalse:
+		return value.Bool(false)
+	case tagTrue:
+		return value.Bool(true)
+	case tagInt:
+		return value.Int(c.Varint())
+	case tagFloat:
+		return value.Float(c.F64())
+	case tagStr:
+		return value.Str(c.String())
+	case tagList:
+		n := c.Uvarint()
+		// Every element costs at least one byte, so a count beyond the
+		// remaining payload is corrupt — reject before allocating.
+		if c.err != nil || n > uint64(len(c.b)) {
+			c.fail()
+			return value.Null
+		}
+		elems := make([]value.Value, n)
+		for i := range elems {
+			elems[i] = c.value(depth + 1)
+			if c.err != nil {
+				return value.Null
+			}
+		}
+		return value.List(elems...)
+	default:
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: unknown value tag %#x", ErrFrame, tag)
+		}
+		return value.Null
+	}
+}
+
+// --- frame reading ---
+
+// FrameReader reads length-prefixed frames from a stream into a reusable
+// buffer. It is not safe for concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	hdr [4]byte
+	buf []byte
+	max int
+}
+
+// NewFrameReader returns a reader enforcing the given frame-size cap
+// (0 means DefaultMaxFrame).
+func NewFrameReader(r io.Reader, max int) *FrameReader {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	return &FrameReader{r: r, max: max}
+}
+
+// Next reads one frame and returns its type and payload. The payload is a
+// view into the reader's buffer, valid only until the next call. io.EOF is
+// returned exactly at a clean frame boundary; a connection dropped
+// mid-frame surfaces io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() (typ byte, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrFrame)
+	}
+	if int64(n) > int64(fr.max) {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds cap %d", ErrFrame, n, fr.max)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return fr.buf[0], fr.buf[1:], nil
+}
+
+// --- whole-frame helpers for the cold control frames ---
+
+// AppendHelloFrame appends a complete Hello frame.
+func AppendHelloFrame(dst []byte, tenant string) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameHello)
+	dst = append(dst, BinMagic...)
+	dst = AppendUvarint(dst, BinVersion)
+	dst = AppendString(dst, tenant)
+	return FinishFrame(dst, start)
+}
+
+// ParseHello decodes a Hello payload.
+func ParseHello(p []byte) (tenant string, err error) {
+	c := NewCursor(p)
+	if len(p) < len(BinMagic) || string(p[:len(BinMagic)]) != BinMagic {
+		return "", fmt.Errorf("%w: bad magic", ErrFrame)
+	}
+	c.b = c.b[len(BinMagic):]
+	if v := c.Uvarint(); c.err == nil && v != BinVersion {
+		return "", fmt.Errorf("%w: unsupported protocol version %d", ErrFrame, v)
+	}
+	tenant = c.String()
+	return tenant, c.Done()
+}
+
+// AppendHelloAckFrame appends a complete HelloAck frame.
+func AppendHelloAckFrame(dst []byte, draining bool, maxFrame int) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameHelloAck)
+	dst = AppendUvarint(dst, BinVersion)
+	dst = append(dst, boolByte(draining))
+	dst = AppendUvarint(dst, uint64(maxFrame))
+	return FinishFrame(dst, start)
+}
+
+// ParseHelloAck decodes a HelloAck payload.
+func ParseHelloAck(p []byte) (draining bool, maxFrame int, err error) {
+	c := NewCursor(p)
+	if v := c.Uvarint(); c.err == nil && v != BinVersion {
+		return false, 0, fmt.Errorf("%w: unsupported protocol version %d", ErrFrame, v)
+	}
+	draining = c.Byte() != 0
+	maxFrame = int(c.Uvarint())
+	return draining, maxFrame, c.Done()
+}
+
+// AppendErrorFrame appends a complete Error frame.
+func AppendErrorFrame(dst []byte, reqID uint64, code byte, retryAfterMs int64, msg string) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameError)
+	dst = AppendUvarint(dst, reqID)
+	dst = append(dst, code)
+	dst = AppendUvarint(dst, uint64(max(retryAfterMs, 0)))
+	dst = AppendString(dst, msg)
+	return FinishFrame(dst, start)
+}
+
+// BinError is a decoded Error frame.
+type BinError struct {
+	Code         byte
+	RetryAfterMs int64
+	Msg          string
+}
+
+// ParseError decodes an Error payload after its request id.
+func ParseError(c *Cursor) (BinError, error) {
+	var e BinError
+	e.Code = c.Byte()
+	e.RetryAfterMs = int64(c.Uvarint())
+	e.Msg = c.String()
+	return e, c.Done()
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,348 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// exactEqual is structural equality that is stricter than value.Identical:
+// kinds must match exactly (Int(2) ≠ Float(2.0)) and floats compare by bit
+// pattern so NaN equals NaN. It is the equality the lossless binary codec
+// must preserve.
+func exactEqual(a, b value.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case value.KindFloat:
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return math.Float64bits(af) == math.Float64bits(bf)
+	case value.KindList:
+		al, _ := a.AsList()
+		bl, _ := b.AsList()
+		if len(al) != len(bl) {
+			return false
+		}
+		for i := range al {
+			if !exactEqual(al[i], bl[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return value.Identical(a, b)
+	}
+}
+
+func binaryRoundTrip(t *testing.T, v value.Value) value.Value {
+	t.Helper()
+	b := AppendValue(nil, v)
+	c := NewCursor(b)
+	got := c.Value()
+	if err := c.Done(); err != nil {
+		t.Fatalf("decoding %v: %v", v, err)
+	}
+	return got
+}
+
+func TestBinaryValueRoundTrip(t *testing.T) {
+	cases := []value.Value{
+		value.Null,
+		value.Bool(true),
+		value.Bool(false),
+		value.Int(0),
+		value.Int(-1),
+		value.Int(math.MaxInt64),
+		value.Int(math.MinInt64),
+		value.Float(0),
+		value.Float(-2.5),
+		value.Float(math.NaN()),
+		value.Float(math.Inf(1)),
+		value.Float(math.Inf(-1)),
+		value.Float(2), // stays a float, unlike a JSON round trip
+		value.Str(""),
+		value.Str("héllo ⟂ world"),
+		value.List(),
+		value.List(value.Int(1), value.Str("x"), value.Null,
+			value.List(value.Float(1.5), value.Bool(false))),
+	}
+	for _, v := range cases {
+		if got := binaryRoundTrip(t, v); !exactEqual(got, v) {
+			t.Errorf("round trip of %v (%v) returned %v (%v)",
+				v, v.Kind(), got, got.Kind())
+		}
+	}
+}
+
+func TestFrameReader(t *testing.T) {
+	var b []byte
+	b = AppendHelloFrame(b, "acme")
+	start := len(b)
+	b = BeginFrame(b, FrameEval)
+	b = AppendUvarint(b, 7)
+	b = FinishFrame(b, start)
+
+	fr := NewFrameReader(bytes.NewReader(b), 0)
+	typ, p, err := fr.Next()
+	if err != nil || typ != FrameHello {
+		t.Fatalf("first frame: typ=%#x err=%v", typ, err)
+	}
+	tenant, err := ParseHello(p)
+	if err != nil || tenant != "acme" {
+		t.Fatalf("ParseHello: %q, %v", tenant, err)
+	}
+	typ, p, err = fr.Next()
+	if err != nil || typ != FrameEval {
+		t.Fatalf("second frame: typ=%#x err=%v", typ, err)
+	}
+	c := NewCursor(p)
+	if got := c.Uvarint(); got != 7 || c.Done() != nil {
+		t.Fatalf("eval payload: %d, %v", got, c.Done())
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+
+	// A connection dropped mid-frame is ErrUnexpectedEOF, not a clean EOF.
+	fr = NewFrameReader(bytes.NewReader(b[:len(b)-2]), 0)
+	fr.Next()
+	if _, _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: %v", err)
+	}
+
+	// Oversized and zero-length frames are rejected before any allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, FrameEval}
+	if _, _, err := NewFrameReader(bytes.NewReader(huge), 0).Next(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	zero := []byte{0, 0, 0, 0}
+	if _, _, err := NewFrameReader(bytes.NewReader(zero), 0).Next(); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	b := AppendErrorFrame(nil, 42, CodeShed, 250, "rate limited")
+	fr := NewFrameReader(bytes.NewReader(b), 0)
+	typ, p, err := fr.Next()
+	if err != nil || typ != FrameError {
+		t.Fatalf("typ=%#x err=%v", typ, err)
+	}
+	c := NewCursor(p)
+	if req := c.Uvarint(); req != 42 {
+		t.Fatalf("reqID = %d", req)
+	}
+	e, err := ParseError(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeShed || e.RetryAfterMs != 250 || e.Msg != "rate limited" {
+		t.Fatalf("ParseError = %+v", e)
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	b := AppendHelloAckFrame(nil, true, 1<<20)
+	fr := NewFrameReader(bytes.NewReader(b), 0)
+	_, p, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	draining, maxFrame, err := ParseHelloAck(p)
+	if err != nil || !draining || maxFrame != 1<<20 {
+		t.Fatalf("ParseHelloAck = %v, %d, %v", draining, maxFrame, err)
+	}
+}
+
+func TestParseHelloRejectsGarbage(t *testing.T) {
+	if _, err := ParseHello([]byte("GET / HTTP/1.1\r\n")); err == nil {
+		t.Fatal("HTTP preamble accepted as Hello")
+	}
+	if _, err := ParseHello(nil); err == nil {
+		t.Fatal("empty Hello accepted")
+	}
+}
+
+func TestCursorRejectsCorruptValues(t *testing.T) {
+	cases := [][]byte{
+		{},                       // no tag
+		{tagInt},                 // missing varint
+		{tagFloat, 1, 2, 3},      // short float
+		{tagStr, 10, 'a'},        // string length beyond payload
+		{tagList, 200},           // list count beyond payload
+		{99},                     // unknown tag
+		{tagList, 1, tagList, 1}, // truncated nesting
+		append([]byte{tagStr}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), // huge length
+	}
+	for i, b := range cases {
+		c := NewCursor(b)
+		c.Value()
+		if c.Err() == nil {
+			t.Errorf("case %d: corrupt value %v decoded without error", i, b)
+		}
+	}
+	// Deep nesting beyond maxListDepth must fail cleanly, not overflow.
+	deep := bytes.Repeat([]byte{tagList, 1}, maxListDepth+2)
+	c := NewCursor(deep)
+	c.Value()
+	if c.Err() == nil {
+		t.Error("over-deep nesting accepted")
+	}
+}
+
+// genValue derives a value.Value from fuzz bytes: a little construction
+// program so the corpus explores the whole domain, nesting included.
+func genValue(data []byte, depth int) (value.Value, []byte) {
+	if len(data) == 0 {
+		return value.Null, nil
+	}
+	op := data[0]
+	data = data[1:]
+	take8 := func() uint64 {
+		var x uint64
+		for i := 0; i < 8 && len(data) > 0; i++ {
+			x = x<<8 | uint64(data[0])
+			data = data[1:]
+		}
+		return x
+	}
+	switch op % 7 {
+	case 0:
+		return value.Null, data
+	case 1:
+		return value.Bool(op&8 != 0), data
+	case 2:
+		return value.Int(int64(take8())), data
+	case 3:
+		return value.Float(math.Float64frombits(take8())), data
+	case 4:
+		n := int(op/7) % 24
+		if n > len(data) {
+			n = len(data)
+		}
+		s := string(data[:n])
+		return value.Str(s), data[n:]
+	default:
+		if depth > 6 {
+			return value.Null, data
+		}
+		n := int(op/7) % 5
+		elems := make([]value.Value, 0, n)
+		for i := 0; i < n && len(data) > 0; i++ {
+			var e value.Value
+			e, data = genValue(data, depth+1)
+			elems = append(elems, e)
+		}
+		return value.List(elems...), data
+	}
+}
+
+// FuzzBinaryJSONDifferential is the differential codec fuzz of the two
+// wire encodings. For every generated value: (1) the binary codec must be
+// a lossless identity over the whole domain; (2) on the JSON-expressible
+// subdomain, a value canonicalized through the JSON codec (json.Number
+// decoding: integral → Int, else Float) must round-trip identically
+// through both codecs — the property that lets one server serve both
+// transports without the transports disagreeing on what a request meant.
+func FuzzBinaryJSONDifferential(f *testing.F) {
+	f.Add([]byte("\x03\x01\x02\x03"))
+	f.Add([]byte("\x06\x02\x03\x7f\x04abcd"))
+	f.Add([]byte(strings.Repeat("\x06", 40)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, _ := genValue(data, 0)
+
+		// Leg 1: binary is lossless.
+		bin := AppendValue(nil, v)
+		c := NewCursor(bin)
+		got := c.Value()
+		if err := c.Done(); err != nil {
+			t.Fatalf("binary decode of encoder output failed: %v", err)
+		}
+		if !exactEqual(got, v) {
+			t.Fatalf("binary round trip: %v (%v) -> %v (%v)", v, v.Kind(), got, got.Kind())
+		}
+
+		// Leg 2: JSON-canonicalize, then both codecs must agree exactly.
+		js, err := json.Marshal(ToJSON(v))
+		if err != nil {
+			return // NaN/Inf: outside the JSON-expressible subdomain
+		}
+		dec := json.NewDecoder(bytes.NewReader(js))
+		dec.UseNumber()
+		var x any
+		if err := dec.Decode(&x); err != nil {
+			t.Fatalf("decoding own JSON %s: %v", js, err)
+		}
+		vj, err := FromJSON(x)
+		if err != nil {
+			t.Fatalf("FromJSON(%s): %v", js, err)
+		}
+		// Binary round trip of the canonical value.
+		c2 := NewCursor(AppendValue(nil, vj))
+		gotB := c2.Value()
+		if err := c2.Done(); err != nil {
+			t.Fatalf("binary decode of canonical value: %v", err)
+		}
+		// JSON round trip of the canonical value (idempotence).
+		js2, err := json.Marshal(ToJSON(vj))
+		if err != nil {
+			t.Fatalf("re-marshaling canonical value: %v", err)
+		}
+		dec2 := json.NewDecoder(bytes.NewReader(js2))
+		dec2.UseNumber()
+		var x2 any
+		if err := dec2.Decode(&x2); err != nil {
+			t.Fatal(err)
+		}
+		gotJ, err := FromJSON(x2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exactEqual(gotB, vj) || !exactEqual(gotJ, vj) {
+			t.Fatalf("codecs disagree on canonical %v: binary %v, json %v", vj, gotB, gotJ)
+		}
+	})
+}
+
+// FuzzBinaryFrameDecode feeds arbitrary bytes to the frame reader and the
+// payload parsers: whatever arrives, they must return errors rather than
+// panic or over-allocate — the property that lets the server tear down a
+// corrupted connection cleanly.
+func FuzzBinaryFrameDecode(f *testing.F) {
+	f.Add(AppendHelloFrame(nil, "t"))
+	f.Add(AppendErrorFrame(nil, 1, CodeShed, 9, "x"))
+	f.Add([]byte{3, 0, 0, 0, FrameEval, 1, 2})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data), 1<<20)
+		for i := 0; i < 64; i++ {
+			typ, p, err := fr.Next()
+			if err != nil {
+				return
+			}
+			c := NewCursor(p)
+			switch typ {
+			case FrameHello:
+				ParseHello(p)
+			case FrameHelloAck:
+				ParseHelloAck(p)
+			case FrameError:
+				c.Uvarint()
+				ParseError(&c)
+			default:
+				// Generic scan: request id, then a run of values.
+				c.Uvarint()
+				for c.Err() == nil && len(c.Rest()) > 0 {
+					c.Value()
+				}
+			}
+		}
+	})
+}

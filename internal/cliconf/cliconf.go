@@ -47,6 +47,13 @@ type Flags struct {
 	Skew     float64
 
 	LatencyWindow int
+
+	// ConfigPath and DumpConfig are the config-file meta-flags: -config
+	// loads file defaults under the explicit command line
+	// (ApplyConfigFile), -dumpconfig prints the effective configuration
+	// in that same format (Dump) and exits.
+	ConfigPath string
+	DumpConfig bool
 }
 
 // Register declares every shared flag on fs.
@@ -75,22 +82,27 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Retries, "retries", 1, "cluster: extra attempts (on another replica) after an error or timeout")
 	fs.DurationVar(&f.Deadline, "deadline", 0, "cluster: per-attempt deadline; timeouts retry elsewhere (0 = none)")
 	fs.Float64Var(&f.Skew, "skew", 1, "cluster: slow down the last replica of shard 0 by this factor (tail-at-scale demo)")
+	fs.StringVar(&f.ConfigPath, "config", "", "load flag defaults from this file (TOML-subset `key = value` lines or a JSON object); explicit flags win")
+	fs.BoolVar(&f.DumpConfig, "dumpconfig", false, "print the effective configuration as a -config file and exit")
 }
 
 // ServerSideFlagNames lists the flags Register declares that configure
-// the in-process serving stack — everything except -seed, which also
-// drives the load generator. A command that is not going to Build() the
-// stack (dfserve -remote drives a daemon that was configured with its
-// own flags) uses this to reject such flags instead of silently
-// ignoring them. The set is derived from Register itself so a new flag
-// can never be forgotten here.
+// the in-process serving stack — everything except -seed (which also
+// drives the load generator) and -dumpconfig (pure output, no stack
+// effect). -config IS in the set: a config file configures the local
+// stack, so combining it with dfserve -remote must error loudly rather
+// than silently configure a stack that will never be built. A command
+// that is not going to Build() the stack (dfserve -remote drives a
+// daemon that was configured with its own flags) uses this to reject
+// such flags instead of silently ignoring them. The set is derived from
+// Register itself so a new flag can never be forgotten here.
 func ServerSideFlagNames() map[string]bool {
 	var f Flags
 	fs := flag.NewFlagSet("cliconf", flag.ContinueOnError)
 	f.Register(fs)
 	m := make(map[string]bool)
 	fs.VisitAll(func(fl *flag.Flag) {
-		if fl.Name != "seed" {
+		if fl.Name != "seed" && fl.Name != "dumpconfig" {
 			m[fl.Name] = true
 		}
 	})

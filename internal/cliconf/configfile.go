@@ -1,0 +1,166 @@
+package cliconf
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ApplyConfigFile merges a config file under the command line: every
+// `key = value` in the file names a flag on fs, and is applied unless
+// that flag was set explicitly on the command line (flags win — the file
+// provides defaults, not overrides). The file is either a TOML-subset
+// (one `key = value` per line, `#` comments, optionally quoted values)
+// or a JSON object; the -config and -dumpconfig flags themselves cannot
+// be set from a file. An empty path is a no-op. Unknown keys are errors:
+// a typo in a config file must fail loudly, not silently configure
+// nothing.
+func ApplyConfigFile(fs *flag.FlagSet, path string) error {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	kv, err := parseConfig(data)
+	if err != nil {
+		return fmt.Errorf("config %s: %w", path, err)
+	}
+
+	set := make(map[string]bool) // flags the command line set explicitly
+	fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+
+	// Sorted for deterministic error reporting.
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if k == "config" || k == "dumpconfig" {
+			return fmt.Errorf("config %s: key %q cannot be set from a config file", path, k)
+		}
+		if fs.Lookup(k) == nil {
+			return fmt.Errorf("config %s: unknown key %q (no such flag)", path, k)
+		}
+		if set[k] {
+			continue
+		}
+		if err := fs.Set(k, kv[k]); err != nil {
+			return fmt.Errorf("config %s: key %q: %w", path, k, err)
+		}
+	}
+	return nil
+}
+
+// parseConfig decodes either format into flag-settable strings.
+func parseConfig(data []byte) (map[string]string, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		return parseJSONConfig([]byte(trimmed))
+	}
+	return parseTOMLConfig(trimmed)
+}
+
+func parseJSONConfig(data []byte) (map[string]string, error) {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(raw))
+	for k, v := range raw {
+		switch t := v.(type) {
+		case string:
+			out[k] = t
+		case bool:
+			out[k] = strconv.FormatBool(t)
+		case float64:
+			out[k] = strconv.FormatFloat(t, 'g', -1, 64)
+		default:
+			return nil, fmt.Errorf("key %q: unsupported value %v (want string, number or bool)", k, v)
+		}
+	}
+	return out, nil
+}
+
+func parseTOMLConfig(text string) (map[string]string, error) {
+	out := make(map[string]string)
+	for n, line := range strings.Split(text, "\n") {
+		// Strip comments outside quotes, then whitespace.
+		if i := commentStart(line); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			return nil, fmt.Errorf("line %d: sections are not supported (flags are a flat namespace)", n+1)
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("line %d: want `key = value`, got %q", n+1, line)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if key == "" {
+			return nil, fmt.Errorf("line %d: empty key", n+1)
+		}
+		if strings.HasPrefix(val, `"`) {
+			var err error
+			if val, err = strconv.Unquote(val); err != nil {
+				return nil, fmt.Errorf("line %d: bad quoted value: %v", n+1, err)
+			}
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", n+1, key)
+		}
+		out[key] = val
+	}
+	return out, nil
+}
+
+// commentStart finds an unquoted # in the line, or -1.
+func commentStart(line string) int {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '#':
+			if !inStr {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Dump renders every flag of fs (the -config/-dumpconfig meta-flags
+// excepted) as a config file in the TOML-subset form, one sorted
+// `key = value` per line. The output round-trips through
+// ApplyConfigFile, so `dfsd -dumpconfig > dfsd.toml` captures an
+// invocation's effective configuration for replay with `-config`.
+func Dump(fs *flag.FlagSet) string {
+	var b strings.Builder
+	fs.VisitAll(func(fl *flag.Flag) {
+		if fl.Name == "config" || fl.Name == "dumpconfig" {
+			return
+		}
+		v := fl.Value.String()
+		if v == "" || strings.ContainsAny(v, " \t#\"=") {
+			v = strconv.Quote(v)
+		}
+		fmt.Fprintf(&b, "%s = %s\n", fl.Name, v)
+	})
+	return b.String()
+}

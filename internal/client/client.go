@@ -1,19 +1,19 @@
 // Package client is the typed Go client of the decision-flow server
-// (internal/server, cmd/dfsd): connection-pooled HTTP with retry-on-shed,
-// speaking the internal/api wire protocol. RunLoad drives the same
-// open/closed-loop generators as the in-process runtime against a remote
-// server, so the full network stack is benchmarkable end-to-end.
+// (internal/server, cmd/dfsd). One Client drives either wire the server
+// speaks — JSON over pooled HTTP, or the dfbin binary protocol over
+// persistent TCP — behind the same method surface: the Transport is
+// picked from the address scheme ("http://" vs "dfbin://") or forced
+// with WithTransport, and retry-on-shed honoring the server's
+// retry-after hint sits above the transports so overload behaves
+// identically on both wires. RunLoad drives the same open/closed-loop
+// generators as the in-process runtime against a remote server, so the
+// full network stack is benchmarkable end-to-end over either protocol.
 package client
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"net/http"
-	"strconv"
 	"strings"
 	"time"
 
@@ -21,31 +21,89 @@ import (
 	"repro/internal/value"
 )
 
-// Options tunes a Client.
+// Transport names.
+const (
+	// TransportJSON is the JSON/HTTP wire (the server's REST front end).
+	TransportJSON = "json-http"
+	// TransportBinary is the dfbin length-prefixed binary wire over
+	// persistent TCP.
+	TransportBinary = "binary"
+)
+
+// Options tunes a Client. The zero value is usable; New applies the
+// documented defaults. Prefer the With* functional options — the struct
+// form survives for the facade's JSON-only shim.
 type Options struct {
-	// Tenant is sent as the X-Tenant header on every request; empty means
-	// the server's default tenant.
+	// Tenant identifies the caller for admission control: the X-Tenant
+	// header on HTTP, the Hello frame's tenant on dfbin; empty means the
+	// server's default tenant.
 	Tenant string
-	// MaxConns bounds pooled connections to the server (0 = 512). Idle
-	// connections are kept for reuse, so a closed-loop driver at
-	// concurrency C wants MaxConns >= C.
+	// Transport selects the wire: TransportJSON or TransportBinary.
+	// Empty infers it from the address scheme.
+	Transport string
+	// MaxConns bounds pooled connections to the server (0 = 512). The
+	// HTTP transport keeps idle connections for reuse, so a closed-loop
+	// driver at concurrency C wants MaxConns >= C there; the binary
+	// transport multiplexes every request over a small shared pool and
+	// uses min(MaxConns, 8) persistent connections.
 	MaxConns int
-	// RetryShed is how many times a shed (429) request is retried, backing
-	// off per the server's Retry-After hint (0 = 3; negative disables).
+	// RetryShed is how many times a shed request (HTTP 429 / dfbin
+	// CodeShed) is retried, backing off per the server's retry-after
+	// hint (0 = 3; negative disables).
 	RetryShed int
 	// MaxRetryWait caps one shed backoff (0 = 2s).
 	MaxRetryWait time.Duration
-	// Timeout bounds each HTTP attempt, connection setup included
-	// (0 = 60s).
+	// Timeout bounds each attempt, connection setup included (0 = 60s).
 	Timeout time.Duration
+}
+
+// Option mutates Options; the With* constructors below are the vocabulary
+// of New.
+type Option func(*Options)
+
+// WithTenant sets the tenant identity sent on every request.
+func WithTenant(t string) Option { return func(o *Options) { o.Tenant = t } }
+
+// WithTransport forces the wire protocol (TransportJSON or
+// TransportBinary) regardless of the address scheme.
+func WithTransport(name string) Option { return func(o *Options) { o.Transport = name } }
+
+// WithMaxConns bounds pooled connections.
+func WithMaxConns(n int) Option { return func(o *Options) { o.MaxConns = n } }
+
+// WithRetryShed sets the shed retry budget (negative disables retries).
+func WithRetryShed(n int) Option { return func(o *Options) { o.RetryShed = n } }
+
+// WithMaxRetryWait caps one shed backoff.
+func WithMaxRetryWait(d time.Duration) Option { return func(o *Options) { o.MaxRetryWait = d } }
+
+// WithTimeout bounds each attempt.
+func WithTimeout(d time.Duration) Option { return func(o *Options) { o.Timeout = d } }
+
+// Transport is one wire protocol to the server. Implementations perform
+// single attempts; the Client layers shed retries on top, so both wires
+// share one overload policy. Transports are safe for concurrent use.
+type Transport interface {
+	// Eval evaluates one instance synchronously.
+	Eval(ctx context.Context, req api.EvalRequest) (api.EvalResult, error)
+	// EvalBatch evaluates many instances in one round trip (results in
+	// request order).
+	EvalBatch(ctx context.Context, req api.BatchRequest) ([]api.EvalResult, error)
+	// RegisterSchemaText registers a schema written in the text format.
+	RegisterSchemaText(ctx context.Context, text string) (api.SchemaResponse, error)
+	// Stats fetches the server's metrics.
+	Stats(ctx context.Context) (api.StatsResponse, error)
+	// Health probes the server; nil means serving.
+	Health(ctx context.Context) error
+	// Close releases the transport's connections.
+	Close() error
 }
 
 // Client is a typed handle to one decision-flow server. Safe for
 // concurrent use.
 type Client struct {
-	base  string
-	opts  Options
-	httpc *http.Client
+	opts Options
+	tr   Transport
 }
 
 // ErrShed is wrapped by errors returned for requests still shed after
@@ -56,46 +114,135 @@ var ErrShed = errors.New("client: request shed by server")
 // is shutting down.
 var ErrDraining = errors.New("client: server draining")
 
-// New creates a client for the server at base (e.g.
-// "http://127.0.0.1:8180"; a bare host:port gets http://).
-func New(base string, opts Options) *Client {
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+// shedError is a transport's single-attempt shed report: it wraps
+// ErrShed and carries the server's retry-after hint, which the Client's
+// retry loop honors identically for both wires.
+type shedError struct {
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *shedError) Error() string { return ErrShed.Error() + ": " + e.msg }
+func (e *shedError) Unwrap() error { return ErrShed }
+
+// New creates a client for the server at addr, picking the transport
+// from the scheme: "http://host:port" (or a bare "host:port") speaks
+// JSON over HTTP, "dfbin://host:port" speaks the binary protocol over
+// persistent TCP. WithTransport overrides the inference. The binary
+// transport dials lazily; New itself never touches the network.
+func New(addr string, opts ...Option) (*Client, error) {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
 	}
-	base = strings.TrimRight(base, "/")
-	if opts.MaxConns <= 0 {
-		opts.MaxConns = 512
+	o = withDefaults(o)
+
+	scheme, rest := "", addr
+	if i := strings.Index(addr, "://"); i >= 0 {
+		scheme, rest = addr[:i], addr[i+len("://"):]
 	}
-	if opts.RetryShed == 0 {
-		opts.RetryShed = 3
+	tr := o.Transport
+	if tr == "" {
+		switch scheme {
+		case "dfbin":
+			tr = TransportBinary
+		case "", "http", "https":
+			tr = TransportJSON
+		default:
+			return nil, fmt.Errorf("client: unknown scheme %q in %q (want http://, https:// or dfbin://)", scheme, addr)
+		}
 	}
-	if opts.MaxRetryWait <= 0 {
-		opts.MaxRetryWait = 2 * time.Second
-	}
-	if opts.Timeout <= 0 {
-		opts.Timeout = 60 * time.Second
-	}
-	tr := &http.Transport{
-		MaxIdleConns:        opts.MaxConns,
-		MaxIdleConnsPerHost: opts.MaxConns,
-		MaxConnsPerHost:     opts.MaxConns,
-		IdleConnTimeout:     90 * time.Second,
-	}
-	return &Client{
-		base:  base,
-		opts:  opts,
-		httpc: &http.Client{Transport: tr, Timeout: opts.Timeout},
+	switch tr {
+	case TransportJSON:
+		if scheme == "dfbin" {
+			return nil, fmt.Errorf("client: address %q is a binary endpoint but the transport is %s", addr, TransportJSON)
+		}
+		return &Client{opts: o, tr: newHTTPTransport(addr, o)}, nil
+	case TransportBinary:
+		if scheme != "" && scheme != "dfbin" {
+			return nil, fmt.Errorf("client: address %q is not a dfbin:// endpoint but the transport is %s", addr, TransportBinary)
+		}
+		return &Client{opts: o, tr: newBinTransport(rest, o)}, nil
+	default:
+		return nil, fmt.Errorf("client: unknown transport %q (want %s or %s)", tr, TransportJSON, TransportBinary)
 	}
 }
 
+// NewJSON creates a JSON/HTTP-only client from the legacy Options
+// struct; it never fails. The facade's NewClient shim keeps this
+// surface; new code wants New.
+func NewJSON(base string, o Options) *Client {
+	o = withDefaults(o)
+	o.Transport = TransportJSON
+	return &Client{opts: o, tr: newHTTPTransport(base, o)}
+}
+
+func withDefaults(o Options) Options {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 512
+	}
+	if o.RetryShed == 0 {
+		o.RetryShed = 3
+	}
+	if o.MaxRetryWait <= 0 {
+		o.MaxRetryWait = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	return o
+}
+
+// Transport returns the wire protocol this client speaks (TransportJSON
+// or TransportBinary).
+func (c *Client) Transport() string {
+	if _, ok := c.tr.(*binTransport); ok {
+		return TransportBinary
+	}
+	return TransportJSON
+}
+
 // Close releases pooled connections.
-func (c *Client) Close() { c.httpc.CloseIdleConnections() }
+func (c *Client) Close() { c.tr.Close() }
+
+// retry runs one attempt function under the shared shed-retry policy:
+// attempts reporting a shedError are re-run up to RetryShed times,
+// sleeping the server's retry-after hint (capped at MaxRetryWait)
+// between attempts. Everything else — success, draining, hard errors —
+// returns immediately.
+func (c *Client) retry(ctx context.Context, attempt func() error) error {
+	for n := 0; ; n++ {
+		err := attempt()
+		var shed *shedError
+		if err == nil || !errors.As(err, &shed) || n >= c.opts.RetryShed {
+			return err
+		}
+		wait := shed.retryAfter
+		if wait <= 0 {
+			wait = 50 * time.Millisecond
+		}
+		if wait > c.opts.MaxRetryWait {
+			wait = c.opts.MaxRetryWait
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+}
 
 // RegisterSchemaText registers a schema written in the text format and
 // returns the server's acknowledgment.
 func (c *Client) RegisterSchemaText(ctx context.Context, text string) (api.SchemaResponse, error) {
 	var out api.SchemaResponse
-	err := c.post(ctx, "/v1/schemas", api.SchemaRequest{Text: text}, &out)
+	err := c.retry(ctx, func() error {
+		var err error
+		out, err = c.tr.RegisterSchemaText(ctx, text)
+		return err
+	})
 	return out, err
 }
 
@@ -103,238 +250,112 @@ func (c *Client) RegisterSchemaText(ctx context.Context, text string) (api.Schem
 func (c *Client) Eval(ctx context.Context, req api.EvalRequest) (api.EvalResult, error) {
 	req.Async = false
 	var out api.EvalResult
-	err := c.post(ctx, "/v1/eval", req, &out)
+	err := c.retry(ctx, func() error {
+		var err error
+		out, err = c.tr.Eval(ctx, req)
+		return err
+	})
 	return out, err
 }
 
-// EvalValues is Eval over typed source values.
+// typedEvaler is an optional Transport fast path: a wire whose codec
+// speaks value.Value natively (the binary transport) serializes typed
+// sources directly, skipping the JSON any-map round trip EvalValues
+// otherwise pays per instance.
+type typedEvaler interface {
+	EvalTyped(ctx context.Context, schema, strategy string, sources map[string]value.Value) (api.EvalResult, error)
+}
+
+// EvalValues is Eval over typed source values. On a transport with a
+// native typed codec the values go to the wire without JSON conversion.
 func (c *Client) EvalValues(ctx context.Context, schema, strategy string, sources map[string]value.Value) (api.EvalResult, error) {
-	return c.Eval(ctx, api.EvalRequest{Schema: schema, Strategy: strategy, Sources: api.EncodeSources(sources)})
-}
-
-// EvalAsync submits one instance and returns its result ID for Result.
-func (c *Client) EvalAsync(ctx context.Context, req api.EvalRequest) (string, error) {
-	req.Async = true
-	var out api.AsyncResponse
-	if err := c.post(ctx, "/v1/eval", req, &out); err != nil {
-		return "", err
+	te, ok := c.tr.(typedEvaler)
+	if !ok {
+		return c.Eval(ctx, api.EvalRequest{Schema: schema, Strategy: strategy, Sources: api.EncodeSources(sources)})
 	}
-	return out.ID, nil
-}
-
-// Result long-polls an async result until it is ready or ctx is done,
-// re-polling on server-side timeouts.
-func (c *Client) Result(ctx context.Context, id string) (api.EvalResult, error) {
 	var out api.EvalResult
-	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-			c.base+"/v1/results/"+id+"?timeout=30s", nil)
-		if err != nil {
-			return out, err
-		}
-		c.setHeaders(req)
-		resp, err := c.httpc.Do(req)
-		if err != nil {
-			return out, err
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return out, err
-		}
-		switch resp.StatusCode {
-		case http.StatusOK:
-			return out, json.Unmarshal(body, &out)
-		case http.StatusAccepted:
-			if ctx.Err() != nil {
-				return out, ctx.Err()
-			}
-			continue // still pending; poll again
-		default:
-			return out, decodeError(resp.StatusCode, body)
-		}
-	}
+	err := c.retry(ctx, func() error {
+		var err error
+		out, err = te.EvalTyped(ctx, schema, strategy, sources)
+		return err
+	})
+	return out, err
 }
 
 // EvalBatch evaluates many instances in one round trip (results in
 // request order).
 func (c *Client) EvalBatch(ctx context.Context, req api.BatchRequest) ([]api.EvalResult, error) {
 	req.Stream = false
-	var out api.BatchResponse
-	if err := c.post(ctx, "/v1/eval/batch", req, &out); err != nil {
+	var out []api.EvalResult
+	err := c.retry(ctx, func() error {
+		var err error
+		out, err = c.tr.EvalBatch(ctx, req)
+		return err
+	})
+	if err != nil {
 		return nil, err
 	}
-	if len(out.Results) != len(req.Sources) {
-		return nil, fmt.Errorf("client: batch returned %d results for %d instances", len(out.Results), len(req.Sources))
+	if len(out) != len(req.Sources) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d instances", len(out), len(req.Sources))
 	}
-	return out.Results, nil
+	return out, nil
+}
+
+// Stats fetches the server's metrics.
+func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
+	return c.tr.Stats(ctx)
+}
+
+// Health probes the server; nil means serving.
+func (c *Client) Health(ctx context.Context) error {
+	return c.tr.Health(ctx)
+}
+
+// http returns the JSON transport behind the client, or an error for
+// the HTTP-only extended surface on a binary client.
+func (c *Client) http(method string) (*httpTransport, error) {
+	if ht, ok := c.tr.(*httpTransport); ok {
+		return ht, nil
+	}
+	return nil, fmt.Errorf("client: %s is only served over the JSON/HTTP transport", method)
+}
+
+// EvalAsync submits one instance and returns its result ID for Result.
+// JSON/HTTP only.
+func (c *Client) EvalAsync(ctx context.Context, req api.EvalRequest) (string, error) {
+	ht, err := c.http("EvalAsync")
+	if err != nil {
+		return "", err
+	}
+	req.Async = true
+	var id string
+	err = c.retry(ctx, func() error {
+		var err error
+		id, err = ht.evalAsync(ctx, req)
+		return err
+	})
+	return id, err
+}
+
+// Result long-polls an async result until it is ready or ctx is done,
+// re-polling on server-side timeouts. JSON/HTTP only.
+func (c *Client) Result(ctx context.Context, id string) (api.EvalResult, error) {
+	ht, err := c.http("Result")
+	if err != nil {
+		return api.EvalResult{}, err
+	}
+	return ht.result(ctx, id)
 }
 
 // EvalBatchStream evaluates a batch with NDJSON delivery: each result is
 // handed to fn as it completes on the server, tagged with its request
 // index. fn runs on the reading goroutine. Streamed requests are not
 // retried on shed (delivery may have begun); callers wanting retries use
-// EvalBatch.
+// EvalBatch. JSON/HTTP only.
 func (c *Client) EvalBatchStream(ctx context.Context, req api.BatchRequest, fn func(api.BatchItem)) error {
-	req.Stream = true
-	body, err := json.Marshal(req)
+	ht, err := c.http("EvalBatchStream")
 	if err != nil {
 		return err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/eval/batch", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	c.setHeaders(hreq)
-	resp, err := c.httpc.Do(hreq)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(resp.Body)
-		return decodeError(resp.StatusCode, data)
-	}
-	dec := json.NewDecoder(resp.Body)
-	for i := 0; i < len(req.Sources); i++ {
-		var item api.BatchItem
-		if err := dec.Decode(&item); err != nil {
-			return fmt.Errorf("client: stream ended after %d/%d results: %w", i, len(req.Sources), err)
-		}
-		fn(item)
-	}
-	return nil
-}
-
-// Stats fetches the server's metrics.
-func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
-	var out api.StatsResponse
-	err := c.get(ctx, "/v1/stats", &out)
-	return out, err
-}
-
-// Health probes /healthz; nil means serving.
-func (c *Client) Health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return err
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("client: health: HTTP %d", resp.StatusCode)
-	}
-	return nil
-}
-
-// --- plumbing ---
-
-func (c *Client) setHeaders(req *http.Request) {
-	if c.opts.Tenant != "" {
-		req.Header.Set(api.TenantHeader, c.opts.Tenant)
-	}
-	req.Header.Set("Content-Type", "application/json")
-}
-
-// post sends a JSON request and decodes the 2xx response into out,
-// retrying shed (429) attempts with the server's Retry-After hint.
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		c.setHeaders(req)
-		resp, err := c.httpc.Do(req)
-		if err != nil {
-			return err
-		}
-		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode/100 == 2 {
-			if out == nil {
-				return nil
-			}
-			return json.Unmarshal(data, out)
-		}
-		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.opts.RetryShed {
-			wait := retryWait(resp, data)
-			if wait > c.opts.MaxRetryWait {
-				wait = c.opts.MaxRetryWait
-			}
-			timer := time.NewTimer(wait)
-			select {
-			case <-timer.C:
-				continue
-			case <-ctx.Done():
-				timer.Stop()
-				return ctx.Err()
-			}
-		}
-		return decodeError(resp.StatusCode, data)
-	}
-}
-
-func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	c.setHeaders(req)
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return err
-	}
-	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return decodeError(resp.StatusCode, data)
-	}
-	return json.Unmarshal(data, out)
-}
-
-// retryWait extracts the backoff hint: the millisecond-precise body field
-// first, the whole-seconds header as fallback, 50ms when neither parses.
-func retryWait(resp *http.Response, body []byte) time.Duration {
-	var e api.ErrorResponse
-	if json.Unmarshal(body, &e) == nil && e.RetryAfterMs > 0 {
-		return time.Duration(e.RetryAfterMs) * time.Millisecond
-	}
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-			return time.Duration(secs) * time.Second
-		}
-	}
-	return 50 * time.Millisecond
-}
-
-// decodeError turns a non-2xx response into a typed error.
-func decodeError(status int, body []byte) error {
-	var e api.ErrorResponse
-	msg := strings.TrimSpace(string(body))
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		msg = e.Error
-	}
-	switch status {
-	case http.StatusTooManyRequests:
-		return fmt.Errorf("%w: %s", ErrShed, msg)
-	case http.StatusServiceUnavailable:
-		return fmt.Errorf("%w: %s", ErrDraining, msg)
-	default:
-		return fmt.Errorf("client: HTTP %d: %s", status, msg)
-	}
+	return ht.evalBatchStream(ctx, req, fn)
 }

@@ -138,12 +138,17 @@ type runState struct {
 	lats      []int64
 }
 
+// typedSourcesFor returns instance i's typed source bindings.
+func (r *runState) typedSourcesFor(i int) map[string]value.Value {
+	if r.l.SourcesFor != nil {
+		return r.l.SourcesFor(i)
+	}
+	return r.l.Sources
+}
+
 // sourcesFor renders instance i's source bindings for the wire.
 func (r *runState) sourcesFor(i int) map[string]any {
-	if r.l.SourcesFor != nil {
-		return api.EncodeSources(r.l.SourcesFor(i))
-	}
-	return api.EncodeSources(r.l.Sources)
+	return api.EncodeSources(r.typedSourcesFor(i))
 }
 
 // fire executes one request carrying instances [lo, hi) and records it.
@@ -152,10 +157,10 @@ func (r *runState) fire(lo, hi int) {
 	var results []api.EvalResult
 	var err error
 	if hi-lo == 1 {
+		// EvalValues lets a typed transport (binary) serialize the values
+		// straight to the wire; HTTP encodes to JSON inside.
 		var res api.EvalResult
-		res, err = r.c.Eval(r.ctx, api.EvalRequest{
-			Schema: r.l.Schema, Strategy: r.l.Strategy, Sources: r.sourcesFor(lo),
-		})
+		res, err = r.c.EvalValues(r.ctx, r.l.Schema, r.l.Strategy, r.typedSourcesFor(lo))
 		results = []api.EvalResult{res}
 	} else {
 		srcs := make([]map[string]any, 0, hi-lo)

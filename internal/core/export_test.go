@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/expr"
+
 	"repro/internal/value"
 )
 
@@ -219,5 +221,50 @@ func TestParseSchemaComments(t *testing.T) {
 	}
 	if s.MustLookup("q").Cost() != 2 {
 		t.Error("comment handling broke cost parse")
+	}
+}
+
+// TestFingerprint pins the schema fingerprint's contract: deterministic
+// across independent builds of the same structure, insensitive to compute
+// bindings (which MarshalJSON omits), and sensitive to structural change —
+// the properties the binary wire handshake relies on to validate its
+// attribute-id table.
+func TestFingerprint(t *testing.T) {
+	a, b := chainSchema(t), chainSchema(t)
+	if a.Fingerprint() == 0 {
+		t.Fatal("fingerprint is zero")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same structure, different fingerprints: %x vs %x",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	// Rebinding a compute function must not change the fingerprint.
+	b.BindCompute("a", ConstCompute(value.Int(99)))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("compute binding changed the fingerprint")
+	}
+	// A JSON round trip preserves structure, hence the fingerprint.
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := UnmarshalSchemaJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Fingerprint() != a.Fingerprint() {
+		t.Fatal("JSON round trip changed the fingerprint")
+	}
+	// A structurally different schema must (overwhelmingly) disagree.
+	other, err := NewBuilder("chain2").
+		Source("src").
+		Foreign("a", expr.TrueExpr, []string{"src"}, 3, nil).
+		Target("a").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different structures share a fingerprint")
 	}
 }

@@ -35,7 +35,19 @@ type Schema struct {
 	valProgs   []*expr.Program
 	enabDepsOf []AttrSet // enabDepsOf[a]: attrs a's condition reads
 	enabDepOn  []AttrSet // enabDepOn[a]: attrs whose condition reads a
+
+	// fingerprint is a deterministic hash of the schema structure, computed
+	// once at finalize; see Fingerprint.
+	fingerprint uint64
 }
+
+// Fingerprint returns a deterministic 64-bit hash of the schema structure
+// (names, attribute graph, enabling conditions, task kinds and costs —
+// everything MarshalJSON serializes; compute bindings are excluded). Two
+// processes that built the same schema text agree on the fingerprint, so
+// network peers can use it to verify that a schema handshake refers to the
+// same attribute-id table without shipping the whole schema.
+func (s *Schema) Fingerprint() uint64 { return s.fingerprint }
 
 // Name returns the schema's name.
 func (s *Schema) Name() string { return s.name }
@@ -233,6 +245,19 @@ func (s *Schema) finalize() error {
 		return &ValidationError{Schema: s.name, Problems: problems}
 	}
 	s.compilePrograms()
+	// FNV-1a over the canonical JSON rendering: MarshalJSON iterates
+	// attributes in ID order, so the hash is stable across processes.
+	js, err := s.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("core: fingerprinting schema %q: %w", s.name, err)
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range js {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	s.fingerprint = h
 	return nil
 }
 

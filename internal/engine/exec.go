@@ -76,12 +76,26 @@ func NewCore(s *core.Schema, sources map[string]value.Value, st Strategy, res *R
 // observer from the previous run (nil clears it) and is installed before
 // the prequalifier's initial propagation pass.
 func (c *Core) Reset(s *core.Schema, sources map[string]value.Value, st Strategy, res *Result, obs snapshot.Observer) {
-	c.schema = s
 	if c.sn == nil {
-		c.sn = snapshot.New(s, sources)
-	} else {
-		c.sn.Reset(s, sources)
+		c.sn = new(snapshot.Snapshot)
 	}
+	c.sn.Reset(s, sources)
+	c.reset(s, st, res, obs)
+}
+
+// ResetSlots is Reset with the source values supplied as a dense per-AttrID
+// slice (see snapshot.ResetSlots) — the zero-copy entry point used by the
+// binary wire front end. The slice is read only during this call.
+func (c *Core) ResetSlots(s *core.Schema, slots []value.Value, st Strategy, res *Result, obs snapshot.Observer) {
+	if c.sn == nil {
+		c.sn = new(snapshot.Snapshot)
+	}
+	c.sn.ResetSlots(s, slots)
+	c.reset(s, st, res, obs)
+}
+
+func (c *Core) reset(s *core.Schema, st Strategy, res *Result, obs snapshot.Observer) {
+	c.schema = s
 	c.sn.SetObserver(obs)
 	if c.pq == nil {
 		c.pq = prequal.New(c.sn, st.prequalOptions())

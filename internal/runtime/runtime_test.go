@@ -347,3 +347,60 @@ func TestCloseDrains(t *testing.T) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
 }
+
+// TestSourceSlotsSubmit checks the dense slot-buffer request path (the
+// zero-copy entry the binary wire front end uses): a request carrying
+// SourceSlots must produce exactly the snapshot the map-keyed path does,
+// and a short or over-long slot buffer must behave as documented.
+func TestSourceSlotsSubmit(t *testing.T) {
+	s, sources := quickstart(t)
+	oracle := snapshot.Complete(s, sources)
+	svc := New(Config{Workers: 4})
+	defer svc.Close()
+
+	slots := make([]value.Value, s.NumAttrs())
+	for _, id := range s.Sources() {
+		slots[id] = sources[s.Attr(id).Name]
+	}
+
+	done := make(chan error, 1)
+	err := svc.Submit(Request{
+		Schema:      s,
+		SourceSlots: slots,
+		Strategy:    engine.MustParseStrategy("PSE100"),
+		Done: func(res *engine.Result) {
+			done <- snapshot.CheckAgainstOracle(res.Snapshot, oracle)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slot path disagrees with oracle: %v", err)
+	}
+
+	// A short buffer leaves the remaining sources ⟂ — same as omitting
+	// them from the map.
+	short := svc
+	res, err := short.Do(s, map[string]value.Value{"order_total": value.Int(120)},
+		engine.MustParseStrategy("PSE100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan *snapshot.Snapshot, 1)
+	if err := svc.Submit(Request{
+		Schema:      s,
+		SourceSlots: slots[:1], // only order_total (AttrID 0)
+		Strategy:    engine.MustParseStrategy("PSE100"),
+		Done:        func(r *engine.Result) { done2 <- r.Snapshot.Clone() },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sn := <-done2
+	for _, id := range s.Targets() {
+		if !value.Identical(sn.Val(id), res.Snapshot.Val(id)) {
+			t.Fatalf("short slot buffer target %q = %v, map path got %v",
+				s.Attr(id).Name, sn.Val(id), res.Snapshot.Val(id))
+		}
+	}
+}

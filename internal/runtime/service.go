@@ -20,6 +20,16 @@ type Request struct {
 	Schema *core.Schema
 	// Sources are the instance's source-attribute values.
 	Sources map[string]value.Value
+	// SourceSlots, when non-nil, supplies the source values as a dense
+	// per-AttrID slice instead of Sources (which is then ignored):
+	// SourceSlots[id] is the value of source attribute id, entries at
+	// non-source IDs are ignored, and a short slice leaves the remaining
+	// sources ⟂. The binary wire front end decodes frames straight into
+	// pooled slot buffers and submits them here, skipping the name-keyed
+	// map. The service reads the slice only until Done is invoked (it is
+	// consumed when the instance initializes, which happens no later);
+	// callers may recycle the buffer once Done returns.
+	SourceSlots []value.Value
 	// Strategy selects the optimization options (e.g. "PSE100").
 	Strategy engine.Strategy
 	// Done, if non-nil, is invoked once when the instance reaches a
@@ -330,7 +340,11 @@ type inst struct {
 // first advance.
 func (in *inst) begin(sh *shard) {
 	in.mu.Lock()
-	in.core.Reset(in.req.Schema, in.req.Sources, in.req.Strategy, &in.res, nil)
+	if in.req.SourceSlots != nil {
+		in.core.ResetSlots(in.req.Schema, in.req.SourceSlots, in.req.Strategy, &in.res, nil)
+	} else {
+		in.core.Reset(in.req.Schema, in.req.Sources, in.req.Strategy, &in.res, nil)
+	}
 	in.outstanding = 0
 	in.finalized = false
 	in.refs = 0

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"net"
 	"net/http/httptest"
 	stdruntime "runtime"
 	"testing"
@@ -32,7 +33,10 @@ func benchServeHTTP(b *testing.B, reqBatch int) {
 	srv := New(Config{Service: svc})
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
-	c := client.New(hs.URL, client.Options{Tenant: "bench", MaxConns: 128})
+	c, err := client.New(hs.URL, client.WithTenant("bench"), client.WithMaxConns(128))
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer c.Close()
 
 	_, sources, err := flows.ByName("quickstart")
@@ -84,3 +88,79 @@ func BenchmarkServeHTTPBatched(b *testing.B) { benchServeHTTP(b, 32) }
 // BenchmarkServeHTTPSingle pays the full HTTP/JSON round trip per
 // instance — the per-request protocol overhead floor.
 func BenchmarkServeHTTPSingle(b *testing.B) { benchServeHTTP(b, 1) }
+
+// benchServeBinary is benchServeHTTP over the dfbin wire: the same
+// warmed production-shaped stack, but driven through real TCP
+// connections speaking length-prefixed frames with bound schemas and
+// dense attribute IDs instead of HTTP/JSON. The delta between the two
+// benchmark families is exactly the protocol cost.
+func benchServeBinary(b *testing.B, reqBatch int) {
+	svc := runtime.New(runtime.Config{
+		Backend: runtime.Instant{},
+		Query: runtime.QueryConfig{
+			BatchSize:   32,
+			BatchWindow: 200 * time.Microsecond,
+			Dedup:       true,
+			CacheSize:   65536,
+		},
+	})
+	srv := New(Config{Service: svc})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.ServeBinary(ln)
+	c, err := client.New("dfbin://"+ln.Addr().String(),
+		client.WithTenant("bench"), client.WithMaxConns(128))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	_, sources, err := flows.ByName("quickstart")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sourcesFor, err := flows.Spread(sources, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	if _, err := client.RunLoad(context.Background(), c, client.Load{
+		Schema: "quickstart", Sources: sources, SourcesFor: sourcesFor,
+		Count: 4096, Concurrency: 64, BatchSize: reqBatch,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	svc.ResetStats()
+	stdruntime.GC()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := client.RunLoad(context.Background(), c, client.Load{
+		Schema:      "quickstart",
+		Sources:     sources,
+		SourcesFor:  sourcesFor,
+		Count:       b.N,
+		Concurrency: 64,
+		BatchSize:   reqBatch,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Failed > 0 || rep.Errors > 0 {
+		b.Fatalf("load run not clean: %+v", rep)
+	}
+	b.ReportMetric(rep.Throughput, "inst/s")
+	srv.Drain(context.Background())
+}
+
+// BenchmarkServeBinaryBatched: 32 instances per EvalBatch frame
+// (dfserve -remote dfbin://... -reqbatch 32), columnar encoding.
+func BenchmarkServeBinaryBatched(b *testing.B) { benchServeBinary(b, 32) }
+
+// BenchmarkServeBinarySingle pays one Eval frame round trip per
+// instance — the binary protocol's per-request overhead floor, to
+// compare against BenchmarkServeHTTPSingle.
+func BenchmarkServeBinarySingle(b *testing.B) { benchServeBinary(b, 1) }

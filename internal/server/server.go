@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"slices"
 	"strconv"
@@ -107,6 +108,17 @@ type Server struct {
 
 	p99High  atomic.Bool
 	stopWake chan struct{}
+
+	// schemaGen counts schema registrations; binary connections use it to
+	// detect that a bound schema may have been superseded (see binary.go).
+	schemaGen atomic.Uint64
+
+	// Binary front end state: the accept listeners and live connections,
+	// tracked so Drain can stop accepts, push Drain frames, and flush and
+	// close every connection once in-flight evals have completed.
+	bmu        sync.Mutex
+	blisteners []net.Listener
+	bconns     map[*binConn]struct{}
 }
 
 // schemaEntry is one registered schema with its pre-resolved targets.
@@ -170,6 +182,7 @@ func New(cfg Config) *Server {
 		schemas:  make(map[string]*schemaEntry),
 		tenants:  make(map[string]*tenant),
 		stopWake: make(chan struct{}),
+		bconns:   make(map[*binConn]struct{}),
 	}
 	for _, name := range []string{"quickstart", "pattern"} {
 		sch, _, err := flows.ByName(name)
@@ -194,12 +207,14 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain executes the graceful shutdown protocol: flip to draining (new
-// evals get 503, /healthz reports down), wait for every admitted instance
-// to complete — bounded by ctx — then close the underlying service. It
-// returns the final runtime stats. The HTTP listener should stop
-// accepting before or concurrently with Drain (http.Server.Shutdown);
-// long-poll result fetches keep working throughout, so in-flight work is
-// flushed to its callers.
+// evals get 503 / CodeDraining frames, /healthz reports down), stop
+// accepting binary connections and push a Drain frame on the live ones,
+// wait for every admitted instance to complete — bounded by ctx — then
+// close the underlying service and flush-and-close the binary
+// connections. It returns the final runtime stats. The HTTP listener
+// should stop accepting before or concurrently with Drain
+// (http.Server.Shutdown); long-poll result fetches keep working
+// throughout, so in-flight work is flushed to its callers on both wires.
 func (s *Server) Drain(ctx context.Context) (runtime.Stats, error) {
 	s.drainMu.Lock()
 	already := s.draining
@@ -209,6 +224,20 @@ func (s *Server) Drain(ctx context.Context) (runtime.Stats, error) {
 		return s.svc.Stats(), errors.New("server: already draining")
 	}
 	close(s.stopWake)
+
+	s.bmu.Lock()
+	lns := slices.Clone(s.blisteners)
+	conns := make([]*binConn, 0, len(s.bconns))
+	for c := range s.bconns {
+		conns = append(conns, c)
+	}
+	s.bmu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.sendDrain()
+	}
 
 	done := make(chan struct{})
 	go func() { s.evals.Wait(); close(done) }()
@@ -222,6 +251,11 @@ func (s *Server) Drain(ctx context.Context) (runtime.Stats, error) {
 	if err == nil {
 		// Everything admitted has completed; Close is instant.
 		s.svc.Close()
+	}
+	// Every completed eval's result frame was queued before its WaitGroup
+	// claim released, so shutdown flushes all of them before closing.
+	for _, c := range conns {
+		c.shutdown()
 	}
 	return st, err
 }
@@ -279,54 +313,94 @@ func (s *Server) watchP99() {
 	}
 }
 
-// admit runs the admission layers for n instances of tenant t. On
-// success the caller owns n claims on the tenant and the server's eval
-// WaitGroup. On refusal the response has been written.
-func (s *Server) admit(w http.ResponseWriter, t *tenant, n int) bool {
+// admitRefusal describes why admission refused a request, in
+// transport-neutral terms: each front end renders it onto its own wire
+// (writeHTTP ↔ 429/503/400 with Retry-After, binCode ↔ Error frame
+// codes), so the two transports cannot drift in admission semantics.
+type admitRefusal struct {
+	cause     shedCause     // shedNone for draining / table-full refusals
+	retry     time.Duration // retry hint; 0 when permanent or draining
+	draining  bool          // server is shutting down (↔ 503 / CodeDraining)
+	permanent bool          // request can never be admitted (↔ 400 / CodeTooLarge)
+	msg       string
+}
+
+// admitShared runs the admission layers for n instances of tenant t: the
+// per-tenant bucket and quota, the global queue-depth/p99 watermarks, and
+// the drain gate. It returns nil when admitted — the caller then owns n
+// claims on the tenant and the server's eval WaitGroup — or the refusal
+// for the caller's wire to render.
+func (s *Server) admitShared(t *tenant, n int) *admitRefusal {
 	if t == nil {
 		// tenantFor refused to materialize a new tenant: table full.
-		writeErr(w, http.StatusTooManyRequests, "tenant table full", time.Second)
-		return false
+		return &admitRefusal{retry: time.Second, msg: "tenant table full"}
 	}
 	ok, cause, retry := t.admit(n)
 	if !ok {
-		s.shed(w, cause, retry)
-		return false
+		if cause == shedTooLarge {
+			// Permanent: the batch exceeds the bucket's capacity outright.
+			return &admitRefusal{cause: cause, permanent: true,
+				msg: "batch exceeds the tenant's burst capacity; split it"}
+		}
+		msg := "over tenant rate limit"
+		if cause == shedQuota {
+			msg = "over tenant in-flight quota"
+		}
+		return &admitRefusal{cause: cause, retry: retry, msg: msg}
 	}
 	if (s.cfg.ShedQueueDepth >= 0 && s.svc.QueueDepth() > s.cfg.ShedQueueDepth) || s.p99High.Load() {
 		t.unadmit(n)
 		t.shedByQueue(n)
-		s.shed(w, shedQueue, 25*time.Millisecond)
-		return false
+		return &admitRefusal{cause: shedQueue, retry: 25 * time.Millisecond,
+			msg: "server overloaded (queue depth or p99 past watermark)"}
 	}
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
 		t.unadmit(n)
-		writeErr(w, http.StatusServiceUnavailable, ErrDraining.Error(), 0)
-		return false
+		return &admitRefusal{draining: true, msg: ErrDraining.Error()}
 	}
 	s.evals.Add(n)
 	s.drainMu.RUnlock()
 	t.accept(n)
-	return true
+	return nil
 }
 
-// shed writes the 429 with a standards-compliant Retry-After header
-// (whole seconds, rounded up) and a millisecond-precise body.
-func (s *Server) shed(w http.ResponseWriter, cause shedCause, retry time.Duration) {
-	msg := "over tenant rate limit"
-	switch cause {
-	case shedQuota:
-		msg = "over tenant in-flight quota"
-	case shedQueue:
-		msg = "server overloaded (queue depth or p99 past watermark)"
-	case shedTooLarge:
-		// Permanent: the batch exceeds the bucket's capacity outright.
-		writeErr(w, http.StatusBadRequest, "batch exceeds the tenant's burst capacity; split it", 0)
-		return
+// writeHTTP renders the refusal as the HTTP front end's status mapping:
+// 429 for transient sheds (with a standards-compliant whole-second
+// Retry-After header and a millisecond-precise body), 503 while draining,
+// 400 for permanent refusals.
+func (r *admitRefusal) writeHTTP(w http.ResponseWriter) {
+	switch {
+	case r.draining:
+		writeErr(w, http.StatusServiceUnavailable, r.msg, 0)
+	case r.permanent:
+		writeErr(w, http.StatusBadRequest, r.msg, 0)
+	default:
+		writeErr(w, http.StatusTooManyRequests, r.msg, r.retry)
 	}
-	writeErr(w, http.StatusTooManyRequests, msg, retry)
+}
+
+// binCode maps the refusal onto the binary protocol's Error frame codes.
+func (r *admitRefusal) binCode() byte {
+	switch {
+	case r.draining:
+		return api.CodeDraining
+	case r.permanent:
+		return api.CodeTooLarge
+	default:
+		return api.CodeShed
+	}
+}
+
+// admit is admitShared for the HTTP handlers: on refusal the response has
+// been written.
+func (s *Server) admit(w http.ResponseWriter, t *tenant, n int) bool {
+	if ref := s.admitShared(t, n); ref != nil {
+		ref.writeHTTP(w)
+		return false
+	}
+	return true
 }
 
 func writeErr(w http.ResponseWriter, code int, msg string, retry time.Duration) {
@@ -367,6 +441,47 @@ func requestTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
 
 // --- handlers ---
 
+// registerError is a schema-registration failure with its status on each
+// wire (the binary front end maps httpStatus onto Error frame codes).
+type registerError struct {
+	httpStatus int
+	msg        string
+}
+
+// registerSchema parses and installs a schema for tenantName — the
+// registration core shared by the HTTP and binary front ends. The caller
+// has already metered the request under the tenant's admission.
+func (s *Server) registerSchema(tenantName, text string) (api.SchemaResponse, *registerError) {
+	sch, err := core.ParseSchema(text)
+	if err != nil {
+		return api.SchemaResponse{}, &registerError{http.StatusBadRequest, err.Error()}
+	}
+	// Foreign results are served by a deterministic hash compute — the
+	// wire carries structure, not code (see flows.BindDefaultComputes).
+	flows.BindDefaultComputes(sch)
+	entry := newEntry(sch, tenantName)
+	s.mu.Lock()
+	if prev, exists := s.schemas[sch.Name()]; exists {
+		if prev.owner != tenantName {
+			s.mu.Unlock()
+			return api.SchemaResponse{}, &registerError{http.StatusForbidden,
+				fmt.Sprintf("schema %q is owned by another tenant", sch.Name())}
+		}
+	} else if len(s.schemas) >= s.cfg.MaxSchemas {
+		s.mu.Unlock()
+		return api.SchemaResponse{}, &registerError{http.StatusInsufficientStorage, "schema registry full"}
+	}
+	s.schemas[sch.Name()] = entry
+	s.mu.Unlock()
+	// Invalidate binary binds that may now refer to a superseded entry.
+	s.schemaGen.Add(1)
+	return api.SchemaResponse{
+		Name:    sch.Name(),
+		Attrs:   sch.NumAttrs(),
+		Targets: entry.targetNames,
+	}, nil
+}
+
 func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
 	tenantName, ok := requestTenant(w, r)
 	if !ok {
@@ -381,7 +496,8 @@ func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if ok, cause, retry := t.admit(1); !ok {
-		s.shed(w, cause, retry)
+		(&admitRefusal{cause: cause, retry: retry, permanent: cause == shedTooLarge,
+			msg: registerShedMsg(cause)}).writeHTTP(w)
 		return
 	}
 	defer t.release(1)
@@ -389,35 +505,26 @@ func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	sch, err := core.ParseSchema(req.Text)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error(), 0)
+	resp, rerr := s.registerSchema(tenantName, req.Text)
+	if rerr != nil {
+		writeErr(w, rerr.httpStatus, rerr.msg, 0)
 		return
 	}
-	// Foreign results are served by a deterministic hash compute — the
-	// wire carries structure, not code (see flows.BindDefaultComputes).
-	flows.BindDefaultComputes(sch)
-	entry := newEntry(sch, tenantName)
-	s.mu.Lock()
-	if prev, exists := s.schemas[sch.Name()]; exists {
-		if prev.owner != tenantName {
-			s.mu.Unlock()
-			writeErr(w, http.StatusForbidden,
-				fmt.Sprintf("schema %q is owned by another tenant", sch.Name()), 0)
-			return
-		}
-	} else if len(s.schemas) >= s.cfg.MaxSchemas {
-		s.mu.Unlock()
-		writeErr(w, http.StatusInsufficientStorage, "schema registry full", 0)
-		return
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// registerShedMsg phrases a registration shed cause (registration is
+// metered but takes no second admission pass, so it renders refusals
+// without admitShared).
+func registerShedMsg(cause shedCause) string {
+	switch cause {
+	case shedQuota:
+		return "over tenant in-flight quota"
+	case shedTooLarge:
+		return "batch exceeds the tenant's burst capacity; split it"
+	default:
+		return "over tenant rate limit"
 	}
-	s.schemas[sch.Name()] = entry
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, api.SchemaResponse{
-		Name:    sch.Name(),
-		Attrs:   sch.NumAttrs(),
-		Targets: entry.targetNames,
-	})
 }
 
 // resolveSchema maps a request's schema name and strategy code to the
@@ -745,11 +852,12 @@ func (s *Server) batchStream(w http.ResponseWriter, r *http.Request, t *tenant, 
 	s.evals.Add(-n)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// statsResponse builds the stats view shared by GET /v1/stats and the
+// binary Stats frame.
+func (s *Server) statsResponse() (api.StatsResponse, error) {
 	svcStats, err := json.Marshal(s.svc.Stats())
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error(), 0)
-		return
+		return api.StatsResponse{}, err
 	}
 	s.tmu.Lock()
 	tenants := make(map[string]api.TenantAdmission, len(s.tenants))
@@ -764,13 +872,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	slices.Sort(names)
-	writeJSON(w, http.StatusOK, api.StatsResponse{
+	return api.StatsResponse{
 		Service:  svcStats,
 		Tenants:  tenants,
 		UptimeMs: time.Since(s.start).Milliseconds(),
 		Draining: s.Draining(),
 		Schemas:  names,
-	})
+	}, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.statsResponse()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

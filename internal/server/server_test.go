@@ -34,7 +34,10 @@ func newTestStack(t *testing.T, svcCfg runtime.Config, mod func(*Config)) (*runt
 	}
 	srv := New(cfg)
 	hs := httptest.NewServer(srv.Handler())
-	c := client.New(hs.URL, client.Options{Tenant: "t0"})
+	c, err := client.New(hs.URL, client.WithTenant("t0"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		c.Close()
 		hs.Close()
@@ -441,7 +444,10 @@ func TestRateLimitAndClientRetry(t *testing.T) {
 
 	// The typed client retries on shed: three sequential evals all succeed
 	// despite the 1-token bucket.
-	c := client.New(hs.URL, client.Options{Tenant: "patient", RetryShed: 10})
+	c, err := client.New(hs.URL, client.WithTenant("patient"), client.WithRetryShed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer c.Close()
 	for i := 0; i < 3; i++ {
 		res, err := c.Eval(context.Background(), api.EvalRequest{Schema: "quickstart", Sources: src})
@@ -450,10 +456,13 @@ func TestRateLimitAndClientRetry(t *testing.T) {
 		}
 	}
 	// A client with retries disabled surfaces the typed shed error.
-	c2 := client.New(hs.URL, client.Options{Tenant: "patient", RetryShed: -1})
+	c2, err := client.New(hs.URL, client.WithTenant("patient"), client.WithRetryShed(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer c2.Close()
 	c2.Eval(context.Background(), api.EvalRequest{Schema: "quickstart", Sources: src})
-	_, err := c2.Eval(context.Background(), api.EvalRequest{Schema: "quickstart", Sources: src})
+	_, err = c2.Eval(context.Background(), api.EvalRequest{Schema: "quickstart", Sources: src})
 	if !errors.Is(err, client.ErrShed) {
 		t.Fatalf("err = %v, want ErrShed", err)
 	}
@@ -635,7 +644,12 @@ func TestTenantIsolationUnderOverload(t *testing.T) {
 	// runTenant drives a closed loop of conc workers for n instances and
 	// returns nothing; latencies are read server-side per tenant.
 	runTenant := func(tenant string, conc, n int, retry int) {
-		c := client.New(hs.URL, client.Options{Tenant: tenant, RetryShed: retry, MaxConns: conc})
+		c, err := client.New(hs.URL, client.WithTenant(tenant),
+			client.WithRetryShed(retry), client.WithMaxConns(conc))
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		defer c.Close()
 		var next atomic.Int64
 		var wg sync.WaitGroup

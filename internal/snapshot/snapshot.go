@@ -164,6 +164,35 @@ func New(s *core.Schema, sources map[string]value.Value) *Snapshot {
 // any installed observer. The wall-clock runtime pools snapshots through
 // Reset to keep its hot path allocation-free.
 func (sn *Snapshot) Reset(s *core.Schema, sources map[string]value.Value) {
+	sn.reset(s)
+	for _, id := range s.Sources() {
+		sn.states[id] = Value
+		sn.vals[id] = sources[s.Attr(id).Name]
+		sn.known[id] = true
+	}
+}
+
+// ResetSlots is Reset with the source values supplied as a dense
+// per-AttrID slice instead of a name-keyed map: slots[id] is the value of
+// source attribute id, entries at non-source IDs are ignored, and a short
+// slice leaves the remaining sources ⟂. The binary wire front end decodes
+// (attrID, value) pairs straight into such a buffer, so instance setup
+// skips the map entirely; the slice is copied out of during this call and
+// may be reused by the caller afterwards.
+func (sn *Snapshot) ResetSlots(s *core.Schema, slots []value.Value) {
+	sn.reset(s)
+	for _, id := range s.Sources() {
+		sn.states[id] = Value
+		if int(id) < len(slots) {
+			sn.vals[id] = slots[id]
+		}
+		sn.known[id] = true
+	}
+}
+
+// reset clears the snapshot storage for a fresh instance of s, leaving all
+// attributes UNINITIALIZED; Reset/ResetSlots then promote the sources.
+func (sn *Snapshot) reset(s *core.Schema) {
 	n := s.NumAttrs()
 	sn.schema = s
 	sn.observer = nil
@@ -178,11 +207,6 @@ func (sn *Snapshot) Reset(s *core.Schema, sources map[string]value.Value) {
 		clear(sn.states)
 		clear(sn.vals)
 		clear(sn.known)
-	}
-	for _, id := range s.Sources() {
-		sn.states[id] = Value
-		sn.vals[id] = sources[s.Attr(id).Name]
-		sn.known[id] = true
 	}
 }
 
