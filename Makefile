@@ -32,13 +32,16 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Short fuzzing passes: the three-valued expression evaluator (random
-# trees + partial environments vs an independent reference evaluator)
-# and the dfbin wire codec (JSON/binary differential round trip, plus
-# truncated/corrupt frames asserting clean errors, never panics).
+# trees + partial environments vs an independent reference evaluator),
+# the dfbin wire codec (JSON/binary differential round trip, plus
+# truncated/corrupt frames asserting clean errors, never panics), and
+# the registry WAL record codec (decode never panics, every failure is
+# classified torn-vs-corrupt, every success re-encodes identically).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzEval3$$' -fuzztime=10s ./internal/expr
 	$(GO) test -run='^$$' -fuzz='^FuzzBinaryJSONDifferential$$' -fuzztime=5s ./internal/api
 	$(GO) test -run='^$$' -fuzz='^FuzzBinaryFrameDecode$$' -fuzztime=5s ./internal/api
+	$(GO) test -run='^$$' -fuzz='^FuzzWALRecordDecode$$' -fuzztime=5s ./internal/api
 
 # Deterministic chaos suite: kill/stall/degrade cluster replicas mid-run
 # and assert the oracle invariant, work conservation, and launch-exact
@@ -50,9 +53,12 @@ chaos:
 # End-to-end binary smoke: build the real dfsd and dfserve binaries,
 # launch the daemon (HTTP + dfbin listeners), drive it with `dfserve
 # -remote` over both wires, SIGTERM it under in-flight binary load, and
-# assert the graceful drain flushed everything.
+# assert the graceful drain flushed everything. TestSmokeRestart then
+# cycles the daemon over one -datadir — register, load, SIGTERM,
+# relaunch, re-drive without re-registering — plus the SIGKILL and
+# torn-WAL-tail crash variants.
 smoke:
-	$(GO) test -count=1 -run 'TestSmokeBinaries' ./cmd/dfsd
+	$(GO) test -count=1 -run 'TestSmokeBinaries|TestSmokeRestart' ./cmd/dfsd
 
 # Coverage across every package; cover.out is the CI artifact, the
 # function summary line is the human-readable take-away. cmd/dfsd is

@@ -53,6 +53,7 @@ func main() {
 		shedP99      = fs.Duration("shed-p99", 0, "shed while the recent p99 exceeds this watermark (0 = off)")
 		latWindow    = fs.Int("latwindow", 4096, "latency samples retained per stats shard (sliding percentile window; 0 = unbounded)")
 		drainWait    = fs.Duration("drain", 30*time.Second, "graceful shutdown: max wait for in-flight instances")
+		dataDir      = fs.String("datadir", "", "durable schema registry directory: WAL + snapshot, replayed on boot (empty = in-memory only)")
 	)
 	flag.Parse()
 	if err := cliconf.ApplyConfigFile(fs, cf.ConfigPath); err != nil {
@@ -72,7 +73,7 @@ func main() {
 		fail(err)
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		Service: built.Service,
 		Tenant: server.TenantLimits{
 			RatePerSec:  *tenantRate,
@@ -81,7 +82,21 @@ func main() {
 		},
 		ShedQueueDepth: *shedQueue,
 		ShedP99:        *shedP99,
+		DataDir:        *dataDir,
 	})
+	if err != nil {
+		// Refusing to start on a corrupt registry is deliberate: serving
+		// wrong schemas silently would be worse.
+		fail(err)
+	}
+	if rec := srv.Recovery(); rec.Enabled {
+		fmt.Printf("dfsd: registry recovered from %s: %d schemas, %d shadows in %v\n",
+			*dataDir, rec.Schemas, rec.Shadows, rec.Duration.Round(time.Microsecond))
+		if rec.TornBytes > 0 {
+			fmt.Printf("dfsd: warning: truncated %d bytes of torn WAL tail (unacked registration from a crash)\n",
+				rec.TornBytes)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -132,6 +147,10 @@ func main() {
 	built.Stop()
 
 	fmt.Printf("dfsd: final stats\n%s\n", stats)
+	if rec := srv.Recovery(); rec.Enabled {
+		fmt.Printf("dfsd: registry: recovered=%d schemas recovery_ms=%d\n",
+			rec.Schemas, rec.Duration.Milliseconds())
+	}
 	if sum := built.SimdbSummary(); sum != "" {
 		fmt.Println(sum)
 	}

@@ -35,6 +35,16 @@ type SchemaRequest struct {
 	// Text is the schema in the line-oriented text format
 	// ("schema <name>\nsource x\nquery y from x cost 2 when x > 0\n…").
 	Text string `json:"text"`
+	// Shadow registers the schema as a shadow candidate instead of
+	// replacing the live version: the server evaluates it alongside live
+	// traffic on a sampled fraction of the owning tenant's evals and
+	// reports decision divergence on GET /v1/schemas/{name}/shadow. A live
+	// version of the same name must already exist.
+	Shadow bool `json:"shadow,omitempty"`
+	// ShadowSampleEvery sets the shadow sampling stride: every Nth live
+	// eval of the schema also runs the candidate (0 or 1 = every eval).
+	// Ignored unless Shadow is set.
+	ShadowSampleEvery int `json:"shadow_sample_every,omitempty"`
 }
 
 // SchemaResponse acknowledges a registration.
@@ -45,6 +55,15 @@ type SchemaResponse struct {
 	Attrs int `json:"attrs"`
 	// Targets are the schema's target attribute names.
 	Targets []string `json:"targets"`
+	// Version is the per-name monotone version this registration was
+	// assigned (1 for the first registration of a name).
+	Version uint64 `json:"version"`
+	// Fingerprint is the schema's deterministic text-format hash, in
+	// %016x form — the value the durable registry verifies on recovery.
+	Fingerprint string `json:"fingerprint"`
+	// Shadow echoes whether this registration installed a shadow
+	// candidate rather than a new live version.
+	Shadow bool `json:"shadow,omitempty"`
 }
 
 // EvalRequest evaluates one instance of a registered schema.
@@ -141,6 +160,67 @@ type StatsResponse struct {
 	Draining bool `json:"draining"`
 	// Schemas lists the registered schema names.
 	Schemas []string `json:"schemas"`
+	// SchemaDetails carries per-schema registry metadata (version,
+	// fingerprint, owner), in Schemas order.
+	SchemaDetails []SchemaInfo `json:"schema_details,omitempty"`
+	// RecoveredSchemas / RecoveryMs report the durable registry's boot
+	// replay: how many schemas were rebuilt from the snapshot+WAL and how
+	// long the replay took. Absent when the server runs without a datadir.
+	RecoveredSchemas int   `json:"recovered_schemas,omitempty"`
+	RecoveryMs       int64 `json:"recovery_ms,omitempty"`
+}
+
+// SchemaInfo is one registry entry's metadata in StatsResponse.
+type SchemaInfo struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	// Fingerprint is the deterministic text-format hash in %016x form.
+	Fingerprint string `json:"fingerprint"`
+	// Owner is the registering tenant ("" for built-ins).
+	Owner string `json:"owner,omitempty"`
+	// Shadow reports whether a shadow candidate is currently attached.
+	Shadow bool `json:"shadow,omitempty"`
+}
+
+// ShadowReport is GET /v1/schemas/{name}/shadow: the running comparison of
+// a shadow candidate against the live version it shadows.
+type ShadowReport struct {
+	Schema string `json:"schema"`
+	// LiveVersion / ShadowVersion identify the pair under comparison.
+	LiveVersion   uint64 `json:"live_version"`
+	ShadowVersion uint64 `json:"shadow_version"`
+	// SampleEvery is the sampling stride (every Nth live eval).
+	SampleEvery int `json:"sample_every"`
+	// Skipped counts sampled evals dropped by the shadow in-flight cap or
+	// drain — coverage the report is missing, never silent.
+	Skipped uint64 `json:"skipped,omitempty"`
+	// Tenants breaks the comparison down per tenant driving the traffic.
+	Tenants map[string]ShadowTenant `json:"tenants,omitempty"`
+}
+
+// ShadowTenant is one tenant's slice of a shadow comparison.
+type ShadowTenant struct {
+	// Sampled counts live evals whose candidate evaluation completed.
+	Sampled uint64 `json:"sampled"`
+	// Diverged counts sampled evals whose target decisions differed
+	// (value mismatch on any target, or exactly one side erroring).
+	Diverged uint64 `json:"diverged"`
+	// Errors counts sampled evals where the candidate erred but live did
+	// not (a subset of Diverged).
+	Errors uint64 `json:"errors,omitempty"`
+	// Examples holds up to a few diverging source vectors for debugging.
+	Examples []ShadowExample `json:"examples,omitempty"`
+}
+
+// ShadowExample is one diverging eval: the source vector and both sides'
+// target values (JSON-encoded like EvalResult.Values).
+type ShadowExample struct {
+	Sources map[string]any `json:"sources"`
+	Live    map[string]any `json:"live"`
+	Shadow  map[string]any `json:"shadow"`
+	// LiveError / ShadowError carry either side's instance error, if any.
+	LiveError   string `json:"live_error,omitempty"`
+	ShadowError string `json:"shadow_error,omitempty"`
 }
 
 // TenantAdmission is one tenant's front-end admission counters. Shed

@@ -53,6 +53,7 @@
 //	→ Register    req:uvarint text:string
 //	← RegisterAck req:uvarint name:string nattrs:uvarint
 //	              ntargets:uvarint { target:string }*ntargets
+//	              version:uvarint fingerprint:u64le
 //	→ Stats       req:uvarint
 //	← StatsAck    req:uvarint json:string   (a StatsResponse)
 //	→ Ping        req:uvarint

@@ -31,13 +31,20 @@ import (
 // attribute-id table, after which eval frames carry (attrID, value)
 // pairs instead of a name-keyed JSON object. Stale binds (the schema
 // was re-registered) are transparently re-bound and the request retried
-// once.
+// once. The transport additionally remembers every (schema, strategy)
+// pair it has ever bound, and a freshly dialed connection — including a
+// reconnect after the server restarted — redoes the Hello handshake and
+// proactively re-binds them all, so a retried request never replays an
+// eval against a connection that lost its server-side bind table.
 type binTransport struct {
 	addr string
 	opts Options
 
 	rr    atomic.Uint64 // round-robin slot cursor
 	slots []*connSlot
+
+	kbmu       sync.Mutex
+	knownBinds map[bindKey]struct{}
 
 	closed atomic.Bool
 }
@@ -56,11 +63,37 @@ type connSlot struct {
 
 func newBinTransport(addr string, o Options) *binTransport {
 	n := min(o.MaxConns, muxConns)
-	t := &binTransport{addr: addr, opts: o, slots: make([]*connSlot, n)}
+	t := &binTransport{addr: addr, opts: o, slots: make([]*connSlot, n),
+		knownBinds: make(map[bindKey]struct{})}
 	for i := range t.slots {
 		t.slots[i] = &connSlot{}
 	}
 	return t
+}
+
+// noteBind records a successfully bound (schema, strategy) pair so
+// future dials can restore it; forgetBind drops a pair the server no
+// longer knows (the schema was deleted, not merely re-versioned).
+func (t *binTransport) noteBind(key bindKey) {
+	t.kbmu.Lock()
+	t.knownBinds[key] = struct{}{}
+	t.kbmu.Unlock()
+}
+
+func (t *binTransport) forgetBind(key bindKey) {
+	t.kbmu.Lock()
+	delete(t.knownBinds, key)
+	t.kbmu.Unlock()
+}
+
+func (t *binTransport) bindsToRestore() []bindKey {
+	t.kbmu.Lock()
+	keys := make([]bindKey, 0, len(t.knownBinds))
+	for key := range t.knownBinds {
+		keys = append(keys, key)
+	}
+	t.kbmu.Unlock()
+	return keys
 }
 
 // connError marks transport-level failures — the socket died or the
@@ -158,6 +191,7 @@ type muxResp struct {
 // coalesced writes, the reader goroutine dispatches responses by
 // request id.
 type bconn struct {
+	t  *binTransport
 	nc net.Conn
 	fr *api.FrameReader
 
@@ -205,6 +239,7 @@ func (t *binTransport) dial(ctx context.Context) (*bconn, error) {
 		return nil, fmt.Errorf("client: dial %s: %w", t.addr, err)
 	}
 	c := &bconn{
+		t:       t,
 		nc:      nc,
 		fr:      api.NewFrameReader(bufio.NewReaderSize(nc, 64<<10), 0),
 		wake:    make(chan struct{}, 1),
@@ -239,6 +274,21 @@ func (t *binTransport) dial(ctx context.Context) (*bconn, error) {
 	nc.SetDeadline(time.Time{})
 	go c.reader()
 	go c.writer()
+	// A new connection — often a reconnect after the server restarted —
+	// starts with an empty server-side bind table. Restore every bind the
+	// transport has ever held before any request runs on it, so a retried
+	// eval never replays against a connection missing its bind. A bind the
+	// server no longer recognizes is dropped from the restore set; the
+	// failure itself is not fatal to the connection.
+	for _, key := range t.bindsToRestore() {
+		if _, err := c.bind(ctx, key.schema, key.strategy, t.opts.Timeout); err != nil {
+			if errors.As(err, new(*connError)) {
+				c.fail(err)
+				return nil, err
+			}
+			t.forgetBind(key)
+		}
+	}
 	return c, nil
 }
 
@@ -482,6 +532,9 @@ func (c *bconn) bind(ctx context.Context, schema, strategy string, timeout time.
 		c.binds[key] = b
 	}
 	c.bmu.Unlock()
+	if err == nil {
+		c.t.noteBind(key)
+	}
 	f.b, f.err = b, err
 	close(f.done)
 	return b, err
@@ -612,7 +665,11 @@ func (t *binTransport) evalRound(ctx context.Context, schema, strategy string,
 				if perr != nil {
 					return &connError{perr}
 				}
-				if e.Code == api.CodeStale && attempt == 0 {
+				// CodeStale: the schema was re-versioned under this bind.
+				// CodeNotFound: the server lost the bind outright (restart
+				// recovered its registry but not per-connection state). Both
+				// heal the same way: re-bind once and replay.
+				if (e.Code == api.CodeStale || e.Code == api.CodeNotFound) && attempt == 0 {
 					if b, err = c.rebind(ctx, schema, strategy, t.opts.Timeout); err != nil {
 						return err
 					}
@@ -758,7 +815,7 @@ func (t *binTransport) EvalBatch(ctx context.Context, req api.BatchRequest) ([]a
 				if perr != nil {
 					return &connError{perr}
 				}
-				if e.Code == api.CodeStale && attempt == 0 {
+				if (e.Code == api.CodeStale || e.Code == api.CodeNotFound) && attempt == 0 {
 					if b, err = c.rebind(ctx, req.Schema, req.Strategy, t.opts.Timeout); err != nil {
 						return err
 					}
@@ -808,6 +865,8 @@ func (t *binTransport) RegisterSchemaText(ctx context.Context, text string) (api
 		for i := range out.Targets {
 			out.Targets[i] = cur.String()
 		}
+		out.Version = cur.Uvarint()
+		out.Fingerprint = fmt.Sprintf("%016x", cur.U64())
 		if err := cur.Done(); err != nil {
 			return &connError{err}
 		}

@@ -320,6 +320,35 @@ func (c *Client) http(method string) (*httpTransport, error) {
 	return nil, fmt.Errorf("client: %s is only served over the JSON/HTTP transport", method)
 }
 
+// RegisterSchemaShadow registers text as a shadow candidate beside the
+// live schema of the same name: the server evaluates it on every
+// sampleEvery-th sampled live eval off the latency path and tallies
+// divergence (see ShadowReport). sampleEvery < 1 means every eval.
+// JSON/HTTP only.
+func (c *Client) RegisterSchemaShadow(ctx context.Context, text string, sampleEvery int) (api.SchemaResponse, error) {
+	ht, err := c.http("RegisterSchemaShadow")
+	if err != nil {
+		return api.SchemaResponse{}, err
+	}
+	var out api.SchemaResponse
+	err = c.retry(ctx, func() error {
+		var err error
+		out, err = ht.registerSchemaShadow(ctx, text, sampleEvery)
+		return err
+	})
+	return out, err
+}
+
+// ShadowReport fetches the running live-versus-candidate comparison for
+// a schema with a registered shadow. JSON/HTTP only.
+func (c *Client) ShadowReport(ctx context.Context, schema string) (api.ShadowReport, error) {
+	ht, err := c.http("ShadowReport")
+	if err != nil {
+		return api.ShadowReport{}, err
+	}
+	return ht.shadowReport(ctx, schema)
+}
+
 // EvalAsync submits one instance and returns its result ID for Result.
 // JSON/HTTP only.
 func (c *Client) EvalAsync(ctx context.Context, req api.EvalRequest) (string, error) {

@@ -92,6 +92,19 @@ func (t *httpTransport) Health(ctx context.Context) error {
 
 // --- the HTTP-only extended surface ---
 
+func (t *httpTransport) registerSchemaShadow(ctx context.Context, text string, sampleEvery int) (api.SchemaResponse, error) {
+	var out api.SchemaResponse
+	err := t.post(ctx, "/v1/schemas",
+		api.SchemaRequest{Text: text, Shadow: true, ShadowSampleEvery: sampleEvery}, &out)
+	return out, err
+}
+
+func (t *httpTransport) shadowReport(ctx context.Context, schema string) (api.ShadowReport, error) {
+	var out api.ShadowReport
+	err := t.get(ctx, "/v1/schemas/"+schema+"/shadow", &out)
+	return out, err
+}
+
 func (t *httpTransport) evalAsync(ctx context.Context, req api.EvalRequest) (string, error) {
 	var out api.AsyncResponse
 	if err := t.post(ctx, "/v1/eval", req, &out); err != nil {

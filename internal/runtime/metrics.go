@@ -60,6 +60,14 @@ type Stats struct {
 	FailedQueries uint64
 	Cluster       *ClusterStats
 
+	// ShadowSubmitted / ShadowCompleted / ShadowErrors count Request.Shadow
+	// instances (the server's shadow-evaluation background work). They are
+	// excluded from every metric above: shadow load must not move the
+	// latency percentiles, completion counts, or the overload sampler.
+	ShadowSubmitted uint64
+	ShadowCompleted uint64
+	ShadowErrors    uint64
+
 	// Tenants breaks completions down by Request.Tenant, for requests that
 	// carried one (the network front end tags every instance with its
 	// tenant). Untagged instances appear only in the aggregate above.
@@ -102,6 +110,10 @@ func (st Stats) String() string {
 			"\nquery layer: backend=%d batches=%d avg-batch=%.1f dedup-hits=%d cache-hit/miss=%d/%d",
 			st.BackendQueries, st.Batches, st.AvgBatchSize(), st.DedupHits, st.CacheHits, st.CacheMisses)
 	}
+	if st.ShadowSubmitted > 0 {
+		fmt.Fprintf(&b, "\nshadow: submitted=%d completed=%d errors=%d",
+			st.ShadowSubmitted, st.ShadowCompleted, st.ShadowErrors)
+	}
 	if c := st.Cluster; c != nil {
 		fmt.Fprintf(&b,
 			"\ncluster: shards=%d replicas=%d hedges=%d/%d won retries=%d timeouts=%d breaker-trips=%d failed=%d",
@@ -130,7 +142,11 @@ type shard struct {
 	window    int // Config.LatencyWindow: max samples retained (0 = all)
 	completed uint64
 	errors    uint64
-	work      uint64
+	// shadowCompleted / shadowErrors tally Request.Shadow instances, which
+	// bypass every other field of the shard (see Stats.ShadowCompleted).
+	shadowCompleted uint64
+	shadowErrors    uint64
+	work            uint64
 	wasted    uint64
 	launched  uint64
 	synth     uint64
@@ -205,6 +221,19 @@ func (sh *shard) record(r *engine.Result, latency time.Duration, tenant string) 
 	sh.mu.Unlock()
 }
 
+// recordShadow folds one completed shadow instance into the shard: a bare
+// completion/error tally, no latency sample, no tenant attribution — the
+// whole point of the Shadow flag is that this work is invisible to the
+// serving metrics.
+func (sh *shard) recordShadow(r *engine.Result) {
+	sh.mu.Lock()
+	sh.shadowCompleted++
+	if r.Err != nil {
+		sh.shadowErrors++
+	}
+	sh.mu.Unlock()
+}
+
 // clusterStatser is the Backend capability of reporting cluster stats
 // (implemented by Cluster).
 type clusterStatser interface {
@@ -214,7 +243,7 @@ type clusterStatser interface {
 
 // Stats merges all shards into an aggregate snapshot.
 func (s *Service) Stats() Stats {
-	st := Stats{Submitted: s.submitted.Load()}
+	st := Stats{Submitted: s.submitted.Load(), ShadowSubmitted: s.shadowSubmitted.Load()}
 	if d := s.disp; d != nil {
 		st.BackendQueries = d.backendQueries.Load()
 		st.Batches = d.batches.Load()
@@ -243,6 +272,8 @@ func (s *Service) Stats() Stats {
 		sh.mu.Lock()
 		st.Completed += sh.completed
 		st.Errors += sh.errors
+		st.ShadowCompleted += sh.shadowCompleted
+		st.ShadowErrors += sh.shadowErrors
 		st.Work += sh.work
 		st.WastedWork += sh.wasted
 		st.Launched += sh.launched
@@ -350,6 +381,7 @@ func (s *Service) CompletedTotal() uint64 {
 // load driver scopes each run this way.
 func (s *Service) ResetStats() {
 	s.submitted.Store(0)
+	s.shadowSubmitted.Store(0)
 	if d := s.disp; d != nil {
 		d.backendQueries.Store(0)
 		d.batches.Store(0)
@@ -364,6 +396,7 @@ func (s *Service) ResetStats() {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.completed, sh.errors = 0, 0
+		sh.shadowCompleted, sh.shadowErrors = 0, 0
 		sh.work, sh.wasted, sh.launched, sh.synth, sh.failures = 0, 0, 0, 0, 0
 		sh.lats.reset()
 		sh.tenants = nil

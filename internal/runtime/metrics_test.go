@@ -69,6 +69,19 @@ func TestStatsStringGolden(t *testing.T) {
 				"  shard 1: r0[q=600 err=0 to=0 trips=0] r1[q=610 err=0 to=0 trips=0]",
 		},
 		{
+			name: "with-shadow",
+			st: func() Stats {
+				st := baseGoldenStats()
+				st.ShadowSubmitted = 120
+				st.ShadowCompleted = 118
+				st.ShadowErrors = 1
+				return st
+			},
+			want: "completed=1000 errors=2 work=5000 wasted=120 launched=2500 synthesis=800\n" +
+				"latency p50=2ms p95=9ms p99=14ms max=40ms avg=2.5ms\n" +
+				"shadow: submitted=120 completed=118 errors=1",
+		},
+		{
 			name: "with-tenants",
 			st: func() Stats {
 				st := baseGoldenStats()

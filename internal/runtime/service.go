@@ -48,6 +48,13 @@ type Request struct {
 	// service's stats (per-tenant completion counts and latency
 	// percentiles in Stats.Tenants). The empty tenant is not tracked.
 	Tenant string
+	// Shadow marks the instance as background comparison work (the
+	// server's shadow-evaluation path): it executes normally but is kept
+	// out of the serving metrics — completion counts, latency percentiles,
+	// Submitted — so overload shedding and SLO reporting see only the live
+	// traffic. Shadow instances count under Stats.ShadowSubmitted /
+	// ShadowCompleted instead.
+	Shadow bool
 }
 
 // Config configures a Service.
@@ -111,6 +118,9 @@ type Service struct {
 	closeMu   sync.RWMutex
 	closed    bool
 	submitted atomic.Uint64
+	// shadowSubmitted counts Request.Shadow submissions, kept apart from
+	// submitted so the live Submitted/Completed pair stays an identity.
+	shadowSubmitted atomic.Uint64
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -196,7 +206,11 @@ func (s *Service) submit(req Request) (*inst, uint64, error) {
 	// references it yet), and the queue's lock orders the store before
 	// any worker pop.
 	gen := in.gen.Add(1)
-	s.submitted.Add(1)
+	if req.Shadow {
+		s.shadowSubmitted.Add(1)
+	} else {
+		s.submitted.Add(1)
+	}
 	s.active.Add(1)
 	s.queue.push(job{in: in, begin: true})
 	return in, gen, nil
@@ -476,7 +490,11 @@ func (in *inst) finalize(sh *shard, status engine.Status) {
 	}
 	latency := time.Since(in.start)
 	in.res.Elapsed = float64(latency) / float64(time.Millisecond)
-	sh.record(&in.res, latency, in.req.Tenant)
+	if in.req.Shadow {
+		sh.recordShadow(&in.res)
+	} else {
+		sh.record(&in.res, latency, in.req.Tenant)
+	}
 	// Keep the state alive for the callback plus every outstanding
 	// completion; the last dropper recycles.
 	in.refs = in.outstanding + 1

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -459,6 +460,7 @@ func (c *binConn) handleEval(reqID uint64, cur *api.Cursor) bool {
 	}
 
 	entry := bd.entry
+	shc := s.shadowSample(entry, c.tenantName, bd.st, nil, sb.v)
 	c.evals.Add(1)
 	err := s.svc.Submit(runtime.Request{
 		Schema:      entry.schema,
@@ -466,6 +468,7 @@ func (c *binConn) handleEval(reqID uint64, cur *api.Cursor) bool {
 		Strategy:    bd.st,
 		Tenant:      c.tenantName,
 		Done: func(res *engine.Result) {
+			s.shadowFinish(shc, entry, res)
 			b := c.out.buf()
 			start := len(b)
 			b = api.BeginFrame(b, api.FrameResult)
@@ -609,12 +612,14 @@ func (c *binConn) handleEvalBatch(reqID uint64, cur *api.Cursor) bool {
 	c.evals.Add(n)
 	for i := 0; i < n; i++ {
 		i := i
+		shc := s.shadowSample(entry, c.tenantName, bd.st, nil, slots[i].v)
 		err := s.svc.Submit(runtime.Request{
 			Schema:      entry.schema,
 			SourceSlots: slots[i].v,
 			Strategy:    bd.st,
 			Tenant:      c.tenantName,
 			Done: func(res *engine.Result) {
+				s.shadowFinish(shc, entry, res)
 				bc.finish(i, appendResultBody(c.out.buf(), entry, res))
 			},
 		})
@@ -678,7 +683,7 @@ func (c *binConn) handleRegister(reqID uint64, cur *api.Cursor) bool {
 		return true
 	}
 	defer t.release(1)
-	resp, rerr := s.registerSchema(c.tenantName, text)
+	resp, rerr := s.registerSchema(c.tenantName, text, false, 0)
 	if rerr != nil {
 		code := api.CodeBadRequest
 		switch rerr.httpStatus {
@@ -686,10 +691,15 @@ func (c *binConn) handleRegister(reqID uint64, cur *api.Cursor) bool {
 			code = api.CodeNotFound
 		case http.StatusInsufficientStorage:
 			code = api.CodeTooLarge
+		case http.StatusServiceUnavailable:
+			code = api.CodeDraining
+		case http.StatusInternalServerError:
+			code = api.CodeInternal
 		}
 		c.sendErr(reqID, code, 0, rerr.msg)
 		return true
 	}
+	fp, _ := strconv.ParseUint(resp.Fingerprint, 16, 64)
 	b := c.out.buf()
 	start := len(b)
 	b = api.BeginFrame(b, api.FrameRegisterAck)
@@ -700,6 +710,9 @@ func (c *binConn) handleRegister(reqID uint64, cur *api.Cursor) bool {
 	for _, tgt := range resp.Targets {
 		b = api.AppendString(b, tgt)
 	}
+	b = api.AppendUvarint(b, resp.Version)
+	b = append(b, byte(fp), byte(fp>>8), byte(fp>>16), byte(fp>>24),
+		byte(fp>>32), byte(fp>>40), byte(fp>>48), byte(fp>>56))
 	c.out.put(api.FinishFrame(b, start))
 	return true
 }

@@ -455,7 +455,7 @@ func TestBinaryDrainFlushesInFlight(t *testing.T) {
 	release := make(chan struct{})
 	_, srv, _, addr := newBinStack(t, runtime.Config{}, nil)
 	srv.mu.Lock()
-	srv.schemas["blocker"] = newEntry(blockerSchema(t, release), "")
+	srv.schemas["blocker"] = newEntry(blockerSchema(t, release), "", "", 1)
 	srv.mu.Unlock()
 
 	rc := dialRaw(t, addr, "t0")

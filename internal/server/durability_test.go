@@ -1,0 +1,655 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/flows"
+	"repro/internal/runtime"
+	"repro/internal/value"
+)
+
+const durableText = `
+	schema billing
+	source amount
+	query risk from amount cost 2 when amount > 0
+	synth fee when notnull(risk) = amount / 10 + risk * 0
+	target fee
+`
+
+// newDurableStack is newTestStack over a data directory. Unlike the
+// shared helper it returns the server too, and its cleanup tolerates a
+// server the test already drained (the restart tests drain generation
+// one themselves).
+func newDurableStack(t *testing.T, dir string, mod func(*Config)) (*Server, *httptest.Server, *client.Client) {
+	t.Helper()
+	svc := runtime.New(runtime.Config{})
+	cfg := Config{Service: svc, DataDir: dir}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	c, err := client.New(hs.URL, client.WithTenant("t0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		hs.Close()
+		if !srv.Draining() {
+			srv.Drain(context.Background())
+		}
+	})
+	return srv, hs, c
+}
+
+func fingerprintOf(t *testing.T, text string) uint64 {
+	t.Helper()
+	sch, err := core.ParseSchema(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows.BindDefaultComputes(sch)
+	return sch.Fingerprint()
+}
+
+func schemaDetail(t *testing.T, c *client.Client, name string) api.SchemaInfo {
+	t.Helper()
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range stats.SchemaDetails {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("schema %q not in stats details %+v", name, stats.SchemaDetails)
+	return api.SchemaInfo{}
+}
+
+// TestRegistryRecovery is the restart round trip: a schema registered
+// against generation one is served by generation two without
+// re-registration, at the same version and fingerprint, after a clean
+// drain (recovery comes from the final snapshot).
+func TestRegistryRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv1, _, c1 := newDurableStack(t, dir, nil)
+	ack, err := c1.RegisterSchemaText(ctx, durableText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Version != 1 {
+		t.Fatalf("first registration version = %d, want 1", ack.Version)
+	}
+	// Re-register to prove versions persist, not just texts.
+	ack2, err := c1.RegisterSchemaText(ctx, durableText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack2.Version != 2 {
+		t.Fatalf("second registration version = %d, want 2", ack2.Version)
+	}
+	if _, err := c1.EvalValues(ctx, "billing", "", map[string]value.Value{"amount": value.Int(120)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, c2 := newDurableStack(t, dir, nil)
+	rec := srv2.Recovery()
+	if !rec.Enabled || rec.Schemas != 1 || rec.TornBytes != 0 {
+		t.Fatalf("recovery = %+v, want 1 schema, no torn tail", rec)
+	}
+	res, err := c2.EvalValues(ctx, "billing", "", map[string]value.Value{"amount": value.Int(120)})
+	if err != nil {
+		t.Fatalf("eval after restart without re-registering: %v", err)
+	}
+	if res.Error != "" {
+		t.Fatalf("instance error after restart: %s", res.Error)
+	}
+	d := schemaDetail(t, c2, "billing")
+	if d.Version != 2 || d.Owner != "t0" {
+		t.Fatalf("recovered detail = %+v, want version 2 owned by t0", d)
+	}
+	if want := fmt.Sprintf("%016x", fingerprintOf(t, durableText)); d.Fingerprint != want {
+		t.Fatalf("recovered fingerprint %s, want %s", d.Fingerprint, want)
+	}
+	if d.Fingerprint != ack2.Fingerprint {
+		t.Fatalf("fingerprint changed across restart: %s vs %s", d.Fingerprint, ack2.Fingerprint)
+	}
+	// The version counter recovered too: the next registration is v3.
+	ack3, err := c2.RegisterSchemaText(ctx, durableText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack3.Version != 3 {
+		t.Fatalf("post-restart registration version = %d, want 3", ack3.Version)
+	}
+}
+
+// TestRegistryRecoveryUncleanLog replays from the log rather than the
+// snapshot: the files are copied aside before the drain-time snapshot
+// and restored after, simulating a crash that never sealed the WAL.
+func TestRegistryRecoveryUncleanLog(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv1, _, c1 := newDurableStack(t, dir, nil)
+	if _, err := c1.RegisterSchemaText(ctx, durableText); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze the WAL as it stands mid-flight (no snapshot yet).
+	raw, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Undo the clean shutdown: drop the snapshot, restore the live log.
+	os.Remove(filepath.Join(dir, snapFileName))
+	if err := os.WriteFile(filepath.Join(dir, walFileName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, c2 := newDurableStack(t, dir, nil)
+	if rec := srv2.Recovery(); rec.Schemas != 1 || rec.TornBytes != 0 {
+		t.Fatalf("recovery = %+v, want 1 schema from the raw log", rec)
+	}
+	if _, err := c2.EvalValues(ctx, "billing", "", map[string]value.Value{"amount": value.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryTornTailTruncated: a crash mid-append leaves a final
+// record whose declared extent exceeds the file. Recovery truncates it
+// away — that registration was never acked — and keeps everything
+// before it.
+func TestRegistryTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv1, _, c1 := newDurableStack(t, dir, nil)
+	if _, err := c1.RegisterSchemaText(ctx, durableText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn append: a full record, cut after its length prefix and half
+	// its payload.
+	whole := api.AppendWALRecord(nil, api.WALRecord{
+		Kind: api.WALKindSchema, Tenant: "t0", Name: "torn",
+		Version: 1, Fingerprint: 1, Text: "never finished",
+	})
+	logPath := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := whole[:len(whole)-7]
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, _, c2 := newDurableStack(t, dir, nil)
+	rec := srv2.Recovery()
+	if rec.Schemas != 1 || rec.TornBytes != int64(len(torn)) {
+		t.Fatalf("recovery = %+v, want 1 schema and %d torn bytes", rec, len(torn))
+	}
+	if _, err := c2.EvalValues(ctx, "billing", "", map[string]value.Value{"amount": value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// The truncation is physical: a third generation sees a clean log.
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := decodeWALFile(raw, false); err != nil {
+		t.Fatalf("log still damaged after truncation: %v", err)
+	}
+}
+
+// TestRegistryCorruptionRefused: unlike a torn tail, a complete-but-wrong
+// record (bit rot, splice) must refuse recovery — serving a silently
+// altered schema is worse than not starting.
+func TestRegistryCorruptionRefused(t *testing.T) {
+	write := func(t *testing.T, dir string, rec api.WALRecord, corrupt func([]byte) []byte) {
+		t.Helper()
+		b := append([]byte(walMagic), api.AppendWALRecord(nil, rec)...)
+		if corrupt != nil {
+			b = corrupt(b)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walFileName), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	open := func(dir string) error {
+		svc := runtime.New(runtime.Config{})
+		defer svc.Close()
+		_, err := Open(Config{Service: svc, DataDir: dir})
+		return err
+	}
+	goodRec := func(t *testing.T) api.WALRecord {
+		return api.WALRecord{Kind: api.WALKindSchema, Tenant: "t0", Name: "billing",
+			Version: 1, Fingerprint: fingerprintOf(t, durableText), Text: durableText}
+	}
+
+	t.Run("flipped byte", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, goodRec(t), func(b []byte) []byte {
+			b[len(b)/2] ^= 0x40
+			return b
+		})
+		err := open(dir)
+		if err == nil || !errors.Is(err, api.ErrWALCorrupt) {
+			t.Fatalf("corrupt interior accepted: %v", err)
+		}
+	})
+	t.Run("fingerprint mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		rec := goodRec(t)
+		rec.Fingerprint ^= 1 // CRC-valid record lying about its schema
+		write(t, dir, rec, nil)
+		err := open(dir)
+		if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+			t.Fatalf("fingerprint mismatch accepted: %v", err)
+		}
+	})
+	t.Run("corrupt snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		b := append([]byte(walMagic), api.AppendWALRecord(nil, goodRec(t))...)
+		b = b[:len(b)-3] // snapshots are written atomically: torn = corrupt
+		if err := os.WriteFile(filepath.Join(dir, snapFileName), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := open(dir); err == nil {
+			t.Fatal("torn snapshot accepted")
+		}
+	})
+}
+
+// TestRegistrySnapshotCompaction: crossing SnapshotEvery appends rewrites
+// the snapshot and truncates the log, and the compacted state recovers.
+func TestRegistrySnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv1, _, c1 := newDurableStack(t, dir, func(cfg *Config) { cfg.SnapshotEvery = 3 })
+	for i := 0; i < 4; i++ {
+		if _, err := c1.RegisterSchemaText(ctx, durableText); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logInfo, err := os.Stat(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapFileName)); err != nil {
+		t.Fatalf("no snapshot after %d appends with SnapshotEvery=3: %v", 4, err)
+	}
+	// The log holds only the post-snapshot tail (one record), not four.
+	oneRec := len(api.AppendWALRecord(nil, api.WALRecord{Kind: api.WALKindSchema,
+		Tenant: "t0", Name: "billing", Version: 4,
+		Fingerprint: fingerprintOf(t, durableText), Text: durableText}))
+	if want := int64(len(walMagic) + oneRec); logInfo.Size() != want {
+		t.Fatalf("log size %d after compaction, want %d", logInfo.Size(), want)
+	}
+	if _, err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, c2 := newDurableStack(t, dir, nil)
+	if rec := srv2.Recovery(); rec.Schemas != 1 {
+		t.Fatalf("recovery = %+v, want 1 schema", rec)
+	}
+	if d := schemaDetail(t, c2, "billing"); d.Version != 4 {
+		t.Fatalf("recovered version = %d, want 4", d.Version)
+	}
+}
+
+// TestShadowDivergence is the dark-launch loop end to end: a candidate
+// version that computes a deliberately different target runs beside the
+// live one and every sampled comparison reports the divergence, with
+// example vectors, while the live answers stay the live version's.
+func TestShadowDivergence(t *testing.T) {
+	live := "schema shaded\nsource x\nsynth y = x + 1\ntarget y"
+	cand := "schema shaded\nsource x\nsynth y = x + 2\ntarget y"
+	ctx := context.Background()
+	_, _, hs, c := newTestStack(t, runtime.Config{}, nil)
+
+	if _, err := c.RegisterSchemaText(ctx, live); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, hs, "/v1/schemas", "t0", api.SchemaRequest{Text: cand, Shadow: true})
+	var ack api.SchemaResponse
+	drainBody(t, resp, &ack)
+	if resp.StatusCode != http.StatusOK || !ack.Shadow || ack.Version != 2 {
+		t.Fatalf("shadow registration: HTTP %d, ack %+v", resp.StatusCode, ack)
+	}
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		res, err := c.EvalValues(ctx, "shaded", "", map[string]value.Value{"x": value.Int(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := res.Values["y"].(float64); got != float64(i+1) {
+			t.Fatalf("live answer changed under shadow: y = %v for x = %d", res.Values["y"], i)
+		}
+	}
+
+	// Shadow work is off the latency path; poll until it lands.
+	var rep api.ShadowReport
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		rep, err = c.ShadowReport(ctx, "shaded")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts := rep.Tenants["t0"]; ts.Sampled+rep.Skipped >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shadow comparisons never completed: %+v", rep)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rep.LiveVersion != 1 || rep.ShadowVersion != 2 || rep.SampleEvery != 1 {
+		t.Fatalf("report header %+v, want live v1, shadow v2, sample 1", rep)
+	}
+	ts := rep.Tenants["t0"]
+	if ts.Diverged != ts.Sampled || ts.Sampled == 0 {
+		t.Fatalf("diverged %d of %d sampled, want all (every instance differs by 1)", ts.Diverged, ts.Sampled)
+	}
+	if ts.Errors != 0 {
+		t.Fatalf("spurious shadow errors: %d", ts.Errors)
+	}
+	if len(ts.Examples) == 0 || len(ts.Examples) > maxShadowExamples {
+		t.Fatalf("examples = %d, want 1..%d", len(ts.Examples), maxShadowExamples)
+	}
+	ex := ts.Examples[0]
+	x, _ := ex.Sources["x"].(float64)
+	if lv, sv := ex.Live["y"], ex.Shadow["y"]; lv != x+1 || sv != x+2 {
+		t.Fatalf("example for x=%v: live y=%v shadow y=%v, want %v and %v", x, lv, sv, x+1, x+2)
+	}
+
+	// Re-registering the live schema ends the experiment: the baseline
+	// the candidate was compared against is gone.
+	if _, err := c.RegisterSchemaText(ctx, live); err != nil {
+		t.Fatal(err)
+	}
+	resp = post(t, hs, "/v1/schemas/shaded/shadow", "t0", nil)
+	resp.Body.Close()
+	greq, _ := http.NewRequest(http.MethodGet, hs.URL+"/v1/schemas/shaded/shadow", nil)
+	gresp, err := hs.Client().Do(greq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("shadow report after live re-registration: HTTP %d, want 404", gresp.StatusCode)
+	}
+}
+
+// TestShadowIdenticalVersionsAgree is the control: shadowing a candidate
+// with identical semantics must report zero divergence — the comparison
+// machinery itself does not invent differences.
+func TestShadowIdenticalVersionsAgree(t *testing.T) {
+	live := "schema calm\nsource x\nsynth y = x * 2\ntarget y"
+	ctx := context.Background()
+	_, _, hs, c := newTestStack(t, runtime.Config{}, nil)
+	if _, err := c.RegisterSchemaText(ctx, live); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, hs, "/v1/schemas", "t0", api.SchemaRequest{Text: live, Shadow: true})
+	drainBody(t, resp, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shadow registration: HTTP %d", resp.StatusCode)
+	}
+	const n = 8
+	for i := 0; i < n; i++ {
+		if _, err := c.EvalValues(ctx, "calm", "", map[string]value.Value{"x": value.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep, err := c.ShadowReport(ctx, "calm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := rep.Tenants["t0"]
+		if ts.Diverged > 0 {
+			t.Fatalf("identical versions diverged: %+v", ts)
+		}
+		if ts.Sampled+rep.Skipped >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shadow comparisons never completed: %+v", rep)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShadowRequiresLive: shadow registration without a live schema of
+// that name is a 404 — there is nothing to compare against.
+func TestShadowRequiresLive(t *testing.T) {
+	_, _, hs, _ := newTestStack(t, runtime.Config{}, nil)
+	resp := post(t, hs, "/v1/schemas", "t0",
+		api.SchemaRequest{Text: "schema ghost\nsource x\nsynth y = x\ntarget y", Shadow: true})
+	drainBody(t, resp, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("shadow without live: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBinaryRestartRecovery crosses the durable registry with the binary
+// wire's reconnect path: a schema registered and bound over dfbin against
+// generation one must survive a server restart on the same data
+// directory, with the client transparently redialing — Hello handshake,
+// proactive re-bind of every known bind — and evaluating against
+// generation two without re-registering.
+func TestBinaryRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	newGen := func(addr string) (*Server, string) {
+		t.Helper()
+		svc := runtime.New(runtime.Config{})
+		srv, err := Open(Config{Service: svc, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.ServeBinary(ln)
+		t.Cleanup(func() {
+			if !srv.Draining() {
+				srv.Drain(context.Background())
+			}
+		})
+		return srv, ln.Addr().String()
+	}
+
+	srv1, addr := newGen("127.0.0.1:0")
+	c := binClient(t, "dfbin://"+addr, client.WithTenant("t0"))
+	ack, err := c.RegisterSchemaText(ctx, durableText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binary RegisterAck carries the version chain fields too.
+	if ack.Version != 1 || ack.Fingerprint != fmt.Sprintf("%016x", fingerprintOf(t, durableText)) {
+		t.Fatalf("binary ack = %+v", ack)
+	}
+	r1, err := c.EvalValues(ctx, "billing", "", map[string]value.Value{"amount": value.Int(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _ := newGen(addr) // same port: the client's dial target is unchanged
+	if rec := srv2.Recovery(); rec.Schemas != 1 {
+		t.Fatalf("recovery = %+v, want 1 schema", rec)
+	}
+	var r2 api.EvalResult
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// The same client, no re-registration: the first attempt may land on
+		// a connection the old server closed; the retry dials generation two
+		// and restores the bind before replaying.
+		r2, err = c.EvalValues(ctx, "billing", "", map[string]value.Value{"amount": value.Int(50)})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("eval after restart: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if r2.Error != "" || fmt.Sprint(r2.Values) != fmt.Sprint(r1.Values) {
+		t.Fatalf("restart changed the answer: %+v vs %+v", r2, r1)
+	}
+}
+
+// TestAsyncResultTimerSwept covers the TTL-timer bugfix pair: a delivered
+// result removes its registry entry (and stops its timer) immediately,
+// and Drain sweeps whatever is still pending instead of leaving timers
+// to fire into a dead server.
+func TestAsyncResultTimerSwept(t *testing.T) {
+	ctx := context.Background()
+	_, srv, hs, c := newTestStack(t, runtime.Config{},
+		func(cfg *Config) { cfg.ResultTTL = time.Hour })
+
+	countPending := func() int {
+		n := 0
+		srv.results.Range(func(any, any) bool { n++; return true })
+		return n
+	}
+
+	id, err := c.EvalAsync(ctx, api.EvalRequest{Schema: "quickstart",
+		Sources: map[string]any{"visits": 3, "spend": 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Result(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if n := countPending(); n != 0 {
+		t.Fatalf("%d pending results after delivery, want 0", n)
+	}
+
+	// Undelivered results: with an hour-long TTL only the drain sweep can
+	// clear them.
+	for i := 0; i < 3; i++ {
+		if _, err := c.EvalAsync(ctx, api.EvalRequest{Schema: "quickstart",
+			Sources: map[string]any{"visits": 3, "spend": 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for countPending() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d, want 3", countPending())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+	if n := countPending(); n != 0 {
+		t.Fatalf("%d pending results survived drain, want 0", n)
+	}
+}
+
+// TestDrainWakesLongPoll: a long poll parked in handleResult must not
+// ride out its full timeout when the server begins draining — it is
+// woken immediately, delivering the result if it is already there and
+// 503 otherwise.
+func TestDrainWakesLongPoll(t *testing.T) {
+	ctx := context.Background()
+	release := make(chan struct{})
+	svc := runtime.New(runtime.Config{Workers: 1})
+	srv := New(Config{Service: svc, ResultTTL: time.Hour})
+	srv.schemas["blocker"] = newEntry(blockerSchema(t, release), "", "", 1)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c, err := client.New(hs.URL, client.WithTenant("t0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	id, err := c.EvalAsync(ctx, api.EvalRequest{Schema: "blocker", Sources: map[string]any{"x": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var pollStatus int
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequest(http.MethodGet, hs.URL+"/v1/results/"+id+"?timeout=300s", nil)
+		req.Header.Set(api.TenantHeader, "t0")
+		resp, err := hs.Client().Do(req)
+		if err != nil {
+			return
+		}
+		resp.Body.Close()
+		pollStatus = resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // drain flips, then blocks on the eval
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("long poll still parked after drain began")
+	}
+	if pollStatus != http.StatusServiceUnavailable {
+		t.Fatalf("woken long poll got HTTP %d, want 503", pollStatus)
+	}
+	close(release) // let the blocked eval finish so drain completes
+	<-drained
+}

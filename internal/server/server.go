@@ -79,6 +79,18 @@ type Config struct {
 	MaxTenants int
 	// MaxBodyBytes bounds request bodies (0 = 8 MiB).
 	MaxBodyBytes int64
+	// DataDir, when non-empty, makes the schema registry durable: accepted
+	// registrations append to a write-ahead log under this directory
+	// before acking, and Open replays snapshot+log on boot (verifying each
+	// schema's fingerprint). Empty keeps the registry in memory only.
+	DataDir string
+	// SnapshotEvery is how many WAL appends trigger a snapshot rewrite and
+	// log truncation (0 = 256). Only meaningful with DataDir.
+	SnapshotEvery int
+	// MaxShadowInFlight bounds concurrent shadow-candidate evaluations
+	// (0 = 64); sampled evals beyond it are counted as skipped, never
+	// queued — shadow work must not be able to starve live traffic.
+	MaxShadowInFlight int
 }
 
 // Server is the HTTP front end. Create with New, expose via Handler,
@@ -89,8 +101,14 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu      sync.RWMutex // guards schemas
+	mu      sync.RWMutex // guards schemas, versions, and the wal store
 	schemas map[string]*schemaEntry
+	// versions is the per-name monotone version counter, surviving head
+	// replacement and shadow registration (both consume a version).
+	versions map[string]uint64
+	// wal is the durable registry store; nil without Config.DataDir.
+	wal      *walStore
+	recovery RecoveryInfo
 
 	tmu     sync.Mutex // guards tenants
 	tenants map[string]*tenant
@@ -121,32 +139,79 @@ type Server struct {
 	bconns     map[*binConn]struct{}
 }
 
-// schemaEntry is one registered schema with its pre-resolved targets.
-// owner is the tenant that registered it ("" for built-ins): the schema
-// namespace is shared for reads, but only the owner may replace an
+// schemaEntry is one registered schema version with its pre-resolved
+// targets. owner is the tenant that registered it ("" for built-ins): the
+// schema namespace is shared for reads, but only the owner may replace an
 // entry — without this, any tenant could silently swap another tenant's
 // schema and change its eval results.
+//
+// Entries are immutable once installed (shadow is the one mutable slot,
+// and it is atomic), which is what makes version pinning free: everything
+// in flight — a sync handler, an async Done closure, a batch, a binary
+// bind — captured its *schemaEntry at admission and finishes on that
+// version no matter how many re-registrations land meanwhile. New
+// admissions resolve the registry head.
 type schemaEntry struct {
 	schema      *core.Schema
 	owner       string
 	targetIDs   []core.AttrID
 	targetNames []string
+	// version is the per-name monotone registration version; text is the
+	// source it was registered from ("" for built-ins, which are never
+	// persisted); fingerprint caches schema.Fingerprint().
+	version     uint64
+	text        string
+	fingerprint uint64
+	// prev links the superseded version chain (introspection only;
+	// pinning works by capture). Trimmed to maxVersionChain so
+	// re-registration churn cannot grow memory without bound.
+	prev *schemaEntry
+	// shadow is the candidate version under shadow comparison, if any.
+	shadow atomic.Pointer[shadowState]
 }
 
-func newEntry(s *core.Schema, owner string) *schemaEntry {
-	e := &schemaEntry{schema: s, owner: owner, targetIDs: s.Targets()}
+// maxVersionChain bounds how many superseded versions stay linked.
+const maxVersionChain = 8
+
+func newEntry(s *core.Schema, owner, text string, version uint64) *schemaEntry {
+	e := &schemaEntry{schema: s, owner: owner, targetIDs: s.Targets(),
+		version: version, text: text, fingerprint: s.Fingerprint()}
 	for _, id := range e.targetIDs {
 		e.targetNames = append(e.targetNames, s.Attr(id).Name)
 	}
 	return e
 }
 
+// chainTo links e on top of prev and trims the tail of the chain.
+func (e *schemaEntry) chainTo(prev *schemaEntry) {
+	e.prev = prev
+	p := e
+	for i := 0; i < maxVersionChain && p.prev != nil; i++ {
+		p = p.prev
+	}
+	p.prev = nil
+}
+
 // ErrDraining is returned (as a 503) to evals arriving during shutdown.
 var ErrDraining = errors.New("server: draining")
 
 // New builds a Server over the service, preloading the built-in flows
-// ("quickstart", "pattern") into the schema registry.
+// ("quickstart", "pattern") into the schema registry. It panics on a
+// recovery failure; servers with a Config.DataDir should prefer Open,
+// which surfaces a damaged data directory as an error instead.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open is New returning recovery errors: with Config.DataDir set it
+// replays the registry snapshot+WAL, verifying each recovered schema's
+// fingerprint, truncating (and reporting) a torn final log record, and
+// refusing to serve on any corruption or verification mismatch.
+func Open(cfg Config) (*Server, error) {
 	if cfg.Service == nil {
 		panic("server: Config.Service is required")
 	}
@@ -174,12 +239,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.MaxShadowInFlight <= 0 {
+		cfg.MaxShadowInFlight = 64
+	}
 	s := &Server{
 		cfg:      cfg,
 		svc:      cfg.Service,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		schemas:  make(map[string]*schemaEntry),
+		versions: make(map[string]uint64),
 		tenants:  make(map[string]*tenant),
 		stopWake: make(chan struct{}),
 		bconns:   make(map[*binConn]struct{}),
@@ -189,19 +258,91 @@ func New(cfg Config) *Server {
 		if err != nil {
 			panic(err)
 		}
-		s.schemas[name] = newEntry(sch, "")
+		s.schemas[name] = newEntry(sch, "", "", 1)
+		s.versions[name] = 1
+	}
+	if cfg.DataDir != "" {
+		if err := s.recover(cfg.DataDir, cfg.SnapshotEvery); err != nil {
+			return nil, err
+		}
 	}
 	s.mux.HandleFunc("POST /v1/schemas", s.handleSchemas)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/eval/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/schemas/{name}/shadow", s.handleShadowReport)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.ShedP99 > 0 {
 		go s.watchP99()
 	}
-	return s
+	return s, nil
 }
+
+// recover opens the durable registry under dir and replays it into the
+// in-memory registry: snapshot first, then the log, verifying each
+// schema's deterministic fingerprint against the logged one.
+func (s *Server) recover(dir string, snapEvery int) error {
+	begin := time.Now()
+	w, recs, torn, err := openWALStore(dir, snapEvery)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := s.applyRecord(rec); err != nil {
+			w.close()
+			return err
+		}
+	}
+	s.wal = w
+	s.recovery = RecoveryInfo{Enabled: true, TornBytes: torn}
+	for _, e := range s.schemas {
+		if e.text != "" {
+			s.recovery.Schemas++
+		}
+		if e.shadow.Load() != nil {
+			s.recovery.Shadows++
+		}
+	}
+	s.recovery.Duration = time.Since(begin)
+	return nil
+}
+
+// applyRecord replays one WAL record: re-parse the logged text, verify the
+// fingerprint, install as head (live) or attach as shadow candidate.
+func (s *Server) applyRecord(rec api.WALRecord) error {
+	sch, err := core.ParseSchema(rec.Text)
+	if err != nil {
+		return fmt.Errorf("server: recovery: schema %q v%d does not parse: %w", rec.Name, rec.Version, err)
+	}
+	if sch.Name() != rec.Name {
+		return fmt.Errorf("server: recovery: record for %q holds schema %q", rec.Name, sch.Name())
+	}
+	flows.BindDefaultComputes(sch)
+	if got := sch.Fingerprint(); got != rec.Fingerprint {
+		return fmt.Errorf("server: recovery: schema %q v%d fingerprint mismatch (logged %016x, recovered %016x)",
+			rec.Name, rec.Version, rec.Fingerprint, got)
+	}
+	entry := newEntry(sch, rec.Tenant, rec.Text, rec.Version)
+	if rec.Version > s.versions[rec.Name] {
+		s.versions[rec.Name] = rec.Version
+	}
+	switch rec.Kind {
+	case api.WALKindSchema:
+		entry.chainTo(s.schemas[rec.Name])
+		s.schemas[rec.Name] = entry
+	case api.WALKindShadow:
+		head := s.schemas[rec.Name]
+		if head == nil {
+			return fmt.Errorf("server: recovery: shadow record for %q without a live schema", rec.Name)
+		}
+		head.shadow.Store(newShadowState(entry, int(rec.SampleEvery)))
+	}
+	return nil
+}
+
+// Recovery reports the boot replay summary (zero value without a DataDir).
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -213,8 +354,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // close the underlying service and flush-and-close the binary
 // connections. It returns the final runtime stats. The HTTP listener
 // should stop accepting before or concurrently with Drain
-// (http.Server.Shutdown); long-poll result fetches keep working
-// throughout, so in-flight work is flushed to its callers on both wires.
+// (http.Server.Shutdown). Long-poll result fetches blocked in
+// handleResult are woken immediately with 503 + Draining (delivering the
+// result instead if it is already there) so clients re-resolve to a
+// healthy peer; binary in-flight evals are still flushed to their
+// connections. Once everything admitted has completed, pending async
+// results and their TTL timers are swept, and a durable registry writes a
+// final snapshot so the next boot replays snapshot-only.
 func (s *Server) Drain(ctx context.Context) (runtime.Stats, error) {
 	s.drainMu.Lock()
 	already := s.draining
@@ -256,6 +402,31 @@ func (s *Server) Drain(ctx context.Context) (runtime.Stats, error) {
 	// claim released, so shutdown flushes all of them before closing.
 	for _, c := range conns {
 		c.shutdown()
+	}
+	// Sweep undelivered async results: every waiter has been woken via
+	// stopWake, and (when the wait completed) every Done callback has run,
+	// so each pending's TTL timer exists — stop them all rather than leave
+	// timers firing into a closed server.
+	s.results.Range(func(k, v any) bool {
+		p := v.(*pending)
+		select {
+		case <-p.done:
+			if p.tm != nil {
+				p.tm.Stop()
+			}
+		default: // drain timed out with the instance still in flight
+		}
+		s.results.Delete(k)
+		return true
+	})
+	if s.wal != nil {
+		s.mu.Lock()
+		if err == nil {
+			s.wal.snapshot(s.walStateLocked())
+		}
+		s.wal.close()
+		s.wal = nil
+		s.mu.Unlock()
 	}
 	return st, err
 }
@@ -450,8 +621,11 @@ type registerError struct {
 
 // registerSchema parses and installs a schema for tenantName — the
 // registration core shared by the HTTP and binary front ends. The caller
-// has already metered the request under the tenant's admission.
-func (s *Server) registerSchema(tenantName, text string) (api.SchemaResponse, *registerError) {
+// has already metered the request under the tenant's admission. With
+// shadow set the schema installs as a shadow candidate on the existing
+// live version instead of replacing it. When the registry is durable, the
+// WAL record is appended and fsynced before the caller is acked.
+func (s *Server) registerSchema(tenantName, text string, shadow bool, sampleEvery int) (api.SchemaResponse, *registerError) {
 	sch, err := core.ParseSchema(text)
 	if err != nil {
 		return api.SchemaResponse{}, &registerError{http.StatusBadRequest, err.Error()}
@@ -459,27 +633,99 @@ func (s *Server) registerSchema(tenantName, text string) (api.SchemaResponse, *r
 	// Foreign results are served by a deterministic hash compute — the
 	// wire carries structure, not code (see flows.BindDefaultComputes).
 	flows.BindDefaultComputes(sch)
-	entry := newEntry(sch, tenantName)
+	if s.Draining() {
+		// A draining server must not accept registrations: its WAL is
+		// about to seal, and an unpersisted ack would be a silent lie.
+		return api.SchemaResponse{}, &registerError{http.StatusServiceUnavailable, ErrDraining.Error()}
+	}
+	name := sch.Name()
 	s.mu.Lock()
-	if prev, exists := s.schemas[sch.Name()]; exists {
+	prev, exists := s.schemas[name]
+	if exists {
 		if prev.owner != tenantName {
 			s.mu.Unlock()
 			return api.SchemaResponse{}, &registerError{http.StatusForbidden,
-				fmt.Sprintf("schema %q is owned by another tenant", sch.Name())}
+				fmt.Sprintf("schema %q is owned by another tenant", name)}
 		}
-	} else if len(s.schemas) >= s.cfg.MaxSchemas {
-		s.mu.Unlock()
-		return api.SchemaResponse{}, &registerError{http.StatusInsufficientStorage, "schema registry full"}
+	} else {
+		if shadow {
+			s.mu.Unlock()
+			return api.SchemaResponse{}, &registerError{http.StatusNotFound,
+				fmt.Sprintf("no live schema %q to shadow", name)}
+		}
+		if len(s.schemas) >= s.cfg.MaxSchemas {
+			s.mu.Unlock()
+			return api.SchemaResponse{}, &registerError{http.StatusInsufficientStorage, "schema registry full"}
+		}
 	}
-	s.schemas[sch.Name()] = entry
+	version := s.versions[name] + 1
+	entry := newEntry(sch, tenantName, text, version)
+	if s.wal != nil {
+		rec := api.WALRecord{Kind: api.WALKindSchema, Tenant: tenantName, Name: name,
+			Version: version, Fingerprint: entry.fingerprint, Text: text}
+		if shadow {
+			rec.Kind = api.WALKindShadow
+			rec.SampleEvery = uint64(max(sampleEvery, 1))
+		}
+		// Durability before acknowledgment: if the record cannot be made
+		// durable the registration did not happen.
+		if err := s.wal.append(rec); err != nil {
+			s.mu.Unlock()
+			return api.SchemaResponse{}, &registerError{http.StatusInternalServerError, err.Error()}
+		}
+	}
+	s.versions[name] = version
+	if shadow {
+		prev.shadow.Store(newShadowState(entry, sampleEvery))
+	} else {
+		entry.chainTo(prev)
+		s.schemas[name] = entry
+	}
+	if s.wal != nil && s.wal.wantSnapshot() {
+		// Advisory: a failed snapshot leaves snapshot+log recoverable.
+		s.wal.snapshot(s.walStateLocked())
+	}
 	s.mu.Unlock()
-	// Invalidate binary binds that may now refer to a superseded entry.
-	s.schemaGen.Add(1)
+	if !shadow {
+		// Invalidate binary binds that may now refer to a superseded entry.
+		s.schemaGen.Add(1)
+	}
 	return api.SchemaResponse{
-		Name:    sch.Name(),
-		Attrs:   sch.NumAttrs(),
-		Targets: entry.targetNames,
+		Name:        name,
+		Attrs:       sch.NumAttrs(),
+		Targets:     entry.targetNames,
+		Version:     version,
+		Fingerprint: fmt.Sprintf("%016x", entry.fingerprint),
+		Shadow:      shadow,
 	}, nil
+}
+
+// walStateLocked renders the registry's current durable state — every
+// tenant-registered head plus attached shadow candidates — as the record
+// stream a snapshot holds. Called with s.mu held.
+func (s *Server) walStateLocked() []api.WALRecord {
+	names := make([]string, 0, len(s.schemas))
+	for name, e := range s.schemas {
+		if e.text != "" || e.shadow.Load() != nil {
+			names = append(names, name)
+		}
+	}
+	slices.Sort(names)
+	var recs []api.WALRecord
+	for _, name := range names {
+		e := s.schemas[name]
+		if e.text != "" {
+			recs = append(recs, api.WALRecord{Kind: api.WALKindSchema, Tenant: e.owner,
+				Name: name, Version: e.version, Fingerprint: e.fingerprint, Text: e.text})
+		}
+		if sh := e.shadow.Load(); sh != nil {
+			c := sh.cand
+			recs = append(recs, api.WALRecord{Kind: api.WALKindShadow, Tenant: c.owner,
+				Name: name, Version: c.version, Fingerprint: c.fingerprint,
+				SampleEvery: sh.sampleEvery, Text: c.text})
+		}
+	}
+	return recs
 }
 
 func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
@@ -505,12 +751,31 @@ func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	resp, rerr := s.registerSchema(tenantName, req.Text)
+	resp, rerr := s.registerSchema(tenantName, req.Text, req.Shadow, req.ShadowSampleEvery)
 	if rerr != nil {
 		writeErr(w, rerr.httpStatus, rerr.msg, 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShadowReport serves GET /v1/schemas/{name}/shadow: the running
+// live-vs-candidate comparison for a schema with a shadow registration.
+func (s *Server) handleShadowReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	entry := s.schemas[name]
+	s.mu.RUnlock()
+	if entry == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown schema %q", name), 0)
+		return
+	}
+	sh := entry.shadow.Load()
+	if sh == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("schema %q has no shadow candidate", name), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, sh.report(name, entry.version))
 }
 
 // registerShedMsg phrases a registration shed cause (registration is
@@ -620,6 +885,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	shc := s.shadowSample(entry, tenantName, st, src, nil)
 	resCh := make(chan api.EvalResult, 1)
 	cancel, err := s.svc.SubmitCancel(runtime.Request{
 		Schema:   entry.schema,
@@ -628,6 +894,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		Tenant:   tenantName,
 		Ctx:      r.Context(),
 		Done: func(res *engine.Result) {
+			s.shadowFinish(shc, entry, res)
 			resCh <- buildResult(entry, res)
 		},
 	})
@@ -656,25 +923,34 @@ type pending struct {
 	tenant string
 	done   chan struct{}
 	result api.EvalResult
+	// tm is the result's TTL reaper, written before done closes and
+	// stopped when the result delivers (or the server drains) — without
+	// the stop, sustained async load piles up one live timer per eval for
+	// the full TTL, and stragglers fire after Close.
+	tm *time.Timer
 }
 
 func (s *Server) evalAsync(w http.ResponseWriter, t *tenant, tenantName string, entry *schemaEntry, st engine.Strategy, src map[string]value.Value) {
 	id := strconv.FormatUint(s.resultSeq.Add(1), 36)
 	p := &pending{tenant: tenantName, done: make(chan struct{})}
 	s.results.Store(id, p)
+	shc := s.shadowSample(entry, tenantName, st, src, nil)
 	err := s.svc.Submit(runtime.Request{
 		Schema:   entry.schema,
 		Sources:  src,
 		Strategy: st,
 		Tenant:   tenantName,
 		Done: func(res *engine.Result) {
+			s.shadowFinish(shc, entry, res)
 			p.result = buildResult(entry, res)
+			// Unfetched results expire so abandoned polls can't pin
+			// memory. The timer must exist before the WaitGroup claim
+			// releases: Drain's sweep runs after evals.Wait, so it is
+			// guaranteed to see (and stop) every timer.
+			p.tm = time.AfterFunc(s.cfg.ResultTTL, func() { s.results.Delete(id) })
 			close(p.done)
 			t.release(1)
 			s.evals.Done()
-			// Unfetched results expire so abandoned polls can't pin
-			// memory.
-			time.AfterFunc(s.cfg.ResultTTL, func() { s.results.Delete(id) })
 		},
 	})
 	if err != nil {
@@ -712,17 +988,34 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = min(max(d, 0), 2*time.Minute)
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case <-p.done:
-		// Results deliver once: of two concurrent polls, only the one
-		// that wins the delete gets the body.
+	// deliver hands the result to exactly one poller: of two concurrent
+	// polls, only the one that wins the delete gets the body — and the
+	// winner also retires the TTL reaper (written before done closed).
+	deliver := func() {
 		if _, won := s.results.LoadAndDelete(id); !won {
 			writeErr(w, http.StatusNotFound, "unknown or expired result id", 0)
 			return
 		}
+		if p.tm != nil {
+			p.tm.Stop()
+		}
 		writeJSON(w, http.StatusOK, p.result)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-p.done:
+		deliver()
+	case <-s.stopWake:
+		// Drain began: fail fast with 503 so the client re-resolves to a
+		// healthy peer instead of hanging to its poll timeout — unless the
+		// result is already here, in which case deliver it on the way out.
+		select {
+		case <-p.done:
+			deliver()
+		default:
+			writeErr(w, http.StatusServiceUnavailable, ErrDraining.Error(), 0)
+		}
 	case <-timer.C:
 		writeJSON(w, http.StatusAccepted, api.PendingResponse{Pending: true})
 	case <-r.Context().Done():
@@ -787,6 +1080,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	wg.Add(n)
 	for i, src := range srcs {
 		i := i
+		shc := s.shadowSample(entry, tenantName, st, src, nil)
 		err := s.svc.Submit(runtime.Request{
 			Schema:   entry.schema,
 			Sources:  src,
@@ -794,6 +1088,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Tenant:   tenantName,
 			Ctx:      r.Context(),
 			Done: func(res *engine.Result) {
+				s.shadowFinish(shc, entry, res)
 				results[i] = buildResult(entry, res)
 				wg.Done()
 			},
@@ -816,6 +1111,7 @@ func (s *Server) batchStream(w http.ResponseWriter, r *http.Request, t *tenant, 
 	items := make(chan api.BatchItem, n)
 	for i, src := range srcs {
 		i := i
+		shc := s.shadowSample(entry, tenantName, st, src, nil)
 		err := s.svc.Submit(runtime.Request{
 			Schema:   entry.schema,
 			Sources:  src,
@@ -823,6 +1119,7 @@ func (s *Server) batchStream(w http.ResponseWriter, r *http.Request, t *tenant, 
 			Tenant:   tenantName,
 			Ctx:      r.Context(),
 			Done: func(res *engine.Result) {
+				s.shadowFinish(shc, entry, res)
 				items <- api.BatchItem{Index: i, EvalResult: buildResult(entry, res)}
 			},
 		})
@@ -870,14 +1167,28 @@ func (s *Server) statsResponse() (api.StatsResponse, error) {
 	for name := range s.schemas {
 		names = append(names, name)
 	}
-	s.mu.RUnlock()
 	slices.Sort(names)
+	details := make([]api.SchemaInfo, 0, len(names))
+	for _, name := range names {
+		e := s.schemas[name]
+		details = append(details, api.SchemaInfo{
+			Name:        name,
+			Version:     e.version,
+			Fingerprint: fmt.Sprintf("%016x", e.fingerprint),
+			Owner:       e.owner,
+			Shadow:      e.shadow.Load() != nil,
+		})
+	}
+	s.mu.RUnlock()
 	return api.StatsResponse{
-		Service:  svcStats,
-		Tenants:  tenants,
-		UptimeMs: time.Since(s.start).Milliseconds(),
-		Draining: s.Draining(),
-		Schemas:  names,
+		Service:          svcStats,
+		Tenants:          tenants,
+		UptimeMs:         time.Since(s.start).Milliseconds(),
+		Draining:         s.Draining(),
+		Schemas:          names,
+		SchemaDetails:    details,
+		RecoveredSchemas: s.recovery.Schemas,
+		RecoveryMs:       s.recovery.Duration.Milliseconds(),
 	}, nil
 }
 

@@ -491,7 +491,7 @@ func TestQueueWatermarkShed(t *testing.T) {
 		runtime.Config{Workers: 1}, // single worker: one blocked compute stalls the queue
 		func(cfg *Config) { cfg.ShedQueueDepth = 2 })
 	srv.mu.Lock()
-	srv.schemas["blocker"] = newEntry(blockerSchema(t, release), "")
+	srv.schemas["blocker"] = newEntry(blockerSchema(t, release), "", "", 1)
 	srv.mu.Unlock()
 
 	// One blocking instance pins the worker; the next three queue up

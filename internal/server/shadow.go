@@ -1,0 +1,226 @@
+package server
+
+// Shadow evaluation: a candidate schema version registered with
+// shadow=true runs alongside the live version on a sampled fraction of the
+// owning tenant's traffic, and the server reports where the two versions'
+// decisions diverge — the dark-launch check before cutting a new version
+// over. Shadow instances are background work: they run with
+// runtime.Request.Shadow set (invisible to serving metrics and the
+// overload sampler), under their own in-flight cap, and a sampled eval
+// that cannot run (cap hit, drain) is counted as skipped rather than
+// queued — the live path never waits for its shadow.
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/runtime"
+	"repro/internal/value"
+)
+
+// maxShadowExamples bounds the diverging source vectors retained per
+// tenant for the report.
+const maxShadowExamples = 4
+
+// shadowState is one schema's running comparison, attached to the live
+// entry it shadows (re-registering the live schema detaches it: the
+// experiment's baseline is gone).
+type shadowState struct {
+	cand        *schemaEntry // the candidate version under test
+	sampleEvery uint64
+	ctr         atomic.Uint64 // live evals seen, for stride sampling
+	inflight    atomic.Int64
+	skipped     atomic.Uint64
+
+	mu      sync.Mutex
+	tenants map[string]*shadowTenantState
+}
+
+type shadowTenantState struct {
+	sampled  uint64
+	diverged uint64
+	errs     uint64
+	examples []api.ShadowExample
+}
+
+func newShadowState(cand *schemaEntry, sampleEvery int) *shadowState {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &shadowState{cand: cand, sampleEvery: uint64(sampleEvery),
+		tenants: make(map[string]*shadowTenantState)}
+}
+
+// shadowCapture carries one sampled live eval from its admission to the
+// candidate's completion: the source vector, the live decision, and where
+// to record the comparison.
+type shadowCapture struct {
+	sh       *shadowState
+	tenant   string
+	strategy engine.Strategy
+	src      map[string]value.Value
+	liveVals map[string]any
+	liveErr  string
+}
+
+// shadowSample decides on the eval hot path whether this live eval is
+// sampled for shadow comparison; the unsampled (and un-shadowed) cost is
+// one atomic load. Sources arrive either name-keyed (src) or as the binary
+// path's dense slots, which are copied out here — the pooled slot buffer
+// recycles when the live eval completes, the shadow outlives it.
+func (s *Server) shadowSample(entry *schemaEntry, tenantName string, st engine.Strategy, src map[string]value.Value, slots []value.Value) *shadowCapture {
+	sh := entry.shadow.Load()
+	if sh == nil {
+		return nil
+	}
+	if (sh.ctr.Add(1)-1)%sh.sampleEvery != 0 {
+		return nil
+	}
+	shc := &shadowCapture{sh: sh, tenant: tenantName, strategy: st, src: src}
+	if src == nil {
+		m := make(map[string]value.Value)
+		sch := entry.schema
+		for id := 0; id < sch.NumAttrs() && id < len(slots); id++ {
+			a := sch.Attr(core.AttrID(id))
+			if a.IsSource() && !slots[id].IsNull() {
+				m[a.Name] = slots[id]
+			}
+		}
+		shc.src = m
+	}
+	return shc
+}
+
+// shadowFinish runs inside the live instance's Done callback: it captures
+// the live decision while the pooled snapshot is still valid, then submits
+// the candidate as background work. nil capture (unsampled) is a no-op.
+func (s *Server) shadowFinish(shc *shadowCapture, entry *schemaEntry, res *engine.Result) {
+	if shc == nil {
+		return
+	}
+	shc.liveVals = targetJSON(entry, res)
+	if res.Err != nil {
+		shc.liveErr = res.Err.Error()
+	}
+	sh := shc.sh
+	if s.Draining() {
+		sh.skipped.Add(1)
+		return
+	}
+	if sh.inflight.Add(1) > int64(s.cfg.MaxShadowInFlight) {
+		sh.inflight.Add(-1)
+		sh.skipped.Add(1)
+		return
+	}
+	cand := sh.cand
+	err := s.svc.Submit(runtime.Request{
+		Schema:   cand.schema,
+		Sources:  shc.src,
+		Strategy: shc.strategy,
+		Shadow:   true,
+		Done: func(res *engine.Result) {
+			shadowVals := targetJSON(cand, res)
+			shadowErr := ""
+			if res.Err != nil {
+				shadowErr = res.Err.Error()
+			}
+			sh.recordOutcome(shc, shadowVals, shadowErr)
+			sh.inflight.Add(-1)
+		},
+	})
+	if err != nil {
+		// Service closed under us (drain race): coverage lost, counted.
+		sh.inflight.Add(-1)
+		sh.skipped.Add(1)
+	}
+}
+
+// targetJSON renders an instance's target values in the JSON-any form of
+// EvalResult.Values — a deep copy, so nothing aliases the pooled snapshot.
+func targetJSON(entry *schemaEntry, res *engine.Result) map[string]any {
+	out := make(map[string]any, len(entry.targetIDs))
+	for i, id := range entry.targetIDs {
+		out[entry.targetNames[i]] = api.ToJSON(res.Snapshot.Val(id))
+	}
+	return out
+}
+
+// recordOutcome folds one completed comparison into the per-tenant
+// counters. Divergence means the versions decided differently: any target
+// value differing (targets are compared by name over both versions'
+// target sets; a target only one version has diverges unless it is ⟂), or
+// exactly one side erroring.
+func (sh *shadowState) recordOutcome(shc *shadowCapture, shadowVals map[string]any, shadowErr string) {
+	liveOK, shadowOK := shc.liveErr == "", shadowErr == ""
+	diverged := liveOK != shadowOK
+	if liveOK && shadowOK {
+		diverged = !targetsEqual(shc.liveVals, shadowVals)
+	}
+	sh.mu.Lock()
+	ts := sh.tenants[shc.tenant]
+	if ts == nil {
+		ts = &shadowTenantState{}
+		sh.tenants[shc.tenant] = ts
+	}
+	ts.sampled++
+	if diverged {
+		ts.diverged++
+		if !shadowOK && liveOK {
+			ts.errs++
+		}
+		if len(ts.examples) < maxShadowExamples {
+			ts.examples = append(ts.examples, api.ShadowExample{
+				Sources:     api.EncodeSources(shc.src),
+				Live:        shc.liveVals,
+				Shadow:      shadowVals,
+				LiveError:   shc.liveErr,
+				ShadowError: shadowErr,
+			})
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// targetsEqual compares two JSON-form target maps over the union of their
+// keys; a key only one side has counts as equal only when its value is
+// null (a missing target is ⟂).
+func targetsEqual(a, b map[string]any) bool {
+	for k, va := range a {
+		if !reflect.DeepEqual(va, b[k]) {
+			return false
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok && vb != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// report renders the running comparison for GET /v1/schemas/{name}/shadow.
+func (sh *shadowState) report(name string, liveVersion uint64) api.ShadowReport {
+	rep := api.ShadowReport{
+		Schema:        name,
+		LiveVersion:   liveVersion,
+		ShadowVersion: sh.cand.version,
+		SampleEvery:   int(sh.sampleEvery),
+		Skipped:       sh.skipped.Load(),
+		Tenants:       make(map[string]api.ShadowTenant),
+	}
+	sh.mu.Lock()
+	for tenant, ts := range sh.tenants {
+		rep.Tenants[tenant] = api.ShadowTenant{
+			Sampled:  ts.sampled,
+			Diverged: ts.diverged,
+			Errors:   ts.errs,
+			Examples: append([]api.ShadowExample(nil), ts.examples...),
+		}
+	}
+	sh.mu.Unlock()
+	return rep
+}

@@ -1,0 +1,232 @@
+package server
+
+// Durable schema registry storage: an append-only write-ahead log plus a
+// periodically rewritten snapshot, both streams of api.WALRecord under the
+// server's data directory. Registration appends (and fsyncs) before the
+// client is acked; boot replays snapshot then log, re-parses every schema
+// text and verifies its deterministic fingerprint against the logged one.
+//
+// Damage policy follows the record codec's taxonomy: a torn final log
+// record (crash mid-append) is truncated away with a warning — the
+// registration it held was never acked; any corrupt record, torn snapshot,
+// or fingerprint mismatch refuses recovery outright, because serving wrong
+// schemas silently is worse than not serving.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/api"
+)
+
+// walMagic opens both registry files; a file that exists but starts
+// otherwise belongs to something else and recovery refuses it.
+const walMagic = "DFWAL1\n"
+
+const (
+	walFileName  = "registry.wal"
+	snapFileName = "registry.snap"
+)
+
+// defaultSnapshotEvery is how many log appends trigger a snapshot rewrite
+// and log truncation.
+const defaultSnapshotEvery = 256
+
+// walStore owns the two registry files. All methods are called with the
+// server's registry lock held (registration is cold), so it needs no lock
+// of its own.
+type walStore struct {
+	dir       string
+	log       *os.File
+	logRecs   int // records appended to the log since its last truncation
+	snapEvery int
+	buf       []byte
+}
+
+// RecoveryInfo summarizes a boot replay of the durable registry.
+type RecoveryInfo struct {
+	// Enabled is true when the server runs over a data directory.
+	Enabled bool
+	// Schemas / Shadows count recovered live schemas and shadow candidates.
+	Schemas int
+	Shadows int
+	// Duration is the wall-clock time of the replay (read, parse, verify).
+	Duration time.Duration
+	// TornBytes is the size of a torn final log record that was truncated
+	// away (0 when the log ended cleanly).
+	TornBytes int64
+}
+
+// openWALStore opens (creating as needed) the registry files under dir and
+// returns the store plus the records to replay, snapshot first. A torn
+// final log record is truncated in place and reported via tornBytes;
+// corruption anywhere returns an error.
+func openWALStore(dir string, snapEvery int) (w *walStore, recs []api.WALRecord, tornBytes int64, err error) {
+	if snapEvery <= 0 {
+		snapEvery = defaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("server: datadir: %w", err)
+	}
+	snapPath := filepath.Join(dir, snapFileName)
+	if snap, err := os.ReadFile(snapPath); err == nil {
+		recs, _, err = decodeWALFile(snap, false)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("server: snapshot %s: %w", snapPath, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, 0, fmt.Errorf("server: snapshot: %w", err)
+	}
+
+	logPath := filepath.Join(dir, walFileName)
+	raw, err := os.ReadFile(logPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, 0, fmt.Errorf("server: wal: %w", err)
+	}
+	logRecs, keep := []api.WALRecord(nil), int64(0)
+	if err == nil {
+		logRecs, keep, err = decodeWALFile(raw, true)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("server: wal %s: %w", logPath, err)
+		}
+		tornBytes = int64(len(raw)) - keep
+	}
+
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("server: wal: %w", err)
+	}
+	if keep < int64(len(walMagic)) {
+		// Fresh file, or a crash before even the magic landed.
+		keep = int64(len(walMagic))
+		if err := f.Truncate(0); err == nil {
+			_, err = f.WriteAt([]byte(walMagic), 0)
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("server: wal init: %w", err)
+		}
+	} else if keep < int64(len(raw)) {
+		// Torn final record: cut the log back to the last good boundary.
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("server: wal truncate: %w", err)
+		}
+	}
+	if _, err := f.Seek(keep, 0); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("server: wal seek: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("server: wal sync: %w", err)
+	}
+	return &walStore{dir: dir, log: f, logRecs: len(logRecs), snapEvery: snapEvery},
+		append(recs, logRecs...), tornBytes, nil
+}
+
+// decodeWALFile decodes a whole registry file. With tolerateTorn (the log),
+// a torn trailing record stops the decode cleanly and keep reports the
+// offset of the last good boundary; without it (the snapshot, written
+// atomically) any damage is an error. Corrupt records are errors in both.
+func decodeWALFile(b []byte, tolerateTorn bool) (recs []api.WALRecord, keep int64, err error) {
+	if len(b) < len(walMagic) {
+		if tolerateTorn {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("%w: missing file magic", api.ErrWALCorrupt)
+	}
+	if string(b[:len(walMagic)]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: bad file magic", api.ErrWALCorrupt)
+	}
+	off := int64(len(walMagic))
+	rest := b[off:]
+	for len(rest) > 0 {
+		rec, n, err := api.DecodeWALRecord(rest)
+		if err != nil {
+			if tolerateTorn && errors.Is(err, api.ErrWALTorn) {
+				return recs, off, nil
+			}
+			return nil, 0, err
+		}
+		recs = append(recs, rec)
+		off += int64(n)
+		rest = rest[n:]
+	}
+	return recs, off, nil
+}
+
+// append durably adds one record: the write and fsync complete before the
+// caller acks the registration.
+func (w *walStore) append(rec api.WALRecord) error {
+	w.buf = api.AppendWALRecord(w.buf[:0], rec)
+	if _, err := w.log.Write(w.buf); err != nil {
+		return fmt.Errorf("server: wal append: %w", err)
+	}
+	if err := w.log.Sync(); err != nil {
+		return fmt.Errorf("server: wal sync: %w", err)
+	}
+	w.logRecs++
+	return nil
+}
+
+// wantSnapshot reports whether enough has accumulated in the log that the
+// caller should hand the full registry state to snapshot.
+func (w *walStore) wantSnapshot() bool { return w.logRecs >= w.snapEvery }
+
+// snapshot atomically replaces the snapshot file with the given full
+// registry state (write temp, fsync, rename) and truncates the log. A
+// failed snapshot leaves the previous snapshot+log intact — the state is
+// still fully recoverable, so the error is advisory.
+func (w *walStore) snapshot(recs []api.WALRecord) error {
+	tmp := filepath.Join(w.dir, snapFileName+".tmp")
+	buf := append(w.buf[:0], walMagic...)
+	for _, rec := range recs {
+		buf = api.AppendWALRecord(buf, rec)
+	}
+	w.buf = buf
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapFileName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if d, err := os.Open(w.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	// The snapshot now covers everything in the log; reset the log so a
+	// crash between here and the next append replays snapshot-only.
+	if err := w.log.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("server: wal reset: %w", err)
+	}
+	if _, err := w.log.Seek(int64(len(walMagic)), 0); err != nil {
+		return fmt.Errorf("server: wal reset: %w", err)
+	}
+	if err := w.log.Sync(); err != nil {
+		return fmt.Errorf("server: wal reset: %w", err)
+	}
+	w.logRecs = 0
+	return nil
+}
+
+func (w *walStore) close() {
+	if w != nil && w.log != nil {
+		w.log.Close()
+	}
+}
