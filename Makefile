@@ -56,9 +56,11 @@ chaos:
 # assert the graceful drain flushed everything. TestSmokeRestart then
 # cycles the daemon over one -datadir — register, load, SIGTERM,
 # relaunch, re-drive without re-registering — plus the SIGKILL and
-# torn-WAL-tail crash variants.
+# torn-WAL-tail crash variants. TestSmokePeerFleet boots a 3-process
+# -peers fleet, drives load through one node, rolling-restarts every
+# node in turn under SLO assertions, and requires every drain clean.
 smoke:
-	$(GO) test -count=1 -run 'TestSmokeBinaries|TestSmokeRestart' ./cmd/dfsd
+	$(GO) test -count=1 -run 'TestSmokeBinaries|TestSmokeRestart|TestSmokePeerFleet' ./cmd/dfsd
 
 # Coverage across every package; cover.out is the CI artifact, the
 # function summary line is the human-readable take-away. cmd/dfsd is

@@ -41,8 +41,10 @@ import (
 
 func main() {
 	var cf cliconf.Flags
+	var pf cliconf.PeerFlags
 	fs := flag.CommandLine
 	cf.Register(fs)
+	pf.Register(fs)
 	var (
 		addr         = fs.String("addr", ":8180", "HTTP/JSON listen address")
 		binAddr      = fs.String("binaddr", ":8181", "dfbin binary-protocol listen address (empty disables)")
@@ -68,13 +70,18 @@ func main() {
 	// bound; the window also makes the shed-p99 watermark track *recent*
 	// tail latency instead of the all-time percentile.
 	cf.LatencyWindow = *latWindow
+	if err := pf.Validate(&cf); err != nil {
+		fail(err)
+	}
 	built, err := cf.Build()
 	if err != nil {
 		fail(err)
 	}
 
 	srv, err := server.Open(server.Config{
-		Service: built.Service,
+		Service:  built.Service,
+		Peers:    pf.Members(),
+		PeerSelf: pf.Self,
 		Tenant: server.TenantLimits{
 			RatePerSec:  *tenantRate,
 			Burst:       *tenantBurst,
@@ -104,6 +111,9 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Printf("dfsd: serving HTTP on %s — %s\n", ln.Addr(), cf.Describe())
+	if ms := pf.Members(); len(ms) > 0 {
+		fmt.Printf("dfsd: fleet of %d peers %v, self=%s\n", len(ms), ms, pf.Self)
+	}
 	if *tenantRate > 0 || *tenantFlight > 0 {
 		fmt.Printf("dfsd: tenant limits rate=%.0f/s burst=%d inflight=%d\n",
 			*tenantRate, *tenantBurst, *tenantFlight)

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// TestSmokePeerFleet is the front-end-tier smoke test `make smoke` runs
+// in CI: build the real dfsd and dfserve binaries, launch a 3-node fleet
+// wired by -peers/-self (one node taking its membership from a TOML
+// config file, covering the config-file form), drive remote load through
+// one node and assert the SLOs held (all instances answered, zero
+// errors) and that queries actually crossed the fleet (?fleet=1
+// aggregation shows forwards and an exact fleet-wide launch identity).
+// Then the rolling-restart story: SIGTERM each node in turn, drive load
+// through a survivor while it is down — zero surfaced errors, the
+// breaker absorbs the dead link — relaunch it on the same address, and
+// finish with the full fleet healthy and every drain clean.
+func TestSmokePeerFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test builds and execs; skipped in -short")
+	}
+	dir := t.TempDir()
+	dfsd := filepath.Join(dir, "dfsd")
+	dfserve := filepath.Join(dir, "dfserve")
+	for bin, pkg := range map[string]string{dfsd: "repro/cmd/dfsd", dfserve: "repro/cmd/dfserve"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	const nNodes = 3
+	var httpAddrs, binAddrs [nNodes]string
+	for i := range httpAddrs {
+		httpAddrs[i] = freeAddr(t)
+		binAddrs[i] = freeAddr(t)
+	}
+	peers := strings.Join(binAddrs[:], ",")
+
+	// Node 2 exercises the config-file form of fleet membership.
+	cfgPath := filepath.Join(dir, "node2.toml")
+	cfg := fmt.Sprintf("# node 2 fleet membership\npeers = %q\nself = %q\n", peers, binAddrs[2])
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmds := make([]*exec.Cmd, nNodes)
+	outs := make([]*syncBuffer, nNodes)
+	launch := func(t *testing.T, i int) {
+		t.Helper()
+		args := []string{
+			"-addr", httpAddrs[i], "-binaddr", binAddrs[i],
+			"-batch", "32", "-dedup", "-cache", "65536",
+			"-tenant-inflight", "4096",
+		}
+		if i == 2 {
+			args = append(args, "-config", cfgPath)
+		} else {
+			args = append(args, "-peers", peers, "-self", binAddrs[i])
+		}
+		var out syncBuffer
+		cmd := exec.Command(dfsd, args...)
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[i], outs[i] = cmd, &out
+		t.Cleanup(func() { cmd.Process.Kill() })
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get("http://" + httpAddrs[i] + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never became healthy; output:\n%s", i, out.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if want := fmt.Sprintf("fleet of %d peers", nNodes); !strings.Contains(out.String(), want) {
+			t.Fatalf("node %d banner missing %q:\n%s", i, want, out.String())
+		}
+	}
+	sigterm := func(t *testing.T, i int) {
+		t.Helper()
+		if err := cmds[i].Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		waitErr := make(chan error, 1)
+		go func() { waitErr <- cmds[i].Wait() }()
+		select {
+		case err := <-waitErr:
+			if err != nil {
+				t.Fatalf("node %d exited non-zero after SIGTERM: %v\n%s", i, err, outs[i].String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("node %d did not exit after SIGTERM; output:\n%s", i, outs[i].String())
+		}
+		if !strings.Contains(outs[i].String(), "drained cleanly") {
+			t.Fatalf("node %d: no clean drain in output:\n%s", i, outs[i].String())
+		}
+	}
+	// drive runs a remote load through node `via` and asserts the SLOs:
+	// every instance answered, zero client-observed errors or failed
+	// requests (Report.String only prints errors= when nonzero).
+	drive := func(t *testing.T, via, n int, tenant string) {
+		t.Helper()
+		cmd := exec.Command(dfserve,
+			"-remote", httpAddrs[via],
+			"-tenant", tenant,
+			"-n", fmt.Sprint(n), "-c", "32", "-reqbatch", "16", "-spread", "256",
+		)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("dfserve via node %d failed: %v\n%s\nnode output:\n%s",
+				via, err, out, outs[via].String())
+		}
+		text := string(out)
+		if !strings.Contains(text, fmt.Sprintf("instances=%d", n)) {
+			t.Fatalf("report missing instances=%d:\n%s", n, text)
+		}
+		if strings.Contains(text, "errors=") {
+			t.Fatalf("load via node %d surfaced errors:\n%s", via, text)
+		}
+	}
+	fleetStats := func(t *testing.T, via int) api.FleetStats {
+		t.Helper()
+		resp, err := http.Get("http://" + httpAddrs[via] + "/v1/stats?fleet=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st api.StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Fleet == nil {
+			t.Fatal("?fleet=1 response has no fleet block")
+		}
+		return *st.Fleet
+	}
+
+	for i := 0; i < nNodes; i++ {
+		launch(t, i)
+	}
+
+	// Phase 1: load through node 0 spreads over the whole ring.
+	drive(t, 0, 20000, "peer-smoke")
+
+	// Stragglers (forwards of launches their instance abandoned) classify
+	// moments after the load returns; poll until the fleet-wide identity
+	// settles exactly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fs := fleetStats(t, 0)
+		if len(fs.Nodes) != nNodes {
+			t.Fatalf("fleet stats reports %d nodes, want %d: %+v", len(fs.Nodes), nNodes, fs)
+		}
+		for _, n := range fs.Nodes {
+			if n.Err != "" {
+				t.Fatalf("fleet stats: node %s unreachable: %s", n.Addr, n.Err)
+			}
+		}
+		tot := fs.Totals
+		if tot.PeerForwards > 0 && tot.PeerForwards == tot.PeerServed &&
+			tot.Launched == tot.BackendQueries+tot.DedupHits+tot.CacheHits {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet identity never settled: %+v", tot)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Phase 2: rolling restart. Each node drains out of the ring in turn;
+	// load driven through a survivor while it is down must meet the same
+	// SLOs (the breaker absorbs the dead link, queries fall back locally),
+	// and the node relaunches on the same address to rejoin the ring.
+	for i := 0; i < nNodes; i++ {
+		sigterm(t, i)
+		drive(t, (i+1)%nNodes, 6000, fmt.Sprintf("roll%d", i))
+		launch(t, i)
+	}
+
+	// Phase 3: the restored fleet serves and aggregates as 3 nodes again.
+	// (Totals identity does not apply across restarts: restarted nodes
+	// reset their counters, orphaning their peers' pre-restart forwards.)
+	drive(t, 1, 9000, "post-roll")
+	fs := fleetStats(t, 2)
+	if len(fs.Nodes) != nNodes {
+		t.Fatalf("post-roll fleet stats reports %d nodes, want %d", len(fs.Nodes), nNodes)
+	}
+	selfs := 0
+	for _, n := range fs.Nodes {
+		if n.Err != "" {
+			t.Fatalf("post-roll fleet stats: node %s unreachable: %s", n.Addr, n.Err)
+		}
+		if n.Self {
+			selfs++
+		}
+	}
+	if selfs != 1 {
+		t.Fatalf("post-roll fleet stats marks %d nodes as self, want 1", selfs)
+	}
+
+	for i := 0; i < nNodes; i++ {
+		sigterm(t, i)
+	}
+	fmt.Printf("peer smoke: %d-node fleet, rolling restart of every node, all drains clean\n", nNodes)
+}

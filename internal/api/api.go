@@ -168,6 +168,55 @@ type StatsResponse struct {
 	// long the replay took. Absent when the server runs without a datadir.
 	RecoveredSchemas int   `json:"recovered_schemas,omitempty"`
 	RecoveryMs       int64 `json:"recovery_ms,omitempty"`
+	// Fleet is the peer-aggregated view, present only on
+	// GET /v1/stats?fleet=1 from a node running with -peers: the answering
+	// node fans the stats query out to every fleet member over dfbin and
+	// merges the counters. Each node always answers with its LOCAL view
+	// (the binary Stats frame never fans out), so aggregation cannot
+	// recurse.
+	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// FleetStats is the peer-tier aggregation in StatsResponse: one entry per
+// fleet member (the answering node included) plus fleet-wide counter sums.
+type FleetStats struct {
+	Nodes  []FleetNode `json:"nodes"`
+	Totals FleetTotals `json:"totals"`
+}
+
+// FleetNode is one fleet member's slice of a FleetStats aggregation, as
+// seen from the answering node.
+type FleetNode struct {
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	// Err is why this node's stats are missing (unreachable, timeout);
+	// its counters are then absent from Totals rather than silently zero.
+	Err      string `json:"err,omitempty"`
+	Draining bool   `json:"draining,omitempty"`
+	// Forwards / Fallbacks / BreakerTrips describe the answering node's
+	// link to this peer: queries it forwarded there, local fallbacks it
+	// took instead, and how often the link's breaker opened.
+	Forwards     uint64 `json:"forwards,omitempty"`
+	Fallbacks    uint64 `json:"fallbacks,omitempty"`
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
+	// Service is the node's own runtime.Stats JSON (absent on Err).
+	Service json.RawMessage `json:"service,omitempty"`
+}
+
+// FleetTotals sums the load-bearing runtime counters across reachable
+// nodes. Fleet-wide, Launched == BackendQueries + DedupHits + CacheHits
+// holds exactly (per-node PeerForwards/PeerServed cancel pairwise).
+type FleetTotals struct {
+	Submitted      uint64 `json:"submitted"`
+	Completed      uint64 `json:"completed"`
+	Errors         uint64 `json:"errors"`
+	Launched       uint64 `json:"launched"`
+	BackendQueries uint64 `json:"backend_queries"`
+	DedupHits      uint64 `json:"dedup_hits"`
+	CacheHits      uint64 `json:"cache_hits"`
+	PeerForwards   uint64 `json:"peer_forwards"`
+	PeerFallbacks  uint64 `json:"peer_fallbacks"`
+	PeerServed     uint64 `json:"peer_served"`
 }
 
 // SchemaInfo is one registry entry's metadata in StatsResponse.
@@ -221,6 +270,10 @@ type ShadowExample struct {
 	// LiveError / ShadowError carry either side's instance error, if any.
 	LiveError   string `json:"live_error,omitempty"`
 	ShadowError string `json:"shadow_error,omitempty"`
+	// Trace is a readable virtual-time replay of both versions on the
+	// diverging source vector — both verdicts, then each side's event
+	// timeline — rendered by internal/trace for dark-launch debugging.
+	Trace string `json:"trace,omitempty"`
 }
 
 // TenantAdmission is one tenant's front-end admission counters. Shed

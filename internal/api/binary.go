@@ -59,6 +59,20 @@
 //	→ Ping        req:uvarint
 //	← Pong        req:uvarint draining:byte
 //	← Drain       (no payload; unsolicited)
+//	→ Forward     req:uvarint schema:string fingerprint:u64le
+//	              attr:uvarint cost:uvarint args:string
+//	← ForwardAck  req:uvarint err:string   (empty = the home's flight
+//	              succeeded; non-empty = it ran and failed — shared fate)
+//
+// Forward is peer-to-peer only: a dfsd front-end node routes an
+// attribute-level backend query to the attribute's home node (jump hash
+// over the fleet's live member list) so each sharing identity has exactly
+// one single-flight/cache entry fleet-wide. The schema is addressed by
+// name + fingerprint rather than a bind id — peers share a registry, not a
+// connection — and the home refuses with CodeNotFound (name unknown
+// there), CodeStale (fingerprint mismatch: one side is mid-upgrade) or
+// CodeDraining, all of which tell the forwarder to fall back to a local
+// flight rather than retry.
 //
 //	result-body   elapsedUs:uvarint work:uvarint wasted:uvarint
 //	              launched:uvarint synth:uvarint failures:uvarint
@@ -111,6 +125,8 @@ const (
 	FramePing        byte = 0x0E
 	FramePong        byte = 0x0F
 	FrameDrain       byte = 0x10
+	FrameForward     byte = 0x11
+	FrameForwardAck  byte = 0x12
 )
 
 // Error frame codes, mirroring the HTTP front end's status mapping.
@@ -155,6 +171,12 @@ func AppendUvarint(dst []byte, x uint64) []byte { return binary.AppendUvarint(ds
 func AppendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
+}
+
+// AppendU64 appends x as an 8-byte little-endian fixed — the encoding
+// used for floats and schema fingerprints.
+func AppendU64(dst []byte, x uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, x)
 }
 
 // Value encoding tags.

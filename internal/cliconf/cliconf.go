@@ -86,6 +86,70 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.DumpConfig, "dumpconfig", false, "print the effective configuration as a -config file and exit")
 }
 
+// PeerFlags is the front-end fleet configuration — daemon-only (dfsd
+// registers it beside the shared Flags; dfserve has no peers), but it
+// lives here so the config-file machinery (ApplyConfigFile / Dump)
+// covers `peers = ...` lines exactly like every other flag.
+type PeerFlags struct {
+	// Peers is the comma-separated full fleet member list of dfbin
+	// addresses, this node's own included. Empty disables the tier.
+	Peers string
+	// Self is this node's own entry in Peers.
+	Self string
+}
+
+// Register declares the peer flags on fs.
+func (p *PeerFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.Peers, "peers", "", "front-end fleet: comma-separated dfbin addresses of every node, this one included (empty = standalone)")
+	fs.StringVar(&p.Self, "self", "", "front-end fleet: this node's own address in -peers")
+}
+
+// Members parses the -peers list (empty slice when the tier is off).
+func (p *PeerFlags) Members() []string {
+	if p.Peers == "" {
+		return nil
+	}
+	var out []string
+	for _, m := range strings.Split(p.Peers, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Validate checks the peer flags against the shared flags: peer routing
+// keys off the query layer's sharing tables, so a fleet without dedup or
+// cache would forward queries only to re-run every one at the home.
+func (p *PeerFlags) Validate(f *Flags) error {
+	members := p.Members()
+	if len(members) == 0 {
+		if p.Self != "" {
+			return fmt.Errorf("-self without -peers")
+		}
+		return nil
+	}
+	if len(members) < 2 {
+		return fmt.Errorf("-peers needs at least two members (got %d); a fleet of one is just -dedup/-cache", len(members))
+	}
+	if p.Self == "" {
+		return fmt.Errorf("-peers needs -self naming this node's own address in the list")
+	}
+	found := false
+	for _, m := range members {
+		if m == p.Self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("-self %q is not in -peers %q", p.Self, p.Peers)
+	}
+	if !f.Dedup && f.Cache <= 0 {
+		return fmt.Errorf("-peers needs the query layer's sharing tables: enable -dedup and/or -cache")
+	}
+	return nil
+}
+
 // ServerSideFlagNames lists the flags Register declares that configure
 // the in-process serving stack — everything except -seed (which also
 // drives the load generator) and -dumpconfig (pure output, no stack

@@ -907,6 +907,45 @@ func (t *binTransport) Stats(ctx context.Context) (api.StatsResponse, error) {
 	return out, err
 }
 
+func (t *binTransport) Forward(ctx context.Context, q ForwardQuery) error {
+	return t.do(ctx, func(c *bconn) error {
+		w, pr, err := c.begin(api.FrameForward)
+		if err != nil {
+			return err
+		}
+		w = api.AppendString(w, q.Schema)
+		w = api.AppendU64(w, q.Fingerprint)
+		w = api.AppendUvarint(w, q.Attr)
+		w = api.AppendUvarint(w, uint64(max(q.Cost, 0)))
+		w = api.AppendUvarint(w, uint64(len(q.Args)))
+		w = append(w, q.Args...)
+		typ, cur, err := c.roundTrip(ctx, w, pr, t.opts.Timeout)
+		if err != nil {
+			return err
+		}
+		defer putReq(pr)
+		switch typ {
+		case api.FrameForwardAck:
+		case api.FrameError:
+			e, perr := api.ParseError(&cur)
+			if perr != nil {
+				return &connError{perr}
+			}
+			return binErrToErr(e)
+		default:
+			return &connError{fmt.Errorf("expected ForwardAck, got frame %#x", typ)}
+		}
+		msg := cur.String()
+		if err := cur.Done(); err != nil {
+			return &connError{err}
+		}
+		if msg != "" {
+			return &QueryFailedError{Msg: msg}
+		}
+		return nil
+	})
+}
+
 func (t *binTransport) Health(ctx context.Context) error {
 	return t.do(ctx, func(c *bconn) error {
 		w, pr, err := c.begin(api.FramePing)

@@ -311,6 +311,63 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.tr.Health(ctx)
 }
 
+// FleetStats is Stats with peer-fleet aggregation (GET /v1/stats?fleet=1):
+// on a node running with -peers the response carries a Fleet view — every
+// member's local stats plus fleet-wide counter sums. On a standalone node
+// the Fleet field is simply absent. JSON/HTTP only: the binary Stats
+// frame deliberately answers locally so fleet fan-out cannot recurse.
+func (c *Client) FleetStats(ctx context.Context) (api.StatsResponse, error) {
+	ht, err := c.http("FleetStats")
+	if err != nil {
+		return api.StatsResponse{}, err
+	}
+	return ht.fleetStats(ctx)
+}
+
+// ForwardQuery is one peer-routed backend query: a front-end node asks
+// the attribute's home node to run the flight under the home's own
+// single-flight and cache tables. The schema is addressed by name +
+// fingerprint rather than a bind id because peers share a registry, not
+// a connection.
+type ForwardQuery struct {
+	Schema      string
+	Fingerprint uint64
+	Attr        uint64
+	Args        []byte
+	Cost        int
+}
+
+// QueryFailedError reports that the home node accepted a forwarded query
+// and the flight itself failed there. The forwarder shares the flight's
+// fate — the error surfaces to its caller exactly as a local backend
+// failure would — and it is not a peer-health signal: the peer answered.
+type QueryFailedError struct{ Msg string }
+
+func (e *QueryFailedError) Error() string {
+	return "client: forwarded query failed at its home node: " + e.Msg
+}
+
+// peerForwarder is the optional Transport capability behind Forward;
+// only the binary transport implements it.
+type peerForwarder interface {
+	Forward(ctx context.Context, q ForwardQuery) error
+}
+
+// Forward routes one attribute-level backend query to its home peer and
+// waits for the outcome. nil means the home's flight succeeded;
+// *QueryFailedError means it ran and failed (shared fate). Any other
+// error — refusal codes, transport faults, timeouts — means the query
+// did not complete remotely and the caller should fall back to a local
+// flight. dfbin only, and deliberately outside the shed-retry policy:
+// the peer tier's breaker owns retry decisions.
+func (c *Client) Forward(ctx context.Context, q ForwardQuery) error {
+	f, ok := c.tr.(peerForwarder)
+	if !ok {
+		return fmt.Errorf("client: Forward is only served over the %s transport", TransportBinary)
+	}
+	return f.Forward(ctx, q)
+}
+
 // http returns the JSON transport behind the client, or an error for
 // the HTTP-only extended surface on a binary client.
 func (c *Client) http(method string) (*httpTransport, error) {

@@ -99,6 +99,12 @@ func (t *httpTransport) registerSchemaShadow(ctx context.Context, text string, s
 	return out, err
 }
 
+func (t *httpTransport) fleetStats(ctx context.Context) (api.StatsResponse, error) {
+	var out api.StatsResponse
+	err := t.get(ctx, "/v1/stats?fleet=1", &out)
+	return out, err
+}
+
 func (t *httpTransport) shadowReport(ctx context.Context, schema string) (api.ShadowReport, error) {
 	var out api.ShadowReport
 	err := t.get(ctx, "/v1/schemas/"+schema+"/shadow", &out)

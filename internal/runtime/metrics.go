@@ -48,6 +48,18 @@ type Stats struct {
 	CacheHits      uint64 // launches answered by the attribute cache
 	CacheMisses    uint64 // cache lookups that went to the backend
 
+	// Peer-tier metrics (all zero without an installed peer router). A
+	// launch classified at a remote home counts in PeerForwards instead of
+	// the three buckets above; a query forwarded in from a peer counts in
+	// PeerServed AND exactly one of the buckets above. The per-node
+	// conservation identity therefore becomes
+	// Launched == BackendQueries + DedupHits + CacheHits - PeerServed + PeerForwards,
+	// and summing over the fleet restores the launch-exact identity
+	// (forwards and serves cancel pairwise).
+	PeerForwards  uint64 // launches classified at a remote home node
+	PeerFallbacks uint64 // forwards re-entered locally (peer down/draining)
+	PeerServed    uint64 // forwarded-in queries served on behalf of peers
+
 	// Cluster resilience totals (all zero unless the Backend is a
 	// Cluster): hedges launched/won, retries after errors or timeouts,
 	// breaker trips, and queries whose every attempt failed. Cluster
@@ -109,6 +121,10 @@ func (st Stats) String() string {
 		fmt.Fprintf(&b,
 			"\nquery layer: backend=%d batches=%d avg-batch=%.1f dedup-hits=%d cache-hit/miss=%d/%d",
 			st.BackendQueries, st.Batches, st.AvgBatchSize(), st.DedupHits, st.CacheHits, st.CacheMisses)
+	}
+	if st.PeerForwards+st.PeerFallbacks+st.PeerServed > 0 {
+		fmt.Fprintf(&b, "\npeer tier: forwards=%d fallbacks=%d served=%d",
+			st.PeerForwards, st.PeerFallbacks, st.PeerServed)
 	}
 	if st.ShadowSubmitted > 0 {
 		fmt.Fprintf(&b, "\nshadow: submitted=%d completed=%d errors=%d",
@@ -250,6 +266,9 @@ func (s *Service) Stats() Stats {
 		st.DedupHits = d.dedupHits.Load()
 		st.CacheHits = d.cacheHits.Load()
 		st.CacheMisses = d.cacheMisses.Load()
+		st.PeerForwards = d.peerForwards.Load()
+		st.PeerFallbacks = d.peerFallbacks.Load()
+		st.PeerServed = d.peerServed.Load()
 	}
 	if cs, ok := s.cfg.Backend.(clusterStatser); ok {
 		c := cs.ClusterStats()
@@ -388,6 +407,9 @@ func (s *Service) ResetStats() {
 		d.dedupHits.Store(0)
 		d.cacheHits.Store(0)
 		d.cacheMisses.Store(0)
+		d.peerForwards.Store(0)
+		d.peerFallbacks.Store(0)
+		d.peerServed.Store(0)
 	}
 	if cs, ok := s.cfg.Backend.(clusterStatser); ok {
 		cs.ResetStats()

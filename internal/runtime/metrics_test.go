@@ -69,6 +69,25 @@ func TestStatsStringGolden(t *testing.T) {
 				"  shard 1: r0[q=600 err=0 to=0 trips=0] r1[q=610 err=0 to=0 trips=0]",
 		},
 		{
+			name: "with-peer-tier",
+			st: func() Stats {
+				st := baseGoldenStats()
+				st.BackendQueries = 900
+				st.Batches = 200
+				st.DedupHits = 300
+				st.CacheHits = 500
+				st.CacheMisses = 900
+				st.PeerForwards = 800
+				st.PeerFallbacks = 25
+				st.PeerServed = 750
+				return st
+			},
+			want: "completed=1000 errors=2 work=5000 wasted=120 launched=2500 synthesis=800\n" +
+				"latency p50=2ms p95=9ms p99=14ms max=40ms avg=2.5ms\n" +
+				"query layer: backend=900 batches=200 avg-batch=4.5 dedup-hits=300 cache-hit/miss=500/900\n" +
+				"peer tier: forwards=800 fallbacks=25 served=750",
+		},
+		{
 			name: "with-shadow",
 			st: func() Stats {
 				st := baseGoldenStats()

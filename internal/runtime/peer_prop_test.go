@@ -1,0 +1,201 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/randschema"
+	"repro/internal/snapshot"
+)
+
+// The peer-tier extension of the property suite: the same random-schema ×
+// query-layer sweep, but run through a 2-node fleet whose dispatchers
+// route every keyed query to its jump-hash home — node 0 and node 1 are
+// full Services wired to each other through an in-process PeerExec that
+// calls the other node's ServePeerQuery directly (the transport is the
+// server package's concern; the accounting identity is this package's).
+// Per node the launch identity picks up the peer terms
+// (Launched == BQ + DH + CH − PeerServed + PeerForwards); summed over the
+// fleet the forwards and serves cancel and the single-node launch-exact
+// identity must hold to the unit.
+
+// inprocPeer is the loopback PeerExec: member self of a 2-node ring,
+// forwarding to the other node's ServePeerQuery on its own goroutine
+// (ServePeerQuery can block on the home's backend admission). fwd is
+// shared by both members and tracks every forward until its outcome has
+// been classified: local classification is synchronous with the launch,
+// but a forward hops goroutines, so a speculative launch abandoned by its
+// strategy can classify after its instance completes — the test must
+// quiesce on fwd before reading counters it wants to compare exactly.
+type inprocPeer struct {
+	self  int
+	peers []*Service
+	fwd   *sync.WaitGroup
+}
+
+func (p *inprocPeer) SubmitPeer(q PeerQuery, outcome func(err error, remote bool)) bool {
+	home := JumpHash(q.Hash, len(p.peers))
+	if home == p.self {
+		return false
+	}
+	p.fwd.Add(1)
+	go func() {
+		err := p.peers[home].ServePeerQuery(q.Schema, q.Attr, []byte(q.Args), q.Cost,
+			func(err error) { outcome(err, true); p.fwd.Done() })
+		if err != nil {
+			// Never entered the home's query layer; fall back locally,
+			// exactly like the networked tier on a refused forward.
+			outcome(err, false)
+			p.fwd.Done()
+		}
+	}()
+	return true
+}
+
+// runPropFleetPeered is runPropFleet over two peered services: schemas
+// and bindings are generated once (sharing is keyed by schema pointer
+// identity, as in any one process) and instances alternate between the
+// nodes, so roughly half of each node's keyed queries home on the other.
+func runPropFleetPeered(t *testing.T, svcs []*Service, fwd *sync.WaitGroup, schemas, instPerBinding int, seed int64) []Stats {
+	t.Helper()
+	strategies := engine.Strategies("PSE100", "PCE0", "NCC0", "PSC40", "NSE60", "PCE100")
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+		firstErr atomic.Value
+	)
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for si := 0; si < schemas; si++ {
+		schemaSeed := rng.Int63()
+		s := randschema.Generate(rand.New(rand.NewSource(schemaSeed)), randschema.Config{})
+		for b := 0; b < 2; b++ {
+			sources := randschema.RandomSources(rng, s)
+			oracle := snapshot.Complete(s, sources)
+			for k := 0; k < instPerBinding; k++ {
+				st := strategies[(si+b+k)%len(strategies)]
+				svc := svcs[total%len(svcs)]
+				wg.Add(1)
+				total++
+				err := svc.Submit(Request{
+					Schema:   s,
+					Sources:  sources,
+					Strategy: st,
+					Done: func(r *engine.Result) {
+						defer wg.Done()
+						if r.Err != nil {
+							failures.Add(1)
+							firstErr.CompareAndSwap(nil, fmt.Sprintf("schema seed %d strategy %s: %v", schemaSeed, st, r.Err))
+							return
+						}
+						if err := snapshot.CheckAgainstOracle(r.Snapshot, oracle); err != nil {
+							failures.Add(1)
+							firstErr.CompareAndSwap(nil, fmt.Sprintf("schema seed %d strategy %s: oracle mismatch: %v", schemaSeed, st, err))
+						}
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	wg.Wait()
+	fwd.Wait() // let straggling forwards of abandoned launches classify
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d instances failed; first: %s", f, firstErr.Load())
+	}
+	out := make([]Stats, len(svcs))
+	var completed uint64
+	for i, svc := range svcs {
+		out[i] = svc.Stats()
+		completed += out[i].Completed
+	}
+	if completed != uint64(total) {
+		t.Fatalf("fleet completed %d of %d instances", completed, total)
+	}
+	return out
+}
+
+// TestPropertyPeerFleetAllCombos: 125 random schemas per query-layer
+// combination (625 total, the PR-2 matrix) through the 2-node fleet.
+// Combinations without sharing tables cannot route by key at all —
+// InstallPeerRouter must refuse them — and for the rest both per-node and
+// fleet-wide accounting identities must hold exactly, with zero
+// fallbacks on a loopback that cannot fail.
+func TestPropertyPeerFleetAllCombos(t *testing.T) {
+	schemas := 125
+	instPerBinding := 4
+	if testing.Short() {
+		schemas = 25
+	}
+
+	for ci, combo := range propCombos() {
+		combo := combo
+		seed := int64(5000 + 23*ci)
+		t.Run(combo.name, func(t *testing.T) {
+			t.Parallel()
+			svcs := []*Service{
+				New(Config{Workers: 4, MaxInFlightTasks: 1024, Query: combo.query}),
+				New(Config{Workers: 4, MaxInFlightTasks: 1024, Query: combo.query}),
+			}
+			defer func() {
+				for _, svc := range svcs {
+					svc.Close()
+				}
+			}()
+
+			sharing := combo.query.Dedup || combo.query.CacheSize > 0
+			var fwd sync.WaitGroup
+			for i, svc := range svcs {
+				err := svc.InstallPeerRouter(&inprocPeer{self: i, peers: svcs, fwd: &fwd})
+				if !sharing {
+					if !errors.Is(err, ErrNoQueryLayer) {
+						t.Fatalf("InstallPeerRouter without sharing tables = %v, want ErrNoQueryLayer", err)
+					}
+				} else if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !sharing {
+				return // routing is impossible without a key; nothing more to assert
+			}
+
+			sts := runPropFleetPeered(t, svcs, &fwd, schemas, instPerBinding, seed)
+			var fleet Stats
+			for i, st := range sts {
+				// Per-node identity with the peer terms.
+				want := st.BackendQueries + st.DedupHits + st.CacheHits - st.PeerServed + st.PeerForwards
+				if st.Launched != want {
+					t.Errorf("node %d identity broken: launched=%d != backend=%d + dedup=%d + cache=%d - served=%d + forwards=%d",
+						i, st.Launched, st.BackendQueries, st.DedupHits, st.CacheHits, st.PeerServed, st.PeerForwards)
+				}
+				if st.PeerFallbacks != 0 {
+					t.Errorf("node %d recorded %d fallbacks on a loopback peer", i, st.PeerFallbacks)
+				}
+				fleet.Launched += st.Launched
+				fleet.BackendQueries += st.BackendQueries
+				fleet.DedupHits += st.DedupHits
+				fleet.CacheHits += st.CacheHits
+				fleet.PeerForwards += st.PeerForwards
+				fleet.PeerServed += st.PeerServed
+			}
+			if fleet.PeerForwards == 0 {
+				t.Error("no queries crossed the fleet; the routing hook never fired")
+			}
+			if fleet.PeerForwards != fleet.PeerServed {
+				t.Errorf("forwards=%d served=%d; the loopback lost completions", fleet.PeerForwards, fleet.PeerServed)
+			}
+			// The launch-exact identity, restored fleet-wide.
+			if fleet.Launched != fleet.BackendQueries+fleet.DedupHits+fleet.CacheHits {
+				t.Errorf("fleet launch conservation violated: launched=%d backend=%d dedup=%d cache=%d",
+					fleet.Launched, fleet.BackendQueries, fleet.DedupHits, fleet.CacheHits)
+			}
+		})
+	}
+}

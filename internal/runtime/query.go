@@ -66,6 +66,42 @@ type queryKey struct {
 	args   string
 }
 
+// PeerQuery is one keyed attribute query offered to the front-end peer
+// tier: the sharing identity in wire-transportable form (schema by
+// name+fingerprint at the far end, attribute id, rendered args) plus the
+// identity hash the ring places it by.
+type PeerQuery struct {
+	// Schema is the query's schema; peers resolve it remotely by
+	// Schema.Name() and verify Schema.Fingerprint().
+	Schema *core.Schema
+	// Attr is the foreign attribute being queried.
+	Attr core.AttrID
+	// Args is the rendered sharing-identity arguments (AppendQueryArgs).
+	Args string
+	// Cost is the query's cost in units of processing.
+	Cost int
+	// Hash is the sharing-identity hash (hashKey), the ring placement key.
+	Hash uint64
+}
+
+// PeerExec routes keyed queries whose sharing identity homes on another
+// front-end node. Installed after construction via InstallPeerRouter —
+// the router needs the serving stack that needs this service first.
+type PeerExec interface {
+	// SubmitPeer offers one keyed query to the tier. false keeps the
+	// query local (this node is its home, the home's breaker is open, or
+	// no live peers). true transfers ownership: the router must invoke
+	// outcome exactly once — remote=true when the home node classified
+	// the query (err is the backend verdict; waiters share fate with the
+	// home's flight), remote=false when the forward could not be served
+	// (peer died, draining, version skew) and the query must re-enter the
+	// local path.
+	SubmitPeer(q PeerQuery, outcome func(err error, remote bool)) bool
+}
+
+// peerExecBox wraps the interface for atomic installation.
+type peerExecBox struct{ p PeerExec }
+
 // Identity hashing is FNV-1a, deliberately unseeded: a query's hash — and
 // therefore its cluster shard — must be stable across processes and
 // restarts, or consistent placement (and any per-shard locality built on
@@ -143,6 +179,11 @@ type dispatcher struct {
 	seq    atomic.Uint64 // spreads unkeyed flights over routed shards
 	shards []qshard
 
+	// peer is the optional front-end peer router, consulted before the
+	// local sharing tables so every keyed query is classified at its one
+	// home node in the fleet.
+	peer atomic.Pointer[peerExecBox]
+
 	// batcher state: pending flights and the deadline timer.
 	bmu     sync.Mutex
 	pending []*flight
@@ -154,6 +195,9 @@ type dispatcher struct {
 	dedupHits      atomic.Uint64 // launches attached to an in-flight query
 	cacheHits      atomic.Uint64
 	cacheMisses    atomic.Uint64
+	peerForwards   atomic.Uint64 // launches classified at a remote home
+	peerFallbacks  atomic.Uint64 // forwards re-entered locally (peer down)
+	peerServed     atomic.Uint64 // forwarded-in queries served for peers
 }
 
 // qshard is one lock domain of the single-flight table and the cache.
@@ -215,49 +259,78 @@ func (d *dispatcher) needsKey() bool {
 func (d *dispatcher) Submit(key queryKey, keyed bool, cost int, done func(error)) {
 	if keyed && d.needsKey() {
 		hash := hashKey(key)
-		if !d.cfg.Dedup && d.cfg.CacheSize == 0 {
-			// Keyed purely for routing (batching-only layer over a routed
-			// backend): no sharing tables to consult, and exactly one
-			// waiter — but the identity hash still pins the shard.
-			d.enqueue(&flight{hash: hash, cost: cost, dones: []func(error){done}})
-			return
-		}
-		sh := d.shard(hash)
-		sh.mu.Lock()
-		if d.cfg.CacheSize > 0 {
-			if sh.cache.get(key, time.Now(), d.cfg.CacheTTL) {
-				sh.mu.Unlock()
-				d.cacheHits.Add(1)
-				done(nil)
+		// Peer tier first, local tables second: a query homed on another
+		// node is NOT checked against the local cache or single-flight
+		// table — every launch of an identity is classified at its one
+		// home, which is what makes the fleet-wide hit rate match a
+		// single node's. The router owns accepted queries end to end; a
+		// forward the home could not serve re-enters the local path below.
+		if box := d.peer.Load(); box != nil {
+			q := PeerQuery{Schema: key.schema, Attr: key.id, Args: key.args, Cost: cost, Hash: hash}
+			if box.p.SubmitPeer(q, func(err error, remote bool) {
+				if remote {
+					d.peerForwards.Add(1)
+					done(err)
+					return
+				}
+				d.peerFallbacks.Add(1)
+				d.submitKeyed(key, hash, cost, done)
+			}) {
 				return
 			}
 		}
-		if d.cfg.Dedup {
-			if f := sh.inflight[key]; f != nil {
-				f.dones = append(f.dones, done)
-				sh.mu.Unlock()
-				d.dedupHits.Add(1)
-				return
-			}
-			f := &flight{key: key, keyed: true, hash: hash, cost: cost, dones: []func(error){done}}
-			sh.inflight[key] = f
-			sh.mu.Unlock()
-			// A miss is a cache lookup that reaches the backend: dedup
-			// attaches above don't count.
-			if d.cfg.CacheSize > 0 {
-				d.cacheMisses.Add(1)
-			}
-			d.enqueue(f)
-			return
-		}
-		sh.mu.Unlock()
-		if d.cfg.CacheSize > 0 {
-			d.cacheMisses.Add(1)
-		}
-		d.enqueue(&flight{key: key, keyed: true, hash: hash, cost: cost, dones: []func(error){done}})
+		d.submitKeyed(key, hash, cost, done)
 		return
 	}
 	d.enqueue(&flight{hash: splitmix64(d.seq.Add(1)), cost: cost, dones: []func(error){done}})
+}
+
+// submitKeyed is the local keyed path: cache lookup, single-flight attach,
+// or a fresh flight. It is entered by local launches whose home is this
+// node (or whose home could not serve them) and by queries forwarded in
+// from peers — the latter never re-consult the peer router, so forwards
+// cannot loop.
+func (d *dispatcher) submitKeyed(key queryKey, hash uint64, cost int, done func(error)) {
+	if !d.cfg.Dedup && d.cfg.CacheSize == 0 {
+		// Keyed purely for routing (batching-only layer over a routed
+		// backend): no sharing tables to consult, and exactly one
+		// waiter — but the identity hash still pins the shard.
+		d.enqueue(&flight{hash: hash, cost: cost, dones: []func(error){done}})
+		return
+	}
+	sh := d.shard(hash)
+	sh.mu.Lock()
+	if d.cfg.CacheSize > 0 {
+		if sh.cache.get(key, time.Now(), d.cfg.CacheTTL) {
+			sh.mu.Unlock()
+			d.cacheHits.Add(1)
+			done(nil)
+			return
+		}
+	}
+	if d.cfg.Dedup {
+		if f := sh.inflight[key]; f != nil {
+			f.dones = append(f.dones, done)
+			sh.mu.Unlock()
+			d.dedupHits.Add(1)
+			return
+		}
+		f := &flight{key: key, keyed: true, hash: hash, cost: cost, dones: []func(error){done}}
+		sh.inflight[key] = f
+		sh.mu.Unlock()
+		// A miss is a cache lookup that reaches the backend: dedup
+		// attaches above don't count.
+		if d.cfg.CacheSize > 0 {
+			d.cacheMisses.Add(1)
+		}
+		d.enqueue(f)
+		return
+	}
+	sh.mu.Unlock()
+	if d.cfg.CacheSize > 0 {
+		d.cacheMisses.Add(1)
+	}
+	d.enqueue(&flight{key: key, keyed: true, hash: hash, cost: cost, dones: []func(error){done}})
 }
 
 // enqueue hands one unique query to the batcher (or straight to the

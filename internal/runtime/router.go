@@ -78,6 +78,44 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// JumpHash exposes jump consistent hashing for layers that build rings of
+// their own above the cluster — the dfsd front-end peer tier places each
+// sharing identity's home node with the same function that places its
+// backend shard, so both layers agree on what "one home per query" means.
+func JumpHash(key uint64, n int) int { return jumpHash(key, n) }
+
+// PeerBreaker is the per-replica circuit breaker exported for reuse one
+// layer up: the front-end peer tier runs one per remote dfsd node, with
+// the same closed → open → half-open probe lifecycle replicas get.
+type PeerBreaker struct{ br breaker }
+
+// NewPeerBreaker creates a breaker that opens after `after` consecutive
+// failures and admits a half-open probe every cooldown.
+func NewPeerBreaker(after int, cooldown time.Duration) *PeerBreaker {
+	p := &PeerBreaker{}
+	p.br.after = int32(max(after, 1))
+	p.br.cooldown = cooldown
+	return p
+}
+
+// Admissible is the read-only availability check: closed, or open with
+// the cooldown elapsed (a probe could be admitted). Ring-membership scans
+// use it without claiming the probe slot.
+func (p *PeerBreaker) Admissible() bool { return p.br.admissible(time.Now().UnixNano()) }
+
+// Admit claims the admission for one attempt; for an open breaker past
+// its cooldown this claims the single half-open probe.
+func (p *PeerBreaker) Admit() bool { return p.br.admit(time.Now().UnixNano()) }
+
+// Success feeds one successful round trip.
+func (p *PeerBreaker) Success() { p.br.success() }
+
+// Failure feeds one transport failure or refusal.
+func (p *PeerBreaker) Failure() { p.br.failure(time.Now().UnixNano()) }
+
+// Trips reports how many times the breaker has opened.
+func (p *PeerBreaker) Trips() uint64 { return p.br.trips.Load() }
+
 // --- circuit breaker ---
 
 // breaker states. Transitions: closed --(BreakAfter consecutive

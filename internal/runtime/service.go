@@ -256,6 +256,54 @@ func (s *Service) DoContext(ctx context.Context, schema *core.Schema, sources ma
 	return &out, nil
 }
 
+// ErrNoQueryLayer rejects peer routing on a service without sharing
+// tables: homing queries on one node is meaningless unless that node
+// deduplicates or caches them.
+var ErrNoQueryLayer = errors.New("runtime: peer routing needs the query layer's sharing tables (dedup or cache)")
+
+// InstallPeerRouter wires a front-end peer router into the query layer:
+// every keyed launch consults it before the local sharing tables, so each
+// sharing identity is classified at its one home node in the fleet. It is
+// installed after construction because the router (one layer up, in the
+// server) needs the serving stack that needs this service first.
+func (s *Service) InstallPeerRouter(p PeerExec) error {
+	if s.disp == nil || (!s.disp.cfg.Dedup && s.disp.cfg.CacheSize == 0) {
+		return ErrNoQueryLayer
+	}
+	s.disp.peer.Store(&peerExecBox{p: p})
+	return nil
+}
+
+// ServePeerQuery executes one attribute query forwarded in by a peer
+// front-end node through this node's sharing tables: a cache hit, an
+// attach to the identical in-flight query, or a fresh backend flight —
+// exactly what a local launch of the same identity would do, minus the
+// peer-router consult (the forwarder already resolved this node as the
+// home, so forwards cannot loop). done is invoked exactly once with the
+// backend verdict; the forwarder's waiters share this node's fate. The
+// call may block on backend admission — callers run it off any latency-
+// sensitive loop.
+func (s *Service) ServePeerQuery(schema *core.Schema, id core.AttrID, args []byte, cost int, done func(error)) error {
+	d := s.disp
+	if d == nil || (!d.cfg.Dedup && d.cfg.CacheSize == 0) {
+		return ErrNoQueryLayer
+	}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	s.active.Add(1)
+	s.closeMu.RUnlock()
+	d.peerServed.Add(1)
+	key := queryKey{schema: schema, id: id, args: string(args)}
+	d.submitKeyed(key, hashKey(key), cost, func(err error) {
+		done(err)
+		s.active.Done()
+	})
+	return nil
+}
+
 // Close stops accepting new instances, waits for every submitted instance
 // to finish (including stragglers of early-terminated instances), and
 // shuts the workers down.

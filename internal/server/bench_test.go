@@ -164,3 +164,65 @@ func BenchmarkServeBinaryBatched(b *testing.B) { benchServeBinary(b, 32) }
 // instance — the binary protocol's per-request overhead floor, to
 // compare against BenchmarkServeHTTPSingle.
 func BenchmarkServeBinarySingle(b *testing.B) { benchServeBinary(b, 1) }
+
+// BenchmarkServePeerForwarded measures the front-end tier's forwarding
+// cost: a 2-node in-process fleet (real TCP between peers), driven over
+// dfbin through one node, so roughly half the attribute identities home
+// on the other node and every launch of those rides a Forward frame to
+// its home's cache/single-flight tables. The delta against
+// BenchmarkServeBinaryBatched is the price of fleet-wide sharing.
+func BenchmarkServePeerForwarded(b *testing.B) {
+	nodes := newFleet(b, fleetOpts{nodes: 2})
+	c := fleetClient(b, nodes[0], "bench")
+
+	_, sources, err := flows.ByName("quickstart")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sourcesFor, err := flows.Spread(sources, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	if _, err := client.RunLoad(context.Background(), c, client.Load{
+		Schema: "quickstart", Sources: sources, SourcesFor: sourcesFor,
+		Count: 4096, Concurrency: 64, BatchSize: 32,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range nodes {
+		n.svc.ResetStats()
+	}
+	stdruntime.GC()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := client.RunLoad(context.Background(), c, client.Load{
+		Schema:      "quickstart",
+		Sources:     sources,
+		SourcesFor:  sourcesFor,
+		Count:       b.N,
+		Concurrency: 64,
+		BatchSize:   32,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Failed > 0 || rep.Errors > 0 {
+		b.Fatalf("load run not clean: %+v", rep)
+	}
+	var forwards, fallbacks uint64
+	for _, n := range nodes {
+		st := n.svc.Stats()
+		forwards += st.PeerForwards
+		fallbacks += st.PeerFallbacks
+	}
+	if b.N > 512 && forwards == 0 {
+		b.Fatal("no peer forwards: the benchmark is not measuring the peer tier")
+	}
+	if fallbacks > 0 {
+		b.Fatalf("%d fallbacks on a healthy in-process fleet", fallbacks)
+	}
+	b.ReportMetric(rep.Throughput, "inst/s")
+}

@@ -301,6 +301,10 @@ func (c *binConn) readLoop(fr *api.FrameReader) {
 			if !c.handleRegister(reqID, &cur) {
 				return
 			}
+		case api.FrameForward:
+			if !c.handleForward(reqID, &cur) {
+				return
+			}
 		case api.FrameStats:
 			c.handleStats(reqID)
 		case api.FramePing:
@@ -714,6 +718,86 @@ func (c *binConn) handleRegister(reqID uint64, cur *api.Cursor) bool {
 	b = append(b, byte(fp), byte(fp>>8), byte(fp>>16), byte(fp>>24),
 		byte(fp>>32), byte(fp>>40), byte(fp>>48), byte(fp>>56))
 	c.out.put(api.FinishFrame(b, start))
+	return true
+}
+
+// handleForward serves one peer-forwarded backend query (see peer.go):
+// this node is the query's home, so it runs the flight under its own
+// single-flight/cache tables and acks with the flight's fate. Schemas are
+// addressed by name + fingerprint (peers share a registry, not a
+// connection); a name miss, a fingerprint mismatch, or a draining server
+// refuses with an Error frame, which tells the forwarder to fall back to
+// a local flight. Forwarded queries hold the same drain claim as evals —
+// Drain flushes their acks before closing connections — but bypass
+// tenant admission: the forwarder's node already admitted the eval that
+// spawned the query, and double-metering would shed fleet traffic twice.
+func (c *binConn) handleForward(reqID uint64, cur *api.Cursor) bool {
+	name := cur.String()
+	fp := cur.U64()
+	attr := cur.Uvarint()
+	cost := cur.Uvarint()
+	args := cur.Bytes()
+	if cur.Done() != nil {
+		return false
+	}
+	s := c.s
+	s.mu.RLock()
+	entry := s.schemas[name]
+	s.mu.RUnlock()
+	if entry == nil {
+		c.sendErr(reqID, api.CodeNotFound, 0, fmt.Sprintf("unknown schema %q", name))
+		return true
+	}
+	if entry.fingerprint != fp {
+		c.sendErr(reqID, api.CodeStale, 0, fmt.Sprintf(
+			"schema %q fingerprint mismatch (registry %016x, forwarded %016x)",
+			name, entry.fingerprint, fp))
+		return true
+	}
+	if attr >= uint64(entry.schema.NumAttrs()) {
+		c.sendErr(reqID, api.CodeBadRequest, 0,
+			fmt.Sprintf("attribute id %d out of range", attr))
+		return true
+	}
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		c.sendErr(reqID, api.CodeDraining, 0, ErrDraining.Error())
+		return true
+	}
+	s.evals.Add(1)
+	s.drainMu.RUnlock()
+	// The payload buffer recycles when the read loop advances; the flight
+	// outlives this frame, so the args must be copied out.
+	argsCopy := append([]byte(nil), args...)
+	c.evals.Add(1)
+	done := func(err error) {
+		b := c.out.buf()
+		start := len(b)
+		b = api.BeginFrame(b, api.FrameForwardAck)
+		b = api.AppendUvarint(b, reqID)
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		b = api.AppendString(b, msg)
+		c.out.put(api.FinishFrame(b, start))
+		s.evals.Done()
+		c.evals.Done()
+	}
+	// ServePeerQuery can block on backend token admission; a dedicated
+	// goroutine keeps the read loop serving other frames meanwhile.
+	go func() {
+		err := s.svc.ServePeerQuery(entry.schema, core.AttrID(attr), argsCopy, int(cost), done)
+		if err != nil {
+			// Never entered the query layer (service closed mid-drain,
+			// or no query layer at all): an Error frame, not a failed
+			// ack, so the forwarder falls back instead of sharing fate.
+			c.sendErr(reqID, api.CodeInternal, 0, err.Error())
+			s.evals.Done()
+			c.evals.Done()
+		}
+	}()
 	return true
 }
 

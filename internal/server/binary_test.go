@@ -47,7 +47,7 @@ func newBinStack(t *testing.T, svcCfg runtime.Config, mod func(*Config)) (*runti
 	return svc, srv, hs, "dfbin://" + ln.Addr().String()
 }
 
-func binClient(t *testing.T, addr string, opts ...client.Option) *client.Client {
+func binClient(t testing.TB, addr string, opts ...client.Option) *client.Client {
 	t.Helper()
 	c, err := client.New(addr, opts...)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -652,4 +653,134 @@ func TestDrainWakesLongPoll(t *testing.T) {
 	}
 	close(release) // let the blocked eval finish so drain completes
 	<-drained
+}
+
+// TestAsyncResultNotDurableAcrossRestart pins the restart contract for
+// async result IDs: they are process state, not registry state. The ID
+// must answer a clean, immediate 404 after a restart on the HTTP wire —
+// never a parked long-poll or a 500 — and the dfbin wire, which has no
+// async-results surface at all, must refuse with a typed error instead
+// of hanging. The contract is documented under "Durability" in
+// DESIGN.md.
+func TestAsyncResultNotDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv1, _, c1 := newDurableStack(t, dir, nil)
+	if _, err := c1.RegisterSchemaText(ctx, durableText); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c1.EvalAsync(ctx, api.EvalRequest{Schema: "billing",
+		Sources: map[string]any{"amount": 120}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain without ever fetching: generation one finishes the eval
+	// (Drain waits on it) and sweeps the undelivered result.
+	if _, err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, hs2, c2 := newDurableStack(t, dir, nil)
+
+	// Raw HTTP with a long-poll window that would park for minutes if the
+	// unknown ID were treated as still pending: the 404 must be
+	// immediate, because an ID the server has never heard of can never
+	// become ready.
+	req, err := http.NewRequest(http.MethodGet, hs2.URL+"/v1/results/"+id+"?timeout=120s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.TenantHeader, "t0")
+	start := time.Now()
+	resp, err := hs2.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-restart poll: HTTP %d (%s), want 404", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown or expired result id") {
+		t.Fatalf("post-restart poll body %q lacks the contract message", body)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("post-restart poll took %v; the 404 must not wait out the long-poll window", d)
+	}
+
+	// The typed client surfaces the same 404 as an error.
+	if _, err := c2.Result(ctx, id); err == nil ||
+		!strings.Contains(err.Error(), "unknown or expired result id") {
+		t.Fatalf("typed client post-restart Result = %v, want the 404 contract error", err)
+	}
+
+	// The binary wire: no async-results frame exists, and the client says
+	// so up front rather than inventing one.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.ServeBinary(ln)
+	bc := binClient(t, "dfbin://"+ln.Addr().String(), client.WithTenant("t0"))
+	if _, err := bc.Result(ctx, id); err == nil ||
+		!strings.Contains(err.Error(), "JSON/HTTP") {
+		t.Fatalf("dfbin Result = %v, want a typed HTTP-only refusal", err)
+	}
+}
+
+// TestShadowDivergenceTrace: a retained diverging example carries a
+// virtual-time replay of both versions — both verdicts named with their
+// versions, then each side's event timeline — so the report explains how
+// the candidate reached a different decision, not just that it did.
+func TestShadowDivergenceTrace(t *testing.T) {
+	ctx := context.Background()
+	_, _, hs, c := newTestStack(t, runtime.Config{}, nil)
+
+	if _, err := c.RegisterSchemaText(ctx,
+		"schema shaded\nsource x\nsynth y = x + 1\ntarget y"); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, hs, "/v1/schemas", "t0",
+		api.SchemaRequest{Text: "schema shaded\nsource x\nsynth y = x + 2\ntarget y", Shadow: true})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shadow registration: HTTP %d", resp.StatusCode)
+	}
+
+	if _, err := c.EvalValues(ctx, "shaded", "", map[string]value.Value{"x": value.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	var ex api.ShadowExample
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep, err := c.ShadowReport(ctx, "shaded")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts := rep.Tenants["t0"]; len(ts.Examples) > 0 {
+			ex = ts.Examples[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no diverging example retained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	for _, want := range []string{
+		`live v1 verdict: {"y":4}`,
+		`shadow v2 verdict: {"y":5}`,
+		"--- live v1 replay ---",
+		"--- shadow v2 replay ---",
+		"** terminal snapshot **",
+		"synthesized",
+	} {
+		if !strings.Contains(ex.Trace, want) {
+			t.Errorf("example trace lacks %q:\n%s", want, ex.Trace)
+		}
+	}
 }

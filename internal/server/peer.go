@@ -1,0 +1,242 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/runtime"
+)
+
+// This file is the front-end peer tier: with Config.Peers set, a fleet of
+// dfsd nodes shares one consistent routing ring over attribute-level
+// backend queries. Every node hashes a query's sharing identity exactly
+// the way the backend cluster does (FNV over schema name + attribute +
+// args, then jump hash) but over the MEMBER list instead of the shard
+// list, so each identity has one home node — and therefore one
+// single-flight entry and one cache slot fleet-wide, instead of one per
+// node. Non-home nodes forward over dfbin (Forward/ForwardAck frames) and
+// share the home flight's fate; a per-peer breaker falls back to a local
+// flight when the home is down, stalled, or draining, trading fleet-wide
+// sharing for availability until the peer recovers.
+//
+// The ring is the LIVE member list: self plus every remote whose breaker
+// currently admits traffic. A draining or dead node fails its forwards,
+// trips its peers' breakers, and thereby leaves the ring — the survivors'
+// jump hash remaps only the departed node's key range (that is the point
+// of jump hash), so a rolling restart moves each key at most twice.
+
+// peerLink is one remote fleet member as seen from this node.
+type peerLink struct {
+	addr string
+	cli  *client.Client
+	brk  *runtime.PeerBreaker
+	// forwards / fallbacks count queries this node routed to the peer
+	// and forwards that failed over to a local flight instead.
+	forwards  atomic.Uint64
+	fallbacks atomic.Uint64
+}
+
+// peerTier routes keyed backend queries to their home nodes; it is the
+// runtime.PeerExec installed into the service's query layer.
+type peerTier struct {
+	members []string // sorted full fleet, self included
+	selfIdx int
+	links   map[string]*peerLink // remotes only
+	timeout time.Duration
+
+	fwd    sync.WaitGroup // in-flight forward goroutines
+	closed atomic.Bool
+}
+
+func newPeerTier(cfg Config) (*peerTier, error) {
+	members := slices.Clone(cfg.Peers)
+	slices.Sort(members)
+	members = slices.Compact(members)
+	if len(members) < 2 {
+		return nil, errors.New("server: peer tier needs at least two distinct members")
+	}
+	selfIdx := slices.Index(members, cfg.PeerSelf)
+	if selfIdx < 0 {
+		return nil, fmt.Errorf("server: PeerSelf %q is not in the Peers list", cfg.PeerSelf)
+	}
+	timeout := cfg.PeerForwardTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	after := cfg.PeerBreakerAfter
+	if after <= 0 {
+		after = 3
+	}
+	cooldown := cfg.PeerBreakerCooldown
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	p := &peerTier{members: members, selfIdx: selfIdx, timeout: timeout,
+		links: make(map[string]*peerLink, len(members)-1)}
+	for i, addr := range members {
+		if i == selfIdx {
+			continue
+		}
+		cli, err := client.New("dfbin://"+addr,
+			client.WithTenant("peer"),
+			client.WithTimeout(timeout),
+			client.WithMaxConns(8),
+			client.WithRetryShed(-1))
+		if err != nil {
+			for _, l := range p.links {
+				l.cli.Close()
+			}
+			return nil, fmt.Errorf("server: peer %s: %w", addr, err)
+		}
+		p.links[addr] = &peerLink{addr: addr, cli: cli,
+			brk: runtime.NewPeerBreaker(after, cooldown)}
+	}
+	return p, nil
+}
+
+// home resolves the hash's home node over the live ring and returns the
+// link to forward on — nil when this node is the home (or is the only
+// live member) and the query should run locally.
+func (p *peerTier) home(hash uint64) *peerLink {
+	var liveArr [16]int
+	live := liveArr[:0]
+	for i, addr := range p.members {
+		if i == p.selfIdx || p.links[addr].brk.Admissible() {
+			live = append(live, i)
+		}
+	}
+	idx := live[runtime.JumpHash(hash, len(live))]
+	if idx == p.selfIdx {
+		return nil
+	}
+	return p.links[p.members[idx]]
+}
+
+// SubmitPeer implements runtime.PeerExec: false keeps the query local
+// (this node is the home, the tier is closing, or the chosen peer's
+// breaker refuses the attempt); true takes ownership and later reports
+// through outcome from a forward goroutine.
+func (p *peerTier) SubmitPeer(q runtime.PeerQuery, outcome func(err error, remote bool)) bool {
+	if p.closed.Load() {
+		return false
+	}
+	link := p.home(q.Hash)
+	if link == nil {
+		return false
+	}
+	// Admit separately from the Admissible check inside home: in
+	// half-open state exactly one attempt claims the probe; the rest run
+	// locally rather than pile onto a peer that may still be down.
+	if !link.brk.Admit() {
+		return false
+	}
+	p.fwd.Add(1)
+	go p.forward(link, q, outcome)
+	return true
+}
+
+func (p *peerTier) forward(link *peerLink, q runtime.PeerQuery, outcome func(err error, remote bool)) {
+	defer p.fwd.Done()
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	err := link.cli.Forward(ctx, client.ForwardQuery{
+		Schema:      q.Schema.Name(),
+		Fingerprint: q.Schema.Fingerprint(),
+		Attr:        uint64(q.Attr),
+		Args:        []byte(q.Args),
+		Cost:        q.Cost,
+	})
+	cancel()
+	var qf *client.QueryFailedError
+	if err == nil || errors.As(err, &qf) {
+		// The home ran the flight; success or failure, we share its fate.
+		// A failed flight is not a peer-health signal — the peer answered.
+		link.brk.Success()
+		link.forwards.Add(1)
+		outcome(err, true)
+		return
+	}
+	// Refusal (draining, unknown schema, stale fingerprint), transport
+	// fault, or timeout: the query did not complete remotely. Count
+	// against the breaker and fall back to a local flight.
+	link.brk.Failure()
+	link.fallbacks.Add(1)
+	outcome(err, false)
+}
+
+// close stops new forwards, waits out in-flight ones, and releases the
+// peer connections. Forwards raced past the closed flag still complete —
+// the wait covers them — so no outcome callback is ever dropped.
+func (p *peerTier) close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.fwd.Wait()
+	for _, l := range p.links {
+		l.cli.Close()
+	}
+}
+
+// fleet builds the aggregated stats view for GET /v1/stats?fleet=1: fan
+// the stats query out to every remote over dfbin (each answers with its
+// LOCAL view — the binary Stats frame never fans out, so this cannot
+// recurse), then merge the counters of every reachable node. local is the
+// answering node's own already-built response.
+func (p *peerTier) fleet(ctx context.Context, local *api.StatsResponse) *api.FleetStats {
+	nodes := make([]api.FleetNode, len(p.members))
+	var wg sync.WaitGroup
+	for i, addr := range p.members {
+		if i == p.selfIdx {
+			nodes[i] = api.FleetNode{Addr: addr, Self: true,
+				Draining: local.Draining, Service: local.Service}
+			continue
+		}
+		link := p.links[addr]
+		wg.Add(1)
+		go func(i int, link *peerLink) {
+			defer wg.Done()
+			st, err := link.cli.Stats(ctx)
+			n := api.FleetNode{Addr: link.addr,
+				Forwards:     link.forwards.Load(),
+				Fallbacks:    link.fallbacks.Load(),
+				BreakerTrips: link.brk.Trips(),
+			}
+			if err != nil {
+				n.Err = err.Error()
+			} else {
+				n.Draining = st.Draining
+				n.Service = st.Service
+			}
+			nodes[i] = n
+		}(i, link)
+	}
+	wg.Wait()
+	fs := &api.FleetStats{Nodes: nodes}
+	for _, n := range nodes {
+		if n.Err != "" || len(n.Service) == 0 {
+			continue
+		}
+		var st runtime.Stats
+		if json.Unmarshal(n.Service, &st) != nil {
+			continue
+		}
+		fs.Totals.Submitted += st.Submitted
+		fs.Totals.Completed += st.Completed
+		fs.Totals.Errors += st.Errors
+		fs.Totals.Launched += st.Launched
+		fs.Totals.BackendQueries += st.BackendQueries
+		fs.Totals.DedupHits += st.DedupHits
+		fs.Totals.CacheHits += st.CacheHits
+		fs.Totals.PeerForwards += st.PeerForwards
+		fs.Totals.PeerFallbacks += st.PeerFallbacks
+		fs.Totals.PeerServed += st.PeerServed
+	}
+	return fs
+}

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/flows"
+	"repro/internal/runtime"
+)
+
+// The peer-tier chaos matrix: every way a home node can fail under live
+// forwarded load — killed abruptly, stalled (accepting forwards whose
+// flights never complete), or draining gracefully — crossed with seeds
+// that vary the disruption point and traffic interleaving. The invariant
+// is the same in every cell: the survivors surface zero failures and zero
+// oracle divergence, the fallback breaker trips the dead link out of the
+// ring, and (where the failure is recoverable) forwarding resumes after
+// the peer comes back. The single-node sibling of this suite is
+// internal/runtime's chaos_test.go; this one exercises the network tier
+// above it.
+
+type peerChaos struct {
+	name string
+	// disrupt takes down nodes[1] once load is mid-flight; recover (nil
+	// when the failure is terminal in-process) brings it back.
+	disrupt func(t *testing.T, n *fleetNode)
+	recover func(t *testing.T, n *fleetNode)
+}
+
+var peerChaosScenarios = []peerChaos{
+	{
+		name:    "kill",
+		disrupt: func(t *testing.T, n *fleetNode) { killNode(n) },
+	},
+	{
+		name:    "stall",
+		disrupt: func(t *testing.T, n *fleetNode) { n.backend.stall() },
+		recover: func(t *testing.T, n *fleetNode) { n.backend.unstall() },
+	},
+	{
+		name: "drain",
+		disrupt: func(t *testing.T, n *fleetNode) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := n.srv.Drain(ctx); err != nil {
+				t.Errorf("draining the home node: %v", err)
+			}
+		},
+	},
+}
+
+func TestPeerChaosMatrix(t *testing.T) {
+	for _, sc := range peerChaosScenarios {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", sc.name, seed), func(t *testing.T) {
+				runPeerChaos(t, sc, seed)
+			})
+		}
+	}
+}
+
+func runPeerChaos(t *testing.T, sc peerChaos, seed int64) {
+	const variants = 96
+	perDriver := 400
+	if testing.Short() {
+		perDriver = 120
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	_, sources, err := flows.ByName("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sourcesFor, err := flows.Spread(sources, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle answers, one per variant (the flow is deterministic).
+	refSvc := runtime.New(runtime.Config{Backend: runtime.Instant{}, Workers: 4})
+	refSrv := New(Config{Service: refSvc})
+	t.Cleanup(func() { refSrv.Drain(context.Background()) })
+	hsOracle := newOracleStack(t, refSrv)
+	oracle := make([]string, variants)
+	for i := range oracle {
+		res, err := hsOracle.EvalValues(context.Background(), "quickstart", "", sourcesFor(i))
+		if err != nil || res.Error != "" {
+			t.Fatalf("oracle eval %d: %v %s", i, err, res.Error)
+		}
+		oracle[i] = canonJSON(t, res.Values)
+	}
+
+	// Dedup-only (no cache): every keyed query reaches the home's
+	// backend, so a stalled home actually stalls forwards instead of
+	// answering them from cache. A short forward timeout converts the
+	// stall to a local fallback quickly; a short cooldown makes recovery
+	// observable within the test.
+	nodes := newFleet(t, fleetOpts{nodes: 3, gated: true, noCache: true,
+		timeout: 250 * time.Millisecond, after: 2, cooldown: 300 * time.Millisecond})
+
+	disruptAt := int64(perDriver/4 + rng.Intn(perDriver/2))
+	var evals atomic.Int64
+	var disrupted sync.WaitGroup
+	disrupted.Add(1)
+	go func() {
+		defer disrupted.Done()
+		for evals.Load() < disruptAt {
+			time.Sleep(time.Millisecond)
+		}
+		sc.disrupt(t, nodes[1])
+	}()
+
+	// Per-seed interleaving: each driver walks the variant space from its
+	// own random offset with its own random stride.
+	drive := func(c *client.Client, count, offset, stride int) error {
+		for i := 0; i < count; i++ {
+			v := (offset + i*stride) % variants
+			res, err := c.EvalValues(context.Background(), "quickstart", "", sourcesFor(v))
+			evals.Add(1)
+			if err != nil {
+				return fmt.Errorf("eval %d surfaced %v", i, err)
+			}
+			if res.Error != "" {
+				return fmt.Errorf("eval %d surfaced instance error %s", i, res.Error)
+			}
+			if got := canonJSON(t, res.Values); got != oracle[v] {
+				return fmt.Errorf("eval %d diverged: got %s, oracle %s", i, got, oracle[v])
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	drivers := []*fleetNode{nodes[0], nodes[2]}
+	for _, n := range drivers {
+		c := fleetClient(t, n, "chaos")
+		offset, stride := rng.Intn(variants), 1+rng.Intn(7)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := drive(c, perDriver, offset, stride); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	disrupted.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	var trips, fallbacks uint64
+	for _, n := range drivers {
+		st := n.svc.Stats()
+		fallbacks += st.PeerFallbacks
+		trips += n.srv.peers.links[nodes[1].addr].brk.Trips()
+		if err := fleetClient(t, n, "post").Health(context.Background()); err != nil {
+			t.Errorf("surviving node %s unhealthy: %v", n.addr, err)
+		}
+	}
+	if fallbacks == 0 {
+		t.Error("no local fallbacks recorded; the disruption never exercised failover")
+	}
+	if trips == 0 {
+		t.Error("no breaker trips recorded against the disrupted home")
+	}
+
+	if sc.recover != nil {
+		// Bring the home back, let the cooldown lapse, and show the ring
+		// heals: a fresh load round forwards to it again without a single
+		// surfaced failure, and its link admits traffic.
+		sc.recover(t, nodes[1])
+		time.Sleep(500 * time.Millisecond) // > cooldown: breakers may probe
+		before := nodes[0].svc.Stats().PeerForwards + nodes[2].svc.Stats().PeerForwards
+		for _, n := range drivers {
+			c := fleetClient(t, n, "heal")
+			offset := rng.Intn(variants)
+			if err := drive(c, perDriver/2, offset, 1); err != nil {
+				t.Error(err)
+			}
+		}
+		after := nodes[0].svc.Stats().PeerForwards + nodes[2].svc.Stats().PeerForwards
+		if after <= before {
+			t.Errorf("no forwards after recovery (before=%d after=%d); the breaker never closed", before, after)
+		}
+		for _, n := range drivers {
+			if !n.srv.peers.links[nodes[1].addr].brk.Admissible() {
+				t.Errorf("node %s still refuses the recovered home", n.addr)
+			}
+		}
+	} else if sc.name == "kill" {
+		// Terminal in-process failure: close the carcass so cleanup only
+		// drains the survivors (same dance as the tentpole kill test).
+		nodes[1].srv.drainMu.Lock()
+		nodes[1].srv.draining = true
+		nodes[1].srv.drainMu.Unlock()
+		nodes[1].svc.Close()
+	}
+}
+
+// newOracleStack serves the reference server over dfbin and returns a
+// typed client on it, so oracle answers ride the same lossless codec as
+// the fleet drivers'.
+func newOracleStack(t *testing.T, srv *Server) *client.Client {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeBinary(ln)
+	return binClient(t, "dfbin://"+ln.Addr().String(), client.WithTenant("oracle"))
+}

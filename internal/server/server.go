@@ -91,6 +91,23 @@ type Config struct {
 	// (0 = 64); sampled evals beyond it are counted as skipped, never
 	// queued — shadow work must not be able to starve live traffic.
 	MaxShadowInFlight int
+	// Peers, when non-empty, joins this node to a front-end fleet: the
+	// full member list of dfbin addresses, this node's own included (as
+	// PeerSelf). Each attribute-level backend query is routed to its home
+	// node by the same hash the backend cluster shards on, so the fleet
+	// shares one single-flight/cache entry per identity (see peer.go).
+	// Requires the service's query layer (dedup or cache) to be on.
+	Peers []string
+	// PeerSelf is this node's own address in Peers. Required with Peers.
+	PeerSelf string
+	// PeerForwardTimeout bounds one forwarded query round trip, after
+	// which the forwarder falls back to a local flight (0 = 10s).
+	PeerForwardTimeout time.Duration
+	// PeerBreakerAfter is how many consecutive forward failures open a
+	// peer's fallback breaker (0 = 3); PeerBreakerCooldown is how long an
+	// open breaker waits before probing the peer again (0 = 2s).
+	PeerBreakerAfter    int
+	PeerBreakerCooldown time.Duration
 }
 
 // Server is the HTTP front end. Create with New, expose via Handler,
@@ -137,6 +154,9 @@ type Server struct {
 	bmu        sync.Mutex
 	blisteners []net.Listener
 	bconns     map[*binConn]struct{}
+
+	// peers is the front-end fleet router; nil without Config.Peers.
+	peers *peerTier
 }
 
 // schemaEntry is one registered schema version with its pre-resolved
@@ -265,6 +285,17 @@ func Open(cfg Config) (*Server, error) {
 		if err := s.recover(cfg.DataDir, cfg.SnapshotEvery); err != nil {
 			return nil, err
 		}
+	}
+	if len(cfg.Peers) > 0 {
+		pt, err := newPeerTier(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.Service.InstallPeerRouter(pt); err != nil {
+			pt.close()
+			return nil, err
+		}
+		s.peers = pt
 	}
 	s.mux.HandleFunc("POST /v1/schemas", s.handleSchemas)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
@@ -397,6 +428,13 @@ func (s *Server) Drain(ctx context.Context) (runtime.Stats, error) {
 	if err == nil {
 		// Everything admitted has completed; Close is instant.
 		s.svc.Close()
+	}
+	// Every admitted eval has completed (or the drain timed out), so no
+	// new forwards can start; stop the peer tier and drop its
+	// connections. Forwarded-IN queries were covered by evals.Wait via
+	// the Forward handler's drain gate, same as local evals.
+	if s.peers != nil {
+		s.peers.close()
 	}
 	// Every completed eval's result frame was queued before its WaitGroup
 	// claim released, so shutdown flushes all of them before closing.
@@ -1197,6 +1235,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err.Error(), 0)
 		return
+	}
+	// ?fleet=1 aggregates across the peer fleet (HTTP only; the binary
+	// Stats frame always answers locally, so the fan-out cannot recurse).
+	if s.peers != nil && r.URL.Query().Get("fleet") != "" {
+		resp.Fleet = s.peers.fleet(r.Context(), &resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

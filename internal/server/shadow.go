@@ -11,7 +11,10 @@ package server
 // queued — the live path never waits for its shadow.
 
 import (
+	"encoding/json"
+	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +22,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/simdb"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -60,6 +66,7 @@ func newShadowState(cand *schemaEntry, sampleEvery int) *shadowState {
 // to record the comparison.
 type shadowCapture struct {
 	sh       *shadowState
+	live     *schemaEntry // the live version the candidate shadows
 	tenant   string
 	strategy engine.Strategy
 	src      map[string]value.Value
@@ -80,7 +87,7 @@ func (s *Server) shadowSample(entry *schemaEntry, tenantName string, st engine.S
 	if (sh.ctr.Add(1)-1)%sh.sampleEvery != 0 {
 		return nil
 	}
-	shc := &shadowCapture{sh: sh, tenant: tenantName, strategy: st, src: src}
+	shc := &shadowCapture{sh: sh, live: entry, tenant: tenantName, strategy: st, src: src}
 	if src == nil {
 		m := make(map[string]value.Value)
 		sch := entry.schema
@@ -179,10 +186,55 @@ func (sh *shadowState) recordOutcome(shc *shadowCapture, shadowVals map[string]a
 				Shadow:      shadowVals,
 				LiveError:   shc.liveErr,
 				ShadowError: shadowErr,
+				Trace:       sh.divergenceTrace(shc, shadowVals, shadowErr),
 			})
 		}
 	}
 	sh.mu.Unlock()
+}
+
+// divergenceTrace replays both versions of a diverging eval in virtual
+// time — sim clock, unbounded database, the eval's own strategy — and
+// renders one combined record: both verdicts up top, then each side's
+// internal/trace timeline, so a retained example explains *how* the two
+// versions reached different decisions, not just that they did. Targets
+// are deterministic in the sources, so the replayed decisions match the
+// recorded ones; only the wall-clock interleaving is idealized. Replay is
+// bounded by maxShadowExamples per tenant, off every hot path.
+func (sh *shadowState) divergenceTrace(shc *shadowCapture, shadowVals map[string]any, shadowErr string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "live v%d verdict: %s\n", shc.live.version, verdictJSON(shc.liveVals, shc.liveErr))
+	fmt.Fprintf(&b, "shadow v%d verdict: %s\n", sh.cand.version, verdictJSON(shadowVals, shadowErr))
+	fmt.Fprintf(&b, "--- live v%d replay ---\n%s", shc.live.version, replayTrace(shc.live.schema, shc.strategy, shc.src))
+	fmt.Fprintf(&b, "--- shadow v%d replay ---\n%s", sh.cand.version, replayTrace(sh.cand.schema, shc.strategy, shc.src))
+	return b.String()
+}
+
+// verdictJSON renders one side's decision: its target values, or its
+// instance error.
+func verdictJSON(vals map[string]any, errMsg string) string {
+	if errMsg != "" {
+		return "error: " + errMsg
+	}
+	j, err := json.Marshal(vals)
+	if err != nil {
+		return fmt.Sprintf("%v", vals)
+	}
+	return string(j)
+}
+
+// replayTrace runs one instance of s under the simulated clock with a
+// trace recorder attached and renders its timeline.
+func replayTrace(s *core.Schema, st engine.Strategy, src map[string]value.Value) string {
+	rec := trace.NewRecorder(s)
+	sm := sim.New()
+	e := &engine.Engine{Sim: sm, DB: &simdb.Unbounded{S: sm}, Strategy: st, Hooks: rec.Hooks()}
+	res := e.Start(s, src, nil)
+	sm.Run()
+	if res.Err != nil {
+		return fmt.Sprintf("replay error: %v\n%s", res.Err, rec.Trace().Render())
+	}
+	return rec.Trace().Render()
 }
 
 // targetsEqual compares two JSON-form target maps over the union of their
