@@ -11,7 +11,7 @@ SERVING_BENCH ?= Serve|ServiceThroughput
 SERVING_ITERS ?= 20000x
 BENCH_TOLERANCE ?= 0.20
 
-.PHONY: all build vet test race bench fuzz-smoke chaos smoke cover bench-serving bench-guard profile-serving ci
+.PHONY: all build vet test race bench fuzz-smoke chaos smoke torture cover bench-serving bench-guard profile-serving ci
 
 all: ci
 
@@ -62,6 +62,16 @@ chaos:
 smoke:
 	$(GO) test -count=1 -run 'TestSmokeBinaries|TestSmokeRestart|TestSmokePeerFleet' ./cmd/dfsd
 
+# Crash-consistency torture: real dfsd processes with DFSD_FAILPOINTS
+# crash failpoints armed at every WAL site (append write/sync, the whole
+# snapshot sequence, the log reset, plus torn appends cut at random byte
+# offsets), killed mid-registration and restarted, asserting acked ⇒
+# recovered bit-identical and in-flight ⇒ exact-content-or-absent. The
+# default is the one-cycle-per-site subset CI runs (<60s);
+# TORTURE_FULL=1 runs the full randomized sweep (≥50 cycles).
+torture:
+	$(GO) test -count=1 -run 'TestTortureCrashConsistency' ./cmd/dfsd
+
 # Coverage across every package; cover.out is the CI artifact, the
 # function summary line is the human-readable take-away. cmd/dfsd is
 # excluded: its only test is the binary e2e smoke (`make smoke` just ran
@@ -106,4 +116,4 @@ profile-serving:
 	$(GO) run ./cmd/dfserve -n $(PROFILE_N) -cpuprofile prof/dfserve-cpu.pprof -memprofile prof/dfserve-mem.pprof
 	$(GO) run ./cmd/dfserve -n $(PROFILE_N) -schema pattern -cpuprofile prof/dfserve-pattern-cpu.pprof -memprofile prof/dfserve-pattern-mem.pprof
 
-ci: build vet test race bench fuzz-smoke chaos smoke cover bench-guard profile-serving
+ci: build vet test race bench fuzz-smoke chaos smoke torture cover bench-guard profile-serving

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/cliconf"
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -56,6 +57,7 @@ func main() {
 		latWindow    = fs.Int("latwindow", 4096, "latency samples retained per stats shard (sliding percentile window; 0 = unbounded)")
 		drainWait    = fs.Duration("drain", 30*time.Second, "graceful shutdown: max wait for in-flight instances")
 		dataDir      = fs.String("datadir", "", "durable schema registry directory: WAL + snapshot, replayed on boot (empty = in-memory only)")
+		snapEvery    = fs.Int("snapevery", 0, "WAL appends between registry snapshot rewrites (0 = 256; needs -datadir)")
 	)
 	flag.Parse()
 	if err := cliconf.ApplyConfigFile(fs, cf.ConfigPath); err != nil {
@@ -78,6 +80,15 @@ func main() {
 		fail(err)
 	}
 
+	// Fault injection (testing only): DFSD_FAILPOINTS arms named failpoint
+	// sites before anything opens files or sockets. Announce what is armed
+	// so a production daemon can never carry a silent fault plan.
+	if armed, err := fault.ArmFromEnv(); err != nil {
+		fail(err)
+	} else if len(armed) > 0 {
+		fmt.Printf("dfsd: FAULT INJECTION ARMED via %s: %v\n", fault.EnvVar, armed)
+	}
+
 	srv, err := server.Open(server.Config{
 		Service:  built.Service,
 		Peers:    pf.Members(),
@@ -90,6 +101,7 @@ func main() {
 		ShedQueueDepth: *shedQueue,
 		ShedP99:        *shedP99,
 		DataDir:        *dataDir,
+		SnapshotEvery:  *snapEvery,
 	})
 	if err != nil {
 		// Refusing to start on a corrupt registry is deliberate: serving

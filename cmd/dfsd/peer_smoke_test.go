@@ -183,7 +183,7 @@ func TestSmokePeerFleet(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("fleet identity never settled: %+v", tot)
+			t.Fatalf("fleet identity never settled: %+v\nnode 0 output:\n%s", tot, outs[0].String())
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

@@ -1,0 +1,304 @@
+package main
+
+// Crash-consistency torture harness: `make torture`. Real dfsd processes
+// run over one long-lived data directory with crash failpoints
+// (DFSD_FAILPOINTS) armed at every WAL site — append write/sync, every
+// step of the snapshot sequence, the log reset — including torn appends
+// cut at random byte offsets. Each cycle registers schemas until the
+// daemon kills itself at the armed site, restarts it clean, and checks
+// the only two legal outcomes against a client-side model:
+//
+//   - every ACKED registration survives with a bit-identical fingerprint
+//     at its acked version (the server re-verifies fingerprints during
+//     replay, so a corrupt record refuses to boot — also a failure here);
+//   - the single in-flight registration is either cleanly absent or
+//     fully present with exactly the attempted content (its append may
+//     have become durable before the crash landed).
+//
+// Anything else — a lost ack, a mutated fingerprint, a phantom entry, a
+// leaked snapshot tmp file, a registry that refuses to boot — fails the
+// test. Default run: one cycle per site (<60s, CI's `make torture`);
+// TORTURE_FULL=1 runs the full randomized sweep (≥50 cycles).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/flows"
+)
+
+// tortureText is one registration's schema body; k varies the arithmetic
+// so every attempt has a distinct fingerprint.
+func tortureText(name string, k int) string {
+	return fmt.Sprintf(`
+schema %s
+source amount
+query risk from amount cost 2 when amount > 0
+synth fee when notnull(risk) = amount / %d + risk * 0
+target fee
+`, name, k)
+}
+
+// tortureFP computes the fingerprint the server will log and verify for
+// text, exactly the way the registry does — the model's ground truth.
+func tortureFP(t *testing.T, text string) string {
+	t.Helper()
+	sch, err := core.ParseSchema(text)
+	if err != nil {
+		t.Fatalf("torture schema does not parse: %v\n%s", err, text)
+	}
+	flows.BindDefaultComputes(sch)
+	return fmt.Sprintf("%016x", sch.Fingerprint())
+}
+
+func TestTortureCrashConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture harness builds and crash-loops real daemons; skipped in -short")
+	}
+	dir := t.TempDir()
+	dfsd := filepath.Join(dir, "dfsd")
+	build := exec.Command("go", "build", "-o", dfsd, "repro/cmd/dfsd")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dfsd: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(dir, "registry")
+
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("torture seed %d (re-run: edit the seed in torture_test.go to reproduce)", seed)
+
+	// One plan per WAL failpoint site. N* picks which hit crashes, so the
+	// crash lands on a randomized registration; crashpartial's byte count
+	// cuts the append at a random offset inside the record.
+	plans := []struct {
+		site string
+		spec func() string
+	}{
+		{fault.SiteWALAppendWrite, func() string { return fmt.Sprintf("%d*crash", 1+rng.Intn(8)) }},
+		{fault.SiteWALAppendWrite, func() string {
+			return fmt.Sprintf("%d*crashpartial:%d", 1+rng.Intn(8), 1+rng.Intn(40))
+		}},
+		{fault.SiteWALAppendSync, func() string { return fmt.Sprintf("%d*crash", 1+rng.Intn(8)) }},
+		{fault.SiteWALSnapOpen, func() string { return fmt.Sprintf("%d*crash", 1+rng.Intn(2)) }},
+		{fault.SiteWALSnapWrite, func() string { return fmt.Sprintf("%d*crash", 1+rng.Intn(2)) }},
+		{fault.SiteWALSnapSync, func() string { return "1*crash" }},
+		{fault.SiteWALSnapRename, func() string { return "1*crash" }},
+		{fault.SiteWALSnapDirSync, func() string { return "1*crash" }},
+		{fault.SiteWALLogTruncate, func() string { return "1*crash" }},
+		{fault.SiteWALLogSync, func() string { return "1*crash" }},
+	}
+	rounds := 1
+	if os.Getenv("TORTURE_FULL") != "" {
+		rounds = 6 // 60 randomized cycles
+	}
+
+	// The model: what the registry owes us. Only acked registrations (and
+	// in-flight ones later observed durable) enter it.
+	type schemaState struct {
+		version uint64
+		fp      string
+	}
+	model := map[string]*schemaState{}
+	names := []string{"alpha", "beta", "gamma"}
+	regCounter := 0
+	survived, absent := 0, 0
+
+	httpc := &http.Client{Timeout: 5 * time.Second}
+	register := func(addr, text string) (api.SchemaResponse, error) {
+		body, _ := json.Marshal(api.SchemaRequest{Text: text})
+		req, _ := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/schemas", bytes.NewReader(body))
+		req.Header.Set(api.TenantHeader, "torture")
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return api.SchemaResponse{}, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			// Non-transport refusals (503, 400) are registry bugs under a
+			// pure crash plan — surface them as errors the caller fatals on.
+			return api.SchemaResponse{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, data)
+		}
+		var ack api.SchemaResponse
+		if err := json.Unmarshal(data, &ack); err != nil {
+			return api.SchemaResponse{}, err
+		}
+		return ack, nil
+	}
+	launch := func(t *testing.T, env string) (*exec.Cmd, *syncBuffer, string) {
+		t.Helper()
+		addr := freeAddr(t)
+		var out syncBuffer
+		cmd := exec.Command(dfsd, "-addr", addr, "-binaddr", "",
+			"-datadir", dataDir, "-snapevery", "4", "-drain", "2s")
+		cmd.Env = os.Environ()
+		if env != "" {
+			cmd.Env = append(cmd.Env, env)
+		}
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill() })
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cmd, &out, addr
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("dfsd never became healthy (env %q); output:\n%s", env, out.String())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	cycle := 0
+	for round := 0; round < rounds; round++ {
+		for _, plan := range plans {
+			cycle++
+			spec := plan.spec()
+			t.Logf("cycle %d: %s=%s", cycle, plan.site, spec)
+
+			cmd, out, addr := launch(t, fault.EnvVar+"="+plan.site+"="+spec)
+			if !strings.Contains(out.String(), "FAULT INJECTION ARMED") {
+				t.Fatalf("cycle %d: no armed banner; a daemon carrying a silent fault plan is worse than the fault:\n%s",
+					cycle, out.String())
+			}
+
+			// Register until the armed site kills the daemon mid-request.
+			type attempt struct {
+				name    string
+				version uint64
+				fp      string
+			}
+			var inflight *attempt
+			const maxRegs = 24 // ≥6 snapshots at -snapevery 4: every plan's Nth hit is reachable
+			for i := 0; i < maxRegs; i++ {
+				name := names[regCounter%len(names)]
+				text := tortureText(name, 2+regCounter)
+				regCounter++
+				att := attempt{name: name, version: 1, fp: tortureFP(t, text)}
+				if st := model[name]; st != nil {
+					att.version = st.version + 1
+				}
+				ack, err := register(addr, text)
+				if err != nil {
+					inflight = &att
+					break
+				}
+				if ack.Version != att.version || ack.Fingerprint != att.fp {
+					t.Fatalf("cycle %d: ack for %s = v%d/%s, model expected v%d/%s",
+						cycle, name, ack.Version, ack.Fingerprint, att.version, att.fp)
+				}
+				model[name] = &schemaState{att.version, att.fp}
+			}
+			if inflight == nil {
+				t.Fatalf("cycle %d: failpoint %s=%s never fired across %d registrations; output:\n%s",
+					cycle, plan.site, spec, maxRegs, out.String())
+			}
+
+			// The death must be OUR crash: exit code 86, announced at the
+			// armed site — not a panic, not a clean exit, not an OOM.
+			waitErr := make(chan error, 1)
+			go func() { waitErr <- cmd.Wait() }()
+			select {
+			case <-waitErr:
+				if code := cmd.ProcessState.ExitCode(); code != fault.CrashExitCode {
+					t.Fatalf("cycle %d: daemon exited %d, want crash code %d; output:\n%s",
+						cycle, code, fault.CrashExitCode, out.String())
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatalf("cycle %d: daemon still alive after a failed registration; output:\n%s",
+					cycle, out.String())
+			}
+			if want := "fault: crash at " + plan.site; !strings.Contains(out.String(), want) {
+				t.Fatalf("cycle %d: crash banner %q missing:\n%s", cycle, want, out.String())
+			}
+
+			// Recovery generation, no faults. A registry that refuses to
+			// boot (corrupt record, fingerprint mismatch) dies here in the
+			// health wait with its output dumped — that IS the violation.
+			vcmd, _, vaddr := launch(t, "")
+			resp, err := http.Get("http://" + vaddr + "/v1/stats")
+			if err != nil {
+				t.Fatalf("cycle %d: stats after recovery: %v", cycle, err)
+			}
+			var st api.StatsResponse
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("cycle %d: stats decode: %v", cycle, err)
+			}
+			got := map[string]api.SchemaInfo{}
+			for _, d := range st.SchemaDetails {
+				if d.Owner == "torture" {
+					got[d.Name] = d
+				}
+			}
+
+			// Outcome of the in-flight registration: durable-with-exact-
+			// content (adopt into the model) or cleanly absent. A torn or
+			// mutated version of it is the third outcome that must not exist.
+			if d, ok := got[inflight.name]; ok && d.Version == inflight.version {
+				if d.Fingerprint != inflight.fp {
+					t.Fatalf("cycle %d: in-flight %s v%d recovered with fingerprint %s, attempted %s — torn registration surfaced",
+						cycle, inflight.name, d.Version, d.Fingerprint, inflight.fp)
+				}
+				model[inflight.name] = &schemaState{inflight.version, inflight.fp}
+				survived++
+			} else {
+				absent++
+			}
+			// Acked ⇒ survives, bit-identical, at the acked version.
+			for name, want := range model {
+				d, ok := got[name]
+				if !ok {
+					t.Fatalf("cycle %d: ACKED schema %s v%d lost across the crash (%s=%s)",
+						cycle, name, want.version, plan.site, spec)
+				}
+				if d.Version != want.version || d.Fingerprint != want.fp {
+					t.Fatalf("cycle %d: acked %s = v%d/%s, recovered v%d/%s",
+						cycle, name, want.version, want.fp, d.Version, d.Fingerprint)
+				}
+			}
+			for name := range got {
+				if _, ok := model[name]; !ok {
+					t.Fatalf("cycle %d: phantom schema %s recovered — never acked at any version: %+v",
+						cycle, name, got[name])
+				}
+			}
+			// Boot swept any snapshot tmp the crash left behind.
+			if _, err := os.Stat(filepath.Join(dataDir, "registry.snap.tmp")); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("cycle %d: orphaned registry.snap.tmp survived recovery (stat: %v)", cycle, err)
+			}
+
+			// SIGKILL the verifier: no drain, no sealing snapshot — the next
+			// cycle inherits exactly the recovered on-disk state.
+			vcmd.Process.Kill()
+			vcmd.Wait()
+		}
+	}
+	fmt.Printf("torture: %d crash/restart cycles over %d registrations — in-flight survived=%d absent=%d, 0 invariant violations\n",
+		cycle, regCounter, survived, absent)
+}

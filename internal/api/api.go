@@ -168,6 +168,12 @@ type StatsResponse struct {
 	// long the replay took. Absent when the server runs without a datadir.
 	RecoveredSchemas int   `json:"recovered_schemas,omitempty"`
 	RecoveryMs       int64 `json:"recovery_ms,omitempty"`
+	// RegistryReadOnly reports the durable registry's fail-closed state: a
+	// WAL write/fsync error (or ENOSPC) degraded the server to serving
+	// already-registered schemas only, refusing new registrations until it
+	// restarts. RegistryError carries the cause.
+	RegistryReadOnly bool   `json:"registry_readonly,omitempty"`
+	RegistryError    string `json:"registry_error,omitempty"`
 	// Fleet is the peer-aggregated view, present only on
 	// GET /v1/stats?fleet=1 from a node running with -peers: the answering
 	// node fans the stats query out to every fleet member over dfbin and

@@ -1,0 +1,151 @@
+package api_test
+
+// FrameReader behavior under injected transport faults: pathological
+// fragmentation (1-byte reads), connections cut mid-frame, and outright
+// read errors. The contract is uniform — frames assemble correctly no
+// matter how the bytes arrive, and every failure surfaces as a typed
+// error, never a panic or a garbage frame.
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/fault"
+)
+
+// rawFrame builds one wire frame: u32-LE length prefix, type byte, payload.
+func rawFrame(typ byte, payload []byte) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(1+len(payload)))
+	b = append(b, typ)
+	return append(b, payload...)
+}
+
+// faultedPipe returns a FrameReader over the read half of a net.Pipe
+// wrapped in a fault.Conn, plus the write half for the test to feed.
+func faultedPipe(t *testing.T) (*api.FrameReader, net.Conn) {
+	t.Helper()
+	rd, wr := net.Pipe()
+	t.Cleanup(func() { rd.Close(); wr.Close() })
+	fc := fault.WrapConn(rd, fault.SiteClientConnRead, fault.SiteClientConnWrite)
+	return api.NewFrameReader(fc, 0), wr
+}
+
+// TestFrameReaderAssemblesUnderFragmentation: with every read shortened
+// to a single byte, multi-frame streams still parse frame-for-frame —
+// the reader owes nothing to TCP segment boundaries.
+func TestFrameReaderAssemblesUnderFragmentation(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(fault.SiteClientConnRead, "%1*partial:1"); err != nil {
+		t.Fatal(err)
+	}
+	fr, wr := faultedPipe(t)
+
+	frames := [][]byte{
+		rawFrame(api.FrameHello, []byte("hello payload")),
+		rawFrame(api.FrameResult, []byte{0x01, 0x02, 0x03}),
+		rawFrame(api.FrameError, nil),
+	}
+	go func() {
+		for _, f := range frames {
+			wr.Write(f)
+		}
+		wr.Close()
+	}()
+
+	wantTypes := []byte{api.FrameHello, api.FrameResult, api.FrameError}
+	wantLens := []int{13, 3, 0}
+	for i := range wantTypes {
+		typ, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d under 1-byte reads: %v", i, err)
+		}
+		if typ != wantTypes[i] || len(payload) != wantLens[i] {
+			t.Fatalf("frame %d = (%#x, %d bytes), want (%#x, %d)",
+				i, typ, len(payload), wantTypes[i], wantLens[i])
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want clean io.EOF at the boundary", err)
+	}
+	if hits, _ := fault.Hits(fault.SiteClientConnRead); hits < 20 {
+		t.Fatalf("only %d reads — fragmentation failpoint did not bite", hits)
+	}
+}
+
+// TestFrameReaderMidFrameResetIsUnexpectedEOF: a connection dropped
+// between a frame's header and the end of its payload is a torn frame —
+// io.ErrUnexpectedEOF, distinct from the clean-boundary io.EOF that
+// means "peer finished".
+func TestFrameReaderMidFrameResetIsUnexpectedEOF(t *testing.T) {
+	fr, wr := faultedPipe(t)
+	full := rawFrame(api.FrameResult, []byte("payload that will be cut off"))
+	go func() {
+		wr.Write(full[:len(full)-9])
+		wr.Close()
+	}()
+	if _, _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// Cut inside the 4-byte header itself: still torn, still typed.
+	fr, wr = faultedPipe(t)
+	go func() {
+		wr.Write(full[:2])
+		wr.Close()
+	}()
+	if _, _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn header: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestFrameReaderInjectedReadError: a transport error mid-stream comes
+// back verbatim (wrapped as the injected fault), never as a mangled
+// frame — the reader does not guess at bytes it never received.
+func TestFrameReaderInjectedReadError(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	// Frame 1 costs exactly two reads on a pipe (header, payload); the
+	// third read — frame 2's header — takes the fault.
+	if err := fault.Arm(fault.SiteClientConnRead, "3*error:injected reset"); err != nil {
+		t.Fatal(err)
+	}
+	fr, wr := faultedPipe(t)
+	go func() {
+		wr.Write(rawFrame(api.FrameHello, []byte("ok")))
+		wr.Write(rawFrame(api.FrameHello, []byte("never arrives")))
+	}()
+	if typ, _, err := fr.Next(); err != nil || typ != api.FrameHello {
+		t.Fatalf("first frame before the fault: (%#x, %v)", typ, err)
+	}
+	_, _, err := fr.Next()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("faulted read: %v, want the injected transport error", err)
+	}
+}
+
+// TestFrameReaderDelayedReadsStillComplete: latency is not corruption —
+// injected read delays slow the stream down but every frame arrives
+// intact.
+func TestFrameReaderDelayedReadsStillComplete(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(fault.SiteClientConnRead, "delay:5ms"); err != nil {
+		t.Fatal(err)
+	}
+	fr, wr := faultedPipe(t)
+	go func() {
+		wr.Write(rawFrame(api.FrameResult, []byte("slow but intact")))
+		wr.Close()
+	}()
+	start := time.Now()
+	typ, payload, err := fr.Next()
+	if err != nil || typ != api.FrameResult || string(payload) != "slow but intact" {
+		t.Fatalf("delayed frame: (%#x, %q, %v)", typ, payload, err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay failpoint did not bite")
+	}
+}

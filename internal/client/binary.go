@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/fault"
 	"repro/internal/value"
 )
 
@@ -237,6 +238,12 @@ func (t *binTransport) dial(ctx context.Context) (*bconn, error) {
 	nc, err := d.DialContext(ctx, "tcp", t.addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", t.addr, err)
+	}
+	// Interpose the conn failpoints only while armed: wrapping hides
+	// *net.TCPConn from vectored-write fast paths, so the disarmed hot
+	// path keeps the raw conn.
+	if fault.Active() {
+		nc = fault.WrapConn(nc, fault.SiteClientConnRead, fault.SiteClientConnWrite)
 	}
 	c := &bconn{
 		t:       t,

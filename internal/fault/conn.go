@@ -1,0 +1,26 @@
+package fault
+
+import "net"
+
+// Conn interposes read/write failpoint sites on a net.Conn. Wrapping a
+// *net.TCPConn hides it from net.Buffers' writev fast path, so callers
+// wrap only when Active() reports some site armed at the moment the
+// connection is established — the disarmed hot path keeps the raw conn.
+type Conn struct {
+	net.Conn
+	ReadSite  string
+	WriteSite string
+}
+
+// WrapConn interposes the sites over nc.
+func WrapConn(nc net.Conn, readSite, writeSite string) *Conn {
+	return &Conn{Conn: nc, ReadSite: readSite, WriteSite: writeSite}
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	return faultedRead(c.ReadSite, b, c.Conn.Read)
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	return faultedWrite(c.WriteSite, b, c.Conn.Write)
+}

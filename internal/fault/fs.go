@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS interposes failpoint sites on filesystem operations. The zero value
+// is ready to use; with no sites armed every call is the real operation
+// plus one atomic load.
+type FS struct{}
+
+// OpenFile is os.OpenFile behind a site.
+func (FS) OpenFile(site, name string, flag int, perm fs.FileMode) (*File, error) {
+	if err := Eval(site); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f}, nil
+}
+
+// Rename is os.Rename behind a site.
+func (FS) Rename(site, oldpath, newpath string) error {
+	if err := Eval(site); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// SyncDir opens dir and fsyncs it — the directory-entry durability step
+// after a rename — behind a site.
+func (FS) SyncDir(site, dir string) error {
+	if err := Eval(site); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// File wraps an *os.File with per-call failpoint sites on the mutating
+// operations. Reads and metadata calls pass through unfaulted — the
+// registry's damage handling is exercised by corrupting bytes, not by
+// failing reads.
+type File struct {
+	f *os.File
+}
+
+// NewFile wraps an already-open file (boot-time initialization opens the
+// log raw, then hands it over).
+func NewFile(f *os.File) *File { return &File{f: f} }
+
+// Write performs f.Write behind a site; partial/crashpartial actions
+// write a real prefix first, so the bytes genuinely land in the page
+// cache before the fault.
+func (w *File) Write(site string, b []byte) (int, error) {
+	return faultedWrite(site, b, w.f.Write)
+}
+
+// Sync performs f.Sync behind a site.
+func (w *File) Sync(site string) error {
+	if err := Eval(site); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Truncate performs f.Truncate behind a site.
+func (w *File) Truncate(site string, size int64) error {
+	if err := Eval(site); err != nil {
+		return err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *File) Seek(offset int64, whence int) (int64, error) { return w.f.Seek(offset, whence) }
+func (w *File) Close() error                                 { return w.f.Close() }

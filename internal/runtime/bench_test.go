@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/value"
 )
@@ -207,6 +208,32 @@ func BenchmarkServeCachedInstant(b *testing.B) {
 	})
 	benchLoad(b, svc, Load{
 		Schema: s, Sources: sources,
+		Strategy: engine.MustParseStrategy("PSE100"),
+	})
+}
+
+// BenchmarkServeCachedInstantFaultSites is BenchmarkServeCachedInstant
+// with two disarmed failpoint sites evaluated on every instance — the
+// instrumentation cost a production build carries all the time. Its
+// baseline entry pins the same inst/s and allocs/op as the fault-free
+// benchmark, so bench-guard turns any disarmed-path overhead (an
+// allocation, a lock, a map lookup on the fast path) into a regression
+// failure rather than a slow drift.
+func BenchmarkServeCachedInstantFaultSites(b *testing.B) {
+	if fault.Active() {
+		b.Fatal("failpoints armed; this benchmark measures the disarmed fast path")
+	}
+	s, sources := quickstart(b)
+	svc := New(Config{
+		Query: QueryConfig{CacheSize: 1024},
+	})
+	benchLoad(b, svc, Load{
+		Schema: s,
+		SourcesFor: func(i int) map[string]value.Value {
+			fault.Eval(fault.SiteWALAppendSync)
+			fault.Eval(fault.SiteBinConnWrite)
+			return sources
+		},
 		Strategy: engine.MustParseStrategy("PSE100"),
 	})
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/runtime"
 	"repro/internal/value"
 )
@@ -178,6 +179,12 @@ func getSlots(n int) *slotBuf {
 // serveBinConn owns one connection: handshake, then the read loop. The
 // paired writer goroutine owns all writes.
 func (s *Server) serveBinConn(nc net.Conn) {
+	// Interpose the conn failpoints only while some site is armed: the
+	// wrapper hides *net.TCPConn from net.Buffers' writev fast path, so
+	// the disarmed hot path must keep the raw conn.
+	if fault.Active() {
+		nc = fault.WrapConn(nc, fault.SiteBinConnRead, fault.SiteBinConnWrite)
+	}
 	// The handshake must arrive promptly; afterwards the connection is
 	// persistent and idles freely.
 	nc.SetReadDeadline(time.Now().Add(30 * time.Second))
@@ -244,7 +251,12 @@ func (c *binConn) writer() {
 			// slice headers; the frames themselves still recycle below.
 			vecs = append(vecs[:0], frames...)
 			if _, err := vecs.WriteTo(c.conn); err != nil {
+				// A partial or failed frame write leaves the stream
+				// unframeable; close the socket now so the client sees a
+				// prompt conn error and redials, instead of waiting out its
+				// request timeout against a wedged half-written stream.
 				broken = true
+				c.conn.Close()
 			}
 		}
 		for _, b := range frames {
@@ -699,6 +711,12 @@ func (c *binConn) handleRegister(reqID uint64, cur *api.Cursor) bool {
 			code = api.CodeDraining
 		case http.StatusInternalServerError:
 			code = api.CodeInternal
+		}
+		if rerr.binCode != 0 {
+			// The registration core pinned the wire code (poisoned /
+			// read-only registry must not read as CodeDraining's
+			// try-another-node hint).
+			code = rerr.binCode
 		}
 		c.sendErr(reqID, code, 0, rerr.msg)
 		return true

@@ -1,0 +1,366 @@
+package server
+
+// Disk-fault and wire-fault hardening tests, driven by internal/fault
+// failpoints: the fail-closed registry contract (fsync error ⇒ poisoned,
+// ENOSPC ⇒ read-only, both sticky, both typed on both wires), the
+// snapshot sequence's damage policy, and the dfbin client's recovery
+// from injected partial writes and connection resets.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/fault"
+	"repro/internal/runtime"
+	"repro/internal/value"
+)
+
+// newFaultStack is a durable server on both wires: dir-backed registry,
+// HTTP test server, dfbin listener.
+func newFaultStack(t *testing.T, dir string) (*Server, *httptest.Server, string) {
+	t.Helper()
+	svc := runtime.New(runtime.Config{})
+	srv, err := Open(Config{Service: svc, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeBinary(ln)
+	t.Cleanup(func() {
+		hs.Close()
+		if !srv.Draining() {
+			srv.Drain(context.Background())
+		}
+	})
+	return srv, hs, "dfbin://" + ln.Addr().String()
+}
+
+// TestRegistryFailClosedOnFsyncError is the fsyncgate contract: after a
+// WAL fsync error the registry refuses every further registration — even
+// after the fault clears — while continuing to serve what it already
+// acked. A retried fsync can "succeed" over dirty pages the kernel
+// already dropped, so an ack after a sync error would be a durability
+// lie; the only honest states are served-and-durable or refused.
+func TestRegistryFailClosedOnFsyncError(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	srv, hs, binAddr := newFaultStack(t, t.TempDir())
+	ctx := context.Background()
+	hc, err := client.New(hs.URL, client.WithTenant("t0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+
+	if _, err := hc.RegisterSchemaText(ctx, durableText); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fault.Arm(fault.SiteWALAppendSync, "error:simulated fsync failure"); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, hs, "/v1/schemas", "t0", api.SchemaRequest{Text: durableText})
+	var eresp api.ErrorResponse
+	drainBody(t, resp, &eresp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("registration after fsync error: HTTP %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(eresp.Error, "poisoned") {
+		t.Fatalf("error %q does not name the poisoned state", eresp.Error)
+	}
+	if err := srv.wal.failedErr(); !errors.Is(err, ErrRegistryPoisoned) {
+		t.Fatalf("wal failed state = %v, want ErrRegistryPoisoned", err)
+	}
+
+	// Sticky: the fault is gone, the refusal is not. The fsync that failed
+	// may have lost pages; only a restart re-reads the truth from disk.
+	fault.Reset()
+	resp = post(t, hs, "/v1/schemas", "t0", api.SchemaRequest{Text: durableText})
+	drainBody(t, resp, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("registration after fault cleared: HTTP %d, want sticky 503", resp.StatusCode)
+	}
+
+	// The binary wire refuses with CodeInternal — NOT CodeDraining, whose
+	// try-another-node hint would be wrong here.
+	bc := binClient(t, binAddr, client.WithTenant("t0"))
+	if _, err := bc.RegisterSchemaText(ctx, durableText); err == nil ||
+		!strings.Contains(err.Error(), "code 7") || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("binary registration = %v, want CodeInternal(7) naming the poisoned state", err)
+	}
+
+	// Already-registered schemas still serve, on both wires.
+	if res, err := hc.EvalValues(ctx, "billing", "", map[string]value.Value{"amount": value.Int(120)}); err != nil || res.Error != "" {
+		t.Fatalf("HTTP eval on poisoned registry: %v %s", err, res.Error)
+	}
+	if res, err := bc.EvalValues(ctx, "billing", "", map[string]value.Value{"amount": value.Int(120)}); err != nil || res.Error != "" {
+		t.Fatalf("binary eval on poisoned registry: %v %s", err, res.Error)
+	}
+
+	// /v1/stats flags the degradation for operators.
+	st, err := hc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.RegistryReadOnly || !strings.Contains(st.RegistryError, "poisoned") {
+		t.Fatalf("stats registry flags = (%v, %q), want read-only with the poisoned cause",
+			st.RegistryReadOnly, st.RegistryError)
+	}
+}
+
+// TestRegistryReadOnlyOnENOSPC: disk-full degrades to the same serve-
+// existing/refuse-new mode, but with the distinct read-only typed error —
+// nothing is suspected corrupt, the operator just needs to free space.
+func TestRegistryReadOnlyOnENOSPC(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	srv, hs, _ := newFaultStack(t, t.TempDir())
+	ctx := context.Background()
+	hc, err := client.New(hs.URL, client.WithTenant("t0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+
+	if err := fault.Arm(fault.SiteWALAppendWrite, "enospc"); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, hs, "/v1/schemas", "t0", api.SchemaRequest{Text: durableText})
+	var eresp api.ErrorResponse
+	drainBody(t, resp, &eresp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("registration on full disk: HTTP %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(eresp.Error, "read-only") {
+		t.Fatalf("error %q does not name the read-only state", eresp.Error)
+	}
+	if err := srv.wal.failedErr(); !errors.Is(err, ErrRegistryReadOnly) {
+		t.Fatalf("wal failed state = %v, want ErrRegistryReadOnly", err)
+	}
+	if err := srv.wal.failedErr(); errors.Is(err, ErrRegistryPoisoned) {
+		t.Fatal("ENOSPC must surface as read-only, not poisoned — the errors are distinct")
+	}
+	fault.Reset()
+
+	// Sticky, flagged, and still serving built-ins.
+	resp = post(t, hs, "/v1/schemas", "t0", api.SchemaRequest{Text: durableText})
+	drainBody(t, resp, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("registration after ENOSPC cleared: HTTP %d, want sticky 503", resp.StatusCode)
+	}
+	st, err := hc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.RegistryReadOnly || !strings.Contains(st.RegistryError, "read-only") {
+		t.Fatalf("stats registry flags = (%v, %q), want read-only with the ENOSPC cause",
+			st.RegistryReadOnly, st.RegistryError)
+	}
+	if res, err := hc.EvalValues(ctx, "quickstart", "", map[string]value.Value{
+		"visits": value.Int(3), "spend": value.Int(10)}); err != nil || res.Error != "" {
+		t.Fatalf("eval on read-only registry: %v %s", err, res.Error)
+	}
+}
+
+// TestBinaryPartialWriteRedial proves the claim the tentpole makes about
+// the dfbin wire: a partial frame write on the server side surfaces as a
+// connection error that the multiplexed client's redial+re-bind path
+// absorbs — the caller sees a correct answer, not an error or a stall.
+func TestBinaryPartialWriteRedial(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	_, _, binAddr := newFaultStack(t, t.TempDir())
+	ctx := context.Background()
+
+	// Server-side writes on the connection about to be made: HelloAck is
+	// write 1, BindAck write 2, the first eval Result write 3 — which gets
+	// cut 4 bytes in, leaving the client a torn frame and the server
+	// writer a broken stream it must close promptly.
+	if err := fault.Arm(fault.SiteBinConnWrite, "3*partial:4"); err != nil {
+		t.Fatal(err)
+	}
+	bc := binClient(t, binAddr, client.WithTenant("t0"))
+	sources := map[string]value.Value{"visits": value.Int(3), "spend": value.Int(10)}
+
+	want := ""
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := bc.EvalValues(ctx, "quickstart", "", sources)
+		if err == nil && res.Error == "" {
+			want = canonJSON(t, res.Values)
+			break
+		}
+		// The one retry the client burns internally can race the server's
+		// close; what may never happen is a stall or a panic.
+		if time.Now().After(deadline) {
+			t.Fatalf("eval never recovered from the partial write: %v", err)
+		}
+	}
+	if _, fired := fault.Hits(fault.SiteBinConnWrite); fired != 1 {
+		t.Fatalf("partial-write failpoint fired %d times, want exactly 1", fired)
+	}
+	// The connection the client is now on is the redialed one, with its
+	// bind restored: further evals answer identically with no faults left.
+	res, err := bc.EvalValues(ctx, "quickstart", "", sources)
+	if err != nil || res.Error != "" {
+		t.Fatalf("eval after recovery: %v %s", err, res.Error)
+	}
+	if got := canonJSON(t, res.Values); got != want {
+		t.Fatalf("answer changed across the redial: %s vs %s", got, want)
+	}
+}
+
+// TestBinaryClientReadFaultRecovery: an injected read error on the
+// client's side of an established connection kills that connection; the
+// next eval transparently redials and answers. No panic, no stall, no
+// wrong answer.
+func TestBinaryClientReadFaultRecovery(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	_, _, binAddr := newFaultStack(t, t.TempDir())
+	ctx := context.Background()
+
+	// The client wraps its conns only when some site is armed at dial
+	// time, so arm a never-firing one-shot before the first dial, then
+	// re-arm the real fault once the connection is up.
+	if err := fault.Arm(fault.SiteClientConnRead, "1000000*error"); err != nil {
+		t.Fatal(err)
+	}
+	bc := binClient(t, binAddr, client.WithTenant("t0"))
+	sources := map[string]value.Value{"visits": value.Int(3), "spend": value.Int(10)}
+	res, err := bc.EvalValues(ctx, "quickstart", "", sources)
+	if err != nil || res.Error != "" {
+		t.Fatalf("pre-fault eval: %v %s", err, res.Error)
+	}
+	want := canonJSON(t, res.Values)
+
+	// One-shot: the reader's next Read call on the live conn fires it.
+	if err := fault.Arm(fault.SiteClientConnRead, "1*error:injected conn reset"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err = bc.EvalValues(ctx, "quickstart", "", sources)
+		if err == nil && res.Error == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("eval never recovered from the injected read fault: %v", err)
+		}
+	}
+	if got := canonJSON(t, res.Values); got != want {
+		t.Fatalf("answer changed across the reconnect: %s vs %s", got, want)
+	}
+}
+
+// TestOrphanSnapshotTmpCleanedAtBoot pins the small-fix satellite: a
+// crash between the snapshot tmp write and its rename leaks
+// registry.snap.tmp; recovery deletes it (it was never the live
+// snapshot) instead of leaking one per crash forever.
+func TestOrphanSnapshotTmpCleanedAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, snapFileName+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written snapshot from a crash"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recs, torn, err := openWALStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if len(recs) != 0 || torn != 0 {
+		t.Fatalf("recovery = (%d recs, %d torn), want clean empty", len(recs), torn)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphaned %s survived recovery: %v", tmp, err)
+	}
+}
+
+// TestSnapshotRenameFailureIsAdvisory: a failed snapshot before the
+// rename completes leaves the previous snapshot+log fully recoverable,
+// so the store stays healthy and keeps appending.
+func TestSnapshotRenameFailureIsAdvisory(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	w, _, _, err := openWALStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	rec := api.WALRecord{Kind: api.WALKindSchema, Tenant: "t0", Name: "x",
+		Version: 1, Fingerprint: 1, Text: "schema x\nsource a\nsynth b = a\ntarget b"}
+	if err := w.append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(fault.SiteWALSnapRename, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.snapshot([]api.WALRecord{rec}); err == nil {
+		t.Fatal("snapshot with failed rename reported success")
+	}
+	if w.failedErr() != nil {
+		t.Fatalf("advisory snapshot failure poisoned the store: %v", w.failedErr())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapFileName+".tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp file survived the failed rename: %v", err)
+	}
+	fault.Reset()
+	rec.Version = 2
+	if err := w.append(rec); err != nil {
+		t.Fatalf("append after advisory snapshot failure: %v", err)
+	}
+}
+
+// TestSnapshotDirSyncFailurePoisons: once the rename has happened, a
+// failed directory sync is NOT advisory. If the rename's directory entry
+// never becomes durable, a machine crash could resurrect the OLD
+// snapshot — so the log must not be truncated (its records are the only
+// copy of the state under that outcome) and the store fails closed.
+func TestSnapshotDirSyncFailurePoisons(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	w, _, _, err := openWALStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	rec := api.WALRecord{Kind: api.WALKindSchema, Tenant: "t0", Name: "x",
+		Version: 1, Fingerprint: 1, Text: "schema x\nsource a\nsynth b = a\ntarget b"}
+	if err := w.append(rec); err != nil {
+		t.Fatal(err)
+	}
+	logSize := func() int64 {
+		fi, err := os.Stat(filepath.Join(dir, walFileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	before := logSize()
+
+	if err := fault.Arm(fault.SiteWALSnapDirSync, "error"); err != nil {
+		t.Fatal(err)
+	}
+	err = w.snapshot([]api.WALRecord{rec})
+	if !errors.Is(err, ErrRegistryPoisoned) {
+		t.Fatalf("snapshot with failed dirsync = %v, want poisoned", err)
+	}
+	if got := logSize(); got != before {
+		t.Fatalf("log truncated (%d → %d bytes) under an undurable rename; its records were the only safe copy", before, got)
+	}
+	fault.Reset()
+	rec.Version = 2
+	if err := w.append(rec); !errors.Is(err, ErrRegistryPoisoned) {
+		t.Fatalf("append after dirsync poisoning = %v, want sticky refusal", err)
+	}
+}

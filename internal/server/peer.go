@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/client"
+	"repro/internal/fault"
 	"repro/internal/runtime"
 )
 
@@ -51,6 +52,8 @@ type peerTier struct {
 	selfIdx int
 	links   map[string]*peerLink // remotes only
 	timeout time.Duration
+	// statsTimeout bounds each per-peer fetch of the ?fleet=1 fan-out.
+	statsTimeout time.Duration
 
 	fwd    sync.WaitGroup // in-flight forward goroutines
 	closed atomic.Bool
@@ -79,8 +82,13 @@ func newPeerTier(cfg Config) (*peerTier, error) {
 	if cooldown <= 0 {
 		cooldown = 2 * time.Second
 	}
+	statsTimeout := cfg.PeerStatsTimeout
+	if statsTimeout <= 0 {
+		statsTimeout = 2 * time.Second
+	}
 	p := &peerTier{members: members, selfIdx: selfIdx, timeout: timeout,
-		links: make(map[string]*peerLink, len(members)-1)}
+		statsTimeout: statsTimeout,
+		links:        make(map[string]*peerLink, len(members)-1)}
 	for i, addr := range members {
 		if i == selfIdx {
 			continue
@@ -146,13 +154,16 @@ func (p *peerTier) SubmitPeer(q runtime.PeerQuery, outcome func(err error, remot
 func (p *peerTier) forward(link *peerLink, q runtime.PeerQuery, outcome func(err error, remote bool)) {
 	defer p.fwd.Done()
 	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
-	err := link.cli.Forward(ctx, client.ForwardQuery{
-		Schema:      q.Schema.Name(),
-		Fingerprint: q.Schema.Fingerprint(),
-		Attr:        uint64(q.Attr),
-		Args:        []byte(q.Args),
-		Cost:        q.Cost,
-	})
+	err := fault.Eval(fault.SitePeerForwardSend)
+	if err == nil {
+		err = link.cli.Forward(ctx, client.ForwardQuery{
+			Schema:      q.Schema.Name(),
+			Fingerprint: q.Schema.Fingerprint(),
+			Attr:        uint64(q.Attr),
+			Args:        []byte(q.Args),
+			Cost:        q.Cost,
+		})
+	}
 	cancel()
 	var qf *client.QueryFailedError
 	if err == nil || errors.As(err, &qf) {
@@ -202,17 +213,41 @@ func (p *peerTier) fleet(ctx context.Context, local *api.StatsResponse) *api.Fle
 		wg.Add(1)
 		go func(i int, link *peerLink) {
 			defer wg.Done()
-			st, err := link.cli.Stats(ctx)
 			n := api.FleetNode{Addr: link.addr,
 				Forwards:     link.forwards.Load(),
 				Fallbacks:    link.fallbacks.Load(),
 				BreakerTrips: link.brk.Trips(),
 			}
-			if err != nil {
-				n.Err = err.Error()
-			} else {
-				n.Draining = st.Draining
-				n.Service = st.Service
+			// Per-peer deadline: one dead or wedged peer must degrade to
+			// an Err marker, not stall the whole aggregate. The fetch runs
+			// in its own goroutine with a buffered reply so a fetch that
+			// outlives the deadline parks harmlessly instead of racing
+			// this frame's locals.
+			sctx, cancel := context.WithTimeout(ctx, p.statsTimeout)
+			defer cancel()
+			type reply struct {
+				st  api.StatsResponse
+				err error
+			}
+			ch := make(chan reply, 1)
+			go func() {
+				err := fault.Eval(fault.SitePeerStatsDial)
+				var st api.StatsResponse
+				if err == nil {
+					st, err = link.cli.Stats(sctx)
+				}
+				ch <- reply{st, err}
+			}()
+			select {
+			case r := <-ch:
+				if r.err != nil {
+					n.Err = r.err.Error()
+				} else {
+					n.Draining = r.st.Draining
+					n.Service = r.st.Service
+				}
+			case <-sctx.Done():
+				n.Err = fmt.Sprintf("stats fetch: %v", sctx.Err())
 			}
 			nodes[i] = n
 		}(i, link)

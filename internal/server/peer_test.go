@@ -6,12 +6,14 @@ import (
 	"net"
 	"net/http/httptest"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/fault"
 	"repro/internal/flows"
 	"repro/internal/runtime"
 )
@@ -34,12 +36,13 @@ type fleetNode struct {
 }
 
 type fleetOpts struct {
-	nodes    int
-	gated    bool          // gateBackend per node instead of Instant
-	noCache  bool          // dedup-only query layer: every query reaches the backend
-	timeout  time.Duration // forward timeout (0 = 5s)
-	after    int           // breaker trip threshold (0 = 3)
-	cooldown time.Duration // breaker cooldown (0 = 250ms)
+	nodes        int
+	gated        bool          // gateBackend per node instead of Instant
+	noCache      bool          // dedup-only query layer: every query reaches the backend
+	timeout      time.Duration // forward timeout (0 = 5s)
+	after        int           // breaker trip threshold (0 = 3)
+	cooldown     time.Duration // breaker cooldown (0 = 250ms)
+	statsTimeout time.Duration // per-peer ?fleet=1 stats fetch bound (0 = server default)
 }
 
 // newFleet builds the ring: listeners first (the full member list must
@@ -86,6 +89,7 @@ func newFleet(t testing.TB, o fleetOpts) []*fleetNode {
 			PeerForwardTimeout:  o.timeout,
 			PeerBreakerAfter:    o.after,
 			PeerBreakerCooldown: o.cooldown,
+			PeerStatsTimeout:    o.statsTimeout,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -409,8 +413,16 @@ func TestPeerFleetKillMidLoad(t *testing.T) {
 	killed.Add(1)
 	go func() {
 		defer killed.Done()
-		// Kill node 1 once the drivers are genuinely mid-load.
+		// Kill node 1 once the drivers are genuinely mid-load. Deadlined:
+		// if the drivers wedge before the halfway mark, fail with the
+		// observed progress instead of hanging the suite.
+		deadline := time.Now().Add(60 * time.Second)
 		for evals.Load() < int64(perDriver/2) {
+			if time.Now().After(deadline) {
+				t.Errorf("drivers wedged before the kill point: %d of %d evals after 60s",
+					evals.Load(), perDriver/2)
+				return
+			}
 			time.Sleep(time.Millisecond)
 		}
 		killNode(nodes[1])
@@ -472,4 +484,60 @@ func TestPeerFleetKillMidLoad(t *testing.T) {
 	nodes[1].srv.draining = true
 	nodes[1].srv.drainMu.Unlock()
 	nodes[1].svc.Close()
+}
+
+// TestPeerFleetStatsTimeout: the ?fleet=1 fan-out is bounded per peer. A
+// peer.stats.dial delay failpoint wedges every remote stats fetch far past
+// the configured PeerStatsTimeout; the aggregate must come back promptly
+// with Err markers on the wedged peers instead of stalling until they
+// answer.
+func TestPeerFleetStatsTimeout(t *testing.T) {
+	nodes := newFleet(t, fleetOpts{nodes: 3, statsTimeout: 200 * time.Millisecond})
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(fault.SitePeerStatsDial, "delay:3s"); err != nil {
+		t.Fatal(err)
+	}
+
+	hs := httptest.NewServer(nodes[0].srv.Handler())
+	defer hs.Close()
+	hc, err := client.New(hs.URL, client.WithTenant("agg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+
+	start := time.Now()
+	fl, err := hc.FleetStats(context.Background())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 1500*time.Millisecond {
+		t.Fatalf("fleet stats took %v; a wedged peer must degrade at the %v per-peer bound, not stall", elapsed, 200*time.Millisecond)
+	}
+	if fl.Fleet == nil || len(fl.Fleet.Nodes) != 3 {
+		t.Fatalf("fleet view = %+v, want 3 nodes", fl.Fleet)
+	}
+	for _, n := range fl.Fleet.Nodes {
+		if n.Self {
+			if n.Err != "" {
+				t.Errorf("self node carries error %q", n.Err)
+			}
+			continue
+		}
+		if n.Err == "" || !strings.Contains(n.Err, "deadline") {
+			t.Errorf("wedged peer %s: Err = %q, want a deadline marker", n.Addr, n.Err)
+		}
+	}
+	// Disarmed, the same fan-out answers cleanly again.
+	fault.Reset()
+	fl, err = hc.FleetStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range fl.Fleet.Nodes {
+		if n.Err != "" {
+			t.Errorf("post-disarm node %s still errored: %s", n.Addr, n.Err)
+		}
+	}
 }

@@ -108,6 +108,10 @@ type Config struct {
 	// open breaker waits before probing the peer again (0 = 2s).
 	PeerBreakerAfter    int
 	PeerBreakerCooldown time.Duration
+	// PeerStatsTimeout bounds each per-peer stats fetch during the
+	// GET /v1/stats?fleet=1 fan-out (0 = 2s): a dead or hung peer
+	// degrades to an Err marker in the aggregate instead of stalling it.
+	PeerStatsTimeout time.Duration
 }
 
 // Server is the HTTP front end. Create with New, expose via Handler,
@@ -651,9 +655,14 @@ func requestTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
 // --- handlers ---
 
 // registerError is a schema-registration failure with its status on each
-// wire (the binary front end maps httpStatus onto Error frame codes).
+// wire (the binary front end maps httpStatus onto Error frame codes; a
+// nonzero binCode overrides that mapping for cases the default status
+// table would mistranslate, like the poisoned registry's 503 which must
+// NOT read as CodeDraining — draining invites a retry elsewhere, a
+// poisoned registry refuses until restart).
 type registerError struct {
 	httpStatus int
+	binCode    byte
 	msg        string
 }
 
@@ -666,7 +675,7 @@ type registerError struct {
 func (s *Server) registerSchema(tenantName, text string, shadow bool, sampleEvery int) (api.SchemaResponse, *registerError) {
 	sch, err := core.ParseSchema(text)
 	if err != nil {
-		return api.SchemaResponse{}, &registerError{http.StatusBadRequest, err.Error()}
+		return api.SchemaResponse{}, &registerError{httpStatus: http.StatusBadRequest, msg: err.Error()}
 	}
 	// Foreign results are served by a deterministic hash compute — the
 	// wire carries structure, not code (see flows.BindDefaultComputes).
@@ -674,7 +683,7 @@ func (s *Server) registerSchema(tenantName, text string, shadow bool, sampleEver
 	if s.Draining() {
 		// A draining server must not accept registrations: its WAL is
 		// about to seal, and an unpersisted ack would be a silent lie.
-		return api.SchemaResponse{}, &registerError{http.StatusServiceUnavailable, ErrDraining.Error()}
+		return api.SchemaResponse{}, &registerError{httpStatus: http.StatusServiceUnavailable, msg: ErrDraining.Error()}
 	}
 	name := sch.Name()
 	s.mu.Lock()
@@ -682,18 +691,18 @@ func (s *Server) registerSchema(tenantName, text string, shadow bool, sampleEver
 	if exists {
 		if prev.owner != tenantName {
 			s.mu.Unlock()
-			return api.SchemaResponse{}, &registerError{http.StatusForbidden,
-				fmt.Sprintf("schema %q is owned by another tenant", name)}
+			return api.SchemaResponse{}, &registerError{httpStatus: http.StatusForbidden,
+				msg: fmt.Sprintf("schema %q is owned by another tenant", name)}
 		}
 	} else {
 		if shadow {
 			s.mu.Unlock()
-			return api.SchemaResponse{}, &registerError{http.StatusNotFound,
-				fmt.Sprintf("no live schema %q to shadow", name)}
+			return api.SchemaResponse{}, &registerError{httpStatus: http.StatusNotFound,
+				msg: fmt.Sprintf("no live schema %q to shadow", name)}
 		}
 		if len(s.schemas) >= s.cfg.MaxSchemas {
 			s.mu.Unlock()
-			return api.SchemaResponse{}, &registerError{http.StatusInsufficientStorage, "schema registry full"}
+			return api.SchemaResponse{}, &registerError{httpStatus: http.StatusInsufficientStorage, msg: "schema registry full"}
 		}
 	}
 	version := s.versions[name] + 1
@@ -706,10 +715,17 @@ func (s *Server) registerSchema(tenantName, text string, shadow bool, sampleEver
 			rec.SampleEvery = uint64(max(sampleEvery, 1))
 		}
 		// Durability before acknowledgment: if the record cannot be made
-		// durable the registration did not happen.
+		// durable the registration did not happen — and is never retried
+		// (the store failed closed; see ErrRegistryPoisoned). 503 tells
+		// HTTP clients the condition is operational, not a bad request;
+		// the binary code is pinned to CodeInternal so it cannot read as
+		// a retry-elsewhere draining hint.
 		if err := s.wal.append(rec); err != nil {
 			s.mu.Unlock()
-			return api.SchemaResponse{}, &registerError{http.StatusInternalServerError, err.Error()}
+			if errors.Is(err, ErrRegistryPoisoned) || errors.Is(err, ErrRegistryReadOnly) {
+				return api.SchemaResponse{}, &registerError{httpStatus: http.StatusServiceUnavailable, binCode: api.CodeInternal, msg: err.Error()}
+			}
+			return api.SchemaResponse{}, &registerError{httpStatus: http.StatusInternalServerError, msg: err.Error()}
 		}
 	}
 	s.versions[name] = version
@@ -1201,6 +1217,7 @@ func (s *Server) statsResponse() (api.StatsResponse, error) {
 	}
 	s.tmu.Unlock()
 	s.mu.RLock()
+	regErr := s.wal.failedErr()
 	names := make([]string, 0, len(s.schemas))
 	for name := range s.schemas {
 		names = append(names, name)
@@ -1218,7 +1235,7 @@ func (s *Server) statsResponse() (api.StatsResponse, error) {
 		})
 	}
 	s.mu.RUnlock()
-	return api.StatsResponse{
+	resp := api.StatsResponse{
 		Service:          svcStats,
 		Tenants:          tenants,
 		UptimeMs:         time.Since(s.start).Milliseconds(),
@@ -1227,7 +1244,15 @@ func (s *Server) statsResponse() (api.StatsResponse, error) {
 		SchemaDetails:    details,
 		RecoveredSchemas: s.recovery.Schemas,
 		RecoveryMs:       s.recovery.Duration.Milliseconds(),
-	}, nil
+	}
+	if regErr != nil {
+		// Both degradations (poisoned, disk-full) read as read-only to an
+		// operator: the server serves what it has and refuses new
+		// registrations until restarted. The error text tells them which.
+		resp.RegistryReadOnly = true
+		resp.RegistryError = regErr.Error()
+	}
+	return resp, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

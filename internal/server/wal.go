@@ -17,10 +17,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/fault"
 )
+
+// ErrRegistryPoisoned is the fail-closed state: a write or fsync error
+// on the WAL poisons the registry permanently (for this process) and
+// every further registration is refused with this error. Retrying after
+// a failed fsync and acking the retry would be a lie — the kernel may
+// have dropped the dirty pages while clearing the error — so the only
+// safe move is to stop acking durability and keep serving what is
+// already registered (and therefore already durable).
+var ErrRegistryPoisoned = errors.New("server: registry poisoned by a write/fsync error; registrations refused, restart to recover")
+
+// ErrRegistryReadOnly is the graceful flavor of the same degradation:
+// the disk is full (ENOSPC). Nothing is suspected corrupt — the append
+// simply could not land — but the registry still refuses registrations
+// until an operator makes space and restarts, for the same
+// never-retry-and-ack reason.
+var ErrRegistryReadOnly = errors.New("server: registry read-only: no space left on device; registrations refused until space is freed and the server restarts")
 
 // walMagic opens both registry files; a file that exists but starts
 // otherwise belongs to something else and recovery refuses it.
@@ -40,10 +58,16 @@ const defaultSnapshotEvery = 256
 // of its own.
 type walStore struct {
 	dir       string
-	log       *os.File
+	fs        fault.FS
+	log       *fault.File
 	logRecs   int // records appended to the log since its last truncation
 	snapEvery int
 	buf       []byte
+	// failed is the sticky fail-closed state: once any append or
+	// log-reset IO fails, every later append returns this error without
+	// touching the files again. Wraps ErrRegistryReadOnly on ENOSPC,
+	// ErrRegistryPoisoned otherwise.
+	failed error
 }
 
 // RecoveryInfo summarizes a boot replay of the durable registry.
@@ -70,6 +94,11 @@ func openWALStore(dir string, snapEvery int) (w *walStore, recs []api.WALRecord,
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, 0, fmt.Errorf("server: datadir: %w", err)
+	}
+	// A crash between the snapshot tmp write and its rename leaks the tmp
+	// file; it was never the live snapshot, so recovery just deletes it.
+	if err := os.Remove(filepath.Join(dir, snapFileName+".tmp")); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, 0, fmt.Errorf("server: orphaned snapshot tmp: %w", err)
 	}
 	snapPath := filepath.Join(dir, snapFileName)
 	if snap, err := os.ReadFile(snapPath); err == nil {
@@ -124,7 +153,7 @@ func openWALStore(dir string, snapEvery int) (w *walStore, recs []api.WALRecord,
 		f.Close()
 		return nil, nil, 0, fmt.Errorf("server: wal sync: %w", err)
 	}
-	return &walStore{dir: dir, log: f, logRecs: len(logRecs), snapEvery: snapEvery},
+	return &walStore{dir: dir, log: fault.NewFile(f), logRecs: len(logRecs), snapEvery: snapEvery},
 		append(recs, logRecs...), tornBytes, nil
 }
 
@@ -159,15 +188,42 @@ func decodeWALFile(b []byte, tolerateTorn bool) (recs []api.WALRecord, keep int6
 	return recs, off, nil
 }
 
-// append durably adds one record: the write and fsync complete before the
-// caller acks the registration.
-func (w *walStore) append(rec api.WALRecord) error {
-	w.buf = api.AppendWALRecord(w.buf[:0], rec)
-	if _, err := w.log.Write(w.buf); err != nil {
-		return fmt.Errorf("server: wal append: %w", err)
+// poison records a fatal IO error as the store's sticky failed state and
+// returns it. ENOSPC maps to the read-only degradation, anything else to
+// the poisoned fail-closed state; either way no further append touches
+// the files — a registry that cannot promise durability must stop acking
+// it, not retry until an fsync "succeeds" over pages the kernel already
+// dropped.
+func (w *walStore) poison(err error) error {
+	typed := ErrRegistryPoisoned
+	if errors.Is(err, syscall.ENOSPC) {
+		typed = ErrRegistryReadOnly
 	}
-	if err := w.log.Sync(); err != nil {
-		return fmt.Errorf("server: wal sync: %w", err)
+	w.failed = fmt.Errorf("%w (%v)", typed, err)
+	return w.failed
+}
+
+// failedErr reports the sticky fail-closed state, nil when healthy (or
+// when the server runs without a data directory).
+func (w *walStore) failedErr() error {
+	if w == nil {
+		return nil
+	}
+	return w.failed
+}
+
+// append durably adds one record: the write and fsync complete before the
+// caller acks the registration. Any IO error fails the store closed.
+func (w *walStore) append(rec api.WALRecord) error {
+	if w.failed != nil {
+		return w.failed
+	}
+	w.buf = api.AppendWALRecord(w.buf[:0], rec)
+	if _, err := w.log.Write(fault.SiteWALAppendWrite, w.buf); err != nil {
+		return w.poison(fmt.Errorf("server: wal append: %w", err))
+	}
+	if err := w.log.Sync(fault.SiteWALAppendSync); err != nil {
+		return w.poison(fmt.Errorf("server: wal sync: %w", err))
 	}
 	w.logRecs++
 	return nil
@@ -178,48 +234,65 @@ func (w *walStore) append(rec api.WALRecord) error {
 func (w *walStore) wantSnapshot() bool { return w.logRecs >= w.snapEvery }
 
 // snapshot atomically replaces the snapshot file with the given full
-// registry state (write temp, fsync, rename) and truncates the log. A
-// failed snapshot leaves the previous snapshot+log intact — the state is
-// still fully recoverable, so the error is advisory.
+// registry state (write temp, fsync, rename, dir-sync) and truncates the
+// log. A failure before the rename leaves the previous snapshot+log
+// intact — the state is still fully recoverable, so those errors are
+// advisory (ENOSPC excepted: a full disk also dooms the next append, so
+// it degrades the store to read-only immediately). A dir-sync failure is
+// NOT advisory: if the rename's directory entry never becomes durable, a
+// machine crash could resurrect the old snapshot beside a log we already
+// truncated, silently losing records — so the log is left alone and the
+// store fails closed. Log-reset failures fail closed for the same
+// reason: the log's contents no longer match what the next append
+// assumes.
 func (w *walStore) snapshot(recs []api.WALRecord) error {
+	if w.failed != nil {
+		return w.failed
+	}
 	tmp := filepath.Join(w.dir, snapFileName+".tmp")
 	buf := append(w.buf[:0], walMagic...)
 	for _, rec := range recs {
 		buf = api.AppendWALRecord(buf, rec)
 	}
 	w.buf = buf
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("server: snapshot: %w", err)
+	advisory := func(err error) error {
+		err = fmt.Errorf("server: snapshot: %w", err)
+		if errors.Is(err, syscall.ENOSPC) {
+			return w.poison(err)
+		}
+		return err
 	}
-	if _, err := f.Write(buf); err == nil {
-		err = f.Sync()
+	f, err := w.fs.OpenFile(fault.SiteWALSnapOpen, tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return advisory(err)
+	}
+	if _, err := f.Write(fault.SiteWALSnapWrite, buf); err == nil {
+		err = f.Sync(fault.SiteWALSnapSync)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("server: snapshot: %w", err)
+		return advisory(err)
 	}
-	if err := os.Rename(tmp, filepath.Join(w.dir, snapFileName)); err != nil {
+	if err := w.fs.Rename(fault.SiteWALSnapRename, tmp, filepath.Join(w.dir, snapFileName)); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("server: snapshot: %w", err)
+		return advisory(err)
 	}
-	if d, err := os.Open(w.dir); err == nil {
-		d.Sync()
-		d.Close()
+	if err := w.fs.SyncDir(fault.SiteWALSnapDirSync, w.dir); err != nil {
+		return w.poison(fmt.Errorf("server: snapshot dirsync: %w", err))
 	}
 	// The snapshot now covers everything in the log; reset the log so a
 	// crash between here and the next append replays snapshot-only.
-	if err := w.log.Truncate(int64(len(walMagic))); err != nil {
-		return fmt.Errorf("server: wal reset: %w", err)
+	if err := w.log.Truncate(fault.SiteWALLogTruncate, int64(len(walMagic))); err != nil {
+		return w.poison(fmt.Errorf("server: wal reset: %w", err))
 	}
 	if _, err := w.log.Seek(int64(len(walMagic)), 0); err != nil {
-		return fmt.Errorf("server: wal reset: %w", err)
+		return w.poison(fmt.Errorf("server: wal reset: %w", err))
 	}
-	if err := w.log.Sync(); err != nil {
-		return fmt.Errorf("server: wal reset: %w", err)
+	if err := w.log.Sync(fault.SiteWALLogSync); err != nil {
+		return w.poison(fmt.Errorf("server: wal reset: %w", err))
 	}
 	w.logRecs = 0
 	return nil
