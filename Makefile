@@ -7,7 +7,7 @@ GO ?= go
 # The iteration count trades CI time for measurement-window length: 3000
 # iterations of the fastest benchmarks finish in ~10ms and mostly measure
 # scheduler noise; 20000 keeps every window past ~50ms.
-SERVING_BENCH ?= Serve|ServiceThroughput
+SERVING_BENCH ?= Serve|ServiceThroughput|Replay
 SERVING_ITERS ?= 20000x
 BENCH_TOLERANCE ?= 0.20
 
@@ -35,13 +35,15 @@ bench:
 # trees + partial environments vs an independent reference evaluator),
 # the dfbin wire codec (JSON/binary differential round trip, plus
 # truncated/corrupt frames asserting clean errors, never panics), and
-# the registry WAL record codec (decode never panics, every failure is
-# classified torn-vs-corrupt, every success re-encodes identically).
+# the registry WAL record codec and the eval-capture record codec (decode
+# never panics, every failure is classified torn-vs-corrupt, every
+# success re-encodes identically).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzEval3$$' -fuzztime=10s ./internal/expr
 	$(GO) test -run='^$$' -fuzz='^FuzzBinaryJSONDifferential$$' -fuzztime=5s ./internal/api
 	$(GO) test -run='^$$' -fuzz='^FuzzBinaryFrameDecode$$' -fuzztime=5s ./internal/api
 	$(GO) test -run='^$$' -fuzz='^FuzzWALRecordDecode$$' -fuzztime=5s ./internal/api
+	$(GO) test -run='^$$' -fuzz='^FuzzCaptureRecordDecode$$' -fuzztime=5s ./internal/api
 
 # Deterministic chaos suite: kill/stall/degrade cluster replicas mid-run
 # and assert the oracle invariant, work conservation, and launch-exact
@@ -59,8 +61,13 @@ chaos:
 # torn-WAL-tail crash variants. TestSmokePeerFleet boots a 3-process
 # -peers fleet, drives load through one node, rolling-restarts every
 # node in turn under SLO assertions, and requires every drain clean.
+# TestSmokeCaptureReplay closes the record/replay loop: dfsd -capture
+# records 5k mixed-tenant instances over both wires, a SIGTERM seals the
+# capture, a fresh daemon comes up, and dfreplay re-issues the capture
+# live on both wires demanding zero digest divergence — plus two virtual
+# replays that must print bit-identical combined digests.
 smoke:
-	$(GO) test -count=1 -run 'TestSmokeBinaries|TestSmokeRestart|TestSmokePeerFleet' ./cmd/dfsd
+	$(GO) test -count=1 -run 'TestSmokeBinaries|TestSmokeRestart|TestSmokePeerFleet|TestSmokeCaptureReplay' ./cmd/dfsd
 
 # Crash-consistency torture: real dfsd processes with DFSD_FAILPOINTS
 # crash failpoints armed at every WAL site (append write/sync, the whole

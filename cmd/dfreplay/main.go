@@ -1,0 +1,328 @@
+// Command dfreplay turns a dfsd capture (dfsd -capture <dir>) back into a
+// workload. It has two modes:
+//
+// Live replay re-issues every recorded instance against a running dfsd
+// over either wire (the -addr scheme picks HTTP or dfbin), open-loop at
+// the capture's own inter-arrival gaps — optionally compressed with
+// -speed — per recorded tenant, and compares each live decision digest
+// against the recorded one. Against an unchanged schema the divergence
+// count must be zero; a non-zero count means the server no longer decides
+// what it decided when the capture was taken.
+//
+// Virtual replay (-virtual) needs no server: every instance re-executes
+// on the deterministic engine under the simulated clock, so the same
+// capture always produces byte-identical digests — the debugging mode.
+// -diff replays each instance against two schema versions (-schema /
+// -schema2, schema text files; the recorded schema's built-in by default)
+// and reports per-record divergence with internal/trace renderings of
+// both executions, the offline analogue of the server's shadow compare.
+//
+// Examples:
+//
+//	dfsd -capture /tmp/cap                 # record production traffic
+//	dfreplay -capture /tmp/cap -addr http://127.0.0.1:8180
+//	dfreplay -capture /tmp/cap -addr dfbin://127.0.0.1:8181 -speed 2x
+//	dfreplay -capture /tmp/cap -virtual    # deterministic re-execution
+//	dfreplay -capture /tmp/cap -virtual -diff -schema2 v2.df
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/capture"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/flows"
+	"repro/internal/sim"
+	"repro/internal/simdb"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+func main() {
+	var (
+		capPath  = flag.String("capture", "", "capture directory or single .dfcap file (required)")
+		addr     = flag.String("addr", "", "live replay target: http://host:port or dfbin://host:port")
+		speed    = flag.String("speed", "1x", "live replay pacing: recorded gaps divided by this factor (e.g. 2x; max = no pacing)")
+		virtual  = flag.Bool("virtual", false, "re-execute deterministically on the simulated clock (no server)")
+		diff     = flag.Bool("diff", false, "with -virtual: replay against two schema versions and report divergence")
+		schemaA  = flag.String("schema", "", "schema text file overriding the recorded schema (virtual modes; default: built-in by recorded name)")
+		schemaB  = flag.String("schema2", "", "second schema text file for -diff")
+		limit    = flag.Int("n", 0, "replay only the first n records (0 = all)")
+		examples = flag.Int("examples", 4, "diverging examples to render in -diff mode")
+	)
+	flag.Parse()
+	if *capPath == "" {
+		fail(fmt.Errorf("-capture is required"))
+	}
+	if (*addr == "") == !*virtual {
+		fail(fmt.Errorf("pick exactly one mode: -addr (live) or -virtual"))
+	}
+	if *diff && !*virtual {
+		fail(fmt.Errorf("-diff needs -virtual"))
+	}
+
+	res, err := capture.Read(*capPath)
+	if err != nil {
+		fail(err)
+	}
+	recs := res.Records
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].MonoNs < recs[j].MonoNs })
+	if *limit > 0 && len(recs) > *limit {
+		recs = recs[:*limit]
+	}
+	fmt.Printf("dfreplay: %d records from %d files", len(recs), res.Files)
+	if res.TornFiles > 0 {
+		fmt.Printf(" (%d torn tails, %d bytes discarded)", res.TornFiles, res.TornBytes)
+	}
+	fmt.Println()
+	if len(recs) == 0 {
+		fail(fmt.Errorf("empty capture"))
+	}
+
+	if *virtual {
+		if *diff {
+			runDiff(recs, *schemaA, *schemaB, *examples)
+		} else {
+			runVirtual(recs, *schemaA)
+		}
+		return
+	}
+	runLive(recs, *addr, *speed)
+}
+
+// sourcesOf rebuilds a record's typed source bindings.
+func sourcesOf(rec *api.CaptureRecord) map[string]value.Value {
+	m := make(map[string]value.Value, len(rec.Sources))
+	for _, s := range rec.Sources {
+		m[s.Name] = s.Val
+	}
+	return m
+}
+
+// parseSpeed parses -speed: "2", "2x", "0.5x", or "max" (no pacing).
+func parseSpeed(s string) (float64, error) {
+	if strings.EqualFold(s, "max") {
+		return 0, nil // 0 sentinel: every arrival offset is zero
+	}
+	f, err := strconv.ParseFloat(strings.TrimSuffix(strings.ToLower(s), "x"), 64)
+	if err != nil || f <= 0 {
+		return 0, fmt.Errorf("bad -speed %q (want e.g. 1x, 2x, 0.5x, max)", s)
+	}
+	return f, nil
+}
+
+// runLive re-issues the capture against a server. Records group by
+// (tenant, schema, strategy) — one client.RunLoad per group, all pacing
+// off one shared base so cross-tenant interleaving is preserved — and
+// every result's digest is compared to the recorded decision.
+func runLive(recs []api.CaptureRecord, addr, speedStr string) {
+	speed, err := parseSpeed(speedStr)
+	if err != nil {
+		fail(err)
+	}
+	type key struct{ tenant, schema, strategy string }
+	groups := make(map[key][]int)
+	order := []key{}
+	for i := range recs {
+		k := key{recs[i].Tenant, recs[i].Schema, recs[i].Strategy}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	base := recs[0].MonoNs
+
+	var diverged, compareFailed, failed, errored atomic.Int64
+	var instances atomic.Int64
+	var mu sync.Mutex
+	var firstDiverge string
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, k := range order {
+		idx := groups[k]
+		wg.Add(1)
+		go func(k key, idx []int) {
+			defer wg.Done()
+			c, err := client.New(addr, client.WithTenant(k.tenant))
+			if err != nil {
+				fail(err)
+			}
+			rep, err := client.RunLoad(context.Background(), c, client.Load{
+				Schema:   k.schema,
+				Strategy: k.strategy,
+				Count:    len(idx),
+				SourcesFor: func(i int) map[string]value.Value {
+					return sourcesOf(&recs[idx[i]])
+				},
+				Arrivals: func(i int) time.Duration {
+					if speed == 0 {
+						return 0
+					}
+					return time.Duration(float64(recs[idx[i]].MonoNs-base) / speed)
+				},
+				OnResult: func(i int, res api.EvalResult, err error) {
+					if err != nil {
+						return // counted by the report as a failed request
+					}
+					got, derr := capture.DigestEval(&res)
+					if derr != nil {
+						compareFailed.Add(1)
+						return
+					}
+					if got != recs[idx[i]].Digest {
+						diverged.Add(1)
+						mu.Lock()
+						if firstDiverge == "" {
+							firstDiverge = fmt.Sprintf("record %d (tenant=%s schema=%s): recorded %016x live %016x values=%v error=%q",
+								idx[i], k.tenant, k.schema, recs[idx[i]].Digest, got, res.Values, res.Error)
+						}
+						mu.Unlock()
+					}
+				},
+			})
+			if err != nil {
+				fail(err)
+			}
+			instances.Add(int64(rep.Instances))
+			failed.Add(int64(rep.Failed))
+			errored.Add(int64(rep.Errors))
+			fmt.Printf("dfreplay: tenant=%s schema=%s strategy=%s: %s\n",
+				k.tenant, k.schema, k.strategy, rep)
+		}(k, idx)
+	}
+	wg.Wait()
+	fmt.Printf("dfreplay: live replay done in %v: replayed=%d diverged=%d failed-requests=%d instance-errors=%d\n",
+		time.Since(start).Round(time.Millisecond), instances.Load(), diverged.Load(), failed.Load(), errored.Load())
+	if firstDiverge != "" {
+		fmt.Println("dfreplay: first divergence:", firstDiverge)
+	}
+	if diverged.Load() > 0 || compareFailed.Load() > 0 || failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// resolveSchema loads the virtual-replay schema: an explicit text file,
+// or the built-in flow matching the recorded name.
+func resolveSchema(file, recorded string) *core.Schema {
+	if file != "" {
+		text, err := os.ReadFile(file)
+		if err != nil {
+			fail(err)
+		}
+		s, err := core.ParseSchema(string(text))
+		if err != nil {
+			fail(err)
+		}
+		// Registered schemas get their foreign results from the
+		// deterministic default computes (compute functions cannot travel
+		// over the wire); bind the same ones here or virtual re-execution
+		// resolves every query to ⟂ and diverges from what dfsd decided.
+		flows.BindDefaultComputes(s)
+		return s
+	}
+	s, _, err := flows.ByName(recorded)
+	if err != nil {
+		fail(fmt.Errorf("schema %q is not built in; pass -schema <file> (%v)", recorded, err))
+	}
+	return s
+}
+
+// runVirtual re-executes every record on the simulated clock and reports
+// a digest over the digests: two runs of the same capture print the same
+// line, bit for bit, or something is nondeterministic and worth finding.
+func runVirtual(recs []api.CaptureRecord, schemaFile string) {
+	s := resolveSchema(schemaFile, recs[0].Schema)
+	fp := s.Fingerprint()
+	combined := capture.New()
+	diverged, fpMismatch := 0, 0
+	for i := range recs {
+		rec := &recs[i]
+		st, err := engine.ParseStrategy(rec.Strategy)
+		if err != nil {
+			fail(fmt.Errorf("record %d: %v", i, err))
+		}
+		res := engine.Run(s, sourcesOf(rec), st)
+		d := capture.DigestResult(s, res)
+		combined = combined.Target("", value.Int(int64(d)))
+		if fp != rec.Fingerprint {
+			fpMismatch++
+			continue // recorded digest is from a different schema version
+		}
+		if d != rec.Digest {
+			diverged++
+		}
+	}
+	fmt.Printf("dfreplay: virtual replay: replayed=%d diverged=%d fingerprint-mismatch=%d digest=%016x\n",
+		len(recs), diverged, fpMismatch, combined.Sum())
+	if diverged > 0 {
+		os.Exit(1)
+	}
+}
+
+// runDiff replays every record against two schema versions and reports
+// where their decisions diverge, rendering the first few divergences as
+// side-by-side virtual-time traces.
+func runDiff(recs []api.CaptureRecord, fileA, fileB string, maxExamples int) {
+	if fileB == "" {
+		fail(fmt.Errorf("-diff needs -schema2 (the version to compare against)"))
+	}
+	a := resolveSchema(fileA, recs[0].Schema)
+	b := resolveSchema(fileB, recs[0].Schema)
+	fmt.Printf("dfreplay: diffing %s (%016x) vs %s (%016x)\n",
+		a.Name(), a.Fingerprint(), b.Name(), b.Fingerprint())
+	diverged, shown := 0, 0
+	for i := range recs {
+		rec := &recs[i]
+		st, err := engine.ParseStrategy(rec.Strategy)
+		if err != nil {
+			fail(fmt.Errorf("record %d: %v", i, err))
+		}
+		src := sourcesOf(rec)
+		da := capture.DigestResult(a, engine.Run(a, src, st))
+		db := capture.DigestResult(b, engine.Run(b, src, st))
+		if da == db {
+			continue
+		}
+		diverged++
+		if shown < maxExamples {
+			shown++
+			fmt.Printf("--- divergence %d: record %d tenant=%s sources=%v\n",
+				shown, i, rec.Tenant, api.EncodeSources(src))
+			fmt.Printf("%s digest %016x:\n%s", a.Name(), da, replayTrace(a, st, src))
+			fmt.Printf("%s digest %016x:\n%s", b.Name(), db, replayTrace(b, st, src))
+		}
+	}
+	fmt.Printf("dfreplay: diff done: replayed=%d diverged=%d\n", len(recs), diverged)
+}
+
+// replayTrace re-runs one instance with a trace recorder attached and
+// renders its timeline (the same rendering the server's shadow examples
+// carry).
+func replayTrace(s *core.Schema, st engine.Strategy, src map[string]value.Value) string {
+	rec := trace.NewRecorder(s)
+	sm := sim.New()
+	e := &engine.Engine{Sim: sm, DB: &simdb.Unbounded{S: sm}, Strategy: st, Hooks: rec.Hooks()}
+	res := e.Start(s, src, nil)
+	sm.Run()
+	if res.Err != nil {
+		return fmt.Sprintf("replay error: %v\n%s", res.Err, rec.Trace().Render())
+	}
+	return rec.Trace().Render()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dfreplay:", err)
+	os.Exit(1)
+}

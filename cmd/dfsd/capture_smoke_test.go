@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/value"
+)
+
+// TestSmokeCaptureReplay is the capture→restart→replay cycle `make smoke`
+// runs in CI with the real binaries: launch dfsd with -capture, drive 5k
+// mixed-tenant instances over both wires, SIGTERM it (the drain seals the
+// capture), relaunch a fresh daemon, and dfreplay the capture back live —
+// the schema is unchanged, so the divergence count must be exactly zero
+// and the replayed count must equal the recorded count. A virtual replay
+// run twice must print bit-identical combined digests.
+func TestSmokeCaptureReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test builds and execs; skipped in -short")
+	}
+	dir := t.TempDir()
+	dfsd := filepath.Join(dir, "dfsd")
+	dfreplay := filepath.Join(dir, "dfreplay")
+	for bin, pkg := range map[string]string{dfsd: "repro/cmd/dfsd", dfreplay: "repro/cmd/dfreplay"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Env = os.Environ()
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	capDir := filepath.Join(dir, "cap")
+
+	launch := func(t *testing.T, extra ...string) (*exec.Cmd, *syncBuffer, string, string) {
+		t.Helper()
+		addr, binAddr := freeAddr(t), freeAddr(t)
+		var out syncBuffer
+		args := append([]string{"-addr", addr, "-binaddr", binAddr}, extra...)
+		cmd := exec.Command(dfsd, args...)
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill() })
+		waitHealthy(t, addr, &out)
+		return cmd, &out, "http://" + addr, "dfbin://" + binAddr
+	}
+
+	// Generation 1: capture on, 5k instances across 4 tenants and both
+	// wires, batched and unbatched.
+	const tenants, perTenant = 4, 1250
+	gen1, out1, httpAddr, binAddr := launch(t, "-capture", capDir)
+	if !strings.Contains(out1.String(), "capturing evals to") {
+		t.Fatalf("no capture banner in startup output:\n%s", out1.String())
+	}
+	ctx := context.Background()
+	for ten := 0; ten < tenants; ten++ {
+		addr := httpAddr
+		if ten%2 == 1 {
+			addr = binAddr // odd tenants record over the binary wire
+		}
+		c, err := client.New(addr, client.WithTenant(fmt.Sprintf("tenant-%d", ten)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := client.RunLoad(ctx, c, client.Load{
+			Schema:    "quickstart",
+			Count:     perTenant,
+			BatchSize: 1 + ten%3, // mix singles and batches
+			SourcesFor: func(i int) map[string]value.Value {
+				return map[string]value.Value{
+					"visits": value.Int(int64(i % 17)),
+					"spend":  value.Int(int64(i % 101)),
+				}
+			},
+		})
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Instances != perTenant || rep.Failed > 0 {
+			t.Fatalf("tenant %d load: %+v", ten, rep)
+		}
+	}
+	sigtermCapture(t, gen1, out1)
+	want := tenants * perTenant
+	if !strings.Contains(out1.String(), fmt.Sprintf("capture: appended=%d dropped=0", want)) {
+		t.Fatalf("final capture stats do not show %d records, 0 drops:\n%s", want, out1.String())
+	}
+
+	// Generation 2: fresh daemon, no capture — the replay target.
+	gen2, out2, httpAddr2, binAddr2 := launch(t)
+
+	replay := func(t *testing.T, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(dfreplay, append([]string{"-capture", capDir}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("dfreplay %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Live replay over both wires against the restarted daemon: the exact
+	// recorded count comes back and nothing diverges.
+	for _, addr := range []string{httpAddr2, binAddr2} {
+		out := replay(t, "-addr", addr, "-speed", "max")
+		if !strings.Contains(out, fmt.Sprintf("replayed=%d diverged=0 failed-requests=0 instance-errors=0", want)) {
+			t.Fatalf("live replay against %s:\n%s", addr, out)
+		}
+	}
+	sigtermCapture(t, gen2, out2)
+
+	// Virtual replay twice: deterministic re-execution must print the same
+	// combined digest bit for bit, and nothing may diverge from the record.
+	digestRe := regexp.MustCompile(`replayed=(\d+) diverged=0 fingerprint-mismatch=0 digest=([0-9a-f]{16})`)
+	var digests [2]string
+	for i := range digests {
+		out := replay(t, "-virtual")
+		m := digestRe.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("virtual replay %d:\n%s", i, out)
+		}
+		if n, _ := strconv.Atoi(m[1]); n != want {
+			t.Fatalf("virtual replay %d re-executed %s records, want %d", i, m[1], want)
+		}
+		digests[i] = m[2]
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("virtual replay is nondeterministic: %s vs %s", digests[0], digests[1])
+	}
+	fmt.Printf("capture smoke: %d instances captured, replayed live on both wires with zero divergence, virtual digest %s stable\n",
+		want, digests[0])
+}
+
+func waitHealthy(t *testing.T, addr string, out *syncBuffer) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c, err := client.New("http://" + addr)
+		if err == nil {
+			_, err = c.Stats(context.Background())
+			c.Close()
+			if err == nil {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dfsd never became healthy; output:\n%s", out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func sigtermCapture(t *testing.T, cmd *exec.Cmd, out *syncBuffer) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("dfsd exited non-zero after SIGTERM: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("dfsd did not exit after SIGTERM; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("no clean drain in output:\n%s", out.String())
+	}
+}

@@ -43,9 +43,11 @@ import (
 func main() {
 	var cf cliconf.Flags
 	var pf cliconf.PeerFlags
+	var capf cliconf.CaptureFlags
 	fs := flag.CommandLine
 	cf.Register(fs)
 	pf.Register(fs)
+	capf.Register(fs)
 	var (
 		addr         = fs.String("addr", ":8180", "HTTP/JSON listen address")
 		binAddr      = fs.String("binaddr", ":8181", "dfbin binary-protocol listen address (empty disables)")
@@ -75,6 +77,9 @@ func main() {
 	if err := pf.Validate(&cf); err != nil {
 		fail(err)
 	}
+	if err := capf.Validate(); err != nil {
+		fail(err)
+	}
 	built, err := cf.Build()
 	if err != nil {
 		fail(err)
@@ -100,8 +105,11 @@ func main() {
 		},
 		ShedQueueDepth: *shedQueue,
 		ShedP99:        *shedP99,
-		DataDir:        *dataDir,
-		SnapshotEvery:  *snapEvery,
+		DataDir:            *dataDir,
+		SnapshotEvery:      *snapEvery,
+		CaptureDir:         capf.Dir,
+		CaptureRotateBytes: capf.RotateBytes,
+		CaptureRing:        capf.Ring,
 	})
 	if err != nil {
 		// Refusing to start on a corrupt registry is deliberate: serving
@@ -129,6 +137,9 @@ func main() {
 	if *tenantRate > 0 || *tenantFlight > 0 {
 		fmt.Printf("dfsd: tenant limits rate=%.0f/s burst=%d inflight=%d\n",
 			*tenantRate, *tenantBurst, *tenantFlight)
+	}
+	if capf.Dir != "" {
+		fmt.Printf("dfsd: capturing evals to %s (best-effort: drops counted, never blocks serving)\n", capf.Dir)
 	}
 
 	errCh := make(chan error, 2)
@@ -169,6 +180,13 @@ func main() {
 	built.Stop()
 
 	fmt.Printf("dfsd: final stats\n%s\n", stats)
+	if cs := srv.CaptureStats(); cs != nil {
+		fmt.Printf("dfsd: capture: appended=%d dropped=%d files=%d bytes=%d\n",
+			cs.Appended, cs.Dropped, cs.Files, cs.Bytes)
+		if cs.Error != "" {
+			fmt.Printf("dfsd: capture degraded: %s\n", cs.Error)
+		}
+	}
 	if rec := srv.Recovery(); rec.Enabled {
 		fmt.Printf("dfsd: registry: recovered=%d schemas recovery_ms=%d\n",
 			rec.Schemas, rec.Duration.Milliseconds())

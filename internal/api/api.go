@@ -181,6 +181,31 @@ type StatsResponse struct {
 	// (the binary Stats frame never fans out), so aggregation cannot
 	// recurse.
 	Fleet *FleetStats `json:"fleet,omitempty"`
+	// Capture is the eval capture writer's health, present only when the
+	// server runs with -capture. Capture is fail-open (the opposite of the
+	// registry's fail-closed read-only state above): drops and disk faults
+	// degrade the capture, never serving, and this block is where that
+	// degradation becomes visible.
+	Capture *CaptureStats `json:"capture,omitempty"`
+}
+
+// CaptureStats reports the eval capture writer's counters in /v1/stats.
+type CaptureStats struct {
+	// Appended counts records durably handed to capture files.
+	Appended uint64 `json:"capture_appended"`
+	// Dropped is the total records lost (ring full + IO faults) — the
+	// headline best-effort counter.
+	Dropped uint64 `json:"capture_dropped"`
+	// DroppedRing / DroppedIO split Dropped by cause.
+	DroppedRing uint64 `json:"capture_dropped_ring"`
+	DroppedIO   uint64 `json:"capture_dropped_io"`
+	// Files / Bytes size the capture so far.
+	Files uint64 `json:"capture_files"`
+	Bytes uint64 `json:"capture_bytes"`
+	// Degraded is set once any record has been dropped or any file
+	// operation failed; Error carries the sticky most-recent IO error.
+	Degraded bool   `json:"capture_degraded"`
+	Error    string `json:"capture_error,omitempty"`
 }
 
 // FleetStats is the peer-tier aggregation in StatsResponse: one entry per

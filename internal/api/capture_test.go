@@ -1,0 +1,134 @@
+package api
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func captureSample() []CaptureRecord {
+	return []CaptureRecord{
+		{MonoNs: 12345678, WallNs: 1700000000000000001, Tenant: "acme",
+			Schema: "quickstart", Version: 3, Fingerprint: 0xdeadbeefcafef00d,
+			Strategy: "PSE100",
+			Sources: []CaptureSource{
+				{Name: "customer_id", Val: value.Int(42)},
+				{Name: "region", Val: value.Str("eu-west")},
+				{Name: "score", Val: value.Float(0.25)},
+				{Name: "flag", Val: value.Bool(true)},
+				{Name: "missing", Val: value.Null},
+			},
+			Digest: 0x0123456789abcdef},
+		{MonoNs: 0, WallNs: 0, Tenant: "", Schema: "", Version: 0,
+			Fingerprint: 0, Strategy: "", Sources: nil, Digest: 0},
+		{MonoNs: 1 << 62, Tenant: "t", Schema: "s", Strategy: "S",
+			Sources: []CaptureSource{
+				{Name: "xs", Val: value.List(value.Int(1), value.Str("two"))},
+			},
+			Digest: 7},
+	}
+}
+
+// captureRecEqual compares records semantically: the encoder is
+// deterministic and one-pass, so two records encode identically iff they
+// are equal (CaptureRecord holds a slice of values, so == is unavailable).
+func captureRecEqual(a, b CaptureRecord) bool {
+	return bytes.Equal(AppendCaptureRecord(nil, &a), AppendCaptureRecord(nil, &b))
+}
+
+func TestCaptureRecordRoundTrip(t *testing.T) {
+	var buf []byte
+	recs := captureSample()
+	for i := range recs {
+		buf = AppendCaptureRecord(buf, &recs[i])
+	}
+	for i, want := range recs {
+		got, n, err := DecodeCaptureRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !captureRecEqual(got, want) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+		if got.MonoNs != want.MonoNs || got.WallNs != want.WallNs ||
+			got.Tenant != want.Tenant || got.Schema != want.Schema ||
+			got.Version != want.Version || got.Fingerprint != want.Fingerprint ||
+			got.Strategy != want.Strategy || got.Digest != want.Digest {
+			t.Fatalf("record %d: scalar mismatch: got %+v want %+v", i, got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+// Every strict prefix of a record decodes as torn — the signature of a
+// crash or faulted append mid-record — never as corrupt, never as success.
+func TestCaptureRecordTornPrefixes(t *testing.T) {
+	rec := captureSample()[0]
+	full := AppendCaptureRecord(nil, &rec)
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := DecodeCaptureRecord(full[:cut])
+		if !errors.Is(err, ErrCaptureTorn) {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want ErrCaptureTorn", cut, len(full), err)
+		}
+	}
+}
+
+// Flipping any payload or CRC byte of a complete record must surface as
+// corrupt, not torn and not silent success.
+func TestCaptureRecordCorruptionDetected(t *testing.T) {
+	rec := captureSample()[0]
+	full := AppendCaptureRecord(nil, &rec)
+	for i := 4; i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x40
+		if _, _, err := DecodeCaptureRecord(mut); !errors.Is(err, ErrCaptureCorrupt) {
+			t.Fatalf("flip at byte %d: got %v, want ErrCaptureCorrupt", i, err)
+		}
+	}
+}
+
+func TestCaptureRecordImplausibleLength(t *testing.T) {
+	if _, _, err := DecodeCaptureRecord([]byte{0xff, 0xff, 0xff, 0xff, 0}); !errors.Is(err, ErrCaptureCorrupt) {
+		t.Fatalf("got %v, want ErrCaptureCorrupt", err)
+	}
+	if _, _, err := DecodeCaptureRecord([]byte{0, 0, 0, 0}); !errors.Is(err, ErrCaptureCorrupt) {
+		t.Fatalf("zero length: got %v, want ErrCaptureCorrupt", err)
+	}
+}
+
+// FuzzCaptureRecordDecode throws arbitrary bytes at the decoder: it must
+// never panic, every failure must classify as torn or corrupt, and
+// whenever it claims success the decoded record must re-encode and decode
+// to the same value (the codec is its own oracle).
+func FuzzCaptureRecordDecode(f *testing.F) {
+	for _, r := range captureSample() {
+		f.Add(AppendCaptureRecord(nil, &r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeCaptureRecord(b)
+		if err != nil {
+			if !errors.Is(err, ErrCaptureTorn) && !errors.Is(err, ErrCaptureCorrupt) {
+				t.Fatalf("error outside the capture taxonomy: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("claimed %d bytes of %d", n, len(b))
+		}
+		re := AppendCaptureRecord(nil, &rec)
+		rec2, n2, err := DecodeCaptureRecord(re)
+		if err != nil || n2 != len(re) {
+			t.Fatalf("re-decode failed: n=%d err=%v", n2, err)
+		}
+		if re2 := AppendCaptureRecord(nil, &rec2); !bytes.Equal(re, re2) {
+			t.Fatalf("re-encode mismatch:\n % x\n % x", re, re2)
+		}
+	})
+}

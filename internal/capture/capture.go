@@ -1,0 +1,285 @@
+// Package capture records admitted evals to disk for later replay and
+// reads them back. The writer is strictly off the serving latency path:
+// the hot path encodes a record into a pooled buffer and hands it to a
+// bounded ring (a buffered channel); one background goroutine drains the
+// ring to size-rotated files. Capture is best-effort by contract — the
+// opposite of the registry WAL's fail-closed poisoning. When the ring is
+// full or the disk faults, the record is dropped and counted, serving
+// never blocks and never sees an error. A capture is an observability
+// artifact; a hole in it is a counter, not an outage.
+package capture
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/api"
+	"repro/internal/fault"
+)
+
+// FileSuffix names capture files: capture-<seq>.dfcap under Config.Dir.
+const FileSuffix = ".dfcap"
+
+// Config configures a Writer.
+type Config struct {
+	// Dir is the capture directory; created if absent. Files are named
+	// capture-<seq>.dfcap with seq continuing past files already present,
+	// so restarts append new files rather than clobbering a prior capture.
+	Dir string
+	// RotateBytes seals the current file and opens the next one once it
+	// exceeds this size (0 = 64 MiB).
+	RotateBytes int64
+	// Ring is the capacity of the hand-off ring between the serving hot
+	// path and the disk goroutine (0 = 1024). When the ring is full,
+	// records are dropped and counted.
+	Ring int
+}
+
+// Stats is a point-in-time snapshot of a Writer's counters, surfaced
+// under /v1/stats.
+type Stats struct {
+	// Appended counts records written to the current or a sealed file.
+	Appended uint64
+	// DroppedRing counts records dropped because the ring was full —
+	// the disk could not keep up with the admission rate.
+	DroppedRing uint64
+	// DroppedIO counts records dropped because a file operation failed.
+	DroppedIO uint64
+	// Files counts capture files this writer has opened.
+	Files uint64
+	// Bytes counts record bytes successfully written (excluding headers).
+	Bytes uint64
+	// Err is the sticky most-recent IO error ("" when healthy). A
+	// non-empty Err means the capture is degraded; serving is unaffected.
+	Err string
+}
+
+// Dropped is the total records lost for any reason.
+func (s Stats) Dropped() uint64 { return s.DroppedRing + s.DroppedIO }
+
+// Writer appends capture records asynchronously. All exported methods are
+// safe for concurrent use; a nil *Writer is a valid "capture off" writer
+// whose Enabled reports false.
+type Writer struct {
+	cfg  Config
+	fs   fault.FS
+	ring chan []byte
+	pool sync.Pool
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	appended    atomic.Uint64
+	droppedRing atomic.Uint64
+	droppedIO   atomic.Uint64
+	files       atomic.Uint64
+	bytes       atomic.Uint64
+	lastErr     atomic.Pointer[string]
+
+	// Owned by the drain goroutine.
+	file    *fault.File
+	written int64
+	seq     int
+}
+
+// NewWriter opens a capture writer over cfg.Dir. The directory is created
+// if needed; an unusable directory is the one capture error that is
+// surfaced synchronously — the operator asked for a capture and should
+// learn at startup, not from a counter, that it cannot exist at all.
+func NewWriter(cfg Config) (*Writer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("capture: Config.Dir is required")
+	}
+	if cfg.RotateBytes <= 0 {
+		cfg.RotateBytes = 64 << 20
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = 1024
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	w := &Writer{
+		cfg:  cfg,
+		ring: make(chan []byte, cfg.Ring),
+		quit: make(chan struct{}),
+		seq:  nextSeq(cfg.Dir),
+	}
+	w.pool.New = func() any { return []byte(nil) }
+	w.wg.Add(1)
+	go w.drain()
+	return w, nil
+}
+
+// nextSeq scans dir for existing capture files and returns the first
+// unused sequence number.
+func nextSeq(dir string) int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	next := 0
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "capture-%d"+FileSuffix, &n); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}
+
+// Enabled reports whether capture is on; nil-receiver safe, so call sites
+// can hold a possibly-nil *Writer and skip all capture work on one
+// comparison.
+func (w *Writer) Enabled() bool { return w != nil }
+
+// Buf returns a pooled buffer to encode a record into; hand it to Enqueue
+// (which recycles it) whether or not the enqueue is accepted.
+func (w *Writer) Buf() []byte {
+	return w.pool.Get().([]byte)[:0]
+}
+
+// Enqueue hands one encoded record to the disk goroutine without ever
+// blocking: if the ring is full the record is dropped and counted. The
+// buffer must come from Buf and must not be touched after the call.
+func (w *Writer) Enqueue(b []byte) bool {
+	select {
+	case w.ring <- b:
+		return true
+	default:
+		w.droppedRing.Add(1)
+		w.pool.Put(b)
+		return false
+	}
+}
+
+// Stats snapshots the counters.
+func (w *Writer) Stats() Stats {
+	st := Stats{
+		Appended:    w.appended.Load(),
+		DroppedRing: w.droppedRing.Load(),
+		DroppedIO:   w.droppedIO.Load(),
+		Files:       w.files.Load(),
+		Bytes:       w.bytes.Load(),
+	}
+	if p := w.lastErr.Load(); p != nil {
+		st.Err = *p
+	}
+	return st
+}
+
+// Close stops the drain goroutine, flushes every record already in the
+// ring, and seals the current file (fsync + close). The server calls it
+// after its eval WaitGroup drains, so no capture hook can race the seal;
+// a straggler Enqueue after Close does not panic — its record is simply
+// never drained.
+func (w *Writer) Close() error {
+	close(w.quit)
+	w.wg.Wait()
+	if p := w.lastErr.Load(); p != nil {
+		return fmt.Errorf("capture: degraded: %s", *p)
+	}
+	return nil
+}
+
+// drain is the disk goroutine: records in, rotated files out. Every IO
+// failure degrades the capture (drop + count + sticky error) and abandons
+// the current file so the next record starts a fresh one; nothing
+// propagates back to serving.
+func (w *Writer) drain() {
+	defer w.wg.Done()
+	for {
+		select {
+		case b := <-w.ring:
+			w.write(b)
+		case <-w.quit:
+			for {
+				select {
+				case b := <-w.ring:
+					w.write(b)
+				default:
+					w.seal()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (w *Writer) write(b []byte) {
+	defer w.pool.Put(b)
+	if w.file == nil && !w.open() {
+		w.droppedIO.Add(1)
+		return
+	}
+	if _, err := w.file.Write(fault.SiteCaptureAppendWrite, b); err != nil {
+		// The file now ends in a torn record; readers stop at it. Abandon
+		// the file rather than appending after a hole.
+		w.degrade(err)
+		w.droppedIO.Add(1)
+		return
+	}
+	w.written += int64(len(b))
+	w.bytes.Add(uint64(len(b)))
+	w.appended.Add(1)
+	if w.written >= w.cfg.RotateBytes {
+		w.seal()
+	}
+}
+
+func (w *Writer) open() bool {
+	name := filepath.Join(w.cfg.Dir, fmt.Sprintf("capture-%06d%s", w.seq, FileSuffix))
+	f, err := w.fs.OpenFile(fault.SiteCaptureOpen, name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		w.degrade(err)
+		return false
+	}
+	w.seq++
+	if _, err := f.Write(fault.SiteCaptureAppendWrite, []byte(api.CaptureMagic)); err != nil {
+		w.degrade(err)
+		f.Close()
+		return false
+	}
+	w.file = f
+	w.written = 0
+	w.files.Add(1)
+	return true
+}
+
+// seal fsyncs and closes the current file; the next record opens a new
+// one. Called at rotation and on Close.
+func (w *Writer) seal() {
+	f := w.file
+	if f == nil {
+		return
+	}
+	// Detach before syncing: degrade closes w.file when set, so a failed
+	// fsync must not leave seal holding a file degrade already closed.
+	w.file = nil
+	w.written = 0
+	if err := f.Sync(fault.SiteCaptureAppendSync); err != nil {
+		w.degrade(err)
+	}
+	f.Close()
+}
+
+func (w *Writer) degrade(err error) {
+	msg := err.Error()
+	w.lastErr.Store(&msg)
+	if w.file != nil {
+		w.file.Close()
+		w.file = nil
+	}
+}
+
+// sortFiles orders capture file names by sequence (zero-padded names sort
+// lexically, but be robust to hand-named fixtures too).
+func sortFiles(names []string) {
+	sort.Slice(names, func(i, j int) bool {
+		return strings.Compare(names[i], names[j]) < 0
+	})
+}

@@ -1,0 +1,325 @@
+package capture
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/flows"
+	"repro/internal/value"
+)
+
+func testRecord(i int) api.CaptureRecord {
+	return api.CaptureRecord{
+		MonoNs:      uint64(i) * 1000,
+		WallNs:      uint64(1700000000000000000 + i),
+		Tenant:      fmt.Sprintf("tenant-%d", i%3),
+		Schema:      "quickstart",
+		Version:     1,
+		Fingerprint: 0xfeed,
+		Strategy:    "PSE100",
+		Sources: []api.CaptureSource{
+			{Name: "customer_id", Val: value.Int(int64(i))},
+		},
+		Digest: uint64(i) * 7,
+	}
+}
+
+// enqueue encodes and enqueues one record, failing the test on a ring drop
+// (tests size their rings to never drop unless dropping is the point).
+func enqueue(t *testing.T, w *Writer, rec api.CaptureRecord) {
+	t.Helper()
+	if !w.Enqueue(api.AppendCaptureRecord(w.Buf(), &rec)) {
+		t.Fatal("ring full")
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		enqueue(t, w, testRecord(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Appended != n || st.Dropped() != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	res, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != n || res.TornFiles != 0 {
+		t.Fatalf("read %d records (%d torn files), want %d", len(res.Records), res.TornFiles, n)
+	}
+	for i, rec := range res.Records {
+		want := testRecord(i)
+		if rec.MonoNs != want.MonoNs || rec.Tenant != want.Tenant || rec.Digest != want.Digest {
+			t.Fatalf("record %d: got %+v want %+v", i, rec, want)
+		}
+	}
+}
+
+// Rotation: a tiny RotateBytes forces many files; every record must
+// survive across the seals, in order, and restarting a writer in the same
+// directory must append new files, never clobber old ones.
+func TestWriterRotationAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Config{Dir: dir, RotateBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		enqueue(t, w, testRecord(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	firstFiles := w.Stats().Files
+	if firstFiles < 2 {
+		t.Fatalf("expected rotation, got %d files", firstFiles)
+	}
+
+	w2, err := NewWriter(Config{Dir: dir, RotateBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 150; i++ {
+		enqueue(t, w2, testRecord(i))
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 150 {
+		t.Fatalf("read %d records, want 150", len(res.Records))
+	}
+	for i, rec := range res.Records {
+		if rec.MonoNs != uint64(i)*1000 {
+			t.Fatalf("record %d out of order: MonoNs=%d", i, rec.MonoNs)
+		}
+	}
+}
+
+// A full ring drops and counts — never blocks. The writer is wedged by
+// arming a long delay on the append site so the ring genuinely backs up.
+func TestWriterRingFullDrops(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	w, err := NewWriter(Config{Dir: dir, Ring: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(fault.SiteCaptureAppendWrite, "delay:200ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	dropped := 0
+	for i := 0; i < 64; i++ {
+		if !w.Enqueue(api.AppendCaptureRecord(w.Buf(), testRecordPtr(i))) {
+			dropped++
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("Enqueue blocked for %v with a wedged disk", elapsed)
+	}
+	if dropped == 0 || w.Stats().DroppedRing == 0 {
+		t.Fatalf("expected ring drops, got %d (stats %+v)", dropped, w.Stats())
+	}
+	fault.Reset()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testRecordPtr(i int) *api.CaptureRecord {
+	r := testRecord(i)
+	return &r
+}
+
+// Disk faults degrade the capture — drop, count, sticky error — and the
+// writer abandons the faulted file and recovers onto a fresh one.
+func TestWriterIOFaultDegradesAndRecovers(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	w, err := NewWriter(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueue(t, w, testRecord(0))
+	waitFor(t, func() bool { return w.Stats().Appended == 1 })
+
+	if err := fault.Arm(fault.SiteCaptureAppendWrite, "error"); err != nil {
+		t.Fatal(err)
+	}
+	enqueue(t, w, testRecord(1))
+	waitFor(t, func() bool { return w.Stats().DroppedIO == 1 })
+	if st := w.Stats(); st.Err == "" {
+		t.Fatalf("no sticky error after IO fault: %+v", st)
+	}
+	fault.Reset()
+
+	enqueue(t, w, testRecord(2))
+	waitFor(t, func() bool { return w.Stats().Appended == 2 })
+	// Close still reports the degradation even after recovery.
+	if err := w.Close(); err == nil {
+		t.Fatal("Close did not report the degraded capture")
+	}
+	res, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("read %d records, want 2 (record 1 dropped)", len(res.Records))
+	}
+	if res.Records[0].MonoNs != 0 || res.Records[1].MonoNs != 2000 {
+		t.Fatalf("wrong survivors: %+v", res.Records)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A torn tail — the signature of a crash mid-append — truncates to the
+// complete prefix and is counted, never an error; a corrupt record in the
+// middle is an error.
+func TestReadTornAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		enqueue(t, w, testRecord(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), FileSuffix) {
+			name = filepath.Join(dir, e.Name())
+		}
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(name, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 9 || res.TornFiles != 1 || res.TornBytes == 0 {
+		t.Fatalf("torn tail: %d records, %d torn files, %d torn bytes",
+			len(res.Records), res.TornFiles, res.TornBytes)
+	}
+
+	mut := append([]byte(nil), b...)
+	mut[len(api.CaptureMagic)+8] ^= 0x40 // inside the first record's payload
+	if err := os.WriteFile(name, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir); err == nil || !errors.Is(err, api.ErrCaptureCorrupt) {
+		t.Fatalf("mid-file corruption: got %v, want ErrCaptureCorrupt", err)
+	}
+
+	if err := os.WriteFile(name, []byte("not a capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("bad magic: got %v", err)
+	}
+}
+
+// The digest must agree across every path that computes it: the engine
+// result (what the capturing server and virtual replay fold) and the
+// wire-form EvalResult after a JSON round trip (what a live replay over
+// HTTP folds). Int/float canonicalization is the trap this pins.
+func TestDigestConsistencyAcrossPaths(t *testing.T) {
+	s, sources, err := flows.ByName("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run(s, sources, engine.MustParseStrategy("PSE100"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	want := DigestResult(s, res)
+
+	// Re-fold twice: determinism of the fold itself.
+	if again := DigestResult(s, res); again != want {
+		t.Fatalf("DigestResult not deterministic: %x vs %x", again, want)
+	}
+
+	// Build the wire form the way the server does (api.ToJSON per target),
+	// push it through a real JSON round trip, and fold the client side.
+	vals := make(map[string]any)
+	ids, names := TargetOrder(s)
+	for i, id := range ids {
+		vals[names[i]] = api.ToJSON(res.Snapshot.Val(id))
+	}
+	wire, err := json.Marshal(api.EvalResult{Values: vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded api.EvalResult
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DigestEval(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("digest diverges across JSON round trip: %016x vs %016x", got, want)
+	}
+}
+
+// Integral floats fold as their integer — the canonical form a JSON round
+// trip produces — and non-integral floats fold their bits.
+func TestDigestCanonicalization(t *testing.T) {
+	if a, b := New().val(value.Float(2.0)), New().val(value.Int(2)); a != b {
+		t.Fatalf("Float(2.0) folds %x, Int(2) folds %x", a, b)
+	}
+	if a, b := New().val(value.Float(2.5)), New().val(value.Int(2)); a == b {
+		t.Fatal("Float(2.5) must not fold like Int(2)")
+	}
+	if a, b := New().val(value.Str("2")), New().val(value.Int(2)); a == b {
+		t.Fatal("Str(\"2\") must not fold like Int(2)")
+	}
+	// Error vs target fold positions must not collide.
+	if a, b := New().Target("x", value.Null).Error(""), New().Error("x"); a == b {
+		t.Fatal("target/error folds collide")
+	}
+}

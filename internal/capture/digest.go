@@ -1,0 +1,166 @@
+// Decision digests: a 64-bit fingerprint of what an eval decided, folded
+// so the capturing server, a replaying client on either wire, and a
+// virtual-time re-execution all compute the same bits for the same
+// decision. FNV-1a over the target values in name order plus the instance
+// error, with every value first canonicalized the way a JSON round trip
+// canonicalizes it (api.FromJSON ∘ api.ToJSON): an integral float folds as
+// the integer, because that is what an HTTP client receives back. The fold
+// is a plain accumulator — no hash.Hash allocation, so the capture hook
+// can digest on the Done callback without touching the heap.
+package capture
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+// Digest is a running FNV-1a 64 decision digest. The zero value is NOT
+// ready to use; start from New().
+type Digest uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// New returns the empty digest.
+func New() Digest { return fnvOffset64 }
+
+func (d Digest) fold(b byte) Digest { return Digest((uint64(d) ^ uint64(b)) * fnvPrime64) }
+
+func (d Digest) u64(x uint64) Digest {
+	for i := 0; i < 8; i++ {
+		d = d.fold(byte(x >> (8 * i)))
+	}
+	return d
+}
+
+func (d Digest) str(s string) Digest {
+	d = d.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		d = d.fold(s[i])
+	}
+	return d
+}
+
+// val folds one canonicalized value: a tag byte, then the content. An
+// integral float folds identically to the integer (ToJSON emits it as a
+// bare JSON number, so the far side decodes an int); a non-integral float
+// folds its IEEE bits, which survive a JSON round trip because
+// encoding/json emits the shortest representation that parses back to the
+// same float64. Known gaps, shared by the wire itself: NaN and ±Inf do
+// not survive HTTP JSON, and an int beyond 2^53 loses precision there —
+// both are exotic for decision targets and replay across the binary wire
+// is exact.
+func (d Digest) val(v value.Value) Digest {
+	switch v.Kind() {
+	case value.KindBool:
+		if b, _ := v.AsBool(); b {
+			return d.fold(2)
+		}
+		return d.fold(1)
+	case value.KindInt:
+		i, _ := v.AsInt()
+		return d.fold(3).u64(uint64(i))
+	case value.KindFloat:
+		f, _ := v.AsFloat()
+		if i := int64(f); f == float64(i) {
+			return d.fold(3).u64(uint64(i))
+		}
+		return d.fold(4).u64(math.Float64bits(f))
+	case value.KindString:
+		s, _ := v.AsString()
+		return d.fold(5).str(s)
+	case value.KindList:
+		elems, _ := v.AsList()
+		d = d.fold(6).u64(uint64(len(elems)))
+		for _, e := range elems {
+			d = d.val(e)
+		}
+		return d
+	default: // null / unknown fold as ⟂
+		return d.fold(0)
+	}
+}
+
+// Target folds one named target value. Callers must fold targets in
+// ascending name order — the digest is order-sensitive by design, and the
+// sort is the one convention every party shares.
+func (d Digest) Target(name string, v value.Value) Digest {
+	return d.str(name).val(v)
+}
+
+// Error folds the instance error message ("" when the eval succeeded).
+// Fold it exactly once, after the targets.
+func (d Digest) Error(msg string) Digest { return d.str(msg) }
+
+// Sum returns the finished digest.
+func (d Digest) Sum() uint64 { return uint64(d) }
+
+// DigestEval recomputes the decision digest from a wire-form EvalResult —
+// what dfreplay compares against the recorded digest after re-issuing an
+// instance over HTTP or dfbin.
+func DigestEval(res *api.EvalResult) (uint64, error) {
+	names := make([]string, 0, len(res.Values))
+	for name := range res.Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	d := New()
+	for _, name := range names {
+		v, err := api.FromJSON(res.Values[name])
+		if err != nil {
+			return 0, err
+		}
+		d = d.Target(name, v)
+	}
+	return d.Error(res.Error).Sum(), nil
+}
+
+// TargetOrder returns the schema's target attribute IDs in ascending name
+// order — the fold order for DigestResult and the server's capture hook
+// (which precomputes it per registry entry).
+func TargetOrder(s *core.Schema) ([]core.AttrID, []string) {
+	// Targets() exposes the schema's own slice; sort a copy.
+	ids := append([]core.AttrID(nil), s.Targets()...)
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = s.Attr(id).Name
+	}
+	sort.Sort(&byName{ids: ids, names: names})
+	return ids, names
+}
+
+type byName struct {
+	ids   []core.AttrID
+	names []string
+}
+
+func (b *byName) Len() int           { return len(b.ids) }
+func (b *byName) Less(i, j int) bool { return b.names[i] < b.names[j] }
+func (b *byName) Swap(i, j int) {
+	b.ids[i], b.ids[j] = b.ids[j], b.ids[i]
+	b.names[i], b.names[j] = b.names[j], b.names[i]
+}
+
+// DigestResult computes the decision digest of an engine result against
+// s — the virtual-replay side of the comparison. It must equal what the
+// capturing server recorded for the same sources iff the schema decides
+// the same way.
+func DigestResult(s *core.Schema, res *engine.Result) uint64 {
+	ids, names := TargetOrder(s)
+	d := New()
+	for i, id := range ids {
+		d = d.Target(names[i], res.Snapshot.Val(id))
+	}
+	msg := ""
+	if res.Err != nil {
+		msg = res.Err.Error()
+	}
+	return d.Error(msg).Sum()
+}

@@ -1,0 +1,88 @@
+package capture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// ReadResult is a decoded capture: every record across every file of a
+// capture directory, in file-sequence then append order, plus the damage
+// accounting a replay driver reports before trusting the data.
+type ReadResult struct {
+	Records []api.CaptureRecord
+	// Files is the number of capture files read.
+	Files int
+	// TornFiles counts files that ended in a torn record — expected after
+	// a crash or a faulted append; the complete prefix is kept.
+	TornFiles int
+	// TornBytes is the total bytes discarded as torn tails.
+	TornBytes int64
+}
+
+// Read loads a capture from path: a capture directory (every *.dfcap file
+// in sequence order) or a single capture file. A torn tail truncates that
+// file's records and is counted, mirroring WAL recovery; a corrupt record
+// in the middle of a file is an error — replaying silently past damage
+// would fabricate a workload.
+func Read(path string) (*ReadResult, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	files := []string{path}
+	if info.IsDir() {
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return nil, fmt.Errorf("capture: %w", err)
+		}
+		files = files[:0]
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), FileSuffix) {
+				files = append(files, filepath.Join(path, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("capture: no %s files in %s", FileSuffix, path)
+		}
+		sortFiles(files)
+	}
+	res := &ReadResult{}
+	for _, name := range files {
+		if err := res.readFile(name); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (r *ReadResult) readFile(name string) error {
+	b, err := os.ReadFile(name)
+	if err != nil {
+		return fmt.Errorf("capture: %w", err)
+	}
+	if len(b) < len(api.CaptureMagic) || string(b[:len(api.CaptureMagic)]) != api.CaptureMagic {
+		return fmt.Errorf("capture: %s: not a capture file (bad magic)", name)
+	}
+	b = b[len(api.CaptureMagic):]
+	r.Files++
+	for len(b) > 0 {
+		rec, n, err := api.DecodeCaptureRecord(b)
+		switch {
+		case err == nil:
+			r.Records = append(r.Records, rec)
+			b = b[n:]
+		case errors.Is(err, api.ErrCaptureTorn):
+			r.TornFiles++
+			r.TornBytes += int64(len(b))
+			return nil
+		default:
+			return fmt.Errorf("capture: %s: record %d: %w", name, len(r.Records), err)
+		}
+	}
+	return nil
+}

@@ -150,6 +150,45 @@ func (p *PeerFlags) Validate(f *Flags) error {
 	return nil
 }
 
+// CaptureFlags groups dfsd's eval-capture flags, registered alongside the
+// shared serving flags so -config files can set them too.
+type CaptureFlags struct {
+	// Dir is the capture directory; empty disables capture.
+	Dir string
+	// RotateBytes rotates capture files past this size (0 = 64 MiB).
+	RotateBytes int64
+	// Ring is the hand-off ring capacity between the serving hot path and
+	// the capture disk goroutine (0 = 1024).
+	Ring int
+}
+
+// Register declares the capture flags on fs.
+func (c *CaptureFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Dir, "capture", "", "record every admitted eval to capture files in this directory for dfreplay (empty = off)")
+	fs.Int64Var(&c.RotateBytes, "capture-rotate", 0, "rotate capture files past this many bytes (0 = 64 MiB; needs -capture)")
+	fs.IntVar(&c.Ring, "capture-ring", 0, "capture ring capacity; a full ring drops and counts (0 = 1024; needs -capture)")
+}
+
+// Validate rejects capture tuning without capture itself.
+func (c *CaptureFlags) Validate() error {
+	if c.Dir == "" {
+		if c.RotateBytes != 0 {
+			return fmt.Errorf("-capture-rotate without -capture")
+		}
+		if c.Ring != 0 {
+			return fmt.Errorf("-capture-ring without -capture")
+		}
+		return nil
+	}
+	if c.RotateBytes < 0 {
+		return fmt.Errorf("-capture-rotate must be positive")
+	}
+	if c.Ring < 0 {
+		return fmt.Errorf("-capture-ring must be positive")
+	}
+	return nil
+}
+
 // ServerSideFlagNames lists the flags Register declares that configure
 // the in-process serving stack — everything except -seed (which also
 // drives the load generator) and -dumpconfig (pure output, no stack

@@ -42,6 +42,16 @@ type Load struct {
 	BatchSize int
 	// Seed drives the Poisson arrival process.
 	Seed int64
+	// Arrivals, if non-nil, replaces the Poisson process with an explicit
+	// open-loop schedule: the request carrying instance i fires at
+	// start+Arrivals(i). Offsets must be non-decreasing in i. This is how
+	// dfreplay re-offers a capture at its recorded inter-arrival gaps
+	// (scaled or not) instead of a memoryless approximation of them.
+	Arrivals func(i int) time.Duration
+	// OnResult, if non-nil, observes every instance's outcome: res is the
+	// instance result when err is nil, and err is the request-level
+	// failure otherwise. Called concurrently from generator goroutines.
+	OnResult func(i int, res api.EvalResult, err error)
 }
 
 // Report summarizes one remote load run, measured at the client: HTTP
@@ -91,7 +101,7 @@ func RunLoad(ctx context.Context, c *Client, l Load) (Report, error) {
 	}
 	r := &runState{c: c, l: l, ctx: ctx}
 	start := time.Now()
-	if l.Rate > 0 {
+	if l.Rate > 0 || l.Arrivals != nil {
 		r.runOpen()
 	} else {
 		r.runClosed()
@@ -174,14 +184,22 @@ func (r *runState) fire(lo, hi int) {
 	if err != nil {
 		if !errors.Is(err, context.Canceled) {
 			r.failed.Add(1)
+			if r.l.OnResult != nil {
+				for i := lo; i < hi; i++ {
+					r.l.OnResult(i, api.EvalResult{}, err)
+				}
+			}
 		}
 		return
 	}
 	lat := time.Since(reqStart)
 	r.completed.Add(int64(len(results)))
-	for _, res := range results {
+	for k, res := range results {
 		if res.Error != "" {
 			r.errors.Add(1)
+		}
+		if r.l.OnResult != nil {
+			r.l.OnResult(lo+k, res, nil)
 		}
 	}
 	r.mu.Lock()
@@ -210,16 +228,24 @@ func (r *runState) runClosed() {
 	wg.Wait()
 }
 
-// runOpen paces Poisson arrivals at the offered rate; each arrival is one
-// request of BatchSize instances, so the instance rate is Rate.
+// runOpen paces open-loop arrivals — Poisson at the offered rate, or the
+// explicit Arrivals schedule when one is set; each arrival is one request
+// of BatchSize instances, so the Poisson instance rate is Rate.
 func (r *runState) runOpen() {
-	rng := rand.New(rand.NewSource(r.l.Seed))
+	var rng *rand.Rand
+	if r.l.Arrivals == nil {
+		rng = rand.New(rand.NewSource(r.l.Seed))
+	}
 	var wg sync.WaitGroup
-	next := time.Now()
+	start := time.Now()
+	next := start
 	timer := time.NewTimer(0)
 	defer timer.Stop()
 	<-timer.C
 	for lo := 0; lo < r.l.Count; lo += r.l.BatchSize {
+		if r.l.Arrivals != nil {
+			next = start.Add(r.l.Arrivals(lo))
+		}
 		if d := time.Until(next); d > 0 {
 			timer.Reset(d)
 			select {
@@ -236,10 +262,12 @@ func (r *runState) runOpen() {
 			defer wg.Done()
 			r.fire(lo, hi)
 		}(lo, hi)
-		// Exponential gap scaled by the batch size keeps the instance
-		// rate at Rate regardless of batching.
-		gap := rng.ExpFloat64() / r.l.Rate * float64(hi-lo) * float64(time.Second)
-		next = next.Add(time.Duration(gap))
+		if rng != nil {
+			// Exponential gap scaled by the batch size keeps the instance
+			// rate at Rate regardless of batching.
+			gap := rng.ExpFloat64() / r.l.Rate * float64(hi-lo) * float64(time.Second)
+			next = next.Add(time.Duration(gap))
+		}
 	}
 	wg.Wait()
 }

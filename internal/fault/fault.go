@@ -80,6 +80,10 @@ const (
 
 	SitePeerForwardSend = "peer.forward.send"
 	SitePeerStatsDial   = "peer.stats.dial"
+
+	SiteCaptureOpen        = "capture.open"
+	SiteCaptureAppendWrite = "capture.append.write"
+	SiteCaptureAppendSync  = "capture.append.sync"
 )
 
 const (

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/capture"
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/gen"
@@ -232,6 +233,35 @@ func BenchmarkServeCachedInstantFaultSites(b *testing.B) {
 		SourcesFor: func(i int) map[string]value.Value {
 			fault.Eval(fault.SiteWALAppendSync)
 			fault.Eval(fault.SiteBinConnWrite)
+			return sources
+		},
+		Strategy: engine.MustParseStrategy("PSE100"),
+	})
+}
+
+// captureOff stays nil for the whole process: the benchmark below prices
+// exactly what dfsd pays per eval when -capture is unset — one nil-writer
+// check — and nothing else.
+var captureOff *capture.Writer
+
+// BenchmarkServeCachedInstantCaptureOff is BenchmarkServeCachedInstant
+// with the capture-off probe evaluated on every instance, the same
+// contract FaultSites pins for disarmed failpoints: its baseline entry
+// carries the identical inst/s and allocs/op as the capture-free
+// benchmark, so any cost leaking onto the fast path while capture is
+// disabled (an allocation, an atomic, a map lookup) fails bench-guard
+// instead of drifting in silently.
+func BenchmarkServeCachedInstantCaptureOff(b *testing.B) {
+	s, sources := quickstart(b)
+	svc := New(Config{
+		Query: QueryConfig{CacheSize: 1024},
+	})
+	benchLoad(b, svc, Load{
+		Schema: s,
+		SourcesFor: func(i int) map[string]value.Value {
+			if captureOff.Enabled() {
+				panic("capture writer must be nil: this benchmark measures the disabled path")
+			}
 			return sources
 		},
 		Strategy: engine.MustParseStrategy("PSE100"),

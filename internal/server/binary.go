@@ -485,6 +485,8 @@ func (c *binConn) handleEval(reqID uint64, cur *api.Cursor) bool {
 		Tenant:      c.tenantName,
 		Done: func(res *engine.Result) {
 			s.shadowFinish(shc, entry, res)
+			// Before slotPool.Put below: the hook reads the dense slots.
+			s.captureEval(entry, c.tenantName, bd.st, nil, sb.v, res)
 			b := c.out.buf()
 			start := len(b)
 			b = api.BeginFrame(b, api.FrameResult)
@@ -636,6 +638,7 @@ func (c *binConn) handleEvalBatch(reqID uint64, cur *api.Cursor) bool {
 			Tenant:      c.tenantName,
 			Done: func(res *engine.Result) {
 				s.shadowFinish(shc, entry, res)
+				s.captureEval(entry, c.tenantName, bd.st, nil, slots[i].v, res)
 				bc.finish(i, appendResultBody(c.out.buf(), entry, res))
 			},
 		})

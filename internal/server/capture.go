@@ -1,0 +1,87 @@
+package server
+
+// Eval capture: with Config.CaptureDir set, every admitted eval — both
+// wires, single and batch — appends one capture record (codec in
+// internal/api, writer in internal/capture) from inside its Done
+// callback, while the pooled snapshot and slot buffers are still valid.
+// The hook encodes into a pooled buffer and hands it to the writer's
+// ring; everything slow (disk, rotation, fsync) happens on the writer's
+// own goroutine. With capture off the entire cost is one nil check.
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+// captureEval records one completed eval. Sources arrive either
+// name-keyed (src, the HTTP paths) or as the binary path's dense slots;
+// the hook runs before the slot buffer recycles. The record's source
+// vector is emitted in a deterministic order (sorted names / ascending
+// attribute IDs) so identical workloads produce byte-identical captures.
+func (s *Server) captureEval(entry *schemaEntry, tenantName string, st engine.Strategy, src map[string]value.Value, slots []value.Value, res *engine.Result) {
+	w := s.capture
+	if w == nil {
+		return
+	}
+	d := capture.New()
+	for i, id := range entry.digestIDs {
+		d = d.Target(entry.digestNames[i], res.Snapshot.Val(id))
+	}
+	msg := ""
+	if res.Err != nil {
+		msg = res.Err.Error()
+	}
+	rec := api.CaptureRecord{
+		MonoNs:      uint64(time.Since(s.start)),
+		WallNs:      uint64(time.Now().UnixNano()),
+		Tenant:      tenantName,
+		Schema:      entry.schema.Name(),
+		Version:     entry.version,
+		Fingerprint: entry.fingerprint,
+		Strategy:    st.String(),
+		Digest:      d.Error(msg).Sum(),
+	}
+	if src != nil {
+		rec.Sources = make([]api.CaptureSource, 0, len(src))
+		for name, v := range src {
+			rec.Sources = append(rec.Sources, api.CaptureSource{Name: name, Val: v})
+		}
+		sort.Slice(rec.Sources, func(i, j int) bool {
+			return rec.Sources[i].Name < rec.Sources[j].Name
+		})
+	} else {
+		sch := entry.schema
+		for id := 0; id < sch.NumAttrs() && id < len(slots); id++ {
+			a := sch.Attr(core.AttrID(id))
+			if a.IsSource() && !slots[id].IsNull() {
+				rec.Sources = append(rec.Sources, api.CaptureSource{Name: a.Name, Val: slots[id]})
+			}
+		}
+	}
+	w.Enqueue(api.AppendCaptureRecord(w.Buf(), &rec))
+}
+
+// CaptureStats reports the capture writer's health, or nil when capture
+// is off — the /v1/stats block and dfsd's shutdown summary.
+func (s *Server) CaptureStats() *api.CaptureStats {
+	if s.capture == nil {
+		return nil
+	}
+	st := s.capture.Stats()
+	return &api.CaptureStats{
+		Appended:    st.Appended,
+		Dropped:     st.Dropped(),
+		DroppedRing: st.DroppedRing,
+		DroppedIO:   st.DroppedIO,
+		Files:       st.Files,
+		Bytes:       st.Bytes,
+		Degraded:    st.Dropped() > 0 || st.Err != "",
+		Error:       st.Err,
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/flows"
@@ -87,6 +88,17 @@ type Config struct {
 	// SnapshotEvery is how many WAL appends trigger a snapshot rewrite and
 	// log truncation (0 = 256). Only meaningful with DataDir.
 	SnapshotEvery int
+	// CaptureDir, when non-empty, records every admitted eval (both wires)
+	// as a capture record under this directory for later replay with
+	// dfreplay (see internal/capture). Capture is best-effort by contract:
+	// a full ring or a disk fault drops records and counts them in
+	// /v1/stats, and never blocks or fails serving — the opposite of the
+	// registry WAL's fail-closed semantics.
+	CaptureDir string
+	// CaptureRotateBytes rotates capture files past this size (0 = 64 MiB).
+	CaptureRotateBytes int64
+	// CaptureRing is the capture hand-off ring capacity (0 = 1024).
+	CaptureRing int
 	// MaxShadowInFlight bounds concurrent shadow-candidate evaluations
 	// (0 = 64); sampled evals beyond it are counted as skipped, never
 	// queued — shadow work must not be able to starve live traffic.
@@ -161,6 +173,10 @@ type Server struct {
 
 	// peers is the front-end fleet router; nil without Config.Peers.
 	peers *peerTier
+
+	// capture is the eval capture writer; nil without Config.CaptureDir
+	// (the nil check is the entire disabled-path cost).
+	capture *capture.Writer
 }
 
 // schemaEntry is one registered schema version with its pre-resolved
@@ -192,6 +208,11 @@ type schemaEntry struct {
 	prev *schemaEntry
 	// shadow is the candidate version under shadow comparison, if any.
 	shadow atomic.Pointer[shadowState]
+	// digestIDs/digestNames are the targets re-sorted by name — the
+	// decision-digest fold order, precomputed so the capture hook never
+	// sorts per eval.
+	digestIDs   []core.AttrID
+	digestNames []string
 }
 
 // maxVersionChain bounds how many superseded versions stay linked.
@@ -203,6 +224,7 @@ func newEntry(s *core.Schema, owner, text string, version uint64) *schemaEntry {
 	for _, id := range e.targetIDs {
 		e.targetNames = append(e.targetNames, s.Attr(id).Name)
 	}
+	e.digestIDs, e.digestNames = capture.TargetOrder(s)
 	return e
 }
 
@@ -300,6 +322,22 @@ func Open(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.peers = pt
+	}
+	if cfg.CaptureDir != "" {
+		w, err := capture.NewWriter(capture.Config{
+			Dir:         cfg.CaptureDir,
+			RotateBytes: cfg.CaptureRotateBytes,
+			Ring:        cfg.CaptureRing,
+		})
+		if err != nil {
+			// The one fail-fast capture error: an unusable capture
+			// directory at startup. Once running, capture degrades instead.
+			if s.peers != nil {
+				s.peers.close()
+			}
+			return nil, err
+		}
+		s.capture = w
 	}
 	s.mux.HandleFunc("POST /v1/schemas", s.handleSchemas)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
@@ -469,6 +507,14 @@ func (s *Server) Drain(ctx context.Context) (runtime.Stats, error) {
 		s.wal.close()
 		s.wal = nil
 		s.mu.Unlock()
+	}
+	// Every admitted eval completed (or the drain timed out), so no
+	// capture hook can still enqueue: flush the ring and seal the last
+	// file. A degraded capture does not fail the drain — its damage is
+	// already counted — so the error is dropped here; CaptureStats keeps
+	// reporting it.
+	if s.capture != nil {
+		_ = s.capture.Close()
 	}
 	return st, err
 }
@@ -949,6 +995,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		Ctx:      r.Context(),
 		Done: func(res *engine.Result) {
 			s.shadowFinish(shc, entry, res)
+			s.captureEval(entry, tenantName, st, src, nil, res)
 			resCh <- buildResult(entry, res)
 		},
 	})
@@ -996,6 +1043,7 @@ func (s *Server) evalAsync(w http.ResponseWriter, t *tenant, tenantName string, 
 		Tenant:   tenantName,
 		Done: func(res *engine.Result) {
 			s.shadowFinish(shc, entry, res)
+			s.captureEval(entry, tenantName, st, src, nil, res)
 			p.result = buildResult(entry, res)
 			// Unfetched results expire so abandoned polls can't pin
 			// memory. The timer must exist before the WaitGroup claim
@@ -1143,6 +1191,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Ctx:      r.Context(),
 			Done: func(res *engine.Result) {
 				s.shadowFinish(shc, entry, res)
+				s.captureEval(entry, tenantName, st, src, nil, res)
 				results[i] = buildResult(entry, res)
 				wg.Done()
 			},
@@ -1174,6 +1223,7 @@ func (s *Server) batchStream(w http.ResponseWriter, r *http.Request, t *tenant, 
 			Ctx:      r.Context(),
 			Done: func(res *engine.Result) {
 				s.shadowFinish(shc, entry, res)
+				s.captureEval(entry, tenantName, st, src, nil, res)
 				items <- api.BatchItem{Index: i, EvalResult: buildResult(entry, res)}
 			},
 		})
@@ -1244,6 +1294,7 @@ func (s *Server) statsResponse() (api.StatsResponse, error) {
 		SchemaDetails:    details,
 		RecoveredSchemas: s.recovery.Schemas,
 		RecoveryMs:       s.recovery.Duration.Milliseconds(),
+		Capture:          s.CaptureStats(),
 	}
 	if regErr != nil {
 		// Both degradations (poisoned, disk-full) read as read-only to an
